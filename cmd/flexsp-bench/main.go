@@ -1,0 +1,98 @@
+// Command flexsp-bench regenerates the paper's tables and figures against
+// the simulated cluster. Each subcommand maps to one experiment of the
+// evaluation (see DESIGN.md §3):
+//
+//	flexsp-bench table1     # Table 1: homogeneous SP grid, times + A2A ratio
+//	flexsp-bench fig1       # Fig. 1: motivating example
+//	flexsp-bench fig2       # Fig. 2: dataset length distributions
+//	flexsp-bench fig4       # Fig. 4: end-to-end comparison grid
+//	flexsp-bench table3fig5 # Table 3 + Fig. 5: case study
+//	flexsp-bench fig6       # Fig. 6: scalability sweeps
+//	flexsp-bench fig7       # Fig. 7: ablations
+//	flexsp-bench fig8       # Fig. 8: solver scalability
+//	flexsp-bench fig9       # Fig. 9: estimator accuracy
+//	flexsp-bench table4     # Table 4: bucketing bias
+//	flexsp-bench table5     # Table 5: model configurations
+//	flexsp-bench all        # everything above
+//
+// Flags: -quick shrinks batch sizes/iterations, -seed and -iters override
+// the experiment configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flexsp/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the reduced experiment configuration")
+	seed := flag.Int64("seed", 0, "override the sampling seed")
+	iters := flag.Int("iters", 0, "override iterations per cell")
+	flag.Usage = usage
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *iters > 0 {
+		cfg.Iterations = *iters
+	}
+
+	args := flag.Args()
+	if len(args) != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	runners := map[string]func(experiments.Config) string{
+		"table1":     func(c experiments.Config) string { return experiments.Table1(c).Render() },
+		"fig1":       func(c experiments.Config) string { return experiments.Fig1(c).Render() },
+		"fig2":       func(c experiments.Config) string { return experiments.Fig2(c).Render() },
+		"fig4":       func(c experiments.Config) string { return experiments.Fig4(c, nil, nil).Render() },
+		"table3fig5": func(c experiments.Config) string { return experiments.CaseStudy(c).Render() },
+		"fig6":       func(c experiments.Config) string { return experiments.Fig6(c).Render() },
+		"fig7":       func(c experiments.Config) string { return experiments.Fig7(c).Render() },
+		"fig8":       func(c experiments.Config) string { return experiments.Fig8(c).Render() },
+		"fig9":       func(c experiments.Config) string { return experiments.Fig9(c).Render() },
+		"table4":     func(c experiments.Config) string { return experiments.Table4(c).Render() },
+		"table5":     func(c experiments.Config) string { return experiments.Table5() },
+		"appendixE":  func(c experiments.Config) string { return experiments.AppendixE(c).Render() },
+	}
+	order := []string{"table5", "table1", "fig1", "fig2", "fig4", "table3fig5",
+		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE"}
+
+	run := func(name string) {
+		start := time.Now()
+		fmt.Println(runners[name](cfg))
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	switch cmd := args[0]; cmd {
+	case "all":
+		for _, name := range order {
+			run(name)
+		}
+	default:
+		if _, ok := runners[cmd]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
+			usage()
+			os.Exit(2)
+		}
+		run(cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] <experiment>
+
+experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE all`)
+	flag.PrintDefaults()
+}

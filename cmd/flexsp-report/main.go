@@ -1,0 +1,84 @@
+// Command flexsp-report summarizes a JSONL training trace produced by
+// `flexsp-train -trace`: mean iteration time after warm-up, All-to-All
+// share, throughput, estimator error and solver latency percentiles, plus
+// the observed SP-degree mix.
+//
+//	flexsp-train -iters 20 -trace run.jsonl
+//	flexsp-report -warmup 2 run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"flexsp/internal/report"
+	"flexsp/internal/trace"
+)
+
+func main() {
+	warmup := flag.Int("warmup", 0, "iterations excluded from the summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: flexsp-report [-warmup N] <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	iters, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	rec := trace.NewRecorder(nil)
+	for _, it := range iters {
+		if err := rec.Record(it); err != nil {
+			fatal(err)
+		}
+	}
+	sum, err := rec.Summarize(*warmup)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := report.NewTable(fmt.Sprintf("Trace summary: %s", flag.Arg(0)), "metric", "value")
+	t.Add("iterations (after warm-up)", fmt.Sprintf("%d (+%d warm-up)", sum.Iterations, sum.Warmup))
+	t.Add("mean iteration", report.Secs(sum.MeanExecSeconds))
+	t.Add("mean estimate", report.Secs(sum.MeanEstSeconds))
+	t.Add("estimator error", report.Pct(sum.EstimateError))
+	t.Add("all-to-all share", report.Pct(sum.AllToAllShare))
+	t.Add("throughput", fmt.Sprintf("%.0f tokens/s", sum.TokensPerSec))
+	t.Add("solve p50 / p95", fmt.Sprintf("%s / %s", report.Secs(sum.SolveP50), report.Secs(sum.SolveP95)))
+	fmt.Print(t.String())
+
+	// SP-degree mix across the first micro-batches of all iterations.
+	counts := map[int]int{}
+	for _, it := range iters[*warmup:] {
+		for _, d := range it.Groups {
+			counts[d]++
+		}
+	}
+	if len(counts) > 0 {
+		var degrees []int
+		total := 0
+		for d, c := range counts {
+			degrees = append(degrees, d)
+			total += c
+		}
+		sort.Ints(degrees)
+		dt := report.NewTable("\nSP-degree mix (first micro-batch of each iteration)", "degree", "groups", "share")
+		for _, d := range degrees {
+			dt.Add(fmt.Sprintf("%d", d), fmt.Sprintf("%d", counts[d]),
+				report.Pct(float64(counts[d])/float64(total)))
+		}
+		fmt.Print(dt.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexsp-report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command flexsp-solve runs the FlexSP solver (paper Alg. 1) on one data
+// batch and emits the parallelism plan as JSON. Input is a JSON object on
+// stdin (or -in file):
+//
+//	{"devices": 64, "model": "GPT-7B", "lengths": [102400, 49152, ...]}
+//
+// Output is the chosen micro-batch plans, one SP-group list per micro-batch,
+// with the estimated times:
+//
+//	{"m": 2, "estTime": 7.31, "micro": [{"time": 3.6, "groups": [
+//	    {"degree": 32, "lengths": [...]}, ...]}]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/solver"
+)
+
+type input struct {
+	Devices  int    `json:"devices"`
+	Model    string `json:"model"`
+	Strategy string `json:"strategy"`
+	Lengths  []int  `json:"lengths"`
+}
+
+type outGroup struct {
+	Degree  int   `json:"degree"`
+	Lengths []int `json:"lengths"`
+}
+
+type outMicro struct {
+	Time   float64    `json:"time"`
+	Groups []outGroup `json:"groups"`
+}
+
+type output struct {
+	M         int        `json:"m"`
+	MMin      int        `json:"mMin"`
+	EstTime   float64    `json:"estTime"`
+	SolveWall float64    `json:"solveWallSeconds"`
+	Micro     []outMicro `json:"micro"`
+}
+
+func main() {
+	inPath := flag.String("in", "-", "input JSON file ('-' = stdin)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var in input
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		fatal(fmt.Errorf("decoding input: %w", err))
+	}
+	if in.Devices == 0 {
+		in.Devices = 64
+	}
+	model := costmodel.GPT7B
+	for _, m := range costmodel.Models() {
+		if m.Name == in.Model {
+			model = m
+		}
+	}
+	coeffs := costmodel.Profile(model, cluster.A100Cluster(in.Devices))
+	pl := planner.New(coeffs)
+	switch in.Strategy {
+	case "milp":
+		pl.Strategy = planner.StrategyMILP
+	case "greedy":
+		pl.Strategy = planner.StrategyGreedy
+	}
+	res, err := solver.New(pl).Solve(in.Lengths)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := output{M: res.M, MMin: res.MMin, EstTime: res.Time,
+		SolveWall: res.SolveWall.Seconds()}
+	for _, mp := range res.Plans {
+		om := outMicro{Time: mp.Time}
+		for _, g := range mp.Groups {
+			om.Groups = append(om.Groups, outGroup{Degree: g.Degree, Lengths: g.Lens})
+		}
+		out.Micro = append(out.Micro, om)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexsp-solve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,252 @@
+// Command flexsp-train runs a multi-iteration simulated training loop with
+// the disaggregated solver service of paper §5: batch lengths are submitted
+// ahead of time, per-node solver workers plan them concurrently, and the
+// executor consumes plans in order while printing per-iteration stats.
+//
+//	flexsp-train -dataset commoncrawl -iters 10 -maxctx 192K -system flexsp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"flexsp/internal/baselines"
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/sim"
+	"flexsp/internal/solver"
+	"flexsp/internal/trace"
+	"flexsp/internal/workload"
+)
+
+func main() {
+	devices := flag.Int("devices", 64, "GPU count")
+	modelName := flag.String("model", "GPT-7B", "model: GPT-7B, GPT-13B, GPT-30B")
+	datasetName := flag.String("dataset", "commoncrawl", "dataset: github, commoncrawl, wikipedia")
+	dataFile := flag.String("data", "", "load sequence lengths from a file (JSON array or one per line) instead of a synthetic dataset")
+	iters := flag.Int("iters", 5, "training iterations")
+	batch := flag.Int("batch", 512, "global batch size (sequences)")
+	maxCtxStr := flag.String("maxctx", "192K", "maximum context length (e.g. 192K)")
+	system := flag.String("system", "flexsp", "system: flexsp, deepspeed, batchada")
+	workers := flag.Int("workers", 4, "solver service workers")
+	seed := flag.Int64("seed", 42, "sampling seed")
+	tracePath := flag.String("trace", "", "write per-iteration JSONL telemetry to this file")
+	warmup := flag.Int("warmup", 0, "iterations excluded from the summary")
+	flag.Parse()
+
+	maxCtx, err := parseTokens(*maxCtxStr)
+	if err != nil {
+		fatal(err)
+	}
+	model := costmodel.GPT7B
+	for _, m := range costmodel.Models() {
+		if strings.EqualFold(m.Name, *modelName) {
+			model = m
+		}
+	}
+	var dataset workload.Dataset
+	switch strings.ToLower(*datasetName) {
+	case "github":
+		dataset = workload.GitHub()
+	case "wikipedia":
+		dataset = workload.Wikipedia()
+	default:
+		dataset = workload.CommonCrawl()
+	}
+
+	topo := cluster.A100Cluster(*devices)
+	coeffs := costmodel.Profile(model, topo)
+	pool := cluster.NewGroupPool(*devices, cluster.DefaultGroupCreation)
+	// One-time startup: create the communicator hierarchy so hot switching
+	// is free during measured iterations (§5).
+	var warmupCost float64
+	for size := 2; size <= *devices; size *= 2 {
+		for start := 0; start+size <= *devices; start += size {
+			warmupCost += pool.Acquire(cluster.DeviceRange{Start: start, Size: size})
+		}
+	}
+	fmt.Printf("communicator warm-up: %.0fs simulated, one-time\n", warmupCost)
+	rng := rand.New(rand.NewSource(*seed))
+
+	fmt.Printf("%s on %s, %d GPUs, max ctx %s, batch %d, system %s\n\n",
+		model.Name, dataset.Name, *devices, report.Tokens(maxCtx), *batch, *system)
+
+	// Draw all batches up front (lengths are known from the data loader)
+	// and prefetch plans through the service.
+	batches := make([][]int, *iters)
+	if *dataFile != "" {
+		lens, err := workload.LoadLengthsFile(*dataFile)
+		if err != nil {
+			fatal(err)
+		}
+		fd := workload.FileDataset{Name: *dataFile, Lens: lens}
+		for i := range batches {
+			b, err := fd.Batch(rng, *batch, maxCtx)
+			if err != nil {
+				fatal(err)
+			}
+			batches[i] = b
+		}
+	} else {
+		for i := range batches {
+			batches[i] = dataset.Batch(rng, *batch, maxCtx)
+		}
+	}
+
+	t := report.NewTable("", "iter", "micro", "groups (first micro-batch)",
+		"est", "exec", "a2a share", "solve")
+	var traceW io.Writer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		traceW = f
+	}
+	rec := trace.NewRecorder(traceW)
+	var totalExec, totalSolve float64
+
+	execPlans := func(i int, plans []planner.MicroPlan, est float64, solveWall time.Duration) error {
+		exec, err := sim.ExecuteIteration(coeffs, plans, sim.Options{
+			IncludeZeRO: true, Pool: pool, Seed: int64(i)})
+		if err != nil {
+			return err
+		}
+		first := "⟨⟩"
+		if len(plans) > 0 {
+			first = degreesString(plans[0].Degrees())
+		}
+		t.Add(strconv.Itoa(i), strconv.Itoa(len(plans)), first,
+			report.Secs(est), report.Secs(exec.Time),
+			report.Pct(exec.AllToAllShare()), report.Secs(solveWall.Seconds()))
+		var groups []int
+		if len(plans) > 0 {
+			groups = plans[0].Degrees()
+		}
+		tokens, seqs := 0, 0
+		for _, p := range plans {
+			for _, g := range p.Groups {
+				seqs += len(g.Lens)
+				tokens += g.Tokens()
+			}
+		}
+		if err := rec.Record(trace.Iteration{
+			Iter: i, Tokens: tokens, Seqs: seqs, MicroBatches: len(plans),
+			Groups: groups, EstSeconds: est, ExecSeconds: exec.Time,
+			AllToAllSeconds: exec.AllToAll, SolveSeconds: solveWall.Seconds(),
+			PeakMemFrac: exec.PeakMemFrac,
+		}); err != nil {
+			return err
+		}
+		totalExec += exec.Time
+		totalSolve += solveWall.Seconds()
+		return nil
+	}
+
+	switch strings.ToLower(*system) {
+	case "deepspeed":
+		for i, b := range batches {
+			start := time.Now()
+			plans, err := baselines.DeepSpeed(coeffs, b, maxCtx)
+			if err != nil {
+				fatal(err)
+			}
+			if err := execPlans(i, plans, planTime(plans), time.Since(start)); err != nil {
+				fatal(err)
+			}
+		}
+	case "batchada":
+		for i, b := range batches {
+			start := time.Now()
+			plans, err := baselines.BatchAda(coeffs, b)
+			if err != nil {
+				fatal(err)
+			}
+			if err := execPlans(i, plans, planTime(plans), time.Since(start)); err != nil {
+				fatal(err)
+			}
+		}
+	default: // flexsp with the disaggregated service
+		inner := solver.New(planner.New(coeffs))
+		inner.Overhead = coeffs.ZeROTime() // account for per-micro-batch ZeRO
+		sv := solver.NewService(inner, *workers)
+		defer sv.Close()
+		for _, b := range batches {
+			sv.Submit(b)
+		}
+		for i := 0; i < *iters; i++ {
+			res, err := sv.Next()
+			if err != nil {
+				fatal(err)
+			}
+			if err := execPlans(i, res.Plans, res.Time, res.SolveWall); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	fmt.Println(t.String())
+	fmt.Printf("mean iteration: %s   mean solve: %s (overlapped by prefetching)\n",
+		report.Secs(totalExec/float64(*iters)), report.Secs(totalSolve/float64(*iters)))
+	if sum, err := rec.Summarize(*warmup); err == nil {
+		fmt.Printf("summary (after %d warm-up): %.2fs/iter, %.1f%% all-to-all, %.0f tokens/s, est. error %.1f%%, solve p95 %.2fs\n",
+			sum.Warmup, sum.MeanExecSeconds, 100*sum.AllToAllShare,
+			sum.TokensPerSec, 100*sum.EstimateError, sum.SolveP95)
+	}
+}
+
+func planTime(plans []planner.MicroPlan) float64 {
+	var t float64
+	for _, p := range plans {
+		t += p.Time
+	}
+	return t
+}
+
+func degreesString(degrees []int) string {
+	var parts []string
+	i := 0
+	for i < len(degrees) {
+		j := i
+		for j < len(degrees) && degrees[j] == degrees[i] {
+			j++
+		}
+		if j-i > 1 {
+			parts = append(parts, fmt.Sprintf("%d×%d", degrees[i], j-i))
+		} else {
+			parts = append(parts, strconv.Itoa(degrees[i]))
+		}
+		i = j
+	}
+	return "⟨" + strings.Join(parts, ",") + "⟩"
+}
+
+func parseTokens(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad token count %q", s)
+	}
+	return n * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexsp-train:", err)
+	os.Exit(1)
+}

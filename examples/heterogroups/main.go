@@ -1,0 +1,23 @@
+// Heterogroups reproduces the paper's Fig. 1 motivating example end to end:
+// five sequences (one 100K, four 48K) on 64 GPUs, comparing the two
+// homogeneous SP=32 packings against heterogeneous SP groups, and showing
+// that the FlexSP planner discovers the paper's ⟨32, 8×4⟩ layout by itself.
+package main
+
+import (
+	"fmt"
+
+	"flexsp/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.Default()
+	res := experiments.Fig1(cfg)
+	fmt.Print(res.Render())
+	fmt.Println()
+	fmt.Println("The heterogeneous layout keeps the 100K sequence on a 32-wide group")
+	fmt.Println("(it does not fit fewer devices) while the 48K sequences run on")
+	fmt.Println("single-node SP=8 groups whose All-to-All stays on NVLink — the")
+	fmt.Println("communication drops by an order of magnitude and the short sequences")
+	fmt.Println("no longer wait for inter-node bandwidth (paper §1, Fig. 1).")
+}

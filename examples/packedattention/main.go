@@ -1,0 +1,83 @@
+// Packedattention demonstrates, numerically, the two correctness properties
+// FlexSP's flexibility rests on (paper §2.2.2 and §2.1.2):
+//
+//  1. packing varied-length sequences with a block-diagonal causal mask is
+//     bit-for-bit equivalent to processing each sequence alone, while a
+//     plain causal mask cross-contaminates; and
+//  2. Ulysses-style sequence-parallel attention produces identical outputs
+//     at every SP degree, so the solver can move sequences between groups of
+//     different sizes without changing model semantics.
+//
+// The demo runs a tiny float64 attention layer on an in-process collective
+// runtime (goroutines standing in for GPUs).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"flexsp/internal/comm"
+	"flexsp/internal/model"
+	"flexsp/internal/packing"
+	"flexsp/internal/tensor"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	const dim, heads = 16, 4
+
+	// Pack three varied-length sequences into one input.
+	packs := packing.BestFitDecreasing([]int{10, 6, 16}, 32)
+	pack := packs[0]
+	offsets := pack.Offsets()
+	fmt.Printf("packed %v into %d tokens, boundaries %v\n", pack.Lens, pack.Total, offsets)
+
+	q := tensor.Random(rng, pack.Total, dim)
+	k := tensor.Random(rng, pack.Total, dim)
+	v := tensor.Random(rng, pack.Total, dim)
+
+	// Ground truth: each sequence attended alone.
+	truth := model.AttentionPerSequence(q, k, v, heads, offsets)
+
+	// (1) Packed attention with the adjusted mask is exact; the naive mask
+	// is not.
+	masked := model.Attention(q, k, v, heads, model.PackedCausalMask(offsets))
+	naive := model.Attention(q, k, v, heads, model.CausalMask())
+	fmt.Printf("packed w/ block-diagonal mask: max|Δ| = %.2e (exact)\n",
+		tensor.MaxAbsDiff(truth, masked))
+	fmt.Printf("packed w/ plain causal mask:   max|Δ| = %.2e (contaminated!)\n",
+		tensor.MaxAbsDiff(truth, naive))
+
+	// (2) Ulysses SP attention matches at every degree.
+	for _, p := range []int{1, 2, 4} {
+		out := runUlysses(p, q, k, v, heads, model.PackedCausalMask(offsets))
+		fmt.Printf("Ulysses SP=%d:                  max|Δ| = %.2e\n",
+			p, tensor.MaxAbsDiff(truth, out))
+	}
+	fmt.Println("\nheterogeneous SP groups are numerically interchangeable — FlexSP can")
+	fmt.Println("route any sequence to any group size without affecting training.")
+}
+
+// runUlysses shards the sequence over p goroutine "devices" and reassembles
+// the output.
+func runUlysses(p int, q, k, v *tensor.Matrix, heads int, mask tensor.MaskFunc) *tensor.Matrix {
+	world := comm.NewWorld(p)
+	c := world.Group(0, p)
+	seq := q.Rows
+	local := seq / p
+	outs := make([]*tensor.Matrix, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			lo, hi := rank*local, (rank+1)*local
+			outs[rank] = model.UlyssesAttention(c, rank,
+				q.SliceRows(lo, hi), k.SliceRows(lo, hi), v.SliceRows(lo, hi),
+				heads, seq, mask)
+		}(r)
+	}
+	wg.Wait()
+	return tensor.ConcatRows(outs...)
+}

@@ -1,0 +1,181 @@
+// Package flexsp is the public facade of the FlexSP reproduction: a
+// heterogeneity-adaptive sequence-parallelism planner and simulated training
+// system for large language models over varied-length corpora, after
+// "FlexSP: Accelerating Large Language Model Training via Flexible Sequence
+// Parallelism" (Wang et al., ASPLOS 2025).
+//
+// A System ties together the cluster topology, the profiled cost model, the
+// Alg. 1 solver and the discrete-event executor:
+//
+//	sys := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+//	batch := flexsp.CommonCrawl().Batch(rng, 512, 192<<10)
+//	res, _ := sys.Solve(batch)   // heterogeneous SP groups per micro-batch
+//	exec, _ := sys.Execute(res.Plans)
+//	fmt.Println(exec.Time, exec.AllToAllShare())
+//
+// The packages under internal/ hold the substrates: cluster topology
+// (internal/cluster), α-β cost model (internal/costmodel), long-tail
+// workloads (internal/workload), packing/bucketing/chunking
+// (internal/packing, internal/bucket, internal/blaster), the MILP solver
+// (internal/milp), the planner (internal/planner), homogeneous baselines
+// (internal/baselines), the executor (internal/sim), and the collective
+// runtime plus tiny transformer used for numerical verification
+// (internal/comm, internal/tensor, internal/model).
+package flexsp
+
+import (
+	"fmt"
+
+	"flexsp/internal/baselines"
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/sim"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// Re-exported model configurations (paper Table 5).
+var (
+	GPT7B  = costmodel.GPT7B
+	GPT13B = costmodel.GPT13B
+	GPT30B = costmodel.GPT30B
+)
+
+// Re-exported dataset constructors (paper Fig. 2).
+var (
+	GitHub      = workload.GitHub
+	CommonCrawl = workload.CommonCrawl
+	Wikipedia   = workload.Wikipedia
+)
+
+// Config configures a System.
+type Config struct {
+	// Devices is the GPU count (multiple of 8, or < 8 for one node).
+	Devices int
+	// Model selects the transformer configuration (default GPT7B).
+	Model costmodel.ModelConfig
+	// Strategy selects the planner algorithm (default enumerative).
+	Strategy planner.Strategy
+	// CommStyle selects Ulysses all-to-all SP (default) or ring-attention
+	// context parallelism (flexible CP, paper Appendix E).
+	CommStyle costmodel.CommStyle
+	// Trials is Alg. 1's M′ (default 5).
+	Trials int
+	// IncludeZeRO charges exposed ZeRO-3 communication during execution.
+	IncludeZeRO bool
+}
+
+// System is a ready-to-use FlexSP instance.
+type System struct {
+	Topo    cluster.Topology
+	Coeffs  costmodel.Coeffs
+	Planner *planner.Planner
+	Solver  *solver.Solver
+
+	includeZeRO bool
+	pool        *cluster.GroupPool
+}
+
+// NewSystem builds a System for the given configuration.
+func NewSystem(cfg Config) *System {
+	if cfg.Devices <= 0 {
+		cfg.Devices = 64
+	}
+	if cfg.Model.Name == "" {
+		cfg.Model = costmodel.GPT7B
+	}
+	topo := cluster.A100Cluster(cfg.Devices)
+	coeffs := costmodel.Profile(cfg.Model, topo).WithStyle(cfg.CommStyle)
+	pl := planner.New(coeffs)
+	pl.Strategy = cfg.Strategy
+	sv := solver.New(pl)
+	if cfg.Trials > 0 {
+		sv.Trials = cfg.Trials
+	}
+	if cfg.IncludeZeRO {
+		// Let the solver account for the exposed per-micro-batch ZeRO cost
+		// when choosing the micro-batch count.
+		sv.Overhead = coeffs.ZeROTime()
+	}
+	return &System{
+		Topo:        topo,
+		Coeffs:      coeffs,
+		Planner:     pl,
+		Solver:      sv,
+		includeZeRO: cfg.IncludeZeRO,
+		pool:        cluster.NewGroupPool(cfg.Devices, cluster.DefaultGroupCreation),
+	}
+}
+
+// WarmupGroups pre-creates every aligned power-of-two communicator (the
+// full buddy hierarchy, ≤ 2N−1 groups, log N per device) and returns the
+// one-time creation cost in simulated seconds. Production deployments pay
+// this once at startup; afterwards hot switching between any SP layouts is
+// free (§5).
+func (s *System) WarmupGroups() float64 {
+	var total float64
+	n := s.Topo.NumDevices()
+	for size := 2; size <= n; size *= 2 {
+		for start := 0; start+size <= n; start += size {
+			total += s.pool.Acquire(cluster.DeviceRange{Start: start, Size: size})
+		}
+	}
+	return total
+}
+
+// Solve runs the FlexSP solver (Alg. 1) on one data batch of sequence
+// lengths, returning the heterogeneous micro-batch plans.
+func (s *System) Solve(batch []int) (solver.Result, error) {
+	return s.Solver.Solve(batch)
+}
+
+// Execute replays an iteration's plans on the simulated cluster, reusing
+// communicators across calls (hot switching).
+func (s *System) Execute(plans []planner.MicroPlan) (sim.IterResult, error) {
+	return sim.ExecuteIteration(s.Coeffs, plans, sim.Options{
+		IncludeZeRO: s.includeZeRO,
+		Pool:        s.pool,
+	})
+}
+
+// Train runs iters solve+execute iterations over batches drawn by nextBatch
+// and returns the per-iteration results.
+func (s *System) Train(iters int, nextBatch func(iter int) []int) ([]sim.IterResult, error) {
+	var out []sim.IterResult
+	for i := 0; i < iters; i++ {
+		res, err := s.Solve(nextBatch(i))
+		if err != nil {
+			return out, fmt.Errorf("flexsp: iteration %d solve: %w", i, err)
+		}
+		exec, err := s.Execute(res.Plans)
+		if err != nil {
+			return out, fmt.Errorf("flexsp: iteration %d execute: %w", i, err)
+		}
+		out = append(out, exec)
+	}
+	return out, nil
+}
+
+// NewService starts a disaggregated solver service (§5) over this system's
+// solver.
+func (s *System) NewService(workers int) *solver.Service {
+	return solver.NewService(s.Solver, workers)
+}
+
+// DeepSpeedBaseline plans the batch as the static homogeneous DeepSpeed
+// baseline would for the given maximum context length.
+func (s *System) DeepSpeedBaseline(batch []int, maxCtx int) ([]planner.MicroPlan, error) {
+	return baselines.DeepSpeed(s.Coeffs, batch, maxCtx)
+}
+
+// BatchAdaBaseline plans the batch as FlexSP-BatchAda (best homogeneous SP
+// degree per batch).
+func (s *System) BatchAdaBaseline(batch []int) ([]planner.MicroPlan, error) {
+	return baselines.BatchAda(s.Coeffs, batch)
+}
+
+// MegatronBaseline costs the batch under the best Megatron-LM strategy.
+func (s *System) MegatronBaseline(batch []int, maxCtx int) (baselines.MegatronResult, error) {
+	return baselines.Megatron(s.Coeffs, batch, maxCtx)
+}

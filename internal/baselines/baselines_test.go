@@ -1,0 +1,165 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/sim"
+	"flexsp/internal/workload"
+)
+
+func coeffs() costmodel.Coeffs {
+	return costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(64))
+}
+
+func batch(seed int64, n, maxCtx int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return workload.CommonCrawl().Batch(rng, n, maxCtx)
+}
+
+func TestDeepSpeedStaticDegree(t *testing.T) {
+	c := coeffs()
+	// 384K context forces SP=64 for GPT-7B (§6.2: "DeepSpeed requires
+	// SP=64"); 192K forces SP=32.
+	if d := StaticDegree(c, 384<<10); d != 64 {
+		t.Fatalf("384K static degree = %d, want 64", d)
+	}
+	if d := StaticDegree(c, 192<<10); d != 32 {
+		t.Fatalf("192K static degree = %d, want 32", d)
+	}
+}
+
+func TestDeepSpeedPlanShape(t *testing.T) {
+	c := coeffs()
+	lens := batch(1, 128, 192<<10)
+	plans, err := DeepSpeed(c, lens, 192<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All groups share the static degree; every sequence appears once.
+	count := 0
+	for _, p := range plans {
+		for _, g := range p.Groups {
+			if g.Degree != 32 {
+				t.Fatalf("group degree %d, want homogeneous 32", g.Degree)
+			}
+			count += len(g.Lens)
+		}
+	}
+	if count != len(lens) {
+		t.Fatalf("%d sequences planned, want %d", count, len(lens))
+	}
+	// Executable without OOM.
+	if _, err := sim.ExecuteIteration(c, plans, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchAdaAdaptsToBatch(t *testing.T) {
+	c := coeffs()
+	// A batch of short sequences: BatchAda should pick a much smaller
+	// degree than DeepSpeed's static 64 (chosen for 384K).
+	short := make([]int, 64)
+	for i := range short {
+		short[i] = 8 << 10
+	}
+	plans, err := BatchAda(c, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := plans[0].Groups[0].Degree
+	if deg > 8 {
+		t.Fatalf("BatchAda picked SP=%d for 8K sequences, want ≤ 8", deg)
+	}
+	// And it must beat the static plan on this batch.
+	static, err := DeepSpeed(c, short, 384<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planTime(plans) >= planTime(static) {
+		t.Fatalf("BatchAda %.2fs should beat static %.2fs", planTime(plans), planTime(static))
+	}
+}
+
+func TestBatchAdaStillHomogeneousWithinBatch(t *testing.T) {
+	c := coeffs()
+	lens := batch(3, 96, 192<<10)
+	plans, err := BatchAda(c, lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := 0
+	for _, p := range plans {
+		for _, g := range p.Groups {
+			if deg == 0 {
+				deg = g.Degree
+			}
+			if g.Degree != deg {
+				t.Fatalf("BatchAda mixed degrees %d and %d within a batch", deg, g.Degree)
+			}
+		}
+	}
+}
+
+func TestDeepSpeedInfeasible(t *testing.T) {
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(8))
+	if _, err := DeepSpeed(c, []int{1 << 20}, 1<<20); err == nil {
+		t.Fatal("1M context on 8 GPUs should be infeasible")
+	}
+}
+
+func TestMegatronSweepPicksFeasible(t *testing.T) {
+	c := coeffs()
+	lens := batch(5, 128, 192<<10)
+	res, err := Megatron(c, lens, 192<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 || res.Rounds <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	span := res.Strategy.TP * res.Strategy.CP
+	if span < 1 || span > 64 {
+		t.Fatalf("bad strategy %+v", res.Strategy)
+	}
+	// For long contexts the replica must span many devices.
+	res384, err := Megatron(c, batch(6, 64, 384<<10), 384<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res384.Strategy; s.TP*s.CP < 16 {
+		t.Fatalf("384K context needs a large replica, got TP=%d CP=%d", s.TP, s.CP)
+	}
+}
+
+// The headline result (§6.2): on long-tail corpora, per-batch adaptive and
+// especially heterogeneity-adaptive strategies beat the static baselines.
+// Here: BatchAda must beat static DeepSpeed on a real skewed batch.
+func TestBatchAdaBeatsDeepSpeedOnSkewedBatch(t *testing.T) {
+	c := coeffs()
+	lens := batch(9, 256, 192<<10)
+	static, err := DeepSpeed(c, lens, 384<<10) // static degree from the task's 384K limit
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada, err := BatchAda(c, lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planTime(ada) >= planTime(static) {
+		t.Fatalf("BatchAda %.2fs should beat DeepSpeed-static %.2fs",
+			planTime(ada), planTime(static))
+	}
+}
+
+func TestMegatronDPAccessor(t *testing.T) {
+	s := MegatronStrategy{TP: 8, CP: 4, PP: 1}
+	if s.DP(64) != 2 {
+		t.Fatalf("DP = %d, want 2", s.DP(64))
+	}
+	if s.Span() != 32 {
+		t.Fatalf("Span = %d, want 32", s.Span())
+	}
+}

@@ -1,0 +1,141 @@
+// Package baselines reimplements the comparison systems of the paper's
+// evaluation (§6.1) at the cost-model level:
+//
+//   - DeepSpeed: ZeRO-3 plus homogeneous Ulysses-style SP with one static
+//     degree for the whole training run, chosen as the smallest degree that
+//     fits the maximum context length; inputs are Best-fit packed to the
+//     replica token capacity.
+//   - Megatron-LM: TP (with Megatron-style SP) + CP + DP (ZeRO-1); the
+//     (TP, CP) grid is swept and the best feasible strategy wins, emulating
+//     the paper's hand-tuning protocol.
+//   - FlexSP-BatchAda: like DeepSpeed but the (single) SP degree is re-chosen
+//     adaptively per data batch.
+//
+// All baselines emit the same iteration-plan shape the executor consumes, so
+// every system is costed identically.
+package baselines
+
+import (
+	"fmt"
+
+	"flexsp/internal/costmodel"
+	"flexsp/internal/packing"
+	"flexsp/internal/planner"
+)
+
+// ErrInfeasible is returned when a baseline cannot fit the workload.
+var ErrInfeasible = fmt.Errorf("baselines: workload does not fit")
+
+// DeepSpeed builds the iteration plan of the DeepSpeed baseline: the SP
+// degree is fixed for the whole run by the maximum context length (not the
+// batch!), sequences are Best-fit packed to the replica capacity, and packs
+// execute round-robin over the N/degree identical replicas.
+func DeepSpeed(c costmodel.Coeffs, batch []int, maxCtx int) ([]planner.MicroPlan, error) {
+	degree := c.MinDegreeFor(maxCtx)
+	if degree == 0 {
+		return nil, ErrInfeasible
+	}
+	return homogeneousPlan(c, batch, degree)
+}
+
+// StaticDegree exposes the degree DeepSpeed locks in for a context length.
+func StaticDegree(c costmodel.Coeffs, maxCtx int) int { return c.MinDegreeFor(maxCtx) }
+
+// BatchAda builds the FlexSP-BatchAda plan: the best single SP degree for
+// this particular batch (adaptive across batches, homogeneous within).
+func BatchAda(c costmodel.Coeffs, batch []int) ([]planner.MicroPlan, error) {
+	maxLen := 0
+	for _, l := range batch {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	minDeg := c.MinDegreeFor(maxLen)
+	if minDeg == 0 {
+		return nil, ErrInfeasible
+	}
+	var best []planner.MicroPlan
+	bestTime := 0.0
+	for d := minDeg; d <= c.Topo.NumDevices(); d *= 2 {
+		plans, err := homogeneousPlan(c, batch, d)
+		if err != nil {
+			continue
+		}
+		t := planTime(plans)
+		if best == nil || t < bestTime {
+			best, bestTime = plans, t
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+// Homogeneous builds the iteration plan of a homogeneous SP system with an
+// explicitly chosen degree (the layout Table 1 measures across degrees).
+func Homogeneous(c costmodel.Coeffs, batch []int, degree int) ([]planner.MicroPlan, error) {
+	return homogeneousPlan(c, batch, degree)
+}
+
+// homogeneousPlan packs the batch with Best-Fit-Decreasing and schedules the
+// packs over the N/degree replicas. The pack size targets the per-replica
+// fair share of the batch's tokens (so all replicas stay busy), bounded by
+// the replica memory capacity; oversized single sequences get their own
+// pack. Each round of gradient accumulation is one MicroPlan whose groups
+// all share the degree.
+func homogeneousPlan(c costmodel.Coeffs, batch []int, degree int) ([]planner.MicroPlan, error) {
+	n := c.Topo.NumDevices()
+	if degree <= 0 || degree > n {
+		return nil, ErrInfeasible
+	}
+	capacity := c.MaxTokensPerGroup(degree)
+	if capacity <= 0 {
+		return nil, ErrInfeasible
+	}
+	for _, l := range batch {
+		if l > capacity {
+			return nil, ErrInfeasible // would be truncated in practice; reject here
+		}
+	}
+	replicas := n / degree
+	total := 0
+	for _, l := range batch {
+		total += l
+	}
+	target := (total + replicas - 1) / replicas
+	if target > capacity {
+		target = capacity
+	}
+	if target <= 0 {
+		target = capacity
+	}
+	packs := packing.BestFitDecreasingFlex(batch, target, capacity)
+	// Rounds of gradient accumulation: ceil(#packs / replicas); balance
+	// pack-to-replica assignment by descending pack cost (LPT) within the
+	// fixed round structure the homogeneous systems use.
+	rounds := (len(packs) + replicas - 1) / replicas
+	plans := make([]planner.MicroPlan, rounds)
+	for i, p := range packs {
+		r := i / replicas
+		plans[r].Groups = append(plans[r].Groups, planner.Group{Degree: degree, Lens: p.Lens})
+	}
+	for r := range plans {
+		var maxT float64
+		for _, g := range plans[r].Groups {
+			if t := g.Time(c); t > maxT {
+				maxT = t
+			}
+		}
+		plans[r].Time = maxT
+	}
+	return plans, nil
+}
+
+func planTime(plans []planner.MicroPlan) float64 {
+	var t float64
+	for _, p := range plans {
+		t += p.Time
+	}
+	return t
+}

@@ -1,0 +1,175 @@
+package baselines
+
+import (
+	"flexsp/internal/costmodel"
+	"flexsp/internal/packing"
+)
+
+// MegatronStrategy is one point of Megatron-LM's hybrid-parallelism grid:
+// tensor parallelism (with Megatron-style SP at the same degree) × context
+// parallelism × pipeline parallelism × data parallelism, with
+// DP = N / (TP·CP·PP).
+type MegatronStrategy struct {
+	TP, CP, PP int
+}
+
+// Span returns the devices of one model replica.
+func (s MegatronStrategy) Span() int { return s.TP * s.CP * s.PP }
+
+// DP returns the data-parallel degree on an n-device cluster.
+func (s MegatronStrategy) DP(n int) int { return n / s.Span() }
+
+// MegatronResult is the costed outcome of running a batch under one
+// strategy.
+type MegatronResult struct {
+	Strategy MegatronStrategy
+	// Recompute is the checkpointing level needed to fit (Appendix B.2).
+	Recompute costmodel.RecomputePolicy
+	// Time is the estimated iteration seconds.
+	Time float64
+	// Comm is the critical-path communication (TP collectives + exposed CP
+	// ring traffic + PP point-to-point).
+	Comm float64
+	// Rounds is the gradient-accumulation micro-batch count per replica.
+	Rounds int
+}
+
+// Megatron sweeps the (TP, CP, PP) grid — TP within a node, as Megatron-TP's
+// all-reduces require NVLink — and returns the best feasible strategy's
+// result, emulating the paper's manual tuning (§6.1/Appendix B.2). If a
+// strategy cannot fit the context length, heavier activation checkpointing
+// is applied, as the paper's protocol does.
+func Megatron(c costmodel.Coeffs, batch []int, maxCtx int) (MegatronResult, error) {
+	n := c.Topo.NumDevices()
+	best := MegatronResult{}
+	found := false
+	policies := []costmodel.RecomputePolicy{
+		c.Model.Recompute, costmodel.RecomputeMLP, costmodel.RecomputeFull,
+	}
+	seen := map[costmodel.RecomputePolicy]bool{}
+	for _, pol := range policies {
+		if seen[pol] {
+			continue
+		}
+		seen[pol] = true
+		cc := c.WithRecompute(pol)
+		for tp := 1; tp <= 2*c.Topo.DevicesPerNode && tp <= n; tp *= 2 {
+			for cp := 1; tp*cp <= n; cp *= 2 {
+				for pp := 1; tp*cp*pp <= n; pp *= 2 {
+					s := MegatronStrategy{TP: tp, CP: cp, PP: pp}
+					res, ok := megatronCost(cc, batch, maxCtx, s)
+					if !ok {
+						continue
+					}
+					res.Recompute = pol
+					if !found || res.Time < best.Time {
+						best, found = res, true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		return MegatronResult{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// megatronCost models one strategy. A model replica spans TP·CP·PP devices:
+// activations are sharded over TP·CP (Megatron-SP and CP both shard all
+// activations) with layers split over PP stages; weights and gradients are
+// sharded by TP·PP, optimizer states further by DP (ZeRO-1 / distributed
+// optimizer).
+func megatronCost(c costmodel.Coeffs, batch []int, maxCtx int, s MegatronStrategy) (MegatronResult, bool) {
+	n := c.Topo.NumDevices()
+	span := s.Span()
+	if span > n {
+		return MegatronResult{}, false
+	}
+	topo := c.Topo
+	h := float64(c.Model.HiddenDim)
+	layersPerStage := float64(c.Model.Layers) / float64(s.PP)
+
+	// Weights and gradients are sharded by TP·PP; CP ranks replicate the
+	// weights like DP ranks do, so the distributed optimizer shards
+	// optimizer states across DP·CP as well.
+	dp := s.DP(n)
+	states := (4*c.Model.Params)/float64(s.TP*s.PP) +
+		(12*c.Model.Params)/float64(s.TP*s.PP*s.CP*dp) +
+		0.8*float64(1<<30)
+	budget := float64(topo.UsableMemory()) - states
+	if budget <= 0 {
+		return MegatronResult{}, false
+	}
+	// Activation bytes per token per device: sharded by TP·CP, each device
+	// holding its stage's layers (pipelining keeps ~PP micro-batches in
+	// flight, cancelling the 1/PP layer saving in steady state).
+	perToken := c.MTokenBytes / float64(s.TP*s.CP)
+	capTokens := int(budget / perToken)
+	if capTokens < maxCtx {
+		return MegatronResult{}, false
+	}
+
+	packs := packing.BestFitDecreasing(batch, capTokens)
+	rounds := (len(packs) + dp - 1) / dp
+	packsPerReplica := rounds // sequential micro-batches each replica sees
+
+	var totalTime, totalComm float64
+	for r := 0; r < rounds; r++ {
+		var slowest, slowestComm float64
+		for i := r * dp; i < (r+1)*dp && i < len(packs); i++ {
+			p := packs[i]
+			// Compute sharded over the full replica span.
+			comp := c.ComputeTime(p.Lens, span)
+			// TP collectives: 4 all-reduces of the s×h activations per
+			// local layer within the TP group.
+			var tpComm float64
+			if s.TP > 1 {
+				bytes := float64(p.Total) / float64(s.CP) * h * 2
+				tpComm = 4 * layersPerStage * topo.AllGatherTime(2*bytes, s.TP)
+			}
+			// CP ring: K,V circulate; overlapped with attention chunk by
+			// chunk, only the excess is exposed. TP is innermost, so the
+			// ring crosses nodes whenever the replica exceeds a node.
+			var cpExposed float64
+			if s.CP > 1 {
+				ringBW := topo.IntraBW
+				if s.TP*s.CP > topo.DevicesPerNode {
+					ringBW = topo.InterBWPerDevice()
+				}
+				var attn, ring float64
+				for _, sl := range p.Lens {
+					fs := float64(sl)
+					attn += c.Alpha1 * fs * fs / float64(span)
+					hop := 2 * (fs / float64(s.CP)) * h * 2 / float64(s.TP)
+					ring += float64(s.CP-1) * hop / ringBW * layersPerStage
+				}
+				if ring > attn {
+					cpExposed = ring - attn
+				}
+			}
+			// PP point-to-point: boundary activations forward + gradients
+			// backward per stage boundary.
+			var ppComm float64
+			if s.PP > 1 {
+				bytes := float64(p.Total) / float64(s.TP*s.CP) * h * 2
+				ppComm = 2 * float64(s.PP-1) * bytes / topo.InterBWPerDevice()
+			}
+			t := comp + tpComm + cpExposed + ppComm
+			if t > slowest {
+				slowest = t
+				slowestComm = tpComm + cpExposed + ppComm
+			}
+		}
+		totalTime += slowest + c.Beta1
+		totalComm += slowestComm
+	}
+	// Pipeline bubble: with m micro-batches in flight per replica, the
+	// schedule stretches by (m + PP − 1)/m (GPipe/1F1B bubble).
+	if s.PP > 1 && packsPerReplica > 0 {
+		bubble := float64(packsPerReplica+s.PP-1) / float64(packsPerReplica)
+		totalTime *= bubble
+	}
+	totalTime += c.ZeROTime()
+	return MegatronResult{Strategy: s, Time: totalTime, Comm: totalComm, Rounds: rounds}, true
+}

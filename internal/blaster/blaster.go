@@ -1,0 +1,149 @@
+// Package blaster implements FlexSP's sequence blaster (paper §4.2 and
+// Appendix A): splitting a global data batch into micro-batches for gradient
+// accumulation when the batch cannot be processed at once. It encodes the
+// paper's three takeaways:
+//
+//  1. fewer micro-batches are usually better → start from the minimum
+//     feasible count M_min and try a small window above it;
+//  2. low length variance within a micro-batch is better → sort sequences by
+//     length before chunking;
+//  3. micro-batch token totals should be balanced → a dynamic program
+//     (Eq. 23–24) minimizes the maximum token count over consecutive chunks.
+package blaster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultTrials is M′, the number of micro-batch counts explored above M_min
+// (paper §4.2 takeaway #1, default 5).
+const DefaultTrials = 5
+
+// MinMicroBatches computes M_min = ceil(total tokens / cluster token
+// capacity) (§4.2). A zero or negative capacity yields 0, signalling the
+// batch is un-processable.
+func MinMicroBatches(lens []int, clusterTokenCapacity int) int {
+	if clusterTokenCapacity <= 0 {
+		return 0
+	}
+	var total int
+	for _, l := range lens {
+		total += l
+	}
+	if total == 0 {
+		return 0
+	}
+	return (total + clusterTokenCapacity - 1) / clusterTokenCapacity
+}
+
+// Blast splits the batch into m micro-batches: sorts by length (takeaway #2)
+// and applies the memory-balanced DP chunking of Appendix A (takeaway #3).
+// It returns the micro-batches in ascending-length order. m must be in
+// [1, len(lens)].
+func Blast(lens []int, m int) ([][]int, error) {
+	sorted := append([]int(nil), lens...)
+	sort.Ints(sorted)
+	return chunkBalanced(sorted, m)
+}
+
+// BlastUnsorted chunks in the original input order without sorting — the
+// "w/o Sort" ablation of Fig. 7. Balancing still applies, so the only
+// difference from Blast is intra-micro-batch length variance.
+func BlastUnsorted(lens []int, m int) ([][]int, error) {
+	return chunkBalanced(append([]int(nil), lens...), m)
+}
+
+// chunkBalanced splits the (already ordered) sequence list into m consecutive
+// chunks minimizing the maximum chunk token total, via the DP of Eq. 24:
+//
+//	DP[k][i] = min_j max( DP[j][i-1], Σ_{l=j+1..k} s_l ).
+func chunkBalanced(s []int, m int) ([][]int, error) {
+	k := len(s)
+	if m <= 0 {
+		return nil, fmt.Errorf("blaster: micro-batch count %d must be positive", m)
+	}
+	if m > k {
+		return nil, fmt.Errorf("blaster: cannot split %d sequences into %d micro-batches", k, m)
+	}
+	prefix := make([]int64, k+1)
+	for i, v := range s {
+		prefix[i+1] = prefix[i] + int64(v)
+	}
+	rangeSum := func(j, i int) int64 { return prefix[i] - prefix[j] }
+
+	const inf = int64(1) << 62
+	dp := make([][]int64, k+1)
+	cut := make([][]int, k+1)
+	for i := range dp {
+		dp[i] = make([]int64, m+1)
+		cut[i] = make([]int, m+1)
+		for b := range dp[i] {
+			dp[i][b] = inf
+		}
+	}
+	dp[0][0] = 0
+	for b := 1; b <= m; b++ {
+		for i := b; i <= k; i++ {
+			// Monotonicity: as j grows, dp[j][b-1] grows and
+			// rangeSum(j,i) shrinks; a linear scan is fine at our sizes.
+			for j := b - 1; j < i; j++ {
+				if dp[j][b-1] == inf {
+					continue
+				}
+				v := dp[j][b-1]
+				if rs := rangeSum(j, i); rs > v {
+					v = rs
+				}
+				if v < dp[i][b] {
+					dp[i][b] = v
+					cut[i][b] = j
+				}
+			}
+		}
+	}
+
+	// Reconstruct.
+	bounds := make([]int, m+1)
+	bounds[m] = k
+	for b := m; b > 0; b-- {
+		bounds[b-1] = cut[bounds[b]][b]
+	}
+	out := make([][]int, m)
+	for b := 0; b < m; b++ {
+		out[b] = append([]int(nil), s[bounds[b]:bounds[b+1]]...)
+	}
+	return out, nil
+}
+
+// MaxTokens returns the largest micro-batch token total, the quantity the DP
+// minimizes.
+func MaxTokens(micro [][]int) int {
+	max := 0
+	for _, mb := range micro {
+		t := 0
+		for _, l := range mb {
+			t += l
+		}
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// GreedyChunk is the naive even-count splitter used by homogeneous-length
+// systems ("micro-batch chunking is straightforward — fix the number of
+// sequences per micro-batch", §4.2). Retained as a comparison baseline.
+func GreedyChunk(lens []int, m int) ([][]int, error) {
+	k := len(lens)
+	if m <= 0 || m > k {
+		return nil, fmt.Errorf("blaster: invalid micro-batch count %d for %d sequences", m, k)
+	}
+	out := make([][]int, m)
+	for i, l := range lens {
+		b := i * m / k
+		out[b] = append(out[b], l)
+	}
+	return out, nil
+}

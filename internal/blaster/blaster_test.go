@@ -1,0 +1,176 @@
+package blaster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"flexsp/internal/workload"
+)
+
+func TestMinMicroBatches(t *testing.T) {
+	cases := []struct {
+		lens []int
+		cap  int
+		want int
+	}{
+		{[]int{100, 100}, 1000, 1},
+		{[]int{600, 600}, 1000, 2},
+		{[]int{1000}, 1000, 1},
+		{[]int{1001}, 1000, 2},
+		{nil, 1000, 0},
+		{[]int{5}, 0, 0},
+	}
+	for _, c := range cases {
+		if got := MinMicroBatches(c.lens, c.cap); got != c.want {
+			t.Errorf("MinMicroBatches(%v, %d) = %d, want %d", c.lens, c.cap, got, c.want)
+		}
+	}
+}
+
+func TestBlastSortsAndBalances(t *testing.T) {
+	lens := []int{9000, 100, 5000, 200, 7000, 300}
+	micro, err := Blast(lens, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(micro) != 2 {
+		t.Fatalf("got %d micro-batches", len(micro))
+	}
+	// Sorted chunking: every element of micro[0] ≤ every element of micro[1].
+	max0 := micro[0][len(micro[0])-1]
+	min1 := micro[1][0]
+	if max0 > min1 {
+		t.Fatalf("micro-batches not length-ordered: %v", micro)
+	}
+	// All sequences preserved.
+	var all []int
+	for _, mb := range micro {
+		all = append(all, mb...)
+	}
+	sort.Ints(all)
+	want := append([]int(nil), lens...)
+	sort.Ints(want)
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("sequences lost: %v vs %v", all, want)
+		}
+	}
+}
+
+// The DP must beat (or match) the naive even-count chunking on max tokens.
+func TestBlastBalancesBetterThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lens := workload.GitHub().SampleN(rng, 256)
+	sorted := append([]int(nil), lens...)
+	sort.Ints(sorted)
+	for _, m := range []int{2, 3, 5, 8} {
+		dp, err := Blast(lens, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := GreedyChunk(sorted, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MaxTokens(dp) > MaxTokens(greedy) {
+			t.Errorf("m=%d: DP max tokens %d > greedy %d", m, MaxTokens(dp), MaxTokens(greedy))
+		}
+	}
+}
+
+func TestBlastErrors(t *testing.T) {
+	if _, err := Blast([]int{1, 2}, 3); err == nil {
+		t.Error("m > len accepted")
+	}
+	if _, err := Blast([]int{1, 2}, 0); err == nil {
+		t.Error("m = 0 accepted")
+	}
+	if _, err := GreedyChunk([]int{1}, 2); err == nil {
+		t.Error("greedy m > len accepted")
+	}
+}
+
+func TestBlastUnsortedPreservesOrder(t *testing.T) {
+	lens := []int{500, 10, 500, 10}
+	micro, err := BlastUnsorted(lens, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without sorting, chunks are consecutive runs of the input.
+	got := append(append([]int(nil), micro[0]...), micro[1]...)
+	for i := range lens {
+		if got[i] != lens[i] {
+			t.Fatalf("order changed: %v", micro)
+		}
+	}
+}
+
+// Property: DP chunking always yields exactly m non-empty chunks covering the
+// input, and its bottleneck is optimal: no single contiguous split point
+// improvement exists (checked against brute force for small m).
+func TestBlastProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		lens := make([]int, n)
+		for i := range lens {
+			lens[i] = 1 + rng.Intn(10000)
+		}
+		m := 1 + rng.Intn(n)
+		micro, err := Blast(lens, m)
+		if err != nil || len(micro) != m {
+			return false
+		}
+		count := 0
+		for _, mb := range micro {
+			if len(mb) == 0 {
+				return false
+			}
+			count += len(mb)
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// For m=2 the DP result must equal the brute-force optimal split.
+func TestBlastOptimalSplitM2(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		lens := make([]int, n)
+		for i := range lens {
+			lens[i] = 1 + rng.Intn(5000)
+		}
+		sorted := append([]int(nil), lens...)
+		sort.Ints(sorted)
+		best := int(^uint(0) >> 1)
+		for cut := 1; cut < n; cut++ {
+			left, right := 0, 0
+			for _, v := range sorted[:cut] {
+				left += v
+			}
+			for _, v := range sorted[cut:] {
+				right += v
+			}
+			m := left
+			if right > m {
+				m = right
+			}
+			if m < best {
+				best = m
+			}
+		}
+		micro, err := Blast(lens, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MaxTokens(micro) != best {
+			t.Fatalf("DP split %d != brute force %d", MaxTokens(micro), best)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package blaster
+
+import "testing"
+
+// FuzzBlast checks that chunking any multiset into any feasible M yields
+// exactly M non-empty chunks that cover the input, with a balanced bottleneck
+// no larger than the trivial one-chunk total.
+func FuzzBlast(f *testing.F) {
+	f.Add([]byte{5, 5, 5, 5}, uint8(2))
+	f.Add([]byte{1}, uint8(1))
+	f.Add([]byte{9, 1, 9, 1, 9, 1}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, m uint8) {
+		if len(data) == 0 || len(data) > 200 {
+			return
+		}
+		lens := make([]int, len(data))
+		total := 0
+		for i, b := range data {
+			lens[i] = int(b) + 1
+			total += lens[i]
+		}
+		mm := int(m)%len(lens) + 1
+		micro, err := Blast(lens, mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(micro) != mm {
+			t.Fatalf("chunks = %d, want %d", len(micro), mm)
+		}
+		count, sum := 0, 0
+		for _, mb := range micro {
+			if len(mb) == 0 {
+				t.Fatal("empty chunk")
+			}
+			count += len(mb)
+			for _, l := range mb {
+				sum += l
+			}
+		}
+		if count != len(lens) || sum != total {
+			t.Fatalf("coverage broken: %d/%d seqs, %d/%d tokens", count, len(lens), sum, total)
+		}
+		if MaxTokens(micro) > total {
+			t.Fatal("bottleneck exceeds total")
+		}
+	})
+}

@@ -1,0 +1,206 @@
+// Package bucket implements FlexSP's sequence bucketing (paper §4.1.3):
+// grouping the K sequences of a micro-batch into Q buckets so the MILP of
+// problem (17) has Q×P instead of K×P decision variables. The dynamic
+// programming algorithm (Eq. 15–16) chooses bucket boundaries minimizing the
+// total deviation of each sequence to its bucket's upper limit; the naive
+// fixed-interval alternative is retained for the Table 4 / Fig. 7 ablations.
+package bucket
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bucket groups sequences whose lengths fall in (prev upper, Upper].
+type Bucket struct {
+	// Upper is the representative length ŝ_q: every member is costed as if
+	// it had this length.
+	Upper int
+	// Lens are the member sequence lengths (ascending).
+	Lens []int
+}
+
+// Count returns b̂_q, the number of sequences in the bucket.
+func (b Bucket) Count() int { return len(b.Lens) }
+
+func (b Bucket) String() string { return fmt.Sprintf("bucket(≤%d, %d seqs)", b.Upper, len(b.Lens)) }
+
+// DefaultQ is the paper's default bucket count (§4.1.3).
+const DefaultQ = 16
+
+// DP buckets the sequences into at most q buckets using the dynamic program
+// of Eq. 16: err[k][q] = min_j { err[j][q-1] + Σ_{i=j+1..k} (s_k − s_i) }.
+// The returned buckets are in ascending order of Upper and jointly contain
+// every input sequence. If there are at most q distinct lengths the
+// bucketing is exact (zero error).
+func DP(lens []int, q int) []Bucket {
+	if len(lens) == 0 {
+		return nil
+	}
+	if q <= 0 {
+		panic("bucket: q must be positive")
+	}
+	s := append([]int(nil), lens...)
+	sort.Ints(s)
+	k := len(s)
+	// More buckets than distinct lengths would force duplicate bucket
+	// boundaries; clamp so the bucketing stays well formed (and exact).
+	distinct := 1
+	for i := 1; i < k; i++ {
+		if s[i] != s[i-1] {
+			distinct++
+		}
+	}
+	if q > distinct {
+		q = distinct
+	}
+
+	// prefix[i] = s[0] + ... + s[i-1] for O(1) range deviation sums.
+	prefix := make([]int64, k+1)
+	for i, v := range s {
+		prefix[i+1] = prefix[i] + int64(v)
+	}
+	// dev(j, i): Σ_{t=j..i-1} (s[i-1] − s[t]) — deviation of sequences
+	// j..i-1 to the bucket upper limit s[i-1].
+	dev := func(j, i int) int64 {
+		return int64(i-j)*int64(s[i-1]) - (prefix[i] - prefix[j])
+	}
+
+	const inf = int64(1) << 62
+	// err[i][b]: min error bucketing the first i sequences into b buckets.
+	err := make([][]int64, k+1)
+	choice := make([][]int, k+1)
+	for i := range err {
+		err[i] = make([]int64, q+1)
+		choice[i] = make([]int, q+1)
+		for b := range err[i] {
+			err[i][b] = inf
+		}
+	}
+	err[0][0] = 0
+	for b := 1; b <= q; b++ {
+		for i := 1; i <= k; i++ {
+			for j := b - 1; j < i; j++ {
+				if err[j][b-1] == inf {
+					continue
+				}
+				if e := err[j][b-1] + dev(j, i); e < err[i][b] {
+					err[i][b] = e
+					choice[i][b] = j
+				}
+			}
+		}
+	}
+
+	// The error is non-increasing in b; using exactly q buckets (or k if
+	// fewer sequences) is optimal.
+	best := q
+	// Reconstruct boundaries.
+	var cuts []int // exclusive end indices, reversed
+	for i, b := k, best; b > 0; b-- {
+		cuts = append(cuts, i)
+		i = choice[i][b]
+	}
+	buckets := make([]Bucket, 0, len(cuts))
+	start := 0
+	for i := len(cuts) - 1; i >= 0; i-- {
+		end := cuts[i]
+		buckets = append(buckets, Bucket{
+			Upper: s[end-1],
+			Lens:  append([]int(nil), s[start:end]...),
+		})
+		start = end
+	}
+	return buckets
+}
+
+// Naive buckets the sequences into fixed-width intervals (0, w], (w, 2w], …
+// (paper §4.1.3's strawman, default w = 2K). Empty intervals are dropped.
+func Naive(lens []int, width int) []Bucket {
+	if width <= 0 {
+		panic("bucket: width must be positive")
+	}
+	if len(lens) == 0 {
+		return nil
+	}
+	s := append([]int(nil), lens...)
+	sort.Ints(s)
+	byBin := map[int][]int{}
+	var bins []int
+	for _, l := range s {
+		bin := (l + width - 1) / width
+		if bin == 0 {
+			bin = 1
+		}
+		if _, ok := byBin[bin]; !ok {
+			bins = append(bins, bin)
+		}
+		byBin[bin] = append(byBin[bin], l)
+	}
+	sort.Ints(bins)
+	out := make([]Bucket, 0, len(bins))
+	for _, bin := range bins {
+		out = append(out, Bucket{Upper: bin * width, Lens: byBin[bin]})
+	}
+	return out
+}
+
+// TokenError measures the estimation bias of a bucketing (paper Table 4):
+// the summed deviation of representative lengths from true lengths, divided
+// by the true total token count.
+func TokenError(buckets []Bucket) float64 {
+	var total, err int64
+	for _, b := range buckets {
+		for _, l := range b.Lens {
+			total += int64(l)
+			err += int64(b.Upper - l)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(err) / float64(total)
+}
+
+// TotalCount sums bucket membership.
+func TotalCount(buckets []Bucket) int {
+	n := 0
+	for _, b := range buckets {
+		n += b.Count()
+	}
+	return n
+}
+
+// Validate checks bucketing invariants: ascending non-overlapping uppers,
+// members within (previous upper, upper], all inputs covered.
+func Validate(buckets []Bucket, lens []int) error {
+	prev := 0
+	want := map[int]int{}
+	for _, l := range lens {
+		want[l]++
+	}
+	for _, b := range buckets {
+		if b.Upper <= prev {
+			return fmt.Errorf("bucket: uppers not strictly ascending at %d", b.Upper)
+		}
+		if b.Count() == 0 {
+			return fmt.Errorf("bucket: empty bucket ≤%d", b.Upper)
+		}
+		for _, l := range b.Lens {
+			if l > b.Upper || l <= prev {
+				return fmt.Errorf("bucket: %d outside (%d, %d]", l, prev, b.Upper)
+			}
+			want[l]--
+			if want[l] < 0 {
+				return fmt.Errorf("bucket: unexpected length %d", l)
+			}
+		}
+		prev = b.Upper
+	}
+	for l, c := range want {
+		if c != 0 {
+			return fmt.Errorf("bucket: %d sequences of length %d missing", c, l)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package bucket
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexsp/internal/blaster"
+	"flexsp/internal/workload"
+)
+
+func TestDPExactWhenFewDistinct(t *testing.T) {
+	lens := []int{100, 100, 500, 500, 500, 900}
+	buckets := DP(lens, 16)
+	if err := Validate(buckets, lens); err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3 (one per distinct length)", len(buckets))
+	}
+	if e := TokenError(buckets); e != 0 {
+		t.Fatalf("TokenError = %v, want 0 for exact bucketing", e)
+	}
+}
+
+func TestDPDuplicatesOnly(t *testing.T) {
+	lens := []int{5, 5, 5}
+	buckets := DP(lens, 2)
+	if err := Validate(buckets, lens); err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 1 || buckets[0].Upper != 5 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+}
+
+func TestDPRespectsQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lens := workload.CommonCrawl().SampleN(rng, 512)
+	buckets := DP(lens, DefaultQ)
+	if err := Validate(buckets, lens); err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) > DefaultQ {
+		t.Fatalf("got %d buckets, want ≤ %d", len(buckets), DefaultQ)
+	}
+	if TotalCount(buckets) != len(lens) {
+		t.Fatalf("TotalCount = %d, want %d", TotalCount(buckets), len(lens))
+	}
+}
+
+// Table 4: on real long-tail datasets the DP bucketing's token error is far
+// below the naive 2K-interval bucketing's, and within a few percent. As in
+// Alg. 1, bucketing runs per micro-batch after sorted blasting, so each
+// bucketing only sees a narrow slice of the length distribution.
+func TestTable4DPBeatsNaive(t *testing.T) {
+	for _, d := range workload.Datasets() {
+		rng := rand.New(rand.NewSource(11))
+		lens := d.Batch(rng, 512, 192<<10)
+		micro, err := blaster.Blast(lens, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dpDev, naiveDev, total float64
+		for _, mb := range micro {
+			tok := float64(workload.TotalTokens(mb))
+			dpDev += TokenError(DP(mb, DefaultQ)) * tok
+			naiveDev += TokenError(Naive(mb, 2<<10)) * tok
+			total += tok
+		}
+		dpErr, naiveErr := dpDev/total, naiveDev/total
+		if dpErr >= naiveErr {
+			t.Errorf("%s: DP error %.4f not better than naive %.4f", d.Name, dpErr, naiveErr)
+		}
+		if dpErr > 0.03 {
+			t.Errorf("%s: DP error %.4f, paper reports ≤ 2.3%%", d.Name, dpErr)
+		}
+	}
+}
+
+func TestNaiveBuckets(t *testing.T) {
+	lens := []int{100, 2048, 2049, 5000}
+	buckets := Naive(lens, 2048)
+	if err := Validate(buckets, lens); err != nil {
+		t.Fatal(err)
+	}
+	// Bins: (0,2048] has {100, 2048}; (2048,4096] has {2049}; (4096,6144] has {5000}.
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets: %v", len(buckets), buckets)
+	}
+	if buckets[0].Count() != 2 {
+		t.Fatalf("first bucket = %v", buckets[0])
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if DP(nil, 4) != nil {
+		t.Fatal("DP(nil) should be nil")
+	}
+	if Naive(nil, 2048) != nil {
+		t.Fatal("Naive(nil) should be nil")
+	}
+	if TokenError(nil) != 0 {
+		t.Fatal("TokenError(nil) should be 0")
+	}
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { DP([]int{1}, 0) },
+		func() { Naive([]int{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid parameter")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: DP bucketing is always valid, never exceeds Q buckets, and its
+// error never exceeds the naive bucketing error with comparable bucket
+// counts.
+func TestDPProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		lens := make([]int, n)
+		for i := range lens {
+			lens[i] = 1 + rng.Intn(100000)
+		}
+		buckets := DP(lens, DefaultQ)
+		if Validate(buckets, lens) != nil || len(buckets) > DefaultQ {
+			return false
+		}
+		// DP error must be optimal among single-boundary refinements: it
+		// cannot exceed the error of the trivial one-bucket solution.
+		one := DP(lens, 1)
+		return TokenError(buckets) <= TokenError(one)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DP error is non-increasing in Q.
+func TestDPErrorMonotoneInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lens := workload.GitHub().SampleN(rng, 300)
+	prev := 1e18
+	for q := 1; q <= 32; q *= 2 {
+		e := TokenError(DP(lens, q))
+		if e > prev+1e-12 {
+			t.Fatalf("error increased from %.6f to %.6f at q=%d", prev, e, q)
+		}
+		prev = e
+	}
+}

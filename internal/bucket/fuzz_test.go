@@ -1,0 +1,34 @@
+package bucket
+
+import "testing"
+
+// FuzzDP checks that arbitrary length multisets always bucket validly, with
+// bounded bucket count and non-negative error.
+func FuzzDP(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 200, 200, 7})
+	f.Add([]byte{255})
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 300 {
+			return
+		}
+		lens := make([]int, len(data))
+		for i, b := range data {
+			lens[i] = int(b)*137 + 1
+		}
+		buckets := DP(lens, DefaultQ)
+		if err := Validate(buckets, lens); err != nil {
+			t.Fatal(err)
+		}
+		if len(buckets) > DefaultQ {
+			t.Fatalf("%d buckets > Q", len(buckets))
+		}
+		if TokenError(buckets) < 0 {
+			t.Fatal("negative token error")
+		}
+		naive := Naive(lens, 64)
+		if err := Validate(naive, lens); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

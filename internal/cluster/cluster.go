@@ -1,0 +1,194 @@
+// Package cluster models the GPU cluster FlexSP schedules onto: nodes,
+// devices, intra-node (NVLink) and inter-node (InfiniBand) interconnect
+// bandwidths, and device memory. It also implements topology-aware placement
+// of sequence-parallel (SP) groups and the communication-group pool used for
+// hot switching (paper §5).
+//
+// The paper's testbed is 8 nodes × 8 NVIDIA A100-40GB GPUs with NVLink inside
+// a node and 400 Gbps InfiniBand between nodes. Topology is the single most
+// important input to FlexSP's cost model: an SP group that fits inside one
+// node communicates at NVLink speed, while a group spanning nodes is
+// bottlenecked by each GPU's share of the node NIC.
+package cluster
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Topology describes a homogeneous GPU cluster.
+type Topology struct {
+	// Nodes is the number of machines.
+	Nodes int
+	// DevicesPerNode is the number of GPUs in each machine.
+	DevicesPerNode int
+	// DeviceMemory is per-GPU memory in bytes.
+	DeviceMemory int64
+	// MemoryReserve is memory unavailable to training (runtime context,
+	// fragmentation, workspace), in bytes.
+	MemoryReserve int64
+	// EffFLOPS is the effective sustained compute rate of one device in
+	// FLOP/s for transformer kernels (matmul + flash attention).
+	EffFLOPS float64
+	// IntraBW is the effective per-device all-to-all bandwidth inside a
+	// node (NVLink), in bytes/s.
+	IntraBW float64
+	// InterBW is the per-node network bandwidth (NIC), in bytes/s. A
+	// device's share of it is InterBW / DevicesPerNode when all devices of
+	// a node communicate off-node simultaneously.
+	InterBW float64
+}
+
+// A100 interconnect and compute constants used throughout the reproduction.
+// They are "profiled" values in the sense of the paper's α-β model: effective
+// rates, not peaks.
+const (
+	a100MemoryBytes   = 40 << 30
+	a100ReserveBytes  = 1 << 30
+	a100EffFLOPS      = 140e12 // effective bf16 matmul+flash-attn throughput
+	nvlinkEffBW       = 80e9   // effective per-GPU all-to-all NVLink bandwidth
+	infinibandNodeBW  = 50e9   // 400 Gbps NIC per node
+	defaultDevPerNode = 8
+)
+
+// A100Cluster returns the paper's testbed scaled to the given total device
+// count, which must be a multiple of 8 (or less than 8 for single partial
+// node setups used in tests).
+func A100Cluster(devices int) Topology {
+	if devices <= 0 {
+		panic("cluster: device count must be positive")
+	}
+	perNode := defaultDevPerNode
+	nodes := devices / perNode
+	if devices < perNode {
+		perNode = devices
+		nodes = 1
+	}
+	if nodes*perNode != devices {
+		panic(fmt.Sprintf("cluster: %d devices is not a multiple of %d", devices, defaultDevPerNode))
+	}
+	return Topology{
+		Nodes:          nodes,
+		DevicesPerNode: perNode,
+		DeviceMemory:   a100MemoryBytes,
+		MemoryReserve:  a100ReserveBytes,
+		EffFLOPS:       a100EffFLOPS,
+		IntraBW:        nvlinkEffBW,
+		InterBW:        infinibandNodeBW,
+	}
+}
+
+// NumDevices returns the total device count.
+func (t Topology) NumDevices() int { return t.Nodes * t.DevicesPerNode }
+
+// UsableMemory is the per-device memory budget available to model states and
+// activations, in bytes.
+func (t Topology) UsableMemory() int64 { return t.DeviceMemory - t.MemoryReserve }
+
+// InterBWPerDevice is one device's share of the node NIC when every device of
+// the node sends off-node concurrently.
+func (t Topology) InterBWPerDevice() float64 {
+	return t.InterBW / float64(t.DevicesPerNode)
+}
+
+// Validate reports whether the topology is well formed.
+func (t Topology) Validate() error {
+	switch {
+	case t.Nodes <= 0 || t.DevicesPerNode <= 0:
+		return fmt.Errorf("cluster: non-positive size (%d nodes × %d devices)", t.Nodes, t.DevicesPerNode)
+	case t.DeviceMemory <= t.MemoryReserve:
+		return fmt.Errorf("cluster: reserve %d exceeds device memory %d", t.MemoryReserve, t.DeviceMemory)
+	case t.EffFLOPS <= 0 || t.IntraBW <= 0 || t.InterBW <= 0:
+		return fmt.Errorf("cluster: rates must be positive")
+	}
+	return nil
+}
+
+// SPDegrees returns the candidate SP degrees for this cluster: powers of two
+// from 1 up to the device count (paper §4.1.1 footnote 3).
+func (t Topology) SPDegrees() []int {
+	n := t.NumDevices()
+	var ds []int
+	for d := 1; d <= n; d *= 2 {
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// IsValidDegree reports whether d is a legal SP degree on this cluster.
+func (t Topology) IsValidDegree(d int) bool {
+	return d >= 1 && d <= t.NumDevices() && bits.OnesCount(uint(d)) == 1
+}
+
+// AllToAllTraffic describes the per-device traffic decomposition of one
+// all-to-all over an SP group, split into the portion that stays on NVLink
+// and the portion that crosses nodes.
+type AllToAllTraffic struct {
+	// IntraPeers and InterPeers are the number of peer devices reachable
+	// over NVLink and over the network respectively (degree-1 in total).
+	IntraPeers, InterPeers int
+}
+
+// GroupTraffic returns the peer decomposition of an SP group of the given
+// degree. Groups are always placed on aligned contiguous device ranges
+// (paper §5 footnote 4: each GPU pairs with its neighbours), so a group of
+// degree d ≤ DevicesPerNode lies inside one node and a larger group spans
+// d/DevicesPerNode whole nodes.
+func (t Topology) GroupTraffic(degree int) AllToAllTraffic {
+	if !t.IsValidDegree(degree) {
+		panic(fmt.Sprintf("cluster: invalid SP degree %d", degree))
+	}
+	if degree <= t.DevicesPerNode {
+		return AllToAllTraffic{IntraPeers: degree - 1}
+	}
+	return AllToAllTraffic{
+		IntraPeers: t.DevicesPerNode - 1,
+		InterPeers: degree - t.DevicesPerNode,
+	}
+}
+
+// AllToAllTime returns the wall-clock seconds for one all-to-all that
+// reshards a tensor of totalBytes (the full tensor size, e.g. seqLen ×
+// hidden × bytesPerElem) over an SP group of the given degree.
+//
+// Each device holds 1/degree of the tensor and exchanges an equal chunk of
+// totalBytes/degree² with every peer. Chunks to same-node peers travel over
+// NVLink; chunks to remote peers share the device's slice of the node NIC.
+// The two proceed concurrently, so the op finishes when the slower one does.
+func (t Topology) AllToAllTime(totalBytes float64, degree int) float64 {
+	if degree <= 1 {
+		return 0
+	}
+	tr := t.GroupTraffic(degree)
+	chunk := totalBytes / float64(degree*degree)
+	intra := float64(tr.IntraPeers) * chunk / t.IntraBW
+	inter := float64(tr.InterPeers) * chunk / t.InterBWPerDevice()
+	if intra > inter {
+		return intra
+	}
+	return inter
+}
+
+// RingTime returns the wall-clock seconds to circulate totalBytes around a
+// ring of the given degree (context-parallelism KV exchange): each device
+// forwards its chunk degree-1 times; the slowest hop bounds each step.
+func (t Topology) RingTime(totalBytes float64, degree int) float64 {
+	if degree <= 1 {
+		return 0
+	}
+	chunk := totalBytes / float64(degree)
+	hop := chunk / t.IntraBW
+	if degree > t.DevicesPerNode {
+		// A ring over multiple nodes has at least one inter-node hop per
+		// step, and ring steps are lock-stepped on the slowest link.
+		hop = chunk / t.InterBWPerDevice()
+	}
+	return float64(degree-1) * hop
+}
+
+// AllGatherTime returns the seconds for an all-gather (or reduce-scatter,
+// which is symmetric) of totalBytes over a group of the given degree using a
+// ring algorithm.
+func (t Topology) AllGatherTime(totalBytes float64, degree int) float64 {
+	return t.RingTime(totalBytes, degree)
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestA100Cluster(t *testing.T) {
+	topo := A100Cluster(64)
+	if topo.NumDevices() != 64 {
+		t.Fatalf("NumDevices = %d, want 64", topo.NumDevices())
+	}
+	if topo.Nodes != 8 || topo.DevicesPerNode != 8 {
+		t.Fatalf("shape = %d×%d, want 8×8", topo.Nodes, topo.DevicesPerNode)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := topo.UsableMemory(); got != a100MemoryBytes-a100ReserveBytes {
+		t.Fatalf("UsableMemory = %d", got)
+	}
+}
+
+func TestA100ClusterSmall(t *testing.T) {
+	topo := A100Cluster(4)
+	if topo.Nodes != 1 || topo.DevicesPerNode != 4 {
+		t.Fatalf("4-device cluster = %d×%d, want 1×4", topo.Nodes, topo.DevicesPerNode)
+	}
+}
+
+func TestA100ClusterPanicsOnBadCount(t *testing.T) {
+	for _, n := range []int{0, -8, 12, 63} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("A100Cluster(%d) did not panic", n)
+				}
+			}()
+			A100Cluster(n)
+		}()
+	}
+}
+
+func TestSPDegrees(t *testing.T) {
+	topo := A100Cluster(64)
+	got := topo.SPDegrees()
+	want := []int{1, 2, 4, 8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("SPDegrees = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SPDegrees = %v, want %v", got, want)
+		}
+	}
+	for _, d := range want {
+		if !topo.IsValidDegree(d) {
+			t.Errorf("IsValidDegree(%d) = false", d)
+		}
+	}
+	for _, d := range []int{0, 3, 5, 128, -2} {
+		if topo.IsValidDegree(d) {
+			t.Errorf("IsValidDegree(%d) = true", d)
+		}
+	}
+}
+
+func TestGroupTraffic(t *testing.T) {
+	topo := A100Cluster(64)
+	cases := []struct {
+		degree       int
+		intra, inter int
+	}{
+		{1, 0, 0},
+		{2, 1, 0},
+		{8, 7, 0},
+		{16, 7, 8},
+		{32, 7, 24},
+		{64, 7, 56},
+	}
+	for _, c := range cases {
+		tr := topo.GroupTraffic(c.degree)
+		if tr.IntraPeers != c.intra || tr.InterPeers != c.inter {
+			t.Errorf("GroupTraffic(%d) = %+v, want intra=%d inter=%d",
+				c.degree, tr, c.intra, c.inter)
+		}
+	}
+}
+
+func TestAllToAllTimeMonotonicity(t *testing.T) {
+	topo := A100Cluster(64)
+	bytes := 8192.0 * 4096 * 2
+	// Within a node, more devices means less traffic per device: time falls.
+	if t2, t8 := topo.AllToAllTime(bytes, 2), topo.AllToAllTime(bytes, 8); t8 >= t2 {
+		t.Errorf("intra-node all-to-all should shrink with degree: d=2 %.6f, d=8 %.6f", t2, t8)
+	}
+	// Crossing the node boundary uses the slow NIC: time jumps.
+	if t8, t16 := topo.AllToAllTime(bytes, 8), topo.AllToAllTime(bytes, 16); t16 <= t8 {
+		t.Errorf("inter-node all-to-all should be slower: d=8 %.6f, d=16 %.6f", t8, t16)
+	}
+	if got := topo.AllToAllTime(bytes, 1); got != 0 {
+		t.Errorf("AllToAllTime(degree=1) = %v, want 0", got)
+	}
+}
+
+func TestRingTime(t *testing.T) {
+	topo := A100Cluster(64)
+	if got := topo.RingTime(1e9, 1); got != 0 {
+		t.Fatalf("RingTime(degree 1) = %v", got)
+	}
+	intra := topo.RingTime(1e9, 8)
+	inter := topo.RingTime(1e9, 16)
+	if inter <= intra {
+		t.Fatalf("inter-node ring %.4f should exceed intra-node %.4f", inter, intra)
+	}
+	if ag := topo.AllGatherTime(1e9, 8); ag != intra {
+		t.Fatalf("AllGatherTime = %v, want ring time %v", ag, intra)
+	}
+}
+
+func TestPlaceGroups(t *testing.T) {
+	p, err := PlaceGroups(64, []int{32, 16, 8, 8})
+	if err != nil {
+		t.Fatalf("PlaceGroups: %v", err)
+	}
+	if err := p.Validate(64); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(p.Ranges) != 4 {
+		t.Fatalf("got %d ranges", len(p.Ranges))
+	}
+	// Input order must be preserved.
+	if p.Ranges[0].Size != 32 || p.Ranges[1].Size != 16 {
+		t.Fatalf("ranges out of order: %v", p.Ranges)
+	}
+}
+
+func TestPlaceGroupsMixedSmallFirst(t *testing.T) {
+	// A naive sequential first-fit of [1, 32, 31×1] would misalign the 32;
+	// the buddy-style placement must still succeed.
+	degrees := []int{1, 32, 16, 8, 4, 2, 1}
+	p, err := PlaceGroups(64, degrees)
+	if err != nil {
+		t.Fatalf("PlaceGroups: %v", err)
+	}
+	if err := p.Validate(64); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestPlaceGroupsErrors(t *testing.T) {
+	if _, err := PlaceGroups(64, []int{3}); err == nil {
+		t.Error("non-power-of-two degree accepted")
+	}
+	if _, err := PlaceGroups(8, []int{8, 1}); err == nil {
+		t.Error("oversubscription accepted")
+	}
+}
+
+// Property: any multiset of power-of-two degrees with sum ≤ N places
+// successfully and validly (buddy allocation never fragments).
+func TestPlaceGroupsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 64
+		var degrees []int
+		remaining := n
+		for remaining > 0 && rng.Intn(8) != 0 {
+			maxExp := 0
+			for 1<<(maxExp+1) <= remaining {
+				maxExp++
+			}
+			d := 1 << rng.Intn(maxExp+1)
+			degrees = append(degrees, d)
+			remaining -= d
+		}
+		p, err := PlaceGroups(n, degrees)
+		if err != nil {
+			return false
+		}
+		return p.Validate(n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupPool(t *testing.T) {
+	pool := NewGroupPool(64, 1.5)
+	r := DeviceRange{Start: 0, Size: 8}
+	if cost := pool.Acquire(r); cost != 1.5 {
+		t.Fatalf("first Acquire cost = %v, want 1.5", cost)
+	}
+	if cost := pool.Acquire(r); cost != 0 {
+		t.Fatalf("cached Acquire cost = %v, want 0", cost)
+	}
+	if cost := pool.Acquire(DeviceRange{Start: 0, Size: 1}); cost != 0 {
+		t.Fatalf("degree-1 Acquire cost = %v, want 0", cost)
+	}
+	created, hits := pool.Stats()
+	if created != 1 || hits != 1 {
+		t.Fatalf("Stats = (%d, %d), want (1, 1)", created, hits)
+	}
+	if got := pool.MaxGroupsPerDevice(); got != 6 {
+		t.Fatalf("MaxGroupsPerDevice = %d, want 6", got)
+	}
+}
+
+func TestGroupPoolLogNBound(t *testing.T) {
+	const n = 64
+	pool := NewGroupPool(n, 1)
+	// Acquire the full buddy hierarchy: every aligned power-of-two range.
+	for size := 2; size <= n; size *= 2 {
+		for start := 0; start+size <= n; start += size {
+			pool.Acquire(DeviceRange{Start: start, Size: size})
+		}
+	}
+	for dev, c := range pool.PerDeviceGroupCounts() {
+		if c > pool.MaxGroupsPerDevice() {
+			t.Fatalf("device %d participates in %d > log N = %d groups",
+				dev, c, pool.MaxGroupsPerDevice())
+		}
+	}
+}
+
+func TestDeviceRangeAligned(t *testing.T) {
+	if !(DeviceRange{Start: 16, Size: 8}).Aligned() {
+		t.Error("[16:24) should be aligned")
+	}
+	if (DeviceRange{Start: 4, Size: 8}).Aligned() {
+		t.Error("[4:12) should not be aligned")
+	}
+}

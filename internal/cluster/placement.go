@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupPlacement is a concrete assignment of SP groups to device ranges. A
+// placement is valid when groups are disjoint, aligned, power-of-two sized
+// ranges that fit within the cluster.
+type GroupPlacement struct {
+	// Ranges lists the placed groups as [start, start+size) device ranges.
+	Ranges []DeviceRange
+}
+
+// DeviceRange is a contiguous block of devices [Start, Start+Size).
+type DeviceRange struct {
+	Start, Size int
+}
+
+// End returns the exclusive upper bound of the range.
+func (r DeviceRange) End() int { return r.Start + r.Size }
+
+// Aligned reports whether the range starts at a multiple of its size, the
+// invariant that lets every group reuse one of the ≤ log N cached
+// neighbour-pair communicators (paper §5 footnote 4).
+func (r DeviceRange) Aligned() bool { return r.Size > 0 && r.Start%r.Size == 0 }
+
+func (r DeviceRange) String() string {
+	return fmt.Sprintf("[%d:%d)", r.Start, r.End())
+}
+
+// PlaceGroups assigns aligned device ranges to the requested SP degrees on a
+// cluster with n devices. Degrees must each be a power of two and sum to at
+// most n. Larger groups are placed first (first-fit on aligned boundaries),
+// which always succeeds for power-of-two degrees by the buddy-allocation
+// property.
+func PlaceGroups(n int, degrees []int) (GroupPlacement, error) {
+	total := 0
+	for _, d := range degrees {
+		if d <= 0 || d&(d-1) != 0 {
+			return GroupPlacement{}, fmt.Errorf("cluster: degree %d is not a power of two", d)
+		}
+		total += d
+	}
+	if total > n {
+		return GroupPlacement{}, fmt.Errorf("cluster: degrees sum to %d > %d devices", total, n)
+	}
+
+	// Sort indices by degree descending so big groups claim aligned blocks
+	// before fragmentation can occur, then restore input order in output.
+	idx := make([]int, len(degrees))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return degrees[idx[a]] > degrees[idx[b]] })
+
+	used := make([]bool, n)
+	ranges := make([]DeviceRange, len(degrees))
+	for _, i := range idx {
+		d := degrees[i]
+		placed := false
+		for start := 0; start+d <= n; start += d {
+			free := true
+			for dev := start; dev < start+d; dev++ {
+				if used[dev] {
+					free = false
+					break
+				}
+			}
+			if free {
+				for dev := start; dev < start+d; dev++ {
+					used[dev] = true
+				}
+				ranges[i] = DeviceRange{Start: start, Size: d}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return GroupPlacement{}, fmt.Errorf("cluster: no aligned slot for degree %d", d)
+		}
+	}
+	return GroupPlacement{Ranges: ranges}, nil
+}
+
+// Validate checks the placement invariants against a cluster of n devices.
+func (p GroupPlacement) Validate(n int) error {
+	used := make([]bool, n)
+	for _, r := range p.Ranges {
+		if !r.Aligned() {
+			return fmt.Errorf("cluster: range %v is not aligned", r)
+		}
+		if r.Size&(r.Size-1) != 0 {
+			return fmt.Errorf("cluster: range %v is not a power of two", r)
+		}
+		if r.End() > n {
+			return fmt.Errorf("cluster: range %v exceeds %d devices", r, n)
+		}
+		for dev := r.Start; dev < r.End(); dev++ {
+			if used[dev] {
+				return fmt.Errorf("cluster: device %d placed twice", dev)
+			}
+			used[dev] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// GroupPool manages communication groups the way FlexSP's runtime manages
+// NCCL communicators (paper §5 "Hot Switching and Group Management"):
+// groups are created lazily on first use, cached forever, and reused across
+// iterations, so dynamically adjusting the SP layout incurs creation cost
+// only the first time a (start, size) range appears.
+//
+// Because every group is an aligned power-of-two range, each device belongs
+// to at most log2(N) possible groups (its buddy hierarchy), bounding the
+// cache footprint exactly as the paper argues.
+type GroupPool struct {
+	mu       sync.Mutex
+	devices  int
+	creation float64 // seconds charged per newly created group
+	cache    map[DeviceRange]struct{}
+	created  int
+	hits     int
+}
+
+// DefaultGroupCreation is the per-group creation cost in seconds. The paper
+// reports that creating log2(64)=6 groups takes under 10 seconds end to end.
+const DefaultGroupCreation = 1.5
+
+// NewGroupPool returns a pool for a cluster with the given device count and
+// per-group creation cost in seconds.
+func NewGroupPool(devices int, creationSeconds float64) *GroupPool {
+	return &GroupPool{
+		devices:  devices,
+		creation: creationSeconds,
+		cache:    make(map[DeviceRange]struct{}),
+	}
+}
+
+// Acquire returns the one-time creation cost (seconds) of the communicator
+// for the given range: DefaultGroupCreation-style cost on a miss, zero on a
+// hit. Degree-1 "groups" are free since they need no communicator.
+func (p *GroupPool) Acquire(r DeviceRange) float64 {
+	if r.Size <= 1 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.cache[r]; ok {
+		p.hits++
+		return 0
+	}
+	p.cache[r] = struct{}{}
+	p.created++
+	return p.creation
+}
+
+// Stats reports the number of communicators created and cache hits so far.
+func (p *GroupPool) Stats() (created, hits int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created, p.hits
+}
+
+// MaxGroupsPerDevice is the theoretical maximum number of cached
+// communicators any one device can participate in: its buddy chain of
+// sizes 2, 4, ..., N, i.e. log2(N).
+func (p *GroupPool) MaxGroupsPerDevice() int {
+	if p.devices <= 1 {
+		return 0
+	}
+	return bits.Len(uint(p.devices)) - 1
+}
+
+// PerDeviceGroupCounts returns, for each device, how many cached
+// communicators include it. Used to verify the log N bound.
+func (p *GroupPool) PerDeviceGroupCounts() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	counts := make([]int, p.devices)
+	for r := range p.cache {
+		for d := r.Start; d < r.End() && d < p.devices; d++ {
+			counts[d]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,208 @@
+// Package comm is an in-process message-passing runtime standing in for
+// NCCL: communicator groups over ranks, with AllToAll, AllGather,
+// ReduceScatter, AllReduce and Barrier collectives that move real buffers
+// between goroutines. FlexSP's executor uses it for the hot-switching group
+// management of paper §5 (groups are created lazily and cached — see
+// World.Group), and internal/model runs Ulysses-style sequence-parallel
+// attention on top of it to verify numerical equivalence across SP degrees.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World owns the communicator pool for a fixed set of ranks (devices),
+// mirroring FlexSP's NCCL group pool: communicators are created on first
+// use and reused forever after.
+type World struct {
+	size int
+
+	mu      sync.Mutex
+	pool    map[groupKey]*Communicator
+	created int
+	hits    int
+}
+
+type groupKey struct{ start, size int }
+
+// NewWorld returns a world of n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic("comm: world size must be positive")
+	}
+	return &World{size: n, pool: make(map[groupKey]*Communicator)}
+}
+
+// Size returns the world rank count.
+func (w *World) Size() int { return w.size }
+
+// Group returns the communicator over ranks [start, start+size), creating it
+// on first use (hot switching, §5). Groups must lie within the world.
+func (w *World) Group(start, size int) *Communicator {
+	if start < 0 || size <= 0 || start+size > w.size {
+		panic(fmt.Sprintf("comm: group [%d:%d) outside world of %d", start, start+size, w.size))
+	}
+	key := groupKey{start, size}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c, ok := w.pool[key]; ok {
+		w.hits++
+		return c
+	}
+	c := newCommunicator(size)
+	w.pool[key] = c
+	w.created++
+	return c
+}
+
+// Stats reports communicators created and cache hits.
+func (w *World) Stats() (created, hits int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.created, w.hits
+}
+
+// Communicator is a collective-communication group of `size` ranks. All
+// collectives are synchronous: every rank of the group must call the same
+// operation, and each call returns only after the collective completes.
+// Buffers returned to one rank are private copies; callers may mutate them.
+type Communicator struct {
+	size    int
+	barrier *barrier
+	// exchange[i][j] is the buffer rank i addressed to rank j.
+	exchange [][][]float64
+}
+
+func newCommunicator(size int) *Communicator {
+	ex := make([][][]float64, size)
+	for i := range ex {
+		ex[i] = make([][]float64, size)
+	}
+	return &Communicator{size: size, barrier: newBarrier(size), exchange: ex}
+}
+
+// Size returns the group size.
+func (c *Communicator) Size() int { return c.size }
+
+func (c *Communicator) checkRank(rank int) {
+	if rank < 0 || rank >= c.size {
+		panic(fmt.Sprintf("comm: rank %d outside group of %d", rank, c.size))
+	}
+}
+
+// Barrier blocks until every rank of the group has entered it.
+func (c *Communicator) Barrier(rank int) {
+	c.checkRank(rank)
+	c.barrier.await()
+}
+
+// AllToAll sends send[j] to rank j and returns recv where recv[i] is the
+// buffer rank i addressed to the caller. len(send) must equal the group
+// size.
+func (c *Communicator) AllToAll(rank int, send [][]float64) [][]float64 {
+	c.checkRank(rank)
+	if len(send) != c.size {
+		panic(fmt.Sprintf("comm: AllToAll send has %d buffers, group size %d", len(send), c.size))
+	}
+	for j, buf := range send {
+		c.exchange[rank][j] = append([]float64(nil), buf...)
+	}
+	c.barrier.await() // all sends posted
+	recv := make([][]float64, c.size)
+	for i := 0; i < c.size; i++ {
+		recv[i] = c.exchange[i][rank]
+	}
+	c.barrier.await() // all reads done; exchange reusable
+	return recv
+}
+
+// AllGather returns every rank's buffer, indexed by rank.
+func (c *Communicator) AllGather(rank int, data []float64) [][]float64 {
+	c.checkRank(rank)
+	c.exchange[rank][0] = append([]float64(nil), data...)
+	c.barrier.await()
+	out := make([][]float64, c.size)
+	for i := 0; i < c.size; i++ {
+		out[i] = append([]float64(nil), c.exchange[i][0]...)
+	}
+	c.barrier.await()
+	return out
+}
+
+// ReduceScatter element-wise sums the per-rank shards: each rank contributes
+// send[j] destined for rank j, and receives Σ_i send_i[rank]. All shards
+// must have equal length.
+func (c *Communicator) ReduceScatter(rank int, send [][]float64) []float64 {
+	c.checkRank(rank)
+	if len(send) != c.size {
+		panic(fmt.Sprintf("comm: ReduceScatter send has %d shards, group size %d", len(send), c.size))
+	}
+	for j, buf := range send {
+		c.exchange[rank][j] = append([]float64(nil), buf...)
+	}
+	c.barrier.await()
+	var out []float64
+	for i := 0; i < c.size; i++ {
+		shard := c.exchange[i][rank]
+		if out == nil {
+			out = append([]float64(nil), shard...)
+			continue
+		}
+		if len(shard) != len(out) {
+			panic("comm: ReduceScatter shard length mismatch")
+		}
+		for k := range out {
+			out[k] += shard[k]
+		}
+	}
+	c.barrier.await()
+	return out
+}
+
+// AllReduce element-wise sums data across ranks; every rank receives the
+// full sum.
+func (c *Communicator) AllReduce(rank int, data []float64) []float64 {
+	gathered := c.AllGather(rank, data)
+	out := make([]float64, len(data))
+	for _, g := range gathered {
+		if len(g) != len(out) {
+			panic("comm: AllReduce length mismatch")
+		}
+		for k := range out {
+			out[k] += g[k]
+		}
+	}
+	return out
+}
+
+// barrier is a reusable (cyclic) barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   uint64
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

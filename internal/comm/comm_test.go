@@ -1,0 +1,193 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// runRanks executes f concurrently for every rank and waits.
+func runRanks(n int, f func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			f(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestAllToAll(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	c := w.Group(0, n)
+	results := make([][][]float64, n)
+	runRanks(n, func(rank int) {
+		send := make([][]float64, n)
+		for j := 0; j < n; j++ {
+			send[j] = []float64{float64(rank*10 + j)}
+		}
+		results[rank] = c.AllToAll(rank, send)
+	})
+	for rank := 0; rank < n; rank++ {
+		for i := 0; i < n; i++ {
+			want := float64(i*10 + rank)
+			if got := results[rank][i][0]; got != want {
+				t.Fatalf("rank %d recv[%d] = %v, want %v", rank, i, got, want)
+			}
+		}
+	}
+}
+
+// AllToAll twice in a row must not cross-contaminate (buffer reuse safety).
+func TestAllToAllRepeated(t *testing.T) {
+	const n = 3
+	w := NewWorld(n)
+	c := w.Group(0, n)
+	runRanks(n, func(rank int) {
+		for round := 0; round < 5; round++ {
+			send := make([][]float64, n)
+			for j := 0; j < n; j++ {
+				send[j] = []float64{float64(1000*round + rank*10 + j)}
+			}
+			recv := c.AllToAll(rank, send)
+			for i := 0; i < n; i++ {
+				want := float64(1000*round + i*10 + rank)
+				if recv[i][0] != want {
+					t.Errorf("round %d rank %d recv[%d] = %v, want %v",
+						round, rank, i, recv[i][0], want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	const n = 5
+	w := NewWorld(n)
+	c := w.Group(0, n)
+	results := make([][][]float64, n)
+	runRanks(n, func(rank int) {
+		results[rank] = c.AllGather(rank, []float64{float64(rank), float64(rank * rank)})
+	})
+	for rank := 0; rank < n; rank++ {
+		for i := 0; i < n; i++ {
+			if results[rank][i][0] != float64(i) || results[rank][i][1] != float64(i*i) {
+				t.Fatalf("rank %d gathered %v from %d", rank, results[rank][i], i)
+			}
+		}
+	}
+}
+
+func TestReduceScatterAndAllReduce(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	c := w.Group(0, n)
+	rs := make([][]float64, n)
+	ar := make([][]float64, n)
+	runRanks(n, func(rank int) {
+		send := make([][]float64, n)
+		for j := 0; j < n; j++ {
+			send[j] = []float64{float64(rank + j)}
+		}
+		rs[rank] = c.ReduceScatter(rank, send)
+		ar[rank] = c.AllReduce(rank, []float64{float64(rank + 1)})
+	})
+	for rank := 0; rank < n; rank++ {
+		// Σ_i (i + rank) = 6 + 4·rank for i in 0..3.
+		if want := float64(6 + 4*rank); rs[rank][0] != want {
+			t.Fatalf("ReduceScatter rank %d = %v, want %v", rank, rs[rank][0], want)
+		}
+		if ar[rank][0] != 10 { // 1+2+3+4
+			t.Fatalf("AllReduce rank %d = %v, want 10", rank, ar[rank][0])
+		}
+	}
+}
+
+func TestGroupPoolCaching(t *testing.T) {
+	w := NewWorld(8)
+	a := w.Group(0, 4)
+	b := w.Group(0, 4)
+	if a != b {
+		t.Fatal("same range should return the cached communicator")
+	}
+	_ = w.Group(4, 4)
+	created, hits := w.Stats()
+	if created != 2 || hits != 1 {
+		t.Fatalf("Stats = (%d,%d), want (2,1)", created, hits)
+	}
+}
+
+func TestConcurrentDisjointGroups(t *testing.T) {
+	// Two disjoint groups run collectives concurrently — the FlexSP
+	// heterogeneous execution pattern.
+	w := NewWorld(8)
+	g1 := w.Group(0, 4)
+	g2 := w.Group(4, 4)
+	var wg sync.WaitGroup
+	for _, grp := range []*Communicator{g1, g2} {
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(c *Communicator, rank int) {
+				defer wg.Done()
+				for round := 0; round < 10; round++ {
+					out := c.AllReduce(rank, []float64{1})
+					if out[0] != 4 {
+						t.Errorf("AllReduce = %v, want 4", out[0])
+						return
+					}
+				}
+			}(grp, r)
+		}
+	}
+	wg.Wait()
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	w := NewWorld(4)
+	c := w.Group(0, 2)
+	cases := []func(){
+		func() { NewWorld(0) },
+		func() { w.Group(-1, 2) },
+		func() { w.Group(2, 4) },
+		func() { c.AllToAll(5, nil) },
+		func() { c.AllToAll(0, [][]float64{{1}}) }, // wrong buffer count
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const n = 6
+	w := NewWorld(n)
+	c := w.Group(0, n)
+	var mu sync.Mutex
+	seen := map[string]int{}
+	runRanks(n, func(rank int) {
+		for phase := 0; phase < 3; phase++ {
+			mu.Lock()
+			seen[fmt.Sprintf("p%d", phase)]++
+			mu.Unlock()
+			c.Barrier(rank)
+			// After the barrier, every rank must have registered the phase.
+			mu.Lock()
+			if seen[fmt.Sprintf("p%d", phase)] != n {
+				t.Errorf("phase %d: barrier released early (%d/%d)",
+					phase, seen[fmt.Sprintf("p%d", phase)], n)
+			}
+			mu.Unlock()
+			c.Barrier(rank)
+		}
+	})
+}

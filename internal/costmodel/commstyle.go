@@ -1,0 +1,107 @@
+package costmodel
+
+import "fmt"
+
+// CommStyle selects how a sequence-parallel group exchanges activations.
+//
+// The paper's system uses Ulysses-style SP (all-to-all resharding, §2.1.2);
+// Appendix E sketches integrating context parallelism (ring K/V exchange,
+// overlapped with attention) as future work — "we can employ the flexible
+// sequence parallelism strategy of FlexSP to achieve flexible CP". This
+// package implements both so the planner can drive either.
+type CommStyle int
+
+const (
+	// StyleUlysses is DeepSpeed-Ulysses all-to-all SP (default).
+	StyleUlysses CommStyle = iota
+	// StyleRingCP is ring-attention context parallelism: K and V chunks
+	// circulate around the group, hidden under attention compute chunk by
+	// chunk; only the excess communication is exposed.
+	StyleRingCP
+)
+
+func (s CommStyle) String() string {
+	switch s {
+	case StyleUlysses:
+		return "ulysses"
+	case StyleRingCP:
+		return "ring-cp"
+	default:
+		return fmt.Sprintf("CommStyle(%d)", int(s))
+	}
+}
+
+// ringBytesPerToken is the per-device ring traffic per sequence token for a
+// CP group of the given degree: (d−1) hops of the K,V chunk (2 tensors,
+// 1/d of the sequence each) per layer.
+func (c Coeffs) ringBytesPerToken(degree int) float64 {
+	d := float64(degree)
+	return 2 * 2 * float64(c.Model.HiddenDim) * float64(c.Model.Layers) * (d - 1) / d
+}
+
+// ringPerTokenTime is the seconds of ring communication per token at the
+// given degree, on the bandwidth the group's placement provides (NVLink
+// inside a node; the per-device NIC share across nodes — ring steps are
+// lock-stepped on the slowest hop).
+func (c Coeffs) ringPerTokenTime(degree int) float64 {
+	if degree <= 1 {
+		return 0
+	}
+	bw := c.Topo.IntraBW
+	if degree > c.Topo.DevicesPerNode {
+		bw = c.Topo.InterBWPerDevice()
+	}
+	return c.ringBytesPerToken(degree) / bw
+}
+
+// GroupTimeSums evaluates the group execution time (Eq. 14 generalized over
+// communication styles) directly from the running sums Σs and Σs² the
+// planner maintains. ComputeTime/CommTime/GroupTime are thin wrappers.
+func (c Coeffs) GroupTimeSums(sumS, sumS2 float64, degree int) float64 {
+	if sumS == 0 {
+		return 0
+	}
+	d := float64(degree)
+	comp := (c.Alpha1*sumS2+c.Alpha2*sumS)/d + c.Beta1
+	return comp + c.commTimeSums(sumS, sumS2, degree)
+}
+
+// commTimeSums is the communication part of GroupTimeSums.
+func (c Coeffs) commTimeSums(sumS, sumS2 float64, degree int) float64 {
+	if degree <= 1 || sumS == 0 {
+		return 0
+	}
+	switch c.Style {
+	case StyleRingCP:
+		ring := sumS * c.ringPerTokenTime(degree)
+		attn := c.Alpha1 * sumS2 / float64(degree)
+		exposed := ring - attn
+		if exposed < 0 {
+			exposed = 0
+		}
+		return exposed + c.Beta2
+	default:
+		return c.Topo.AllToAllTime(sumS*c.AllToAllBytesPerToken, degree) + c.Beta2
+	}
+}
+
+// CommUnitTime is a linear (conservative for ring CP, exact for Ulysses)
+// per-token communication bound at the given degree, used where linearity is
+// required (the MILP formulation).
+func (c Coeffs) CommUnitTime(degree int) float64 {
+	if degree <= 1 {
+		return 0
+	}
+	switch c.Style {
+	case StyleRingCP:
+		return c.ringPerTokenTime(degree)
+	default:
+		return c.Topo.AllToAllTime(c.AllToAllBytesPerToken, degree)
+	}
+}
+
+// WithStyle returns the coefficients with the communication style replaced.
+func (c Coeffs) WithStyle(s CommStyle) Coeffs {
+	c.Style = s
+	return c
+}

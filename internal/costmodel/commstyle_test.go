@@ -1,0 +1,83 @@
+package costmodel
+
+import (
+	"testing"
+
+	"flexsp/internal/cluster"
+)
+
+func ringCoeffs() Coeffs {
+	return Profile(GPT7B, cluster.A100Cluster(64)).WithStyle(StyleRingCP)
+}
+
+func TestCommStyleString(t *testing.T) {
+	if StyleUlysses.String() != "ulysses" || StyleRingCP.String() != "ring-cp" ||
+		CommStyle(9).String() == "" {
+		t.Fatal("CommStyle.String mismatch")
+	}
+}
+
+// Ring CP hides its communication under attention for long sequences but
+// exposes it for short ones (paper Appendix D: "the attention computation
+// often fails to hide the communication" on short-sequence corpora).
+func TestRingCPOverlapBehaviour(t *testing.T) {
+	c := ringCoeffs()
+	shortComm := c.CommTime([]int{4 << 10}, 16)
+	longComm := c.CommTime([]int{256 << 10}, 16)
+	if shortComm <= c.Beta2 {
+		t.Fatalf("short-sequence ring comm %.4f should be exposed", shortComm)
+	}
+	if longComm > c.Beta2+1e-9 {
+		t.Fatalf("long-sequence ring comm %.4f should be fully hidden (quadratic attention)", longComm)
+	}
+}
+
+// For short sequences at inter-node degrees, ring CP exposes more
+// communication than Ulysses all-to-all — the reason the paper prefers
+// Ulysses SP as the primary mechanism.
+func TestRingCPWorseThanUlyssesForShortSeqs(t *testing.T) {
+	base := Profile(GPT7B, cluster.A100Cluster(64))
+	lens := make([]int, 32)
+	for i := range lens {
+		lens[i] = 4 << 10
+	}
+	uly := base.CommTime(lens, 32)
+	ring := base.WithStyle(StyleRingCP).CommTime(lens, 32)
+	if ring <= uly {
+		t.Fatalf("ring CP (%.3fs) should exceed Ulysses (%.3fs) on short sequences", ring, uly)
+	}
+}
+
+func TestGroupTimeSumsConsistency(t *testing.T) {
+	for _, c := range []Coeffs{Profile(GPT7B, cluster.A100Cluster(64)), ringCoeffs()} {
+		lens := []int{1000, 3000, 9000}
+		var sumS, sumS2 float64
+		for _, l := range lens {
+			sumS += float64(l)
+			sumS2 += float64(l) * float64(l)
+		}
+		direct := c.GroupTime(lens, 8)
+		viaSums := c.GroupTimeSums(sumS, sumS2, 8)
+		if diff := direct - viaSums; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("%s: GroupTime %.9f != GroupTimeSums %.9f", c.Style, direct, viaSums)
+		}
+	}
+}
+
+func TestCommUnitTimeLinearBound(t *testing.T) {
+	c := ringCoeffs()
+	// The linear unit bound must never be below the exposed ring time.
+	lens := []int{8 << 10, 8 << 10}
+	var sumS float64
+	for _, l := range lens {
+		sumS += float64(l)
+	}
+	bound := sumS*c.CommUnitTime(16) + c.Beta2
+	actual := c.CommTime(lens, 16)
+	if actual > bound+1e-9 {
+		t.Fatalf("exposed ring %.4f exceeds linear bound %.4f", actual, bound)
+	}
+	if c.CommUnitTime(1) != 0 {
+		t.Fatal("degree-1 unit comm should be zero")
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"flexsp/internal/blaster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/sim"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// AppendixECell compares communication mechanisms on one dataset.
+type AppendixECell struct {
+	Dataset string
+	// IterTime per variant (seconds).
+	FlexUlysses float64
+	FlexRingCP  float64
+	StaticCP    float64
+}
+
+// AppendixEResult implements the paper's Appendix E extension ("Integrating
+// Context Parallelism", listed as future work): the FlexSP solver drives
+// ring-attention context parallelism instead of Ulysses SP — flexible CP —
+// and is compared against both flexible Ulysses SP and a static homogeneous
+// CP baseline, on GPT-7B at 384K max context.
+type AppendixEResult struct {
+	Cells []AppendixECell
+}
+
+// AppendixE runs the comparison.
+func AppendixE(cfg Config) AppendixEResult {
+	const maxCtx = 384 << 10
+	base := cfg.coeffs(costmodel.GPT7B)
+	var res AppendixEResult
+	for di, d := range workload.Datasets() {
+		batches := cfg.drawBatches(d, maxCtx, int64(900+di))
+		cell := AppendixECell{Dataset: d.Name}
+		cell.FlexUlysses = meanStyle(base, batches)
+		cell.FlexRingCP = meanStyle(base.WithStyle(costmodel.StyleRingCP), batches)
+		cell.StaticCP = meanStaticCP(base.WithStyle(costmodel.StyleRingCP), batches, maxCtx)
+		res.Cells = append(res.Cells, cell)
+	}
+	return res
+}
+
+func meanStyle(c costmodel.Coeffs, batches [][]int) float64 {
+	sv := solver.New(planner.New(c))
+	sv.Overhead = c.ZeROTime()
+	var sum float64
+	for i, b := range batches {
+		r, err := sv.Solve(b)
+		if err != nil {
+			return 0
+		}
+		exec, err := sim.ExecuteIteration(c, r.Plans, sim.Options{IncludeZeRO: true, Seed: int64(i)})
+		if err != nil {
+			return 0
+		}
+		sum += exec.Time
+	}
+	return sum / float64(len(batches))
+}
+
+// meanStaticCP is the homogeneous counterpart: one static CP degree chosen
+// by the max context, every sequence through it (the ring-attention analogue
+// of the DeepSpeed baseline), with the same blasted gradient-accumulation
+// structure FlexSP uses.
+func meanStaticCP(c costmodel.Coeffs, batches [][]int, maxCtx int) float64 {
+	degree := c.MinDegreeFor(maxCtx)
+	if degree == 0 {
+		return 0
+	}
+	pl := planner.New(c)
+	var sum float64
+	for i, b := range batches {
+		mmin := blaster.MinMicroBatches(b, c.ClusterTokenCapacity())
+		if mmin == 0 {
+			return 0
+		}
+		var plans []planner.MicroPlan
+		ok := false
+		for m := mmin; m <= len(b) && !ok; m++ {
+			micro, err := blaster.Blast(b, m)
+			if err != nil {
+				return 0
+			}
+			plans = plans[:0]
+			ok = true
+			for _, mb := range micro {
+				p, err := pl.PlanFixedDegree(mb, degree)
+				if err != nil {
+					ok = false
+					break
+				}
+				plans = append(plans, p)
+			}
+		}
+		if !ok {
+			return 0
+		}
+		exec, err := sim.ExecuteIteration(c, plans, sim.Options{IncludeZeRO: true, Seed: int64(i)})
+		if err != nil {
+			return 0
+		}
+		sum += exec.Time
+	}
+	return sum / float64(len(batches))
+}
+
+// Render formats the comparison.
+func (r AppendixEResult) Render() string {
+	t := report.NewTable("Appendix E: flexible context parallelism (GPT-7B, 384K max context)",
+		"dataset", "FlexSP (Ulysses)", "FlexSP (ring CP)", "static CP", "flex-CP vs static", "Ulysses vs flex-CP")
+	for _, c := range r.Cells {
+		f := func(v float64) string {
+			if v == 0 {
+				return "n/a"
+			}
+			return report.Secs(v)
+		}
+		r1, r2 := 0.0, 0.0
+		if c.FlexRingCP > 0 && c.StaticCP > 0 {
+			r1 = c.StaticCP / c.FlexRingCP
+		}
+		if c.FlexUlysses > 0 && c.FlexRingCP > 0 {
+			r2 = c.FlexRingCP / c.FlexUlysses
+		}
+		t.Add(c.Dataset, f(c.FlexUlysses), f(c.FlexRingCP), f(c.StaticCP),
+			report.Ratio(r1), report.Ratio(r2))
+	}
+	return t.String() + "flexible grouping transfers to context parallelism (Appendix E);\n" +
+		"Ulysses remains the better mechanism on long-tail corpora (Appendix D).\n"
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexsp/internal/baselines"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/sim"
+	"flexsp/internal/workload"
+)
+
+// CaseSystem is one system's record in the case study.
+type CaseSystem struct {
+	Name SystemName
+	// MicroGroups lists each micro-batch's degree multiset (Table 3).
+	MicroGroups [][]int
+	// Time, AllToAll: end-to-end and All-to-All breakdown (Fig. 5a).
+	Time     float64
+	AllToAll float64
+}
+
+// CaseIteration is one case (one data batch) of the study.
+type CaseIteration struct {
+	Systems []CaseSystem
+	// LenBySP maps SP degree → the sequence lengths FlexSP assigned to it
+	// (Fig. 5b's violin data).
+	LenBySP map[int][]int
+}
+
+// CaseStudyResult reproduces paper Table 3 + Fig. 5: two iterations of
+// GPT-7B on CommonCrawl at 384K max context.
+type CaseStudyResult struct {
+	Cases []CaseIteration
+}
+
+// CaseStudy runs the experiment.
+func CaseStudy(cfg Config) CaseStudyResult {
+	const maxCtx = 384 << 10
+	c := cfg.coeffs(costmodel.GPT7B)
+	sv := cfg.newSolver(costmodel.GPT7B)
+	rng := cfg.rng(777)
+	d := workload.CommonCrawl()
+
+	var res CaseStudyResult
+	for cse := 0; cse < 2; cse++ {
+		batch := d.Batch(rng, cfg.BatchSize, maxCtx)
+		var ci CaseIteration
+
+		record := func(name SystemName, plans []planner.MicroPlan, err error) []planner.MicroPlan {
+			s := CaseSystem{Name: name}
+			if err == nil {
+				for _, p := range plans {
+					s.MicroGroups = append(s.MicroGroups, p.Degrees())
+				}
+				if exec, e := sim.ExecuteIteration(c, plans, sim.Options{IncludeZeRO: true}); e == nil {
+					s.Time, s.AllToAll = exec.Time, exec.AllToAll
+				}
+			}
+			ci.Systems = append(ci.Systems, s)
+			return plans
+		}
+
+		dsPlans, dsErr := baselines.DeepSpeed(c, batch, maxCtx)
+		record(SysDeepSpeed, dsPlans, dsErr)
+		adaPlans, adaErr := baselines.BatchAda(c, batch)
+		record(SysBatchAda, adaPlans, adaErr)
+		flexRes, flexErr := sv.Solve(batch)
+		var flexPlans []planner.MicroPlan
+		if flexErr == nil {
+			flexPlans = flexRes.Plans
+		}
+		record(SysFlexSP, flexPlans, flexErr)
+
+		ci.LenBySP = map[int][]int{}
+		for _, p := range flexPlans {
+			for _, g := range p.Groups {
+				ci.LenBySP[g.Degree] = append(ci.LenBySP[g.Degree], g.Lens...)
+			}
+		}
+		res.Cases = append(res.Cases, ci)
+	}
+	return res
+}
+
+// AllToAllReduction returns FlexSP's All-to-All time reduction factor vs
+// DeepSpeed in the given case.
+func (r CaseStudyResult) AllToAllReduction(cse int) float64 {
+	var ds, flex float64
+	for _, s := range r.Cases[cse].Systems {
+		switch s.Name {
+		case SysDeepSpeed:
+			ds = s.AllToAll
+		case SysFlexSP:
+			flex = s.AllToAll
+		}
+	}
+	if flex == 0 {
+		return 0
+	}
+	return ds / flex
+}
+
+// Render formats Table 3 and the Fig. 5 breakdown/violin summaries.
+func (r CaseStudyResult) Render() string {
+	var b strings.Builder
+	t := report.NewTable("Table 3: heterogeneous SP groups per micro-batch (GPT-7B, CommonCrawl, 384K)",
+		"case", "system", "groups per micro-batch")
+	for ci, cse := range r.Cases {
+		for _, s := range cse.Systems {
+			var parts []string
+			i := 0
+			for i < len(s.MicroGroups) {
+				j := i
+				for j < len(s.MicroGroups) && degreesString(s.MicroGroups[j]) == degreesString(s.MicroGroups[i]) {
+					j++
+				}
+				g := degreesString(s.MicroGroups[i])
+				if j-i > 1 {
+					g += fmt.Sprintf(" ×%d", j-i)
+				}
+				parts = append(parts, g)
+				i = j
+			}
+			t.Add(fmt.Sprintf("Case %d", ci+1), string(s.Name), strings.Join(parts, "  "))
+		}
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nFig. 5a: end-to-end breakdown (All-to-All / total)\n")
+	bt := report.NewTable("", "case", "system", "all-to-all", "total", "a2a share")
+	for ci, cse := range r.Cases {
+		for _, s := range cse.Systems {
+			share := 0.0
+			if s.Time > 0 {
+				share = s.AllToAll / s.Time
+			}
+			bt.Add(fmt.Sprintf("Case %d", ci+1), string(s.Name),
+				report.Secs(s.AllToAll), report.Secs(s.Time), report.Pct(share))
+		}
+	}
+	b.WriteString(bt.String())
+	for ci := range r.Cases {
+		fmt.Fprintf(&b, "Case %d: FlexSP All-to-All reduction vs DeepSpeed: %s\n",
+			ci+1, report.Ratio(r.AllToAllReduction(ci)))
+	}
+
+	b.WriteString("\nFig. 5b: sequence lengths by assigned SP degree (FlexSP, Case 2)\n")
+	vt := report.NewTable("", "SP degree", "#seqs", "min", "median", "max")
+	last := r.Cases[len(r.Cases)-1]
+	var degrees []int
+	for d := range last.LenBySP {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	for _, d := range degrees {
+		lens := append([]int(nil), last.LenBySP[d]...)
+		sort.Ints(lens)
+		vt.Add(fmt.Sprintf("%d", d), fmt.Sprintf("%d", len(lens)),
+			report.Tokens(lens[0]), report.Tokens(lens[len(lens)/2]),
+			report.Tokens(lens[len(lens)-1]))
+	}
+	b.WriteString(vt.String())
+	return b.String()
+}

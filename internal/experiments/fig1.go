@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/sim"
+)
+
+// Fig1Case is one strategy of the motivating example.
+type Fig1Case struct {
+	Name     string
+	Degrees  []int
+	Time     float64
+	Comp     float64
+	AllToAll float64
+}
+
+// Fig1Result reproduces the paper's Fig. 1 motivating example: five
+// sequences (1×100K + 4×48K) on 64 devices, comparing homogeneous SP=32
+// packings against the heterogeneity-adaptive grouping.
+type Fig1Result struct {
+	Lens  []int
+	Cases []Fig1Case
+}
+
+// Fig1 runs the experiment.
+func Fig1(cfg Config) Fig1Result {
+	c := cfg.coeffs(costmodel.GPT7B)
+	lens := []int{100 << 10, 48 << 10, 48 << 10, 48 << 10, 48 << 10}
+	res := Fig1Result{Lens: lens}
+
+	exec := func(name string, plan planner.MicroPlan) {
+		r, err := sim.ExecuteIteration(c, []planner.MicroPlan{plan}, sim.Options{})
+		cse := Fig1Case{Name: name, Degrees: plan.Degrees()}
+		if err == nil {
+			cse.Time, cse.Comp, cse.AllToAll = r.Time, r.Comp, r.AllToAll
+		}
+		res.Cases = append(res.Cases, cse)
+	}
+
+	// Homo-1: two SP=32 groups, packing ⟨100K⟩ and ⟨48K×4⟩.
+	exec("Homo-1", planner.MicroPlan{Groups: []planner.Group{
+		{Degree: 32, Lens: []int{100 << 10}},
+		{Degree: 32, Lens: []int{48 << 10, 48 << 10, 48 << 10, 48 << 10}},
+	}})
+	// Homo-2: two SP=32 groups, packing ⟨100K, 48K⟩ and ⟨48K×3⟩.
+	exec("Homo-2", planner.MicroPlan{Groups: []planner.Group{
+		{Degree: 32, Lens: []int{100 << 10, 48 << 10}},
+		{Degree: 32, Lens: []int{48 << 10, 48 << 10, 48 << 10}},
+	}})
+	// Hetero: the paper's adaptive layout — one SP=32 group for the 100K
+	// sequence, four SP=8 groups for the 48K ones.
+	exec("Hetero(paper)", planner.MicroPlan{Groups: []planner.Group{
+		{Degree: 32, Lens: []int{100 << 10}},
+		{Degree: 8, Lens: []int{48 << 10}},
+		{Degree: 8, Lens: []int{48 << 10}},
+		{Degree: 8, Lens: []int{48 << 10}},
+		{Degree: 8, Lens: []int{48 << 10}},
+	}})
+	// Hetero(solver): what the FlexSP planner actually chooses.
+	if p, err := planner.New(c).Plan(lens); err == nil {
+		exec("Hetero(solver)", p)
+	}
+	return res
+}
+
+// Speedup returns the best heterogeneous time over the best homogeneous one.
+func (r Fig1Result) Speedup() float64 {
+	bestHomo, bestHetero := 0.0, 0.0
+	for _, c := range r.Cases {
+		if c.Time == 0 {
+			continue
+		}
+		if strings.HasPrefix(c.Name, "Homo") {
+			if bestHomo == 0 || c.Time < bestHomo {
+				bestHomo = c.Time
+			}
+		} else if bestHetero == 0 || c.Time < bestHetero {
+			bestHetero = c.Time
+		}
+	}
+	if bestHetero == 0 {
+		return 0
+	}
+	return bestHomo / bestHetero
+}
+
+// Render formats the comparison.
+func (r Fig1Result) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Fig. 1: heterogeneity-adaptive SP on %d seqs (1×100K + 4×48K), 64 GPUs", len(r.Lens)),
+		"case", "groups", "compute", "all-to-all", "total")
+	for _, c := range r.Cases {
+		t.Add(c.Name, degreesString(c.Degrees), report.Secs(c.Comp),
+			report.Secs(c.AllToAll), report.Secs(c.Time))
+	}
+	return t.String() + fmt.Sprintf("hetero speedup over best homo: %s\n", report.Ratio(r.Speedup()))
+}
+
+// degreesString renders a degree multiset like the paper's Table 3 notation:
+// "⟨32, 8×4⟩".
+func degreesString(degrees []int) string {
+	if len(degrees) == 0 {
+		return "⟨⟩"
+	}
+	var parts []string
+	i := 0
+	for i < len(degrees) {
+		j := i
+		for j < len(degrees) && degrees[j] == degrees[i] {
+			j++
+		}
+		if j-i > 1 {
+			parts = append(parts, fmt.Sprintf("%d×%d", degrees[i], j-i))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d", degrees[i]))
+		}
+		i = j
+	}
+	return "⟨" + strings.Join(parts, ", ") + "⟩"
+}

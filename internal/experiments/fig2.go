@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexsp/internal/report"
+	"flexsp/internal/workload"
+)
+
+// Fig2Result reproduces paper Fig. 2: the sequence-length distribution of
+// the three training corpora.
+type Fig2Result struct {
+	Datasets []string
+	Edges    []int
+	// Fractions[d][b] is the share of dataset d's sequences in bin b.
+	Fractions [][]float64
+	// Below8K and Above32K summarize the long-tail shape per dataset.
+	Below8K, Above32K []float64
+}
+
+// Fig2 runs the experiment.
+func Fig2(cfg Config) Fig2Result {
+	res := Fig2Result{Edges: workload.Fig2Edges()}
+	for i, d := range workload.Datasets() {
+		rng := cfg.rng(int64(100 + i))
+		lens := d.SampleN(rng, cfg.SampleN)
+		h := workload.BuildHistogram(lens, res.Edges)
+		fr := h.Fractions()
+		res.Datasets = append(res.Datasets, d.Name)
+		res.Fractions = append(res.Fractions, fr)
+		var below, above float64
+		for b, f := range fr {
+			if b < 4 { // bins ≤ 8K (edges 1K, 2K, 4K, 8K)
+				below += f
+			}
+			if b > 5 { // bins > 32K
+				above += f
+			}
+		}
+		res.Below8K = append(res.Below8K, below)
+		res.Above32K = append(res.Above32K, above)
+	}
+	return res
+}
+
+// Render draws per-dataset histograms as ASCII bars.
+func (r Fig2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 2: Distribution of sequence lengths across datasets\n")
+	for di, name := range r.Datasets {
+		fmt.Fprintf(&b, "\n%s (≤8K: %s, >32K: %s)\n", name,
+			report.Pct(r.Below8K[di]), report.Pct(r.Above32K[di]))
+		for bi, f := range r.Fractions[di] {
+			label := "≤" + report.Tokens(r.Edges[0])
+			if bi == len(r.Edges) {
+				label = ">" + report.Tokens(r.Edges[len(r.Edges)-1])
+			} else if bi > 0 {
+				label = report.Tokens(r.Edges[bi-1]) + "–" + report.Tokens(r.Edges[bi])
+			}
+			fmt.Fprintf(&b, "  %10s %s %s\n", label, report.Bar(f, 40), report.Pct(f))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexsp/internal/baselines"
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/sim"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// SystemName identifies a compared training system.
+type SystemName string
+
+const (
+	SysDeepSpeed SystemName = "DeepSpeed"
+	SysMegatron  SystemName = "Megatron-LM"
+	SysBatchAda  SystemName = "FlexSP-BatchAda"
+	SysFlexSP    SystemName = "FlexSP"
+)
+
+// Systems lists the compared systems in the paper's order.
+func Systems() []SystemName {
+	return []SystemName{SysDeepSpeed, SysMegatron, SysBatchAda, SysFlexSP}
+}
+
+// Fig4Cell is one (model, maxCtx, dataset) comparison.
+type Fig4Cell struct {
+	Model   string
+	MaxCtx  int
+	Dataset string
+	// IterTime maps system → mean iteration seconds (0 = infeasible).
+	IterTime map[SystemName]float64
+}
+
+// Speedup returns FlexSP's speedup over the named system.
+func (c Fig4Cell) Speedup(vs SystemName) float64 {
+	f := c.IterTime[SysFlexSP]
+	b := c.IterTime[vs]
+	if f == 0 || b == 0 {
+		return 0
+	}
+	return b / f
+}
+
+// Fig4Result reproduces paper Fig. 4: end-to-end iteration time across
+// models × max context lengths × datasets × systems.
+type Fig4Result struct {
+	Cells []Fig4Cell
+}
+
+// Fig4 runs the full grid. Models and context lengths can be restricted for
+// quicker runs via the arguments; nil/0 means the paper's full grid.
+func Fig4(cfg Config, models []costmodel.ModelConfig, ctxs []int) Fig4Result {
+	if models == nil {
+		models = costmodel.Models()
+	}
+	if ctxs == nil {
+		ctxs = []int{192 << 10, 384 << 10}
+	}
+	var res Fig4Result
+	for _, m := range models {
+		for _, maxCtx := range ctxs {
+			for di, d := range workload.Datasets() {
+				cell := Fig4Cell{Model: m.Name, MaxCtx: maxCtx, Dataset: d.Name,
+					IterTime: map[SystemName]float64{}}
+				salt := int64(1000 + di)
+				batches := cfg.drawBatches(d, maxCtx, salt)
+				c := costmodel.ProfileFitting(m, cluster.A100Cluster(cfg.Devices), maxCtx)
+				sv := solver.New(planner.New(c))
+				sv.Overhead = c.ZeROTime()
+
+				cell.IterTime[SysDeepSpeed] = meanBaseline(c, batches, func(b []int) ([]planner.MicroPlan, error) {
+					return baselines.DeepSpeed(c, b, maxCtx)
+				})
+				cell.IterTime[SysBatchAda] = meanBaseline(c, batches, func(b []int) ([]planner.MicroPlan, error) {
+					return baselines.BatchAda(c, b)
+				})
+				cell.IterTime[SysMegatron] = meanMegatron(c, batches, maxCtx)
+				cell.IterTime[SysFlexSP] = meanFlexSP(c, sv, batches)
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res
+}
+
+func meanBaseline(c costmodel.Coeffs, batches [][]int,
+	plan func([]int) ([]planner.MicroPlan, error)) float64 {
+	var sum float64
+	for i, b := range batches {
+		plans, err := plan(b)
+		if err != nil {
+			return 0
+		}
+		exec, err := sim.ExecuteIteration(c, plans, sim.Options{IncludeZeRO: true, Seed: int64(i)})
+		if err != nil {
+			return 0
+		}
+		sum += exec.Time
+	}
+	return sum / float64(len(batches))
+}
+
+func meanMegatron(c costmodel.Coeffs, batches [][]int, maxCtx int) float64 {
+	var sum float64
+	for _, b := range batches {
+		res, err := baselines.Megatron(c, b, maxCtx)
+		if err != nil {
+			return 0
+		}
+		sum += res.Time
+	}
+	return sum / float64(len(batches))
+}
+
+func meanFlexSP(c costmodel.Coeffs, sv *solver.Solver, batches [][]int) float64 {
+	var sum float64
+	for i, b := range batches {
+		res, err := sv.Solve(b)
+		if err != nil {
+			return 0
+		}
+		exec, err := sim.ExecuteIteration(c, res.Plans, sim.Options{IncludeZeRO: true, Seed: int64(i)})
+		if err != nil {
+			return 0
+		}
+		sum += exec.Time
+	}
+	return sum / float64(len(batches))
+}
+
+// MaxSpeedup returns FlexSP's largest speedup over the given system across
+// all cells.
+func (r Fig4Result) MaxSpeedup(vs SystemName) float64 {
+	var m float64
+	for _, c := range r.Cells {
+		if s := c.Speedup(vs); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Render formats the grid like the paper's Fig. 4, one row per cell with
+// FlexSP's speedups over DeepSpeed and Megatron-LM.
+func (r Fig4Result) Render() string {
+	t := report.NewTable("Fig. 4: end-to-end iteration time (s)",
+		"model", "max seq", "dataset",
+		string(SysDeepSpeed), string(SysMegatron), string(SysBatchAda), string(SysFlexSP),
+		"vs DS", "vs MLM")
+	for _, c := range r.Cells {
+		fmtT := func(s SystemName) string {
+			if c.IterTime[s] == 0 {
+				return "n/a"
+			}
+			return report.Secs(c.IterTime[s])
+		}
+		t.Add(c.Model, report.Tokens(c.MaxCtx), c.Dataset,
+			fmtT(SysDeepSpeed), fmtT(SysMegatron), fmtT(SysBatchAda), fmtT(SysFlexSP),
+			report.Ratio(c.Speedup(SysDeepSpeed)), report.Ratio(c.Speedup(SysMegatron)))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "max speedup: %s vs DeepSpeed, %s vs Megatron-LM, %s vs BatchAda\n",
+		report.Ratio(r.MaxSpeedup(SysDeepSpeed)),
+		report.Ratio(r.MaxSpeedup(SysMegatron)),
+		report.Ratio(r.MaxSpeedup(SysBatchAda)))
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flexsp/internal/baselines"
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/sim"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// Fig6Point is one scalability measurement: token throughput per GPU
+// (tokens/s) per system.
+type Fig6Point struct {
+	Devices    int
+	MaxCtx     int
+	Throughput map[SystemName]float64
+}
+
+// Fig6Result reproduces paper Fig. 6: scalability w.r.t. cluster size
+// (16/32/64 GPUs at 128K context) and w.r.t. maximum context length
+// (64K–384K at 64 GPUs), on CommonCrawl / GPT-7B, measured as token
+// throughput per GPU.
+type Fig6Result struct {
+	ByDevices []Fig6Point
+	ByContext []Fig6Point
+}
+
+// Fig6 runs both sweeps.
+func Fig6(cfg Config) Fig6Result {
+	var res Fig6Result
+	for _, n := range []int{16, 32, 64} {
+		res.ByDevices = append(res.ByDevices, fig6Point(cfg, n, 128<<10))
+	}
+	for _, ctx := range []int{64 << 10, 128 << 10, 192 << 10, 256 << 10, 384 << 10} {
+		res.ByContext = append(res.ByContext, fig6Point(cfg, 64, ctx))
+	}
+	return res
+}
+
+func fig6Point(cfg Config, devices, maxCtx int) Fig6Point {
+	topo := cluster.A100Cluster(devices)
+	c := costmodel.ProfileFitting(costmodel.GPT7B, topo, maxCtx)
+	pl := planner.New(c)
+	sv := solver.New(pl)
+	sv.Overhead = c.ZeROTime()
+	d := workload.CommonCrawl()
+	// Scale batch size with the cluster, as the paper's protocol does.
+	batchSize := cfg.BatchSize * devices / 64
+	if batchSize < 16 {
+		batchSize = 16
+	}
+	rng := cfg.rng(int64(devices*1000 + maxCtx))
+	pt := Fig6Point{Devices: devices, MaxCtx: maxCtx, Throughput: map[SystemName]float64{}}
+	for it := 0; it < cfg.Iterations; it++ {
+		batch := d.Batch(rng, batchSize, maxCtx)
+		tokens := float64(workload.TotalTokens(batch))
+		perGPU := func(iterTime float64) float64 {
+			if iterTime == 0 {
+				return 0
+			}
+			return tokens / iterTime / float64(devices)
+		}
+		if plans, err := baselines.DeepSpeed(c, batch, maxCtx); err == nil {
+			if exec, err := sim.ExecuteIteration(c, plans, sim.Options{IncludeZeRO: true}); err == nil {
+				pt.Throughput[SysDeepSpeed] += perGPU(exec.Time)
+			}
+		}
+		if plans, err := baselines.BatchAda(c, batch); err == nil {
+			if exec, err := sim.ExecuteIteration(c, plans, sim.Options{IncludeZeRO: true}); err == nil {
+				pt.Throughput[SysBatchAda] += perGPU(exec.Time)
+			}
+		}
+		if mres, err := baselines.Megatron(c, batch, maxCtx); err == nil {
+			pt.Throughput[SysMegatron] += perGPU(mres.Time)
+		}
+		if fres, err := sv.Solve(batch); err == nil {
+			if exec, err := sim.ExecuteIteration(c, fres.Plans, sim.Options{IncludeZeRO: true}); err == nil {
+				pt.Throughput[SysFlexSP] += perGPU(exec.Time)
+			}
+		}
+	}
+	for k := range pt.Throughput {
+		pt.Throughput[k] /= float64(cfg.Iterations)
+	}
+	return pt
+}
+
+// Render formats both sweeps.
+func (r Fig6Result) Render() string {
+	render := func(title, key string, pts []Fig6Point, label func(Fig6Point) string) string {
+		t := report.NewTable(title, key,
+			string(SysDeepSpeed), string(SysMegatron), string(SysBatchAda), string(SysFlexSP), "FlexSP vs DS")
+		for _, p := range pts {
+			sp := 0.0
+			if p.Throughput[SysDeepSpeed] > 0 {
+				sp = p.Throughput[SysFlexSP] / p.Throughput[SysDeepSpeed]
+			}
+			f := func(s SystemName) string {
+				if p.Throughput[s] == 0 {
+					return "n/a"
+				}
+				return fmt.Sprintf("%.0f", p.Throughput[s])
+			}
+			t.Add(label(p), f(SysDeepSpeed), f(SysMegatron), f(SysBatchAda), f(SysFlexSP), report.Ratio(sp))
+		}
+		return t.String()
+	}
+	out := render("Fig. 6 (left): token throughput per GPU (tokens/s) vs cluster size, 128K ctx",
+		"#GPUs", r.ByDevices, func(p Fig6Point) string { return fmt.Sprintf("%d", p.Devices) })
+	out += "\n" + render("Fig. 6 (right): token throughput per GPU (tokens/s) vs max context, 64 GPUs",
+		"max ctx", r.ByContext, func(p Fig6Point) string { return report.Tokens(p.MaxCtx) })
+	return out
+}

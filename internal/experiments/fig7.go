@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/sim"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// Fig7Variant is one ablated configuration of the FlexSP solver.
+type Fig7Variant struct {
+	Name string
+	// RelTime is mean iteration time normalized to the complete FlexSP
+	// (lower is better; FlexSP = 1.0).
+	RelTime map[int]float64 // keyed by max context
+}
+
+// Fig7Result reproduces paper Fig. 7: ablations of sequence sorting in the
+// blaster and of the DP bucketing, on CommonCrawl / GPT-7B at 192K and 384K
+// max context.
+type Fig7Result struct {
+	Contexts []int
+	Variants []Fig7Variant
+}
+
+// Fig7 runs the ablations.
+func Fig7(cfg Config) Fig7Result {
+	c := cfg.coeffs(costmodel.GPT7B)
+	d := workload.CommonCrawl()
+	contexts := []int{192 << 10, 384 << 10}
+
+	type variantSpec struct {
+		name     string
+		sort     bool
+		bucket   planner.BucketMode
+		strategy planner.Strategy
+	}
+	specs := []variantSpec{
+		{"FlexSP", true, planner.BucketDP, planner.StrategyEnum},
+		{"w/o Sort", false, planner.BucketDP, planner.StrategyEnum},
+		{"w/o Sort, naive BKT", false, planner.BucketNaive, planner.StrategyEnum},
+		{"w/o Sort, w/o BKT", false, planner.BucketNone, planner.StrategyEnum},
+		{"naive BKT", true, planner.BucketNaive, planner.StrategyEnum},
+		{"w/o BKT", true, planner.BucketNone, planner.StrategyEnum},
+		// Beyond the paper's Fig. 7: the naive smallest-feasible-group
+		// assignment of §1, quantifying the time-balancing contribution.
+		{"greedy assign", true, planner.BucketDP, planner.StrategyGreedy},
+	}
+
+	res := Fig7Result{Contexts: contexts}
+	times := make([]map[int]float64, len(specs))
+	for vi := range times {
+		times[vi] = map[int]float64{}
+	}
+	for _, ctx := range contexts {
+		batches := cfg.drawBatches(d, ctx, int64(ctx))
+		for vi, spec := range specs {
+			pl := planner.New(c)
+			pl.Bucketing = spec.bucket
+			pl.Strategy = spec.strategy
+			sv := solver.New(pl)
+			sv.Sort = spec.sort
+			sv.Overhead = c.ZeROTime()
+			var sum float64
+			ok := true
+			for i, b := range batches {
+				r, err := sv.Solve(b)
+				if err != nil {
+					ok = false
+					break
+				}
+				exec, err := sim.ExecuteIteration(c, r.Plans, sim.Options{IncludeZeRO: true, Seed: int64(i)})
+				if err != nil {
+					ok = false
+					break
+				}
+				sum += exec.Time
+			}
+			if ok {
+				times[vi][ctx] = sum / float64(len(batches))
+			}
+		}
+	}
+	for vi, spec := range specs {
+		v := Fig7Variant{Name: spec.name, RelTime: map[int]float64{}}
+		for _, ctx := range contexts {
+			if base := times[0][ctx]; base > 0 && times[vi][ctx] > 0 {
+				v.RelTime[ctx] = times[vi][ctx] / base
+			}
+		}
+		res.Variants = append(res.Variants, v)
+	}
+	return res
+}
+
+// Render formats the ablation as relative-time columns.
+func (r Fig7Result) Render() string {
+	headers := []string{"variant"}
+	for _, ctx := range r.Contexts {
+		headers = append(headers, "rel. time @"+report.Tokens(ctx))
+	}
+	t := report.NewTable("Fig. 7: ablations (iteration time relative to complete FlexSP)", headers...)
+	for _, v := range r.Variants {
+		row := []string{v.Name}
+		for _, ctx := range r.Contexts {
+			if v.RelTime[ctx] == 0 {
+				row = append(row, "n/a")
+			} else {
+				row = append(row, report.Ratio(v.RelTime[ctx]))
+			}
+		}
+		t.Add(row...)
+	}
+	return t.String()
+}

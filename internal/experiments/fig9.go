@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"flexsp/internal/baselines"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/report"
+	"flexsp/internal/sim"
+)
+
+// Fig9Point is one estimator-accuracy sample.
+type Fig9Point struct {
+	Seq      int
+	Degree   int
+	Real     float64 // "measured" (noisy executor) iteration seconds
+	Estimate float64 // cost-model estimate
+	Error    float64 // (Estimate − Real) / Real
+}
+
+// Fig9Result reproduces Appendix C / Fig. 9: the cost estimator's error
+// against execution across the Table 1 grid. The executor applies
+// multiplicative log-normal kernel jitter, so the estimator faces a noisy
+// ground truth, as on hardware. The paper reports errors below ±6%.
+type Fig9Result struct {
+	Points []Fig9Point
+}
+
+// Fig9 runs the experiment.
+func Fig9(cfg Config) Fig9Result {
+	c := cfg.coeffs(costmodel.GPT7B)
+	const totalTokens = 4 << 20
+	var res Fig9Result
+	for seq := 4 << 10; seq <= 256<<10; seq *= 2 {
+		bs := totalTokens / seq
+		lens := make([]int, bs)
+		for i := range lens {
+			lens[i] = seq
+		}
+		for _, degree := range []int{64, 32, 16, 8, 4} {
+			if c.MaxTokensPerGroup(degree) < seq {
+				continue
+			}
+			plans, err := baselines.Homogeneous(c, lens, degree)
+			if err != nil {
+				continue
+			}
+			est := sumPlanTime(plans)
+			exec, err := sim.ExecuteIteration(c, plans, sim.Options{
+				Noise: 0.02, Seed: cfg.Seed + int64(seq+degree)})
+			if err != nil {
+				continue
+			}
+			res.Points = append(res.Points, Fig9Point{
+				Seq: seq, Degree: degree,
+				Real: exec.Time, Estimate: est,
+				Error: (est - exec.Time) / exec.Time,
+			})
+		}
+	}
+	return res
+}
+
+// MaxAbsError returns the largest |error| across the grid.
+func (r Fig9Result) MaxAbsError() float64 {
+	var m float64
+	for _, p := range r.Points {
+		if e := math.Abs(p.Error); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Render formats the accuracy scatter as a table.
+func (r Fig9Result) Render() string {
+	t := report.NewTable("Fig. 9 (Appendix C): cost-estimator accuracy vs noisy execution",
+		"seq", "SP", "executed", "estimated", "error")
+	for _, p := range r.Points {
+		t.Add(report.Tokens(p.Seq), fmt.Sprintf("%d", p.Degree),
+			report.Secs(p.Real), report.Secs(p.Estimate),
+			fmt.Sprintf("%+.1f%%", 100*p.Error))
+	}
+	return t.String() + fmt.Sprintf("max |error| = %s (paper: < 6%%)\n", report.Pct(r.MaxAbsError()))
+}

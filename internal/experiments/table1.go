@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flexsp/internal/baselines"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/report"
+	"flexsp/internal/sim"
+)
+
+// Table1Cell is one (workload, SP degree) measurement: iteration time and
+// All-to-All share, or OOM.
+type Table1Cell struct {
+	IterTime float64
+	CommFrac float64
+	OOM      bool
+}
+
+// Table1Result reproduces paper Table 1: GPT-7B iteration time and
+// All-to-All ratio for fixed-length corpora of 4M tokens across SP degrees
+// on 64 GPUs.
+type Table1Result struct {
+	SeqLens []int // per row
+	Batch   []int // sequences per row (seq × bs = 4M tokens)
+	Degrees []int // per column, descending as in the paper
+	Cells   [][]Table1Cell
+}
+
+// Table1 runs the experiment.
+func Table1(cfg Config) Table1Result {
+	c := cfg.coeffs(costmodel.GPT7B)
+	const totalTokens = 4 << 20
+	res := Table1Result{Degrees: []int{64, 32, 16, 8, 4}}
+	for seq := 4 << 10; seq <= 256<<10; seq *= 2 {
+		bs := totalTokens / seq
+		res.SeqLens = append(res.SeqLens, seq)
+		res.Batch = append(res.Batch, bs)
+		lens := make([]int, bs)
+		for i := range lens {
+			lens[i] = seq
+		}
+		row := make([]Table1Cell, len(res.Degrees))
+		for di, d := range res.Degrees {
+			if c.MaxTokensPerGroup(d) < seq {
+				row[di] = Table1Cell{OOM: true}
+				continue
+			}
+			plans, err := baselines.Homogeneous(c, lens, d)
+			if err != nil {
+				row[di] = Table1Cell{OOM: true}
+				continue
+			}
+			exec, err := sim.ExecuteIteration(c, plans, sim.Options{IncludeZeRO: true})
+			if err != nil {
+				row[di] = Table1Cell{OOM: true}
+				continue
+			}
+			row[di] = Table1Cell{IterTime: exec.Time, CommFrac: exec.AllToAllShare()}
+		}
+		res.Cells = append(res.Cells, row)
+	}
+	return res
+}
+
+// Render formats the result like the paper's Table 1.
+func (r Table1Result) Render() string {
+	headers := []string{"seq × bs"}
+	for _, d := range r.Degrees {
+		headers = append(headers, fmt.Sprintf("SP=%d", d))
+	}
+	t := report.NewTable("Table 1: GPT-7B iteration time (All-to-All ratio), 64 GPUs, 4M tokens/step", headers...)
+	for i, seq := range r.SeqLens {
+		row := []string{fmt.Sprintf("%s × %d", report.Tokens(seq), r.Batch[i])}
+		for _, cell := range r.Cells[i] {
+			if cell.OOM {
+				row = append(row, "OOM")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%s %s", report.Secs(cell.IterTime), report.Pct(cell.CommFrac)))
+		}
+		t.Add(row...)
+	}
+	return t.String()
+}

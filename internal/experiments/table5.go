@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flexsp/internal/costmodel"
+	"flexsp/internal/report"
+)
+
+// Table5 renders the model configurations (paper Table 5, Appendix B.1).
+func Table5() string {
+	t := report.NewTable("Table 5: model configurations (384K max context)",
+		"Model", "# Layers", "# Param", "Hidden Dim", "Recompute")
+	for _, m := range costmodel.Models() {
+		t.Add(m.Name, fmt.Sprintf("%d", m.Layers),
+			fmt.Sprintf("%.2fB", m.Params/1e9),
+			fmt.Sprintf("%d", m.HiddenDim), m.Recompute.String())
+	}
+	return t.String()
+}

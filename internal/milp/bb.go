@@ -1,0 +1,195 @@
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"time"
+)
+
+// Options controls Solve.
+type Options struct {
+	// TimeLimit bounds wall-clock solve time; zero means no limit.
+	TimeLimit time.Duration
+	// MaxNodes bounds the branch-and-bound tree size; zero means 200000.
+	MaxNodes int
+	// Incumbent optionally warm-starts the search with a known feasible
+	// point (e.g. from a heuristic); it must satisfy Model.Feasible.
+	Incumbent []float64
+	// Gap is the relative optimality gap at which search stops (default 0,
+	// i.e. prove optimality).
+	Gap float64
+}
+
+type bbNode struct {
+	lb, ub []float64
+	bound  float64
+	depth  int
+}
+
+type nodeHeap []*bbNode
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*bbNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+const intTol = 1e-6
+
+// Solve minimizes the model. It runs best-first branch and bound on the LP
+// relaxation, with a rounding heuristic at every node, and honours the
+// options' time and node budgets.
+func Solve(m *Model, opts Options) Solution {
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+
+	best := Solution{Status: StatusLimit, Obj: math.Inf(1), Bound: math.Inf(-1)}
+	if opts.Incumbent != nil && m.Feasible(opts.Incumbent) {
+		best.Status = StatusFeasible
+		best.X = append([]float64(nil), opts.Incumbent...)
+		best.Obj = m.Objective(opts.Incumbent)
+	}
+
+	root := &bbNode{lb: append([]float64(nil), m.lb...), ub: append([]float64(nil), m.ub...)}
+	st, x, obj := solveLP(m, root.lb, root.ub)
+	switch st {
+	case lpInfeasible:
+		if best.Status == StatusFeasible {
+			// Warm incumbent exists but relaxation infeasible: numerical
+			// noise; keep the incumbent.
+			best.Status = StatusOptimal
+			return best
+		}
+		return Solution{Status: StatusInfeasible}
+	case lpUnbounded:
+		return Solution{Status: StatusUnbounded}
+	case lpIterLimit:
+		if best.Status == StatusFeasible {
+			return best
+		}
+		return Solution{Status: StatusLimit}
+	}
+	root.bound = obj
+	best.Bound = obj
+
+	open := &nodeHeap{}
+	heap.Init(open)
+	processNode := func(n *bbNode, x []float64, obj float64) {
+		// x is this node's LP optimum. Either integral (new incumbent) or
+		// branch on a fractional integer variable. Binary variables are
+		// branched before general integers (they usually encode structural
+		// on/off decisions, e.g. FlexSP's group selection), most fractional
+		// first within each class.
+		frac, fi := -1.0, -1
+		fiBinary := false
+		for i, isInt := range m.integer {
+			if !isInt {
+				continue
+			}
+			f := math.Abs(x[i] - math.Round(x[i]))
+			if f <= intTol {
+				continue
+			}
+			binary := m.ub[i]-m.lb[i] <= 1+intTol
+			if fi == -1 || (binary && !fiBinary) || (binary == fiBinary && f > frac) {
+				frac, fi, fiBinary = f, i, binary
+			}
+		}
+		if fi == -1 {
+			if obj < best.Obj-1e-9 {
+				best.Obj = obj
+				best.X = append(best.X[:0], x...)
+				best.Status = StatusFeasible
+			}
+			return
+		}
+		// Rounding heuristic: snap all integers, keep continuous values.
+		if rounded := roundRepair(m, x, n.lb, n.ub); rounded != nil {
+			if o := m.Objective(rounded); o < best.Obj-1e-9 && m.Feasible(rounded) {
+				best.Obj = o
+				best.X = append(best.X[:0], rounded...)
+				best.Status = StatusFeasible
+			}
+		}
+		// Branch.
+		down := &bbNode{lb: append([]float64(nil), n.lb...), ub: append([]float64(nil), n.ub...), bound: obj, depth: n.depth + 1}
+		down.ub[fi] = math.Floor(x[fi])
+		up := &bbNode{lb: append([]float64(nil), n.lb...), ub: append([]float64(nil), n.ub...), bound: obj, depth: n.depth + 1}
+		up.lb[fi] = math.Ceil(x[fi])
+		heap.Push(open, down)
+		heap.Push(open, up)
+	}
+	processNode(root, x, obj)
+
+	nodes := 1
+	for open.Len() > 0 && nodes < maxNodes {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		n := heap.Pop(open).(*bbNode)
+		if n.bound >= best.Obj-1e-9 {
+			continue // pruned by incumbent
+		}
+		best.Bound = n.bound
+		if best.Obj < math.Inf(1) {
+			gap := (best.Obj - n.bound) / math.Max(1e-9, math.Abs(best.Obj))
+			if gap <= opts.Gap {
+				break
+			}
+		}
+		st, x, obj := solveLP(m, n.lb, n.ub)
+		nodes++
+		if st != lpOptimal || obj >= best.Obj-1e-9 {
+			continue
+		}
+		processNode(n, x, obj)
+	}
+	best.Nodes = nodes
+
+	if best.Status == StatusFeasible {
+		if open.Len() == 0 || best.Bound >= best.Obj-1e-6 {
+			best.Status = StatusOptimal
+			best.Bound = best.Obj
+		}
+	} else if open.Len() == 0 && best.Status == StatusLimit {
+		// Tree exhausted without an integral point: infeasible.
+		best.Status = StatusInfeasible
+	}
+	return best
+}
+
+// roundRepair rounds integer variables of an LP point to the nearest
+// in-bound integers; continuous variables are left as is. Returns nil if the
+// rounding violates bounds.
+func roundRepair(m *Model, x, lb, ub []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for i, isInt := range m.integer {
+		if !isInt {
+			continue
+		}
+		v := math.Round(out[i])
+		if v < lb[i] {
+			v = math.Ceil(lb[i])
+		}
+		if v > ub[i] {
+			v = math.Floor(ub[i])
+		}
+		if v < lb[i]-feasTol || v > ub[i]+feasTol {
+			return nil
+		}
+		out[i] = v
+	}
+	return out
+}

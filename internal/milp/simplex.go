@@ -1,0 +1,477 @@
+package milp
+
+import (
+	"math"
+)
+
+// lpStatus is the outcome of an LP relaxation solve.
+type lpStatus int
+
+const (
+	lpOptimal lpStatus = iota
+	lpInfeasible
+	lpUnbounded
+	lpIterLimit
+)
+
+const (
+	pivotTol  = 1e-9
+	costTol   = 1e-9
+	boundTol  = 1e-7
+	phase1Tol = 1e-6
+)
+
+// nonbasic variable status.
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	atZero // free variable parked at zero
+	basic
+)
+
+// simplexLP is a bounded-variable two-phase revised simplex over the model's
+// constraints, with per-solve lower/upper bound overrides (used by branch and
+// bound). It returns the structural variable values on optimality.
+type simplexLP struct {
+	nRows   int
+	nStruct int
+	nArt    int // artificial columns appended after slacks
+
+	cols [][]Term  // sparse column for every variable (structural, slack, artificial)
+	b    []float64 // RHS per row
+	lb   []float64
+	ub   []float64
+	cost []float64 // phase-2 costs
+
+	basis  []int       // variable index basic in each row
+	status []varStatus // per variable
+	xB     []float64   // value of basic variable per row
+	binv   [][]float64 // dense basis inverse
+
+	phase1 bool
+	iters  int
+}
+
+// solveLP solves the LP relaxation of m with the given bound overrides
+// (nil means use the model's own bounds).
+func solveLP(m *Model, lbO, ubO []float64) (lpStatus, []float64, float64) {
+	lp := newSimplexLP(m, lbO, ubO)
+	return lp.run(m)
+}
+
+func newSimplexLP(m *Model, lbO, ubO []float64) *simplexLP {
+	nRows := len(m.constrs)
+	nStruct := len(m.lb)
+	lp := &simplexLP{
+		nRows:   nRows,
+		nStruct: nStruct,
+		cols:    make([][]Term, nStruct, nStruct+2*nRows),
+		b:       make([]float64, nRows),
+		lb:      make([]float64, nStruct, nStruct+2*nRows),
+		ub:      make([]float64, nStruct, nStruct+2*nRows),
+		cost:    make([]float64, nStruct, nStruct+2*nRows),
+	}
+	copy(lp.cost, m.obj)
+	if lbO == nil {
+		copy(lp.lb, m.lb)
+	} else {
+		copy(lp.lb, lbO)
+	}
+	if ubO == nil {
+		copy(lp.ub, m.ub)
+	} else {
+		copy(lp.ub, ubO)
+	}
+	for r, c := range m.constrs {
+		lp.b[r] = c.RHS
+		for _, t := range c.Terms {
+			lp.cols[t.Var] = append(lp.cols[t.Var], Term{Var: r, Coef: t.Coef})
+		}
+	}
+	// Slack per row: A·x + s = b with sense-dependent slack bounds.
+	for r, c := range m.constrs {
+		var lo, hi float64
+		switch c.Sense {
+		case LE:
+			lo, hi = 0, math.Inf(1)
+		case GE:
+			lo, hi = math.Inf(-1), 0
+		case EQ:
+			lo, hi = 0, 0
+		}
+		lp.cols = append(lp.cols, []Term{{Var: r, Coef: 1}})
+		lp.lb = append(lp.lb, lo)
+		lp.ub = append(lp.ub, hi)
+		lp.cost = append(lp.cost, 0)
+	}
+	return lp
+}
+
+func (lp *simplexLP) nonbasicValue(j int) float64 {
+	switch lp.status[j] {
+	case atLower:
+		return lp.lb[j]
+	case atUpper:
+		return lp.ub[j]
+	default:
+		return 0
+	}
+}
+
+func (lp *simplexLP) run(m *Model) (lpStatus, []float64, float64) {
+	// Quick bound sanity (branching can cross bounds).
+	for j := 0; j < len(lp.lb); j++ {
+		if lp.lb[j] > lp.ub[j]+boundTol {
+			return lpInfeasible, nil, 0
+		}
+	}
+
+	nTotal := len(lp.cols)
+	lp.status = make([]varStatus, nTotal, nTotal+lp.nRows)
+	for j := 0; j < nTotal; j++ {
+		switch {
+		case !math.IsInf(lp.lb[j], -1):
+			lp.status[j] = atLower
+		case !math.IsInf(lp.ub[j], 1):
+			lp.status[j] = atUpper
+		default:
+			lp.status[j] = atZero
+		}
+	}
+
+	// Residual of each row with all variables (including slacks) nonbasic
+	// at their parked values.
+	resid := make([]float64, lp.nRows)
+	copy(resid, lp.b)
+	for j := 0; j < nTotal; j++ {
+		v := lp.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		for _, t := range lp.cols[j] {
+			resid[t.Var] -= t.Coef * v
+		}
+	}
+
+	// Start from the slack basis where possible; rows whose slack cannot
+	// absorb the residual get an artificial variable instead.
+	lp.basis = make([]int, lp.nRows)
+	lp.xB = make([]float64, lp.nRows)
+	lp.binv = make([][]float64, lp.nRows)
+	needPhase1 := false
+	for r := 0; r < lp.nRows; r++ {
+		lp.binv[r] = make([]float64, lp.nRows)
+		lp.binv[r][r] = 1
+		slack := lp.nStruct + r
+		// Slack basic value if we pull it into the basis: its parked value
+		// plus the residual it must absorb.
+		val := lp.nonbasicValue(slack) + resid[r]
+		if val >= lp.lb[slack]-boundTol && val <= lp.ub[slack]+boundTol {
+			lp.basis[r] = slack
+			lp.status[slack] = basic
+			lp.xB[r] = val
+			continue
+		}
+		// Clamp slack to its closest bound, cover the rest with an
+		// artificial of matching sign.
+		target := lp.lb[slack]
+		if math.IsInf(target, -1) || math.Abs(val-lp.ub[slack]) < math.Abs(val-target) {
+			target = lp.ub[slack]
+		}
+		if math.IsInf(target, -1) || math.IsInf(target, 1) {
+			target = 0
+		}
+		if target == lp.lb[slack] {
+			lp.status[slack] = atLower
+		} else {
+			lp.status[slack] = atUpper
+		}
+		rest := val - target
+		sign := 1.0
+		if rest < 0 {
+			sign = -1
+		}
+		art := len(lp.cols)
+		lp.cols = append(lp.cols, []Term{{Var: r, Coef: sign}})
+		lp.lb = append(lp.lb, 0)
+		lp.ub = append(lp.ub, math.Inf(1))
+		lp.cost = append(lp.cost, 0)
+		lp.status = append(lp.status, basic)
+		lp.nArt++
+		lp.basis[r] = art
+		lp.xB[r] = math.Abs(rest)
+		// The basis column for this row is the artificial (coefficient
+		// `sign`), so the inverse's diagonal entry is 1/sign = sign.
+		lp.binv[r][r] = sign
+		needPhase1 = true
+	}
+
+	if needPhase1 {
+		lp.phase1 = true
+		st := lp.iterate(lp.phase1Cost())
+		if st == lpIterLimit {
+			return lpIterLimit, nil, 0
+		}
+		var infeas float64
+		for r := 0; r < lp.nRows; r++ {
+			if lp.basis[r] >= lp.nStruct+lp.nRows {
+				infeas += lp.xB[r]
+			}
+		}
+		for j := lp.nStruct + lp.nRows; j < len(lp.cols); j++ {
+			if lp.status[j] != basic && lp.nonbasicValue(j) > phase1Tol {
+				infeas += lp.nonbasicValue(j)
+			}
+		}
+		if infeas > phase1Tol {
+			return lpInfeasible, nil, 0
+		}
+		// Freeze artificials at zero for phase 2.
+		for j := lp.nStruct + lp.nRows; j < len(lp.cols); j++ {
+			lp.ub[j] = 0
+		}
+		lp.phase1 = false
+	}
+
+	cost := make([]float64, len(lp.cols))
+	copy(cost, lp.cost)
+	st := lp.iterate(cost)
+	switch st {
+	case lpUnbounded:
+		return lpUnbounded, nil, 0
+	case lpIterLimit:
+		return lpIterLimit, nil, 0
+	}
+
+	x := make([]float64, lp.nStruct)
+	for j := 0; j < lp.nStruct; j++ {
+		if lp.status[j] != basic {
+			x[j] = lp.nonbasicValue(j)
+		}
+	}
+	for r, bi := range lp.basis {
+		if bi < lp.nStruct {
+			x[bi] = lp.xB[r]
+		}
+	}
+	var obj float64
+	for j := 0; j < lp.nStruct; j++ {
+		obj += lp.cost[j] * x[j]
+	}
+	return lpOptimal, x, obj
+}
+
+// phase1Cost is 1 on artificial variables, 0 elsewhere. The phase-1 cost
+// vector is extended lazily because artificials are appended after slacks.
+func (lp *simplexLP) phase1Cost() []float64 {
+	c := make([]float64, len(lp.cols))
+	for j := lp.nStruct + lp.nRows; j < len(lp.cols); j++ {
+		c[j] = 1
+	}
+	return c
+}
+
+// iterate runs primal simplex pivots with the given cost vector until
+// optimality (lpOptimal), unboundedness, or the iteration cap.
+func (lp *simplexLP) iterate(cost []float64) lpStatus {
+	maxIter := 200*(lp.nRows+1) + 20*len(lp.cols)
+	if maxIter < 2000 {
+		maxIter = 2000
+	}
+	degenerate := 0
+	y := make([]float64, lp.nRows)
+	w := make([]float64, lp.nRows)
+
+	for iter := 0; iter < maxIter; iter++ {
+		lp.iters++
+		bland := degenerate > 40
+
+		// Dual values y = c_B · B⁻¹.
+		for i := range y {
+			y[i] = 0
+		}
+		for r, bi := range lp.basis {
+			cb := cost[bi]
+			if cb == 0 {
+				continue
+			}
+			row := lp.binv[r]
+			for i := 0; i < lp.nRows; i++ {
+				y[i] += cb * row[i]
+			}
+		}
+
+		// Pricing: pick the entering variable and its direction.
+		enter, dir := -1, 1.0
+		bestImprove := costTol
+		for j := 0; j < len(lp.cols); j++ {
+			if lp.status[j] == basic {
+				continue
+			}
+			if lp.ub[j]-lp.lb[j] < boundTol && lp.status[j] != atZero {
+				continue // fixed variable
+			}
+			d := cost[j]
+			for _, t := range lp.cols[j] {
+				d -= y[t.Var] * t.Coef
+			}
+			var improve float64
+			var dj float64
+			switch lp.status[j] {
+			case atLower:
+				improve, dj = -d, 1
+			case atUpper:
+				improve, dj = d, -1
+			case atZero:
+				if d < 0 {
+					improve, dj = -d, 1
+				} else {
+					improve, dj = d, -1
+				}
+			}
+			if improve > costTol {
+				if bland {
+					enter, dir = j, dj
+					break
+				}
+				if improve > bestImprove {
+					bestImprove, enter, dir = improve, j, dj
+				}
+			}
+		}
+		if enter == -1 {
+			return lpOptimal
+		}
+
+		// Direction through the basis: w = B⁻¹ · A_enter.
+		for i := range w {
+			w[i] = 0
+		}
+		for _, t := range lp.cols[enter] {
+			if t.Coef == 0 {
+				continue
+			}
+			for i := 0; i < lp.nRows; i++ {
+				w[i] += lp.binv[i][t.Var] * t.Coef
+			}
+		}
+
+		// Ratio test. Entering moves by t ≥ 0 in direction dir; basic r
+		// moves by −t·dir·w_r. The step is limited by the first basic
+		// variable to hit a bound (tLeave) and by the entering variable's
+		// own opposite bound (tFlip).
+		tFlip := math.Inf(1)
+		if !math.IsInf(lp.lb[enter], -1) && !math.IsInf(lp.ub[enter], 1) {
+			tFlip = lp.ub[enter] - lp.lb[enter]
+		}
+		tLeave := math.Inf(1)
+		leave, leaveToUpper := -1, false
+		bestPivot := 0.0
+		for r := 0; r < lp.nRows; r++ {
+			delta := dir * w[r]
+			bi := lp.basis[r]
+			var limit float64
+			var toUpper bool
+			switch {
+			case delta > pivotTol:
+				if math.IsInf(lp.lb[bi], -1) {
+					continue
+				}
+				limit = (lp.xB[r] - lp.lb[bi]) / delta
+			case delta < -pivotTol:
+				if math.IsInf(lp.ub[bi], 1) {
+					continue
+				}
+				limit = (lp.ub[bi] - lp.xB[r]) / (-delta)
+				toUpper = true
+			default:
+				continue
+			}
+			if limit < 0 {
+				limit = 0
+			}
+			better := limit < tLeave-pivotTol
+			tie := !better && limit < tLeave+pivotTol && leave != -1
+			if better ||
+				(tie && !bland && math.Abs(w[r]) > bestPivot) ||
+				(tie && bland && lp.basis[r] < lp.basis[leave]) {
+				if limit < tLeave {
+					tLeave = limit
+				}
+				leave, leaveToUpper = r, toUpper
+				bestPivot = math.Abs(w[r])
+			}
+		}
+
+		t := math.Min(tFlip, tLeave)
+		if math.IsInf(t, 1) {
+			if lp.phase1 {
+				// Phase-1 objective is bounded below by 0; cannot happen
+				// except numerically. Treat as stalled.
+				return lpIterLimit
+			}
+			return lpUnbounded
+		}
+		if t < pivotTol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+
+		if tFlip <= tLeave {
+			// Bound flip: entering variable crosses to its other bound
+			// without a basis change.
+			for r := 0; r < lp.nRows; r++ {
+				lp.xB[r] -= tFlip * dir * w[r]
+			}
+			if lp.status[enter] == atLower {
+				lp.status[enter] = atUpper
+			} else {
+				lp.status[enter] = atLower
+			}
+			continue
+		}
+
+		// Pivot: entering becomes basic, leaving goes to a bound.
+		tMax := tLeave
+		enterVal := lp.nonbasicValue(enter) + dir*tMax
+		out := lp.basis[leave]
+		if leaveToUpper {
+			lp.status[out] = atUpper
+		} else {
+			lp.status[out] = atLower
+		}
+		for r := 0; r < lp.nRows; r++ {
+			if r != leave {
+				lp.xB[r] -= tMax * dir * w[r]
+			}
+		}
+		lp.basis[leave] = enter
+		lp.status[enter] = basic
+		lp.xB[leave] = enterVal
+
+		// Eta update of the dense inverse.
+		piv := w[leave]
+		rowL := lp.binv[leave]
+		inv := 1 / piv
+		for i := 0; i < lp.nRows; i++ {
+			rowL[i] *= inv
+		}
+		for r := 0; r < lp.nRows; r++ {
+			if r == leave {
+				continue
+			}
+			f := w[r]
+			if f == 0 {
+				continue
+			}
+			row := lp.binv[r]
+			for i := 0; i < lp.nRows; i++ {
+				row[i] -= f * rowL[i]
+			}
+		}
+	}
+	return lpIterLimit
+}

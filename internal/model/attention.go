@@ -1,0 +1,95 @@
+// Package model implements a tiny float64 multi-head attention layer, the
+// attention-mask bookkeeping for packed sequences (paper §2.2.2), and a
+// Ulysses-style sequence-parallel attention (paper §2.1.2, Eq. 1–4) running
+// on the internal/comm collective runtime.
+//
+// It exists to verify, numerically, the two correctness properties FlexSP's
+// flexibility relies on:
+//
+//  1. packing sequences with a block-diagonal causal mask produces exactly
+//     the same outputs as processing each sequence alone, so FlexSP's
+//     solver-chosen groupings never change model semantics; and
+//  2. Ulysses SP attention produces identical outputs at every SP degree,
+//     so heterogeneous SP groups are numerically interchangeable.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flexsp/internal/tensor"
+)
+
+// CausalMask allows position i to attend to positions j ≤ i.
+func CausalMask() tensor.MaskFunc {
+	return func(i, j int) bool { return j <= i }
+}
+
+// PackedCausalMask builds the block-diagonal causal mask for a packed
+// sequence with the given boundary offsets ([0, l1, l1+l2, ..., total], as
+// produced by packing.Pack.Offsets): position i may attend to j iff j ≤ i
+// and both belong to the same original sequence — preventing the
+// cross-contamination sequence packing must avoid.
+func PackedCausalMask(offsets []int) tensor.MaskFunc {
+	if len(offsets) < 2 || offsets[0] != 0 {
+		panic("model: offsets must start at 0 and delimit at least one sequence")
+	}
+	seqOf := func(pos int) int {
+		// Index of the sequence containing pos: first offset > pos, minus 1.
+		return sort.SearchInts(offsets, pos+1) - 1
+	}
+	return func(i, j int) bool { return j <= i && seqOf(i) == seqOf(j) }
+}
+
+// PackedPositions returns the position index of every token in a packed
+// sequence: positions restart at 0 on each boundary (the position-index
+// adjustment of §2.2.2).
+func PackedPositions(offsets []int) []int {
+	total := offsets[len(offsets)-1]
+	pos := make([]int, total)
+	for s := 0; s+1 < len(offsets); s++ {
+		for p := offsets[s]; p < offsets[s+1]; p++ {
+			pos[p] = p - offsets[s]
+		}
+	}
+	return pos
+}
+
+// Attention computes multi-head scaled dot-product attention over the full
+// q, k, v matrices (seq × dim each) with the given mask, and returns the
+// seq × dim output. dim must be divisible by heads.
+func Attention(q, k, v *tensor.Matrix, heads int, mask tensor.MaskFunc) *tensor.Matrix {
+	if q.Cols != k.Cols || k.Cols != v.Cols || q.Rows != k.Rows || k.Rows != v.Rows {
+		panic("model: attention shape mismatch")
+	}
+	dim := q.Cols
+	if heads <= 0 || dim%heads != 0 {
+		panic(fmt.Sprintf("model: dim %d not divisible by %d heads", dim, heads))
+	}
+	headDim := dim / heads
+	outs := make([]*tensor.Matrix, heads)
+	for h := 0; h < heads; h++ {
+		qh := q.SliceCols(h*headDim, (h+1)*headDim)
+		kh := k.SliceCols(h*headDim, (h+1)*headDim)
+		vh := v.SliceCols(h*headDim, (h+1)*headDim)
+		scores := tensor.MatMul(qh, kh.Transpose()).Scale(1 / math.Sqrt(float64(headDim)))
+		probs := tensor.SoftmaxRowsMasked(scores, mask)
+		outs[h] = tensor.MatMul(probs, vh)
+	}
+	return tensor.ConcatCols(outs...)
+}
+
+// AttentionPerSequence computes attention independently for each original
+// sequence of a packed input (the ground truth packing must reproduce) and
+// returns the concatenated outputs.
+func AttentionPerSequence(q, k, v *tensor.Matrix, heads int, offsets []int) *tensor.Matrix {
+	var outs []*tensor.Matrix
+	for s := 0; s+1 < len(offsets); s++ {
+		from, to := offsets[s], offsets[s+1]
+		outs = append(outs, Attention(
+			q.SliceRows(from, to), k.SliceRows(from, to), v.SliceRows(from, to),
+			heads, CausalMask()))
+	}
+	return tensor.ConcatRows(outs...)
+}

@@ -1,0 +1,178 @@
+package model
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"flexsp/internal/comm"
+	"flexsp/internal/packing"
+	"flexsp/internal/tensor"
+)
+
+const tol = 1e-10
+
+// Sequence packing with a block-diagonal causal mask must be numerically
+// identical to processing each sequence alone (§2.2.2: "the model gradients
+// computed over a packed input are identical to that computed over the
+// original, unpacked sequences").
+func TestPackedAttentionEqualsUnpacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pack := packing.Pack{Lens: []int{5, 3, 8}, Total: 16}
+	offsets := pack.Offsets()
+	const dim, heads = 8, 2
+
+	q := tensor.Random(rng, pack.Total, dim)
+	k := tensor.Random(rng, pack.Total, dim)
+	v := tensor.Random(rng, pack.Total, dim)
+
+	packed := Attention(q, k, v, heads, PackedCausalMask(offsets))
+	separate := AttentionPerSequence(q, k, v, heads, offsets)
+	if d := tensor.MaxAbsDiff(packed, separate); d > tol {
+		t.Fatalf("packed vs unpacked attention differ by %g", d)
+	}
+}
+
+// Without the mask adjustment, packing DOES contaminate: a sanity check that
+// the equivalence above is non-trivial.
+func TestPackingWithoutMaskContaminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	offsets := []int{0, 4, 9}
+	q := tensor.Random(rng, 9, 4)
+	k := tensor.Random(rng, 9, 4)
+	v := tensor.Random(rng, 9, 4)
+	naive := Attention(q, k, v, 2, CausalMask()) // plain causal, no block mask
+	separate := AttentionPerSequence(q, k, v, 2, offsets)
+	if d := tensor.MaxAbsDiff(naive, separate); d < 1e-6 {
+		t.Fatal("plain causal mask should contaminate packed sequences")
+	}
+}
+
+func TestPackedPositions(t *testing.T) {
+	pos := PackedPositions([]int{0, 3, 5})
+	want := []int{0, 1, 2, 0, 1}
+	for i := range want {
+		if pos[i] != want[i] {
+			t.Fatalf("PackedPositions = %v, want %v", pos, want)
+		}
+	}
+}
+
+func TestPackedCausalMaskBlocks(t *testing.T) {
+	mask := PackedCausalMask([]int{0, 2, 4})
+	cases := []struct {
+		i, j int
+		want bool
+	}{
+		{0, 0, true}, {1, 0, true}, {0, 1, false}, // causal within seq 0
+		{2, 2, true}, {3, 2, true},
+		{2, 1, false}, {3, 0, false}, // cross-sequence blocked
+	}
+	for _, c := range cases {
+		if got := mask(c.i, c.j); got != c.want {
+			t.Errorf("mask(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestPackedCausalMaskPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad offsets")
+		}
+	}()
+	PackedCausalMask([]int{1, 2})
+}
+
+// runUlysses executes UlyssesAttention across p goroutine "devices" on
+// sequence shards of the full q, k, v and reassembles the global output.
+func runUlysses(t *testing.T, p int, q, k, v *tensor.Matrix, heads int, mask tensor.MaskFunc) *tensor.Matrix {
+	t.Helper()
+	world := comm.NewWorld(p)
+	c := world.Group(0, p)
+	seq := q.Rows
+	localSeq := seq / p
+	outs := make([]*tensor.Matrix, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			lo, hi := rank*localSeq, (rank+1)*localSeq
+			outs[rank] = UlyssesAttention(c, rank,
+				q.SliceRows(lo, hi), k.SliceRows(lo, hi), v.SliceRows(lo, hi),
+				heads, seq, mask)
+		}(r)
+	}
+	wg.Wait()
+	return tensor.ConcatRows(outs...)
+}
+
+// Ulysses SP attention must equal single-device attention at every SP
+// degree — the numerical basis for heterogeneous SP groups being
+// interchangeable.
+func TestUlyssesEqualsSingleDeviceAllDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const seq, dim, heads = 16, 8, 4
+	q := tensor.Random(rng, seq, dim)
+	k := tensor.Random(rng, seq, dim)
+	v := tensor.Random(rng, seq, dim)
+	want := Attention(q, k, v, heads, CausalMask())
+	for _, p := range []int{1, 2, 4} {
+		got := runUlysses(t, p, q, k, v, heads, CausalMask())
+		if d := tensor.MaxAbsDiff(want, got); d > tol {
+			t.Fatalf("SP=%d differs from single device by %g", p, d)
+		}
+	}
+}
+
+// The full FlexSP data path: a packed varied-length input processed under
+// sequence parallelism must match per-sequence single-device attention.
+func TestUlyssesPackedVariedLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pack := packing.Pack{Lens: []int{7, 12, 5}, Total: 24}
+	offsets := pack.Offsets()
+	const dim, heads = 8, 4
+	q := tensor.Random(rng, pack.Total, dim)
+	k := tensor.Random(rng, pack.Total, dim)
+	v := tensor.Random(rng, pack.Total, dim)
+
+	want := AttentionPerSequence(q, k, v, heads, offsets)
+	for _, p := range []int{2, 4} {
+		got := runUlysses(t, p, q, k, v, heads, PackedCausalMask(offsets))
+		if d := tensor.MaxAbsDiff(want, got); d > tol {
+			t.Fatalf("SP=%d packed attention differs by %g", p, d)
+		}
+	}
+}
+
+func TestUlyssesPanicsOnBadShapes(t *testing.T) {
+	world := comm.NewWorld(2)
+	c := world.Group(0, 2)
+	q := tensor.New(3, 4)
+	cases := []func(){
+		func() { UlyssesAttention(c, 0, q, q, q, 4, 7, CausalMask()) }, // seq not divisible
+		func() { UlyssesAttention(c, 0, q, q, q, 3, 6, CausalMask()) }, // heads not divisible
+		func() { UlyssesAttention(c, 0, q, q, q, 2, 8, CausalMask()) }, // wrong local rows
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAttentionPanics(t *testing.T) {
+	q := tensor.New(4, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on indivisible heads")
+		}
+	}()
+	Attention(q, q, q, 4, nil) // 6 % 4 != 0
+}

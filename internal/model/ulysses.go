@@ -1,0 +1,74 @@
+package model
+
+import (
+	"fmt"
+
+	"flexsp/internal/comm"
+	"flexsp/internal/tensor"
+)
+
+// UlyssesAttention computes multi-head attention under Ulysses-style
+// sequence parallelism (paper Eq. 1–4) on the given communicator. Each rank
+// holds the local shard of the sequence (globalSeq/P rows of q, k, v); three
+// all-to-alls reshard from sequence-split to head-split (Eq. 2), attention
+// runs on the complete sequence for the rank's head slice (Eq. 3), and a
+// final all-to-all scatters the output back to sequence shards (Eq. 4).
+//
+// The mask receives global sequence positions, so packed-sequence masks work
+// unchanged at any SP degree. heads must be divisible by the group size.
+func UlyssesAttention(c *comm.Communicator, rank int, q, k, v *tensor.Matrix,
+	heads, globalSeq int, mask tensor.MaskFunc) *tensor.Matrix {
+
+	p := c.Size()
+	localSeq := globalSeq / p
+	dim := q.Cols
+	switch {
+	case globalSeq%p != 0:
+		panic(fmt.Sprintf("model: sequence %d not divisible by SP degree %d", globalSeq, p))
+	case heads%p != 0:
+		panic(fmt.Sprintf("model: %d heads not divisible by SP degree %d", heads, p))
+	case dim%p != 0:
+		panic(fmt.Sprintf("model: dim %d not divisible by SP degree %d", dim, p))
+	case q.Rows != localSeq || k.Rows != localSeq || v.Rows != localSeq:
+		panic("model: local shard has wrong row count")
+	}
+	if p == 1 {
+		return Attention(q, k, v, heads, mask)
+	}
+	colBlock := dim / p
+
+	// Eq. 2: three all-to-alls gather the complete sequence for this rank's
+	// head slice (columns [rank·colBlock, (rank+1)·colBlock)).
+	reshard := func(m *tensor.Matrix) *tensor.Matrix {
+		send := make([][]float64, p)
+		for j := 0; j < p; j++ {
+			send[j] = m.SliceCols(j*colBlock, (j+1)*colBlock).Data
+		}
+		recv := c.AllToAll(rank, send)
+		parts := make([]*tensor.Matrix, p)
+		for i := 0; i < p; i++ {
+			parts[i] = &tensor.Matrix{Rows: localSeq, Cols: colBlock, Data: recv[i]}
+		}
+		return tensor.ConcatRows(parts...)
+	}
+	qh := reshard(q)
+	kh := reshard(k)
+	vh := reshard(v)
+
+	// Eq. 3: attention over the full sequence for heads/p heads.
+	oh := Attention(qh, kh, vh, heads/p, mask)
+
+	// Eq. 4: all-to-all back to sequence shards. Send row block j to rank
+	// j; receive each rank's row block for me and stitch columns in rank
+	// order.
+	send := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		send[j] = oh.SliceRows(j*localSeq, (j+1)*localSeq).Data
+	}
+	recv := c.AllToAll(rank, send)
+	parts := make([]*tensor.Matrix, p)
+	for i := 0; i < p; i++ {
+		parts[i] = &tensor.Matrix{Rows: localSeq, Cols: colBlock, Data: recv[i]}
+	}
+	return tensor.ConcatCols(parts...)
+}

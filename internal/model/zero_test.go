@@ -1,0 +1,119 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"flexsp/internal/comm"
+)
+
+// runZeRO trains a sharded linear model for `steps` over data partitioned
+// across `world` ranks and returns the final full parameter vector.
+func runZeRO(world, dim, steps int, xs [][]float64, ys []float64, lr float64) []float64 {
+	w := comm.NewWorld(world)
+	c := w.Group(0, world)
+	var out []float64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			worker := NewZeROWorker(c, rank, dim, lr)
+			// Partition examples round-robin.
+			var lx [][]float64
+			var ly []float64
+			for i := rank; i < len(xs); i += world {
+				lx = append(lx, xs[i])
+				ly = append(ly, ys[i])
+			}
+			for s := 0; s < steps; s++ {
+				worker.Step(lx, ly)
+			}
+			if rank == 0 {
+				p := worker.Params()
+				mu.Lock()
+				out = p
+				mu.Unlock()
+			} else {
+				worker.Params() // collective: all ranks participate
+			}
+		}(r)
+	}
+	wg.Wait()
+	return out
+}
+
+func makeRegression(rng *rand.Rand, n, dim int) (xs [][]float64, ys []float64, truth []float64) {
+	truth = make([]float64, dim)
+	for j := range truth {
+		truth[j] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		var y float64
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y += x[j] * truth[j]
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys, truth
+}
+
+// ZeRO-sharded training must match single-device SGD exactly at every world
+// size — the data-parallel analogue of the SP-degree invariance tests.
+func TestZeROMatchesSingleDevice(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const dim, n, steps = 8, 24, 10
+	const lr = 0.05
+	xs, ys, _ := makeRegression(rng, n, dim)
+
+	ref := make([]float64, dim)
+	for s := 0; s < steps; s++ {
+		ref = ReferenceSGD(ref, xs, ys, lr)
+	}
+	for _, world := range []int{1, 2, 4, 8} {
+		got := runZeRO(world, dim, steps, xs, ys, lr)
+		for j := range ref {
+			if math.Abs(got[j]-ref[j]) > 1e-9 {
+				t.Fatalf("world=%d param %d: %v != reference %v", world, j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+// Training must actually converge toward the generating parameters.
+func TestZeROConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const dim, n = 4, 64
+	xs, ys, truth := makeRegression(rng, n, dim)
+	got := runZeRO(4, dim, 200, xs, ys, 0.05)
+	for j := range truth {
+		if math.Abs(got[j]-truth[j]) > 1e-3 {
+			t.Fatalf("param %d: %v, want ≈%v", j, got[j], truth[j])
+		}
+	}
+}
+
+func TestZeROPanicsOnIndivisibleDim(t *testing.T) {
+	w := comm.NewWorld(2)
+	c := w.Group(0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewZeROWorker(c, 0, 7, 0.1)
+}
+
+func TestReferenceSGDDoesNotMutate(t *testing.T) {
+	params := []float64{1, 2}
+	_ = ReferenceSGD(params, [][]float64{{1, 1}}, []float64{5}, 0.1)
+	if params[0] != 1 || params[1] != 2 {
+		t.Fatal("ReferenceSGD mutated its input")
+	}
+}

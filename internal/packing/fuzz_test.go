@@ -1,0 +1,48 @@
+package packing
+
+import "testing"
+
+// FuzzBFD checks packing validity and capacity bounds on arbitrary inputs.
+func FuzzBFD(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, uint16(64))
+	f.Add([]byte{255, 255}, uint16(100))
+	f.Fuzz(func(t *testing.T, data []byte, capU uint16) {
+		if len(data) == 0 || len(data) > 200 {
+			return
+		}
+		capacity := int(capU) + 1
+		lens := make([]int, len(data))
+		for i, b := range data {
+			lens[i] = int(b) + 1
+		}
+		packs := BestFitDecreasing(lens, capacity)
+		if err := Validate(packs, lens, capacity); err != nil {
+			t.Fatal(err)
+		}
+		// Flexible packing never truncates and never overflows the hard cap.
+		maxLen := 0
+		for _, l := range lens {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		hard := maxLen
+		if capacity > hard {
+			hard = capacity
+		}
+		flex := BestFitDecreasingFlex(lens, capacity, hard)
+		total, flexTotal := 0, 0
+		for _, l := range lens {
+			total += l
+		}
+		for _, p := range flex {
+			flexTotal += p.Total
+			if p.Total > hard {
+				t.Fatalf("flex pack %d exceeds hard cap %d", p.Total, hard)
+			}
+		}
+		if flexTotal != total {
+			t.Fatalf("flex packing lost tokens: %d != %d", flexTotal, total)
+		}
+	})
+}

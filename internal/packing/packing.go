@@ -1,0 +1,207 @@
+// Package packing implements the sequence-packing data-preprocessing
+// techniques the paper's baselines rely on (§2.2.2): Best-Fit Packing [13]
+// via Best-Fit-Decreasing (BFD), First-Fit-Decreasing, and plain padding.
+// Packed sequences carry the boundary offsets ("cu_seqlens") needed to build
+// the block-diagonal attention masks that prevent cross-contamination; the
+// tiny transformer in internal/model consumes these to verify gradient
+// equivalence of packing.
+package packing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pack is one packed training input: a concatenation of original sequences
+// whose total length does not exceed the capacity c (the maximum number of
+// tokens supported by one model replica).
+type Pack struct {
+	// Lens are the original sequence lengths in concatenation order.
+	Lens []int
+	// Total is the packed length in tokens.
+	Total int
+}
+
+// Offsets returns the cumulative boundaries [0, l1, l1+l2, ..., Total] used
+// to construct attention masks and position indices (flash-attn varlen
+// style).
+func (p Pack) Offsets() []int {
+	off := make([]int, 0, len(p.Lens)+1)
+	off = append(off, 0)
+	acc := 0
+	for _, l := range p.Lens {
+		acc += l
+		off = append(off, acc)
+	}
+	return off
+}
+
+func (p Pack) String() string { return fmt.Sprintf("pack(%d seqs, %d tokens)", len(p.Lens), p.Total) }
+
+// BestFitDecreasing packs the sequences into bins of the given capacity using
+// the Best-Fit-Decreasing heuristic of Best-fit Packing [13]: sort
+// descending, place each sequence into the fullest bin it still fits in,
+// opening a new bin otherwise. Sequences longer than the capacity are
+// truncated to it, matching the paper's protocol ("a sequence will be
+// truncated if it exceeds c by itself", §1).
+func BestFitDecreasing(lens []int, capacity int) []Pack {
+	if capacity <= 0 {
+		panic("packing: capacity must be positive")
+	}
+	sorted := append([]int(nil), lens...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+
+	var packs []Pack
+	for _, l := range sorted {
+		if l > capacity {
+			l = capacity // truncate
+		}
+		best := -1
+		bestResidual := capacity + 1
+		for i := range packs {
+			res := capacity - packs[i].Total
+			if l <= res && res < bestResidual {
+				best, bestResidual = i, res
+			}
+		}
+		if best == -1 {
+			packs = append(packs, Pack{Lens: []int{l}, Total: l})
+			continue
+		}
+		packs[best].Lens = append(packs[best].Lens, l)
+		packs[best].Total += l
+	}
+	return packs
+}
+
+// BestFitDecreasingFlex packs like BestFitDecreasing toward the soft target
+// size, but a sequence longer than the target is given its own bin instead
+// of being truncated, up to the hard capacity (beyond which it panics —
+// callers must pre-check memory feasibility). Homogeneous baselines use it
+// to balance pack sizes across data-parallel replicas without truncating
+// long sequences.
+func BestFitDecreasingFlex(lens []int, target, hardCap int) []Pack {
+	if target <= 0 || hardCap < target {
+		panic("packing: need 0 < target <= hardCap")
+	}
+	sorted := append([]int(nil), lens...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+
+	var packs []Pack
+	for _, l := range sorted {
+		if l > hardCap {
+			panic(fmt.Sprintf("packing: sequence of %d exceeds hard capacity %d", l, hardCap))
+		}
+		if l > target {
+			packs = append(packs, Pack{Lens: []int{l}, Total: l})
+			continue
+		}
+		best := -1
+		bestResidual := target + 1
+		for i := range packs {
+			res := target - packs[i].Total
+			if res >= l && res < bestResidual {
+				best, bestResidual = i, res
+			}
+		}
+		if best == -1 {
+			packs = append(packs, Pack{Lens: []int{l}, Total: l})
+			continue
+		}
+		packs[best].Lens = append(packs[best].Lens, l)
+		packs[best].Total += l
+	}
+	return packs
+}
+
+// FirstFitDecreasing packs with the simpler first-fit rule; kept as a
+// baseline for packing-quality comparisons.
+func FirstFitDecreasing(lens []int, capacity int) []Pack {
+	if capacity <= 0 {
+		panic("packing: capacity must be positive")
+	}
+	sorted := append([]int(nil), lens...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+
+	var packs []Pack
+	for _, l := range sorted {
+		if l > capacity {
+			l = capacity
+		}
+		placed := false
+		for i := range packs {
+			if packs[i].Total+l <= capacity {
+				packs[i].Lens = append(packs[i].Lens, l)
+				packs[i].Total += l
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			packs = append(packs, Pack{Lens: []int{l}, Total: l})
+		}
+	}
+	return packs
+}
+
+// PaddedTokens returns the token count (including padding waste) of the
+// padding alternative: every sequence is extended to the capacity. Used to
+// quantify why packing is the default (§2.2.2).
+func PaddedTokens(lens []int, capacity int) int {
+	n := 0
+	for _, l := range lens {
+		if l > capacity {
+			l = capacity
+		}
+		_ = l
+		n += capacity
+	}
+	return n
+}
+
+// Efficiency returns packed-token utilization: real tokens / (bins ×
+// capacity).
+func Efficiency(packs []Pack, capacity int) float64 {
+	if len(packs) == 0 {
+		return 0
+	}
+	var real int
+	for _, p := range packs {
+		real += p.Total
+	}
+	return float64(real) / float64(len(packs)*capacity)
+}
+
+// Validate checks packing invariants: no bin overflows, every input sequence
+// is represented exactly once (after truncation).
+func Validate(packs []Pack, lens []int, capacity int) error {
+	want := map[int]int{}
+	for _, l := range lens {
+		if l > capacity {
+			l = capacity
+		}
+		want[l]++
+	}
+	for _, p := range packs {
+		total := 0
+		for _, l := range p.Lens {
+			want[l]--
+			if want[l] < 0 {
+				return fmt.Errorf("packing: unexpected sequence of length %d", l)
+			}
+			total += l
+		}
+		if total != p.Total {
+			return fmt.Errorf("packing: pack total %d != sum of lens %d", p.Total, total)
+		}
+		if total > capacity {
+			return fmt.Errorf("packing: pack of %d tokens exceeds capacity %d", total, capacity)
+		}
+	}
+	for l, c := range want {
+		if c != 0 {
+			return fmt.Errorf("packing: %d sequences of length %d missing", c, l)
+		}
+	}
+	return nil
+}

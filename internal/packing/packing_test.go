@@ -1,0 +1,133 @@
+package packing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBestFitDecreasingBasic(t *testing.T) {
+	lens := []int{100, 48, 48, 48, 48} // the Fig. 1 example, in K-tokens
+	packs := BestFitDecreasing(lens, 192)
+	if err := Validate(packs, lens, 192); err != nil {
+		t.Fatal(err)
+	}
+	// 100+48 = 148 ≤ 192, 48+48+48 = 144 ≤ 192: BFD should need 2 bins.
+	if len(packs) != 2 {
+		t.Fatalf("BFD produced %d packs, want 2: %v", len(packs), packs)
+	}
+}
+
+func TestBFDTruncatesOversized(t *testing.T) {
+	packs := BestFitDecreasing([]int{500, 10}, 100)
+	if err := Validate(packs, []int{500, 10}, 100); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range packs {
+		if p.Total > 100 {
+			t.Fatalf("pack exceeds capacity: %v", p)
+		}
+	}
+}
+
+func TestBFDBeatsOrMatchesFFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		lens := make([]int, 40)
+		for i := range lens {
+			lens[i] = 1 + rng.Intn(1000)
+		}
+		bfd := BestFitDecreasing(lens, 1024)
+		ffd := FirstFitDecreasing(lens, 1024)
+		if len(bfd) > len(ffd) {
+			t.Fatalf("BFD used %d bins, FFD %d", len(bfd), len(ffd))
+		}
+	}
+}
+
+func TestPackOffsets(t *testing.T) {
+	p := Pack{Lens: []int{3, 5, 2}, Total: 10}
+	off := p.Offsets()
+	want := []int{0, 3, 8, 10}
+	if len(off) != len(want) {
+		t.Fatalf("Offsets = %v, want %v", off, want)
+	}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("Offsets = %v, want %v", off, want)
+		}
+	}
+}
+
+func TestEfficiencyAndPadding(t *testing.T) {
+	lens := []int{512, 512, 1024}
+	packs := BestFitDecreasing(lens, 1024)
+	eff := Efficiency(packs, 1024)
+	if eff != 1.0 {
+		t.Fatalf("perfectly packable input: efficiency = %v, want 1", eff)
+	}
+	if Efficiency(nil, 1024) != 0 {
+		t.Fatal("empty packing should have zero efficiency")
+	}
+	// Padding wastes: 3 sequences padded to 1024 each.
+	if got := PaddedTokens(lens, 1024); got != 3*1024 {
+		t.Fatalf("PaddedTokens = %d", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	lens := []int{10, 20}
+	packs := BestFitDecreasing(lens, 64)
+	bad := append([]Pack(nil), packs...)
+	bad[0].Total += 1
+	if Validate(bad, lens, 64) == nil {
+		t.Fatal("Validate accepted wrong total")
+	}
+	if Validate(packs, []int{10, 20, 30}, 64) == nil {
+		t.Fatal("Validate accepted missing sequence")
+	}
+	if Validate(packs, []int{10}, 64) == nil {
+		t.Fatal("Validate accepted extra sequence")
+	}
+}
+
+func TestPanicsOnBadCapacity(t *testing.T) {
+	for _, f := range []func(){
+		func() { BestFitDecreasing([]int{1}, 0) },
+		func() { FirstFitDecreasing([]int{1}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on non-positive capacity")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: BFD packings are always valid and within a 2× bound of the
+// theoretical minimum bin count (BFD is 11/9·OPT + 1; 2× is a safe check).
+func TestBFDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		const capacity = 8192
+		lens := make([]int, n)
+		total := 0
+		for i := range lens {
+			lens[i] = 1 + rng.Intn(capacity)
+			total += lens[i]
+		}
+		packs := BestFitDecreasing(lens, capacity)
+		if Validate(packs, lens, capacity) != nil {
+			return false
+		}
+		lower := (total + capacity - 1) / capacity
+		return len(packs) <= 2*lower+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

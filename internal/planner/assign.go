@@ -1,0 +1,275 @@
+package planner
+
+import (
+	"sort"
+
+	"flexsp/internal/bucket"
+	"flexsp/internal/costmodel"
+)
+
+// item is one sequence to place: costed at its bucket's representative
+// length (ŝ_q, conservative) but carrying its actual length for the final
+// plan.
+type item struct {
+	rep    int // bucket upper limit used for cost/memory estimation
+	actual int
+}
+
+// bucketize applies the planner's bucketing mode to the micro-batch.
+func (pl *Planner) bucketize(lens []int) []bucket.Bucket {
+	switch pl.Bucketing {
+	case BucketNaive:
+		return bucket.Naive(lens, NaiveBucketWidth)
+	case BucketNone:
+		// One bucket per distinct length: exact representation.
+		return bucket.DP(lens, len(lens))
+	default:
+		return bucket.DP(lens, pl.Q)
+	}
+}
+
+// itemsFromBuckets flattens a bucketing into placement items, longest first.
+func itemsFromBuckets(buckets []bucket.Bucket) []item {
+	var items []item
+	for _, b := range buckets {
+		for _, l := range b.Lens {
+			items = append(items, item{rep: b.Upper, actual: l})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].rep != items[j].rep {
+			return items[i].rep > items[j].rep
+		}
+		return items[i].actual > items[j].actual
+	})
+	return items
+}
+
+// assignment is the incremental state of placing items onto a fixed group
+// configuration. Group time is evaluated in O(1) per update from running
+// Σs and Σs² (Eq. 12–14 are linear in those sums).
+type assignment struct {
+	c         costmodel.Coeffs
+	degrees   []int
+	capTokens []int64
+	// commPT[g] is the linear per-token communication factor for group g
+	// (per-token all-to-all time, or the ring traffic time for CP); with it
+	// the group time is O(1) in the running sums for both styles.
+	commPT []float64
+	ringCP bool
+
+	members [][]item
+	sumS    []float64
+	sumS2   []float64
+	tokens  []int64
+}
+
+func newAssignment(c costmodel.Coeffs, degrees []int) *assignment {
+	a := &assignment{
+		c:         c,
+		degrees:   degrees,
+		capTokens: make([]int64, len(degrees)),
+		commPT:    make([]float64, len(degrees)),
+		ringCP:    c.Style == costmodel.StyleRingCP,
+		members:   make([][]item, len(degrees)),
+		sumS:      make([]float64, len(degrees)),
+		sumS2:     make([]float64, len(degrees)),
+		tokens:    make([]int64, len(degrees)),
+	}
+	for g, d := range degrees {
+		a.capTokens[g] = int64(c.MaxTokensPerGroup(d))
+		a.commPT[g] = c.CommUnitTime(d)
+	}
+	return a
+}
+
+// timeSums is the inlined equivalent of Coeffs.GroupTimeSums using the
+// precomputed per-token communication factors (hot path of place/refine;
+// consistency with GroupTimeSums is asserted by tests).
+func (a *assignment) timeSums(g int, sumS, sumS2 float64) float64 {
+	if sumS == 0 {
+		return 0
+	}
+	d := float64(a.degrees[g])
+	comp := (a.c.Alpha1*sumS2+a.c.Alpha2*sumS)/d + a.c.Beta1
+	if a.degrees[g] <= 1 {
+		return comp
+	}
+	comm := sumS * a.commPT[g]
+	if a.ringCP {
+		comm -= a.c.Alpha1 * sumS2 / d // attention overlap
+		if comm < 0 {
+			comm = 0
+		}
+	}
+	return comp + comm + a.c.Beta2
+}
+
+// groupTime is the Eq. 14 estimate for group g's current members.
+func (a *assignment) groupTime(g int) float64 {
+	return a.timeSums(g, a.sumS[g], a.sumS2[g])
+}
+
+// timeWith is groupTime with a hypothetical extra item.
+func (a *assignment) timeWith(g int, it item) float64 {
+	s := float64(it.rep)
+	return a.timeSums(g, a.sumS[g]+s, a.sumS2[g]+s*s)
+}
+
+func (a *assignment) fits(g int, it item) bool {
+	return a.tokens[g]+int64(it.rep) <= a.capTokens[g]
+}
+
+func (a *assignment) add(g int, it item) {
+	s := float64(it.rep)
+	a.members[g] = append(a.members[g], it)
+	a.sumS[g] += s
+	a.sumS2[g] += s * s
+	a.tokens[g] += int64(it.rep)
+}
+
+func (a *assignment) remove(g, idx int) item {
+	it := a.members[g][idx]
+	last := len(a.members[g]) - 1
+	a.members[g][idx] = a.members[g][last]
+	a.members[g] = a.members[g][:last]
+	s := float64(it.rep)
+	a.sumS[g] -= s
+	a.sumS2[g] -= s * s
+	a.tokens[g] -= int64(it.rep)
+	return it
+}
+
+func (a *assignment) makespan() float64 {
+	var m float64
+	for g := range a.degrees {
+		if t := a.groupTime(g); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// place runs the cost-aware LPT pass: items (already longest-first) go to
+// the group with the smallest resulting finish time among groups with
+// memory headroom. Returns false if some item fits nowhere.
+func (a *assignment) place(items []item) bool {
+	for _, it := range items {
+		best, bestT := -1, 0.0
+		for g := range a.degrees {
+			if !a.fits(g, it) {
+				continue
+			}
+			t := a.timeWith(g, it)
+			if best == -1 || t < bestT {
+				best, bestT = g, t
+			}
+		}
+		if best == -1 {
+			return false
+		}
+		a.add(best, it)
+	}
+	return true
+}
+
+// refine runs a bounded move/swap local search lowering the makespan: pull
+// items out of the bottleneck group into groups that can absorb them more
+// cheaply, or swap them against shorter items.
+func (a *assignment) refine(maxIters int) {
+	for iter := 0; iter < maxIters; iter++ {
+		// Bottleneck group.
+		gmax, tmax := -1, 0.0
+		for g := range a.degrees {
+			if t := a.groupTime(g); t > tmax {
+				gmax, tmax = g, t
+			}
+		}
+		if gmax == -1 {
+			return
+		}
+		if !a.improveOnce(gmax, tmax) {
+			return
+		}
+	}
+}
+
+// improveOnce tries one improving move or swap out of the bottleneck group.
+func (a *assignment) improveOnce(gmax int, tmax float64) bool {
+	// Moves: bottleneck item → other group.
+	for idx := 0; idx < len(a.members[gmax]); idx++ {
+		for g := range a.degrees {
+			// Re-read at each attempt: failed attempts reshuffle the
+			// member slice, so a stale copy would desynchronize from the
+			// element remove() actually takes.
+			it := a.members[gmax][idx]
+			if g == gmax || !a.fits(g, it) {
+				continue
+			}
+			if a.timeWith(g, it) < tmax-1e-12 {
+				// Does removing it actually reduce the bottleneck, and does
+				// the receiving group stay under it?
+				moved := a.remove(gmax, idx)
+				a.add(g, moved)
+				if a.makespan() < tmax-1e-12 {
+					return true
+				}
+				// Revert.
+				a.remove(g, len(a.members[g])-1)
+				a.add(gmax, moved)
+			}
+		}
+	}
+	// Swaps: bottleneck item ↔ shorter item elsewhere.
+	for idx := 0; idx < len(a.members[gmax]); idx++ {
+		for g := range a.degrees {
+			if g == gmax {
+				continue
+			}
+			for jdx := 0; jdx < len(a.members[g]); jdx++ {
+				// Re-read both: failed attempts reorder the slices.
+				big := a.members[gmax][idx]
+				small := a.members[g][jdx]
+				if small.rep >= big.rep {
+					continue
+				}
+				// Tentatively swap.
+				a.remove(gmax, idx)
+				a.remove(g, jdx)
+				if a.fits(gmax, small) && a.fits(g, big) {
+					a.add(gmax, small)
+					a.add(g, big)
+					if a.makespan() < tmax-1e-12 {
+						return true
+					}
+					a.remove(gmax, len(a.members[gmax])-1)
+					a.remove(g, len(a.members[g])-1)
+				}
+				a.add(gmax, big)
+				a.add(g, small)
+			}
+		}
+	}
+	return false
+}
+
+// plan converts the assignment into a MicroPlan with actual sequence
+// lengths, dropping empty groups, and recomputes the time estimate from the
+// actual lengths.
+func (a *assignment) plan() MicroPlan {
+	var p MicroPlan
+	for g, d := range a.degrees {
+		if len(a.members[g]) == 0 {
+			continue
+		}
+		lens := make([]int, 0, len(a.members[g]))
+		for _, it := range a.members[g] {
+			lens = append(lens, it.actual)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+		p.Groups = append(p.Groups, Group{Degree: d, Lens: lens})
+	}
+	sort.SliceStable(p.Groups, func(i, j int) bool { return p.Groups[i].Degree > p.Groups[j].Degree })
+	p.recomputeTime(a.c)
+	return p
+}

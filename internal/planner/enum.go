@@ -1,0 +1,271 @@
+package planner
+
+import (
+	"math"
+	"sort"
+)
+
+// enumLimit is the device count up to which we exhaustively enumerate group
+// configurations (binary partitions of N). Beyond it the planner switches to
+// a split/merge local search over configurations.
+const enumLimit = 64
+
+// planEnum is the default solver: enumerate (or search) degree multisets,
+// place items with LPT, refine the most promising configurations.
+func (pl *Planner) planEnum(lens []int) (MicroPlan, error) {
+	if len(lens) == 0 {
+		return MicroPlan{}, nil
+	}
+	c := pl.Coeffs
+	n := c.Topo.NumDevices()
+
+	maxLen := 0
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	minDeg := c.MinDegreeFor(maxLen)
+	if minDeg == 0 {
+		return MicroPlan{}, ErrInfeasible
+	}
+	items := itemsFromBuckets(pl.bucketize(lens))
+
+	type cand struct {
+		degrees []int
+		span    float64
+	}
+	var cands []cand
+	tryConfig := func(degrees []int) {
+		a := newAssignment(c, degrees)
+		if !a.place(items) {
+			return
+		}
+		cands = append(cands, cand{degrees: append([]int(nil), degrees...), span: a.makespan()})
+	}
+
+	if n <= enumLimit {
+		enumeratePartitions(n, n, minDeg, tryConfig)
+	} else {
+		for _, cfg := range searchConfigs(n, minDeg) {
+			tryConfig(cfg)
+		}
+	}
+	if len(cands) == 0 {
+		return MicroPlan{}, ErrInfeasible
+	}
+
+	// Refine the top configurations with local search and keep the best.
+	// Homogeneous layouts are always included so the plan never loses to a
+	// single-degree baseline merely because LPT under-ranked it.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].span < cands[j].span })
+	top := pl.refineTop
+	if top <= 0 {
+		top = 6
+	}
+	if top > len(cands) {
+		top = len(cands)
+	}
+	refineSet := append([]cand(nil), cands[:top]...)
+	for _, cd := range cands[top:] {
+		if homogeneous(cd.degrees) {
+			refineSet = append(refineSet, cd)
+		}
+	}
+	best := MicroPlan{Time: math.Inf(1)}
+	for _, cd := range refineSet {
+		a := newAssignment(c, cd.degrees)
+		if !a.place(items) {
+			continue
+		}
+		a.refine(pl.refineIters())
+		if p := a.plan(); p.Time < best.Time {
+			best = p
+		}
+	}
+	if math.IsInf(best.Time, 1) {
+		return MicroPlan{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// homogeneous reports whether all parts of the configuration are equal.
+func homogeneous(degrees []int) bool {
+	for _, d := range degrees[1:] {
+		if d != degrees[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// enumeratePartitions yields every multiset of power-of-two parts summing to
+// exactly n (descending order within each partition), pruning partitions
+// whose largest part is below minFirst — those cannot host the longest
+// sequence. yield receives a reusable slice.
+func enumeratePartitions(n, maxPart, minFirst int, yield func([]int)) {
+	// Normalize maxPart down to a power of two ≤ n.
+	p := 1
+	for p*2 <= maxPart && p*2 <= n {
+		p *= 2
+	}
+	var parts []int
+	var rec func(remaining, maxP int)
+	rec = func(remaining, maxP int) {
+		if remaining == 0 {
+			if len(parts) > 0 && parts[0] >= minFirst {
+				yield(parts)
+			}
+			return
+		}
+		for d := maxP; d >= 1; d /= 2 {
+			if d > remaining {
+				continue
+			}
+			// Prune: the first (largest) part must be able to reach
+			// minFirst.
+			if len(parts) == 0 && d < minFirst {
+				return
+			}
+			parts = append(parts, d)
+			rec(remaining-d, d)
+			parts = parts[:len(parts)-1]
+		}
+	}
+	rec(n, p)
+}
+
+// searchConfigs builds a small set of promising configurations for large
+// clusters: homogeneous seeds at every feasible degree plus a two-level
+// split/merge neighbourhood expansion around each. Deterministic.
+func searchConfigs(n, minDeg int) [][]int {
+	seeds := seedConfigs(n, minDeg)
+	seen := map[string]bool{}
+	var out [][]int
+	addCfg := func(cfg []int) bool {
+		k := cfgKey(cfg)
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		out = append(out, append([]int(nil), cfg...))
+		return true
+	}
+	for _, s := range seeds {
+		addCfg(s)
+		// Neighbourhood expansion: split each degree once, merge each pair
+		// once, two rounds deep.
+		frontier := [][]int{s}
+		for depth := 0; depth < 2; depth++ {
+			var next [][]int
+			for _, cfg := range frontier {
+				for _, nb := range neighbours(cfg, minDeg) {
+					if addCfg(nb) {
+						next = append(next, nb)
+					}
+				}
+			}
+			frontier = next
+			if len(out) > 64 {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// seedConfigs are the starting layouts for large-N search: homogeneous
+// configurations at every feasible degree, plus one "one big group + rest at
+// node size" mix.
+func seedConfigs(n, minDeg int) [][]int {
+	var seeds [][]int
+	for d := minDeg; d <= n; d *= 2 {
+		cfg := make([]int, 0, n/d)
+		for i := 0; i < n/d; i++ {
+			cfg = append(cfg, d)
+		}
+		seeds = append(seeds, cfg)
+	}
+	if minDeg < n {
+		cfg := []int{minDeg}
+		rest := n - minDeg
+		d := minDeg
+		if d > 8 {
+			d = 8
+		}
+		for rest >= d {
+			cfg = append(cfg, d)
+			rest -= d
+		}
+		for rest > 0 {
+			p := 1
+			for p*2 <= rest {
+				p *= 2
+			}
+			cfg = append(cfg, p)
+			rest -= p
+		}
+		seeds = append(seeds, cfg)
+	}
+	return seeds
+}
+
+// neighbours applies one split (d → d/2, d/2) or one merge (d, d → 2d) to
+// the configuration. The largest part never drops below minDeg.
+func neighbours(cfg []int, minDeg int) [][]int {
+	counts := map[int]int{}
+	for _, d := range cfg {
+		counts[d]++
+	}
+	var out [][]int
+	rebuild := func(m map[int]int) []int {
+		var r []int
+		for d, k := range m {
+			for i := 0; i < k; i++ {
+				r = append(r, d)
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(r)))
+		return r
+	}
+	for d, k := range counts {
+		if d > 1 && k > 0 {
+			m := cloneCounts(counts)
+			m[d]--
+			m[d/2] += 2
+			nb := rebuild(m)
+			if len(nb) > 0 && nb[0] >= minDeg {
+				out = append(out, nb)
+			}
+		}
+		if k >= 2 {
+			m := cloneCounts(counts)
+			m[d] -= 2
+			m[2*d]++
+			out = append(out, rebuild(m))
+		}
+	}
+	return out
+}
+
+func cloneCounts(m map[int]int) map[int]int {
+	c := make(map[int]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func cfgKey(cfg []int) string {
+	s := append([]int(nil), cfg...)
+	sort.Ints(s)
+	b := make([]byte, 0, len(s)*3)
+	for _, d := range s {
+		for d > 0 {
+			b = append(b, byte('0'+d%10))
+			d /= 10
+		}
+		b = append(b, ',')
+	}
+	return string(b)
+}

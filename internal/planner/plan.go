@@ -1,0 +1,186 @@
+// Package planner implements FlexSP's parallelism planner (paper §4.1): given
+// the sequences of one micro-batch, it chooses how many heterogeneous SP
+// groups to form, each group's degree, and which group each sequence joins,
+// minimizing the makespan (the maximum per-group execution time) subject to
+// per-device memory.
+//
+// Three strategies are provided:
+//
+//   - StrategyMILP solves the paper-faithful bucketed formulation (problem
+//     17) with the internal/milp branch-and-bound solver, warm-started by
+//     the enumerative solution (our stand-in for SCIP).
+//   - StrategyEnum (default) exploits the power-of-two structure: it
+//     enumerates candidate degree multisets (binary partitions of N, or a
+//     local search over them at large N), solves the per-configuration
+//     assignment with a cost-aware LPT heuristic, and refines the best
+//     configurations with a move/swap local search.
+//   - StrategyGreedy is the naive "smallest feasible group" assignment the
+//     paper argues against (§1, Time-Balanced Sequence Assignment); it is
+//     kept as an ablation baseline.
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"flexsp/internal/costmodel"
+)
+
+// Group is one sequence-parallel group of a plan: Degree devices jointly
+// processing the assigned sequences.
+type Group struct {
+	Degree int
+	Lens   []int
+}
+
+// Tokens returns the total tokens assigned to the group.
+func (g Group) Tokens() int {
+	t := 0
+	for _, l := range g.Lens {
+		t += l
+	}
+	return t
+}
+
+// Time returns the group's estimated execution time under the cost model.
+func (g Group) Time(c costmodel.Coeffs) float64 { return c.GroupTime(g.Lens, g.Degree) }
+
+func (g Group) String() string {
+	return fmt.Sprintf("SP=%d(%d seqs, %d tokens)", g.Degree, len(g.Lens), g.Tokens())
+}
+
+// MicroPlan is the plan for one micro-batch: a set of SP groups executing
+// concurrently.
+type MicroPlan struct {
+	Groups []Group
+	// Time is the estimated makespan (max group time), seconds.
+	Time float64
+}
+
+// Degrees returns the degree multiset of the plan's non-empty groups,
+// descending.
+func (p MicroPlan) Degrees() []int {
+	var ds []int
+	for _, g := range p.Groups {
+		if len(g.Lens) > 0 {
+			ds = append(ds, g.Degree)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	return ds
+}
+
+// DevicesUsed sums the degrees of non-empty groups.
+func (p MicroPlan) DevicesUsed() int {
+	n := 0
+	for _, g := range p.Groups {
+		if len(g.Lens) > 0 {
+			n += g.Degree
+		}
+	}
+	return n
+}
+
+// Validate checks plan invariants against the cost model and the micro-batch
+// it was built for: device budget, per-group memory, exact sequence coverage.
+func (p MicroPlan) Validate(c costmodel.Coeffs, lens []int) error {
+	if p.DevicesUsed() > c.Topo.NumDevices() {
+		return fmt.Errorf("planner: plan uses %d devices > %d", p.DevicesUsed(), c.Topo.NumDevices())
+	}
+	want := map[int]int{}
+	for _, l := range lens {
+		want[l]++
+	}
+	for _, g := range p.Groups {
+		if len(g.Lens) == 0 {
+			continue
+		}
+		if !c.Topo.IsValidDegree(g.Degree) {
+			return fmt.Errorf("planner: invalid degree %d", g.Degree)
+		}
+		if !c.Fits(g.Lens, g.Degree) {
+			return fmt.Errorf("planner: group %v exceeds device memory", g)
+		}
+		for _, l := range g.Lens {
+			want[l]--
+			if want[l] < 0 {
+				return fmt.Errorf("planner: unexpected sequence of length %d", l)
+			}
+		}
+	}
+	for l, n := range want {
+		if n != 0 {
+			return fmt.Errorf("planner: %d sequences of length %d unassigned", n, l)
+		}
+	}
+	return nil
+}
+
+// recomputeTime refreshes p.Time from the cost model.
+func (p *MicroPlan) recomputeTime(c costmodel.Coeffs) {
+	p.Time = 0
+	for _, g := range p.Groups {
+		if t := g.Time(c); t > p.Time {
+			p.Time = t
+		}
+	}
+}
+
+// Strategy selects the planning algorithm.
+type Strategy int
+
+const (
+	// StrategyEnum is the default enumerative solver.
+	StrategyEnum Strategy = iota
+	// StrategyMILP solves problem (17) with branch and bound.
+	StrategyMILP
+	// StrategyGreedy is the naive smallest-feasible-group baseline.
+	StrategyGreedy
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyEnum:
+		return "enum"
+	case StrategyMILP:
+		return "milp"
+	case StrategyGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ErrInfeasible is returned when a micro-batch cannot fit the cluster under
+// any group configuration.
+var ErrInfeasible = fmt.Errorf("planner: micro-batch does not fit cluster memory")
+
+// BucketMode selects the sequence-bucketing algorithm feeding the solver.
+type BucketMode int
+
+const (
+	// BucketDP is the paper's adaptive dynamic-programming bucketing.
+	BucketDP BucketMode = iota
+	// BucketNaive uses fixed 2K-wide intervals (the §4.1.3 strawman).
+	BucketNaive
+	// BucketNone disables bucketing: every distinct length is its own
+	// bucket (the "w/o BKT" ablation — accurate but far more expensive for
+	// the MILP path).
+	BucketNone
+)
+
+func (b BucketMode) String() string {
+	switch b {
+	case BucketDP:
+		return "dp"
+	case BucketNaive:
+		return "naive"
+	case BucketNone:
+		return "none"
+	default:
+		return fmt.Sprintf("BucketMode(%d)", int(b))
+	}
+}
+
+// NaiveBucketWidth is the fixed interval width of BucketNaive.
+const NaiveBucketWidth = 2 << 10

@@ -1,0 +1,131 @@
+package planner
+
+import (
+	"time"
+
+	"flexsp/internal/bucket"
+	"flexsp/internal/costmodel"
+)
+
+// Planner solves the per-micro-batch parallelism problem.
+type Planner struct {
+	// Coeffs is the (model, cluster) cost model driving all decisions.
+	Coeffs costmodel.Coeffs
+	// Strategy selects the algorithm (default StrategyEnum).
+	Strategy Strategy
+	// Q is the sequence bucket count (default bucket.DefaultQ = 16).
+	Q int
+	// Bucketing selects how sequences are grouped before solving (default
+	// the DP bucketing of §4.1.3; the alternatives exist for the Fig. 7
+	// ablations).
+	Bucketing BucketMode
+	// MILPTimeLimit budgets the branch-and-bound search for StrategyMILP
+	// (default 10s, matching the paper's 5–15s SCIP solves).
+	MILPTimeLimit time.Duration
+	// refineTop is how many enumerated configurations receive local-search
+	// refinement (default 6).
+	refineTop int
+	// RefineIters caps local-search improvement steps (default 200).
+	RefineIters int
+}
+
+// New returns a Planner with the paper's defaults.
+func New(c costmodel.Coeffs) *Planner {
+	return &Planner{Coeffs: c, Q: bucket.DefaultQ}
+}
+
+func (pl *Planner) refineIters() int {
+	if pl.RefineIters > 0 {
+		return pl.RefineIters
+	}
+	return 200
+}
+
+// Plan computes the SP-group configuration and sequence assignment for one
+// micro-batch (paper §4.1). The returned plan's Time is the cost-model
+// estimate of the makespan.
+func (pl *Planner) Plan(lens []int) (MicroPlan, error) {
+	if pl.Q <= 0 {
+		pl.Q = bucket.DefaultQ
+	}
+	switch pl.Strategy {
+	case StrategyMILP:
+		return pl.planMILP(lens)
+	case StrategyGreedy:
+		return pl.planGreedy(lens)
+	default:
+		return pl.planEnum(lens)
+	}
+}
+
+// PlanHomogeneous finds the best single-degree plan for the micro-batch: all
+// groups share one SP degree d, the micro-batch's sequences are spread over
+// the N/d groups with the balanced LPT heuristic, and the d minimizing the
+// makespan wins. This is the per-batch adaptive policy of the
+// FlexSP-BatchAda baseline (§6.1).
+func (pl *Planner) PlanHomogeneous(lens []int) (MicroPlan, error) {
+	if len(lens) == 0 {
+		return MicroPlan{}, nil
+	}
+	c := pl.Coeffs
+	n := c.Topo.NumDevices()
+	maxLen := 0
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	minDeg := c.MinDegreeFor(maxLen)
+	if minDeg == 0 {
+		return MicroPlan{}, ErrInfeasible
+	}
+	items := itemsFromBuckets(pl.bucketize(lens))
+	var best MicroPlan
+	found := false
+	for d := minDeg; d <= n; d *= 2 {
+		degrees := make([]int, n/d)
+		for i := range degrees {
+			degrees[i] = d
+		}
+		a := newAssignment(c, degrees)
+		if !a.place(items) {
+			continue
+		}
+		a.refine(pl.refineIters())
+		if p := a.plan(); !found || p.Time < best.Time {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return MicroPlan{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// PlanFixedDegree builds a plan where every group has exactly the given
+// degree (the fully static DeepSpeed-style layout). Fails if any sequence
+// cannot fit a degree-d group.
+func (pl *Planner) PlanFixedDegree(lens []int, degree int) (MicroPlan, error) {
+	if len(lens) == 0 {
+		return MicroPlan{}, nil
+	}
+	if pl.Q <= 0 {
+		pl.Q = bucket.DefaultQ
+	}
+	c := pl.Coeffs
+	n := c.Topo.NumDevices()
+	if !c.Topo.IsValidDegree(degree) {
+		return MicroPlan{}, ErrInfeasible
+	}
+	degrees := make([]int, n/degree)
+	for i := range degrees {
+		degrees[i] = degree
+	}
+	items := itemsFromBuckets(pl.bucketize(lens))
+	a := newAssignment(c, degrees)
+	if !a.place(items) {
+		return MicroPlan{}, ErrInfeasible
+	}
+	a.refine(pl.refineIters())
+	return a.plan(), nil
+}

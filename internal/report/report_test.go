@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Title", "a", "bb")
+	tbl.Add("xxx", "y")
+	tbl.Add("z")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Header, separator, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All data lines equally wide (trailing padding).
+	w := len([]rune(lines[1]))
+	for _, l := range lines[2:] {
+		if len([]rune(l)) > w+2 {
+			t.Fatalf("misaligned line %q", l)
+		}
+	}
+	if !strings.Contains(out, "xxx") || !strings.Contains(out, "z") {
+		t.Fatal("cells missing")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := NewTable("", "h")
+	tbl.Add("v")
+	if strings.HasPrefix(tbl.String(), "\n") {
+		t.Fatal("empty title should not emit a blank line")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 4); got != "██··" {
+		t.Fatalf("Bar(0.5, 4) = %q", got)
+	}
+	if got := Bar(-1, 3); got != "···" {
+		t.Fatalf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 3); got != "███" {
+		t.Fatalf("Bar(2) = %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[string]string{
+		Secs(123.4):     "123s",
+		Secs(12.34):     "12.3s",
+		Secs(1.234):     "1.23s",
+		Pct(0.123):      "12.3%",
+		Ratio(1.5):      "1.50×",
+		Tokens(4096):    "4K",
+		Tokens(1 << 20): "1M",
+		Tokens(1500):    "1.5K",
+		Tokens(100):     "100",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}

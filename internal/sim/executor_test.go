@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/workload"
+)
+
+func coeffs() costmodel.Coeffs {
+	return costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(64))
+}
+
+func plan(groups ...planner.Group) planner.MicroPlan {
+	return planner.MicroPlan{Groups: groups}
+}
+
+func TestExecuteMatchesCostModel(t *testing.T) {
+	c := coeffs()
+	g := planner.Group{Degree: 8, Lens: []int{8 << 10, 8 << 10}}
+	res, err := ExecuteIteration(c, []planner.MicroPlan{plan(g)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.GroupTime(g.Lens, 8)
+	if math.Abs(res.Time-want) > 1e-12 {
+		t.Fatalf("Time = %v, want cost model %v", res.Time, want)
+	}
+	if res.AllToAll <= 0 || res.Comp <= 0 {
+		t.Fatalf("breakdown missing: %+v", res)
+	}
+	if math.Abs(res.AllToAll+res.Comp-res.Time) > 1e-9 {
+		t.Fatalf("breakdown does not add up: %v + %v != %v", res.AllToAll, res.Comp, res.Time)
+	}
+}
+
+func TestExecuteConcurrentGroupsTakeMax(t *testing.T) {
+	c := coeffs()
+	small := planner.Group{Degree: 8, Lens: []int{4 << 10}}
+	big := planner.Group{Degree: 32, Lens: []int{100 << 10}}
+	res, err := ExecuteIteration(c, []planner.MicroPlan{plan(big, small)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMax := math.Max(c.GroupTime(small.Lens, 8), c.GroupTime(big.Lens, 32))
+	if math.Abs(res.Time-wantMax) > 1e-12 {
+		t.Fatalf("Time = %v, want max %v", res.Time, wantMax)
+	}
+}
+
+func TestExecuteSequentialMicroBatchesSum(t *testing.T) {
+	c := coeffs()
+	g := planner.Group{Degree: 8, Lens: []int{4 << 10}}
+	one, _ := ExecuteIteration(c, []planner.MicroPlan{plan(g)}, Options{})
+	two, _ := ExecuteIteration(c, []planner.MicroPlan{plan(g), plan(g)}, Options{})
+	if math.Abs(two.Time-2*one.Time) > 1e-12 {
+		t.Fatalf("2 micro-batches = %v, want %v", two.Time, 2*one.Time)
+	}
+}
+
+func TestExecuteOOM(t *testing.T) {
+	c := coeffs()
+	tooBig := planner.Group{Degree: 1, Lens: []int{64 << 10}}
+	res, err := ExecuteIteration(c, []planner.MicroPlan{plan(tooBig)}, Options{})
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+	if !res.OOM || res.PeakMemFrac <= 1 {
+		t.Fatalf("result should flag OOM: %+v", res)
+	}
+}
+
+func TestExecuteZeROCharged(t *testing.T) {
+	c := coeffs()
+	g := planner.Group{Degree: 8, Lens: []int{4 << 10}}
+	without, _ := ExecuteIteration(c, []planner.MicroPlan{plan(g)}, Options{})
+	with, _ := ExecuteIteration(c, []planner.MicroPlan{plan(g)}, Options{IncludeZeRO: true})
+	if with.Time <= without.Time || with.ZeRO <= 0 {
+		t.Fatalf("ZeRO cost missing: %v vs %v", with.Time, without.Time)
+	}
+}
+
+func TestHotSwitchingPool(t *testing.T) {
+	c := coeffs()
+	pool := cluster.NewGroupPool(64, 1.5)
+	plans := []planner.MicroPlan{plan(
+		planner.Group{Degree: 8, Lens: []int{4 << 10}},
+		planner.Group{Degree: 8, Lens: []int{4 << 10}},
+	)}
+	first, err := ExecuteIteration(c, plans, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.GroupCreation != 3.0 { // two distinct SP=8 ranges created
+		t.Fatalf("first iteration creation = %v, want 3.0", first.GroupCreation)
+	}
+	second, err := ExecuteIteration(c, plans, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.GroupCreation != 0 {
+		t.Fatalf("cached iteration creation = %v, want 0", second.GroupCreation)
+	}
+	if second.Time >= first.Time {
+		t.Fatal("cached iteration should be faster")
+	}
+}
+
+func TestNoiseIsDeterministicPerSeed(t *testing.T) {
+	c := coeffs()
+	plans := []planner.MicroPlan{plan(planner.Group{Degree: 8, Lens: []int{4 << 10}})}
+	a, _ := ExecuteIteration(c, plans, Options{Noise: 0.05, Seed: 1})
+	b, _ := ExecuteIteration(c, plans, Options{Noise: 0.05, Seed: 1})
+	d, _ := ExecuteIteration(c, plans, Options{Noise: 0.05, Seed: 2})
+	if a.Time != b.Time {
+		t.Fatal("same seed should give identical noise")
+	}
+	if a.Time == d.Time {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestAllToAllShare(t *testing.T) {
+	var r IterResult
+	if r.AllToAllShare() != 0 {
+		t.Fatal("empty result share should be 0")
+	}
+	r.Time, r.AllToAll = 10, 4
+	if r.AllToAllShare() != 0.4 {
+		t.Fatalf("share = %v", r.AllToAllShare())
+	}
+}
+
+func TestExecuteIterations(t *testing.T) {
+	c := coeffs()
+	p := []planner.MicroPlan{plan(planner.Group{Degree: 8, Lens: []int{4 << 10}})}
+	mean, results, err := ExecuteIterations(c, [][]planner.MicroPlan{p, p, p}, Options{})
+	if err != nil || len(results) != 3 {
+		t.Fatalf("err %v, %d results", err, len(results))
+	}
+	if math.Abs(mean-results[0].Time) > 1e-12 {
+		t.Fatalf("mean %v != per-iter %v for identical iterations", mean, results[0].Time)
+	}
+	if m, r, err := ExecuteIterations(c, nil, Options{}); m != 0 || r != nil || err != nil {
+		t.Fatal("empty input should be a no-op")
+	}
+}
+
+func TestExecuteSkipsEmptyGroups(t *testing.T) {
+	c := coeffs()
+	p := plan(
+		planner.Group{Degree: 8, Lens: []int{4 << 10}},
+		planner.Group{Degree: 16, Lens: nil},
+	)
+	res, err := ExecuteIteration(c, []planner.MicroPlan{p}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Micro[0].Groups) != 1 {
+		t.Fatalf("empty group not skipped: %+v", res.Micro[0].Groups)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := coeffs()
+	// Two concurrent groups of unequal time + 24 unused devices.
+	p := plan(
+		planner.Group{Degree: 32, Lens: []int{100 << 10}},
+		planner.Group{Degree: 8, Lens: []int{4 << 10}},
+	)
+	res, err := ExecuteIteration(c, []planner.MicroPlan{p}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := MeasureUtilization(res, []planner.MicroPlan{p}, 64)
+	if u.Fraction() <= 0 || u.Fraction() > 1 {
+		t.Fatalf("utilization fraction = %v", u.Fraction())
+	}
+	if u.IdleWaitSeconds <= 0 {
+		t.Fatal("the small group must accrue idle wait")
+	}
+	if u.UnusedSeconds <= 0 {
+		t.Fatal("24 unassigned devices must accrue unused time")
+	}
+	// Perfectly balanced single-group plan on all devices wastes nothing.
+	full := plan(planner.Group{Degree: 64, Lens: []int{100 << 10}})
+	resFull, err := ExecuteIteration(c, []planner.MicroPlan{full}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf := MeasureUtilization(resFull, []planner.MicroPlan{full}, 64)
+	if uf.IdleWaitSeconds != 0 || uf.UnusedSeconds != 0 {
+		t.Fatalf("full-cluster group should have no waste: %+v", uf)
+	}
+	if uf.Fraction() < 0.999 {
+		t.Fatalf("full-cluster utilization = %v", uf.Fraction())
+	}
+}
+
+// FlexSP's balanced plans must achieve higher utilization than the naive
+// greedy assignment on a skewed batch — the quantified version of §3's
+// "resource under-utilization" observation.
+func TestFlexSPUtilizationBeatsGreedy(t *testing.T) {
+	c := coeffs()
+	rng := rand.New(rand.NewSource(14))
+	lens := workload.GitHub().Batch(rng, 48, 128<<10)
+
+	enum := planner.New(c)
+	ep, err := enum.Plan(lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy := &planner.Planner{Coeffs: c, Strategy: planner.StrategyGreedy, Q: 16}
+	gp, err := greedy.Plan(lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eRes, err := ExecuteIteration(c, []planner.MicroPlan{ep}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gRes, err := ExecuteIteration(c, []planner.MicroPlan{gp}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eu := MeasureUtilization(eRes, []planner.MicroPlan{ep}, 64)
+	gu := MeasureUtilization(gRes, []planner.MicroPlan{gp}, 64)
+	if eu.Fraction() <= gu.Fraction() {
+		t.Fatalf("FlexSP utilization %.3f should beat greedy %.3f",
+			eu.Fraction(), gu.Fraction())
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"flexsp/internal/planner"
+)
+
+// Utilization quantifies the resource waste the paper's §3 motivates:
+// faster SP groups idling while they wait for the slowest group of their
+// micro-batch, and devices left out of any group.
+type Utilization struct {
+	// DeviceSeconds is Σ (degree × group time) — productive device time.
+	DeviceSeconds float64
+	// WallDeviceSeconds is N × iteration time — the capacity envelope.
+	WallDeviceSeconds float64
+	// IdleWaitSeconds is device time lost to groups waiting for the
+	// micro-batch's slowest group.
+	IdleWaitSeconds float64
+	// UnusedSeconds is device time of devices assigned to no group.
+	UnusedSeconds float64
+}
+
+// Fraction is productive device time over the envelope (0..1].
+func (u Utilization) Fraction() float64 {
+	if u.WallDeviceSeconds == 0 {
+		return 0
+	}
+	return u.DeviceSeconds / u.WallDeviceSeconds
+}
+
+// MeasureUtilization computes utilization of an executed iteration. plans
+// must be the plan list the result was produced from.
+func MeasureUtilization(res IterResult, plans []planner.MicroPlan, devices int) Utilization {
+	var u Utilization
+	for mi, mr := range res.Micro {
+		span := 0.0 // makespan among groups only (no shared costs)
+		for _, g := range mr.Groups {
+			if g.Total > span {
+				span = g.Total
+			}
+		}
+		usedDevices := 0
+		for _, g := range mr.Groups {
+			u.DeviceSeconds += float64(g.Degree) * g.Total
+			u.IdleWaitSeconds += float64(g.Degree) * (span - g.Total)
+			usedDevices += g.Degree
+		}
+		u.UnusedSeconds += float64(devices-usedDevices) * span
+		_ = mi
+		_ = plans
+	}
+	u.WallDeviceSeconds = float64(devices) * res.Time
+	return u
+}

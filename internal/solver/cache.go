@@ -1,0 +1,155 @@
+package solver
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"flexsp/internal/planner"
+)
+
+// PlanCache memoizes micro-batch plans by their bucketed length signature.
+// Long-tail corpora repeat length distributions across iterations, so the
+// solver service can reuse plans for micro-batches whose (rounded) length
+// multiset it has seen before — shrinking steady-state solve latency the
+// same way FlexSP's disaggregated service amortizes it (§5).
+//
+// Keys round lengths to a granularity (default 256 tokens) so near-identical
+// micro-batches share entries; the cached plan is re-validated against the
+// exact lengths before reuse (memory feasibility is monotone in length, so
+// rounding up keeps reuse safe).
+type PlanCache struct {
+	granularity int
+	limit       int
+
+	mu    sync.Mutex
+	plans map[string]planner.MicroPlan
+	order []string // FIFO eviction
+	hits  int
+	miss  int
+}
+
+// NewPlanCache creates a cache holding at most limit entries (default 1024)
+// with the given rounding granularity in tokens (default 256).
+func NewPlanCache(limit, granularity int) *PlanCache {
+	if limit <= 0 {
+		limit = 1024
+	}
+	if granularity <= 0 {
+		granularity = 256
+	}
+	return &PlanCache{
+		granularity: granularity,
+		limit:       limit,
+		plans:       make(map[string]planner.MicroPlan),
+	}
+}
+
+// key canonicalizes a micro-batch: sorted lengths rounded up to the
+// granularity.
+func (pc *PlanCache) key(lens []int) string {
+	rounded := make([]int, len(lens))
+	for i, l := range lens {
+		rounded[i] = (l + pc.granularity - 1) / pc.granularity
+	}
+	sort.Ints(rounded)
+	buf := make([]byte, 0, len(rounded)*4)
+	for _, r := range rounded {
+		buf = strconv.AppendInt(buf, int64(r), 32)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+// Get returns a cached plan re-targeted onto the exact lengths, if present.
+// The returned plan assigns the actual sequences following the cached plan's
+// group shape (k-th longest sequence goes where the cached k-th longest
+// went), then re-estimates its time.
+func (pc *PlanCache) Get(c interface {
+	GroupTime([]int, int) float64
+	Fits([]int, int) bool
+}, lens []int) (planner.MicroPlan, bool) {
+	k := pc.key(lens)
+	pc.mu.Lock()
+	cached, ok := pc.plans[k]
+	if ok {
+		pc.hits++
+	} else {
+		pc.miss++
+	}
+	pc.mu.Unlock()
+	if !ok {
+		return planner.MicroPlan{}, false
+	}
+
+	// Re-target: both length lists sorted descending have equal size by key
+	// construction; map position-wise.
+	sorted := append([]int(nil), lens...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	var out planner.MicroPlan
+	at := 0
+	// Re-create the cached plan's shape on the new lengths: flatten the
+	// cached (group, length) pairs, order by descending cached length, and
+	// hand the k-th longest actual sequence to the group that held the
+	// k-th longest cached one.
+	type memberRef struct {
+		group  int
+		cached int
+	}
+	var refs []memberRef
+	for gi, g := range cached.Groups {
+		for _, l := range g.Lens {
+			refs = append(refs, memberRef{group: gi, cached: l})
+		}
+	}
+	sort.SliceStable(refs, func(i, j int) bool { return refs[i].cached > refs[j].cached })
+	groupLens := make([][]int, len(cached.Groups))
+	for _, r := range refs {
+		groupLens[r.group] = append(groupLens[r.group], sorted[at])
+		at++
+	}
+	out.Groups = make([]planner.Group, 0, len(cached.Groups))
+	for gi, g := range cached.Groups {
+		ng := planner.Group{Degree: g.Degree, Lens: groupLens[gi]}
+		if !c.Fits(ng.Lens, ng.Degree) {
+			return planner.MicroPlan{}, false // rounding edge case: reject
+		}
+		out.Groups = append(out.Groups, ng)
+	}
+	for _, g := range out.Groups {
+		if t := c.GroupTime(g.Lens, g.Degree); t > out.Time {
+			out.Time = t
+		}
+	}
+	return out, true
+}
+
+// Put stores a plan under the micro-batch's signature.
+func (pc *PlanCache) Put(lens []int, p planner.MicroPlan) {
+	k := pc.key(lens)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, exists := pc.plans[k]; !exists {
+		pc.order = append(pc.order, k)
+		if len(pc.order) > pc.limit {
+			oldest := pc.order[0]
+			pc.order = pc.order[1:]
+			delete(pc.plans, oldest)
+		}
+	}
+	pc.plans[k] = p
+}
+
+// Stats reports cache hits and misses.
+func (pc *PlanCache) Stats() (hits, misses int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.miss
+}
+
+// Len returns the number of cached entries.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.plans)
+}

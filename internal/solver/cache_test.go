@@ -1,0 +1,107 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/workload"
+)
+
+func TestPlanCacheHitAndRetarget(t *testing.T) {
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(64))
+	pl := planner.New(c)
+	cache := NewPlanCache(16, 256)
+
+	lens := []int{40 << 10, 8 << 10, 8 << 10, 4 << 10}
+	p, err := pl.Plan(lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(lens, p)
+
+	// Slightly perturbed lengths within the rounding granularity hit.
+	perturbed := []int{40<<10 - 100, 8<<10 - 3, 8<<10 - 50, 4<<10 - 7}
+	got, ok := cache.Get(c, perturbed)
+	if !ok {
+		t.Fatal("expected cache hit for rounded-equal batch")
+	}
+	if err := got.Validate(c, perturbed); err != nil {
+		t.Fatalf("re-targeted plan invalid: %v", err)
+	}
+	if len(got.Degrees()) != len(p.Degrees()) {
+		t.Fatalf("shape changed: %v vs %v", got.Degrees(), p.Degrees())
+	}
+
+	// A different multiset misses.
+	if _, ok := cache.Get(c, []int{100 << 10}); ok {
+		t.Fatal("unexpected hit")
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d,%d)", hits, misses)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	cache := NewPlanCache(2, 256)
+	cache.Put([]int{1000}, planner.MicroPlan{})
+	cache.Put([]int{2000}, planner.MicroPlan{})
+	cache.Put([]int{3000}, planner.MicroPlan{})
+	if cache.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after eviction", cache.Len())
+	}
+}
+
+func TestSolverWithCacheMatchesWithout(t *testing.T) {
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(64))
+	rng := rand.New(rand.NewSource(9))
+	batch := workload.CommonCrawl().Batch(rng, 128, 64<<10)
+
+	plain := New(planner.New(c))
+	base, err := plain.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cached := New(planner.New(c))
+	cached.Cache = NewPlanCache(0, 0)
+	// First solve warms the cache; second must reuse it and stay valid.
+	if _, err := cached.Solve(batch); err != nil {
+		t.Fatal(err)
+	}
+	again, err := cached.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := cached.Cache.Stats()
+	if hits == 0 {
+		t.Fatal("second solve should hit the cache")
+	}
+	// Same batch → same micro-batch count and (nearly) same estimate.
+	if again.M != base.M {
+		t.Fatalf("cached M=%d, plain M=%d", again.M, base.M)
+	}
+	if diff := again.Time - base.Time; diff > base.Time*0.01 || diff < -base.Time*0.01 {
+		t.Fatalf("cached estimate %.3f deviates from plain %.3f", again.Time, base.Time)
+	}
+	// Every plan still covers its sequences exactly.
+	want := map[int]int{}
+	for _, l := range batch {
+		want[l]++
+	}
+	for _, p := range again.Plans {
+		for _, g := range p.Groups {
+			for _, l := range g.Lens {
+				want[l]--
+			}
+		}
+	}
+	for l, n := range want {
+		if n != 0 {
+			t.Fatalf("sequence %d unbalanced by %d", l, n)
+		}
+	}
+}

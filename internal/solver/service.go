@@ -1,0 +1,113 @@
+package solver
+
+import (
+	"sync"
+)
+
+// Service disaggregates problem solving from training execution (paper §5):
+// batches are submitted as soon as their lengths are known, a worker pool
+// solves them concurrently (the paper's per-node solver services), and the
+// executor consumes plans strictly in submission order. With enough workers
+// the solving of batch i+1..i+k overlaps the training of batch i, hiding the
+// 5–15s solve latency entirely.
+type Service struct {
+	solver  *Solver
+	jobs    chan job
+	mu      sync.Mutex
+	cond    *sync.Cond
+	results map[int]serviceResult
+	next    int
+	submit  int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type job struct {
+	idx   int
+	batch []int
+}
+
+type serviceResult struct {
+	res Result
+	err error
+}
+
+// NewService starts a solver service with the given concurrency.
+func NewService(s *Solver, workers int) *Service {
+	if workers <= 0 {
+		workers = 1
+	}
+	sv := &Service{
+		solver:  s,
+		jobs:    make(chan job, workers*4),
+		results: make(map[int]serviceResult),
+	}
+	sv.cond = sync.NewCond(&sv.mu)
+	for w := 0; w < workers; w++ {
+		sv.wg.Add(1)
+		go sv.worker()
+	}
+	return sv
+}
+
+func (sv *Service) worker() {
+	defer sv.wg.Done()
+	for j := range sv.jobs {
+		res, err := sv.solver.Solve(j.batch)
+		sv.mu.Lock()
+		sv.results[j.idx] = serviceResult{res: res, err: err}
+		sv.cond.Broadcast()
+		sv.mu.Unlock()
+	}
+}
+
+// Submit enqueues a batch for solving and returns its sequence number.
+// Submit must not be called after Close.
+func (sv *Service) Submit(batch []int) int {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		panic("solver: Submit after Close")
+	}
+	idx := sv.submit
+	sv.submit++
+	sv.mu.Unlock()
+	sv.jobs <- job{idx: idx, batch: append([]int(nil), batch...)}
+	return idx
+}
+
+// Next blocks until the plan for the next batch (in submission order) is
+// ready and returns it.
+func (sv *Service) Next() (Result, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	for {
+		if r, ok := sv.results[sv.next]; ok {
+			delete(sv.results, sv.next)
+			sv.next++
+			return r.res, r.err
+		}
+		sv.cond.Wait()
+	}
+}
+
+// Pending reports how many submitted batches have not been consumed yet.
+func (sv *Service) Pending() int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.submit - sv.next
+}
+
+// Close stops the workers after in-flight jobs finish. Results already
+// solved remain retrievable via Next.
+func (sv *Service) Close() {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return
+	}
+	sv.closed = true
+	sv.mu.Unlock()
+	close(sv.jobs)
+	sv.wg.Wait()
+}

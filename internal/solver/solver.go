@@ -1,0 +1,200 @@
+// Package solver implements the overall FlexSP solver workflow (paper
+// Alg. 1): given a global data batch, it derives the minimum feasible
+// micro-batch count M_min, explores M ∈ [M_min, M_min+M′), blasts the batch
+// into micro-batches for each M (internal/blaster), plans each micro-batch with
+// the parallelism planner (internal/planner), and returns the plan sequence
+// with the smallest total estimated time.
+//
+// Like the paper's implementation it is two-level parallel — micro-batch
+// counts and micro-batches are solved concurrently — and the Service type
+// disaggregates solving from execution (§5): plans for future batches are
+// computed in the background and handed to the executor in order.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"flexsp/internal/blaster"
+	"flexsp/internal/planner"
+)
+
+// Solver runs Alg. 1.
+type Solver struct {
+	// Planner plans each micro-batch.
+	Planner *planner.Planner
+	// Trials is M′, the number of micro-batch counts explored (default 5).
+	Trials int
+	// Sort controls the sequence-sorting step of the blaster (takeaway #2);
+	// disabled only by the Fig. 7 "w/o Sort" ablation.
+	Sort bool
+	// Parallel enables the two-level multi-process solving of Alg. 1
+	// (goroutines here).
+	Parallel bool
+	// Overhead is a fixed per-micro-batch cost (seconds) added to each
+	// trial's total when comparing micro-batch counts — e.g. the exposed
+	// ZeRO time, which grows with M (takeaway #1's fixed-cost argument).
+	Overhead float64
+	// Cache, when non-nil, memoizes micro-batch plans by bucketed length
+	// signature, so recurring distributions skip the planner entirely.
+	Cache *PlanCache
+}
+
+// New returns a Solver with the paper's defaults.
+func New(pl *planner.Planner) *Solver {
+	return &Solver{Planner: pl, Trials: blaster.DefaultTrials, Sort: true, Parallel: true}
+}
+
+// Result is the outcome of solving one data batch.
+type Result struct {
+	// Plans is the chosen micro-batch plan sequence.
+	Plans []planner.MicroPlan
+	// Time is Σ estimated micro-batch makespans.
+	Time float64
+	// M is the chosen micro-batch count.
+	M int
+	// MMin is the minimum feasible micro-batch count.
+	MMin int
+	// SolveWall is the wall-clock time the solve took.
+	SolveWall time.Duration
+}
+
+// ErrUnsolvable is returned when no explored micro-batch count yields a
+// feasible plan.
+var ErrUnsolvable = fmt.Errorf("solver: no feasible plan for batch")
+
+// Solve runs Alg. 1 on one data batch of sequence lengths.
+func (s *Solver) Solve(batch []int) (Result, error) {
+	start := time.Now()
+	trials := s.Trials
+	if trials <= 0 {
+		trials = blaster.DefaultTrials
+	}
+	mmin := blaster.MinMicroBatches(batch, s.Planner.Coeffs.ClusterTokenCapacity())
+	if mmin == 0 && len(batch) > 0 {
+		return Result{}, ErrUnsolvable
+	}
+	if mmin == 0 {
+		return Result{SolveWall: time.Since(start)}, nil
+	}
+
+	type trial struct {
+		plans []planner.MicroPlan
+		time  float64
+		m     int
+		err   error
+	}
+	trialsOut := make([]trial, trials)
+	runTrial := func(ti int) {
+		m := mmin + ti
+		if m > len(batch) {
+			trialsOut[ti] = trial{err: fmt.Errorf("solver: m %d exceeds batch size", m)}
+			return
+		}
+		var micro [][]int
+		var err error
+		if s.Sort {
+			micro, err = blaster.Blast(batch, m)
+		} else {
+			micro, err = blaster.BlastUnsorted(batch, m)
+		}
+		if err != nil {
+			trialsOut[ti] = trial{err: err}
+			return
+		}
+		plans := make([]planner.MicroPlan, len(micro))
+		errs := make([]error, len(micro))
+		planOne := func(i int) {
+			if s.Cache != nil {
+				if p, ok := s.Cache.Get(s.Planner.Coeffs, micro[i]); ok {
+					plans[i] = p
+					return
+				}
+			}
+			plans[i], errs[i] = s.Planner.Plan(micro[i])
+			if s.Cache != nil && errs[i] == nil {
+				s.Cache.Put(micro[i], plans[i])
+			}
+		}
+		if s.Parallel {
+			var wg sync.WaitGroup
+			for i := range micro {
+				wg.Add(1)
+				go func(i int) { defer wg.Done(); planOne(i) }(i)
+			}
+			wg.Wait()
+		} else {
+			for i := range micro {
+				planOne(i)
+			}
+		}
+		total := s.Overhead * float64(len(plans))
+		for i := range plans {
+			if errs[i] != nil {
+				trialsOut[ti] = trial{err: errs[i]}
+				return
+			}
+			total += plans[i].Time
+		}
+		trialsOut[ti] = trial{plans: plans, time: total, m: m}
+	}
+
+	if s.Parallel {
+		var wg sync.WaitGroup
+		for ti := 0; ti < trials; ti++ {
+			wg.Add(1)
+			go func(ti int) { defer wg.Done(); runTrial(ti) }(ti)
+		}
+		wg.Wait()
+	} else {
+		for ti := 0; ti < trials; ti++ {
+			runTrial(ti)
+		}
+	}
+
+	best := Result{Time: math.Inf(1), MMin: mmin}
+	for _, tr := range trialsOut {
+		if tr.err != nil {
+			continue
+		}
+		if tr.time < best.Time {
+			best.Plans, best.Time, best.M = tr.plans, tr.time, tr.m
+		}
+	}
+	if math.IsInf(best.Time, 1) {
+		// Every trial in [M_min, M_min+M′) was infeasible — typically when
+		// a conservative bucketing inflates memory estimates. Widen the
+		// window geometrically rather than fail.
+		for m := mmin + trials; m <= len(batch); m += trials {
+			micro, err := blaster.Blast(batch, m)
+			if !s.Sort {
+				micro, err = blaster.BlastUnsorted(batch, m)
+			}
+			if err != nil {
+				break
+			}
+			total := s.Overhead * float64(len(micro))
+			plans := make([]planner.MicroPlan, len(micro))
+			feasible := true
+			for i := range micro {
+				plans[i], err = s.Planner.Plan(micro[i])
+				if err != nil {
+					feasible = false
+					break
+				}
+				total += plans[i].Time
+			}
+			if feasible {
+				best.Plans, best.Time, best.M = plans, total, m
+				break
+			}
+		}
+	}
+	if math.IsInf(best.Time, 1) {
+		return Result{}, ErrUnsolvable
+	}
+	best.SolveWall = time.Since(start)
+	return best, nil
+}

@@ -1,0 +1,169 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexsp/internal/blaster"
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/sim"
+	"flexsp/internal/workload"
+)
+
+func newSolver() *Solver {
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(64))
+	return New(planner.New(c))
+}
+
+func TestSolveEmptyBatch(t *testing.T) {
+	s := newSolver()
+	res, err := s.Solve(nil)
+	if err != nil || len(res.Plans) != 0 {
+		t.Fatalf("res %+v err %v", res, err)
+	}
+}
+
+func TestSolveFullBatch(t *testing.T) {
+	s := newSolver()
+	rng := rand.New(rand.NewSource(2))
+	batch := workload.CommonCrawl().Batch(rng, 512, 192<<10)
+	res, err := s.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M < res.MMin {
+		t.Fatalf("chose M=%d below M_min=%d", res.M, res.MMin)
+	}
+	// Every sequence covered exactly once across micro-batches.
+	want := map[int]int{}
+	for _, l := range batch {
+		want[l]++
+	}
+	for _, p := range res.Plans {
+		for _, g := range p.Groups {
+			for _, l := range g.Lens {
+				want[l]--
+			}
+		}
+	}
+	for l, n := range want {
+		if n != 0 {
+			t.Fatalf("sequence %d unbalanced by %d", l, n)
+		}
+	}
+	// The chosen plan must execute without OOM.
+	if _, err := sim.ExecuteIteration(s.Planner.Coeffs, res.Plans, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRespectsMMin(t *testing.T) {
+	s := newSolver()
+	rng := rand.New(rand.NewSource(3))
+	batch := workload.GitHub().Batch(rng, 512, 192<<10)
+	mmin := blaster.MinMicroBatches(batch, s.Planner.Coeffs.ClusterTokenCapacity())
+	res, err := s.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MMin != mmin {
+		t.Fatalf("MMin = %d, want %d", res.MMin, mmin)
+	}
+	if res.M >= mmin+s.Trials {
+		t.Fatalf("M = %d outside trial window [%d, %d)", res.M, mmin, mmin+s.Trials)
+	}
+}
+
+func TestSolveSerialEqualsParallel(t *testing.T) {
+	s := newSolver()
+	rng := rand.New(rand.NewSource(4))
+	batch := workload.Wikipedia().Batch(rng, 256, 192<<10)
+	par, err := s.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallel = false
+	ser, err := s.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.M != ser.M || par.Time != ser.Time {
+		t.Fatalf("parallel (M=%d, %.4f) != serial (M=%d, %.4f)",
+			par.M, par.Time, ser.M, ser.Time)
+	}
+}
+
+func TestSolveUnsolvable(t *testing.T) {
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(8))
+	s := New(planner.New(c))
+	if _, err := s.Solve([]int{1 << 20}); err == nil {
+		t.Fatal("oversized sequence should be unsolvable")
+	}
+}
+
+func TestSortAblationChangesPlans(t *testing.T) {
+	s := newSolver()
+	rng := rand.New(rand.NewSource(5))
+	batch := workload.GitHub().Batch(rng, 384, 192<<10)
+	sorted, err := s.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sort = false
+	unsorted, err := s.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Takeaway #2: sorting lowers (or at worst matches) the estimate.
+	if sorted.Time > unsorted.Time*1.02 {
+		t.Fatalf("sorted solve %.3fs should not lose to unsorted %.3fs",
+			sorted.Time, unsorted.Time)
+	}
+}
+
+func TestServiceOrderingAndOverlap(t *testing.T) {
+	s := newSolver()
+	sv := NewService(s, 4)
+	defer sv.Close()
+	rng := rand.New(rand.NewSource(6))
+	var batches [][]int
+	for i := 0; i < 6; i++ {
+		batches = append(batches, workload.CommonCrawl().Batch(rng, 64, 64<<10))
+	}
+	// Submit everything up front (prefetching), then consume in order.
+	for _, b := range batches {
+		sv.Submit(b)
+	}
+	if sv.Pending() != 6 {
+		t.Fatalf("Pending = %d, want 6", sv.Pending())
+	}
+	var direct []Result
+	for _, b := range batches {
+		r, err := s.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct = append(direct, r)
+	}
+	for i := range batches {
+		r, err := sv.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.M != direct[i].M || r.Time != direct[i].Time {
+			t.Fatalf("batch %d: service (M=%d %.4f) != direct (M=%d %.4f)",
+				i, r.M, r.Time, direct[i].M, direct[i].Time)
+		}
+	}
+	if sv.Pending() != 0 {
+		t.Fatalf("Pending = %d after draining", sv.Pending())
+	}
+}
+
+func TestServiceCloseIdempotent(t *testing.T) {
+	sv := NewService(newSolver(), 2)
+	sv.Close()
+	sv.Close()
+}

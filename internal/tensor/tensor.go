@@ -1,0 +1,204 @@
+// Package tensor provides the minimal float64 dense-matrix operations the
+// tiny transformer in internal/model needs: matmul, transpose, masked
+// row-softmax, slicing and concatenation. It favours clarity over speed —
+// the matrices involved are test-sized.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Random returns a matrix with entries drawn uniformly from [-0.5, 0.5).
+func Random(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() - 0.5
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j].
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch (%d×%d)·(%d×%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Scale multiplies every entry in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// MaskFunc reports whether query position i may attend to key position j.
+type MaskFunc func(i, j int) bool
+
+// SoftmaxRowsMasked applies a numerically stable softmax to each row,
+// restricted to positions the mask allows; disallowed positions get weight
+// zero. A fully masked row yields all zeros.
+func SoftmaxRowsMasked(m *Matrix, mask MaskFunc) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		maxV := math.Inf(-1)
+		for j := 0; j < m.Cols; j++ {
+			if mask == nil || mask(i, j) {
+				if v := m.At(i, j); v > maxV {
+					maxV = v
+				}
+			}
+		}
+		if math.IsInf(maxV, -1) {
+			continue
+		}
+		var sum float64
+		for j := 0; j < m.Cols; j++ {
+			if mask == nil || mask(i, j) {
+				e := math.Exp(m.At(i, j) - maxV)
+				out.Set(i, j, e)
+				sum += e
+			}
+		}
+		for j := 0; j < m.Cols; j++ {
+			out.Set(i, j, out.At(i, j)/sum)
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [from, to) as a copy.
+func (m *Matrix) SliceCols(from, to int) *Matrix {
+	if from < 0 || to > m.Cols || from > to {
+		panic(fmt.Sprintf("tensor: column slice [%d:%d) of %d", from, to, m.Cols))
+	}
+	out := New(m.Rows, to-from)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*out.Cols:(i+1)*out.Cols], m.Data[i*m.Cols+from:i*m.Cols+to])
+	}
+	return out
+}
+
+// SliceRows returns rows [from, to) as a copy.
+func (m *Matrix) SliceRows(from, to int) *Matrix {
+	if from < 0 || to > m.Rows || from > to {
+		panic(fmt.Sprintf("tensor: row slice [%d:%d) of %d", from, to, m.Rows))
+	}
+	out := New(to-from, m.Cols)
+	copy(out.Data, m.Data[from*m.Cols:to*m.Cols])
+	return out
+}
+
+// ConcatRows stacks the matrices vertically.
+func ConcatRows(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic("tensor: ConcatRows column mismatch")
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	at := 0
+	for _, m := range ms {
+		copy(out.Data[at:], m.Data)
+		at += len(m.Data)
+	}
+	return out
+}
+
+// ConcatCols stacks the matrices horizontally.
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("tensor: ConcatCols row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	at := 0
+	for _, m := range ms {
+		for i := 0; i < rows; i++ {
+			copy(out.Data[i*cols+at:i*cols+at+m.Cols], m.Data[i*m.Cols:(i+1)*m.Cols])
+		}
+		at += m.Cols
+	}
+	return out
+}
+
+// MaxAbsDiff returns max |a−b| elementwise; panics on shape mismatch.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,149 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMul(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Matrix{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	got := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v, want %v", got.Data, want)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	m := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(0, 1) != 4 || tr.At(2, 0) != 3 {
+		t.Fatalf("Transpose = %+v", tr)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Random(rng, 1+rng.Intn(6), 1+rng.Intn(6))
+		b := Random(rng, a.Cols, 1+rng.Intn(6))
+		lhs := MatMul(a, b).Transpose()
+		rhs := MatMul(b.Transpose(), a.Transpose())
+		return MaxAbsDiff(lhs, rhs) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := &Matrix{Rows: 1, Cols: 3, Data: []float64{1, 2, 3}}
+	s := SoftmaxRowsMasked(m, nil)
+	var sum float64
+	for _, v := range s.Data {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("softmax row sums to %v", sum)
+	}
+	if !(s.Data[2] > s.Data[1] && s.Data[1] > s.Data[0]) {
+		t.Fatalf("softmax not monotone: %v", s.Data)
+	}
+}
+
+func TestSoftmaxMasked(t *testing.T) {
+	m := &Matrix{Rows: 2, Cols: 3, Data: []float64{5, 1, 9, 2, 2, 2}}
+	causal := func(i, j int) bool { return j <= i }
+	s := SoftmaxRowsMasked(m, causal)
+	if s.At(0, 1) != 0 || s.At(0, 2) != 0 {
+		t.Fatalf("masked positions nonzero: %v", s.Data)
+	}
+	if s.At(0, 0) != 1 {
+		t.Fatalf("single-position softmax = %v, want 1", s.At(0, 0))
+	}
+	if math.Abs(s.At(1, 0)+s.At(1, 1)-1) > 1e-12 {
+		t.Fatal("row 1 should sum to 1 over allowed positions")
+	}
+}
+
+func TestSoftmaxFullyMaskedRow(t *testing.T) {
+	m := &Matrix{Rows: 1, Cols: 2, Data: []float64{3, 4}}
+	s := SoftmaxRowsMasked(m, func(i, j int) bool { return false })
+	if s.Data[0] != 0 || s.Data[1] != 0 {
+		t.Fatalf("fully masked row should be zero: %v", s.Data)
+	}
+}
+
+func TestSliceAndConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Random(rng, 4, 6)
+	back := ConcatCols(m.SliceCols(0, 2), m.SliceCols(2, 6))
+	if MaxAbsDiff(m, back) != 0 {
+		t.Fatal("ConcatCols(SliceCols...) != identity")
+	}
+	back = ConcatRows(m.SliceRows(0, 1), m.SliceRows(1, 4))
+	if MaxAbsDiff(m, back) != 0 {
+		t.Fatal("ConcatRows(SliceRows...) != identity")
+	}
+}
+
+func TestSlicePanics(t *testing.T) {
+	m := New(2, 2)
+	for i, f := range []func(){
+		func() { m.SliceCols(0, 3) },
+		func() { m.SliceRows(-1, 1) },
+		func() { ConcatCols(New(1, 1), New(2, 1)) },
+		func() { ConcatRows(New(1, 1), New(1, 2)) },
+		func() { New(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(1, 1)
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := &Matrix{Rows: 1, Cols: 2, Data: []float64{2, 4}}
+	m.Scale(0.5)
+	if m.Data[0] != 1 || m.Data[1] != 2 {
+		t.Fatalf("Scale = %v", m.Data)
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	if m := ConcatRows(); m.Rows != 0 || m.Cols != 0 {
+		t.Fatal("empty ConcatRows")
+	}
+	if m := ConcatCols(); m.Rows != 0 || m.Cols != 0 {
+		t.Fatal("empty ConcatCols")
+	}
+}

@@ -1,0 +1,139 @@
+// Package trace records structured per-iteration training telemetry — the
+// measurements behind the paper's evaluation — as JSON Lines, and computes
+// the summary statistics the tables report (mean iteration time after
+// warm-up, All-to-All share, solver latency percentiles).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Iteration is one training step's record.
+type Iteration struct {
+	Iter int `json:"iter"`
+	// Tokens is the batch's total token count.
+	Tokens int `json:"tokens"`
+	// Seqs is the batch's sequence count.
+	Seqs int `json:"seqs"`
+	// MicroBatches is the chosen gradient-accumulation depth.
+	MicroBatches int `json:"microBatches"`
+	// Groups is the flattened degree multiset of the first micro-batch.
+	Groups []int `json:"groups,omitempty"`
+	// EstSeconds is the solver's estimate; ExecSeconds the executed time.
+	EstSeconds  float64 `json:"estSeconds"`
+	ExecSeconds float64 `json:"execSeconds"`
+	// AllToAllSeconds is the critical-path All-to-All time.
+	AllToAllSeconds float64 `json:"allToAllSeconds"`
+	// SolveSeconds is the wall-clock solver latency.
+	SolveSeconds float64 `json:"solveSeconds"`
+	// PeakMemFrac is the peak device-memory fraction.
+	PeakMemFrac float64 `json:"peakMemFrac"`
+}
+
+// Recorder streams iteration records to a writer as JSON Lines and keeps
+// them for summarization.
+type Recorder struct {
+	w     io.Writer
+	enc   *json.Encoder
+	iters []Iteration
+}
+
+// NewRecorder writes to w (pass nil to only keep records in memory).
+func NewRecorder(w io.Writer) *Recorder {
+	r := &Recorder{w: w}
+	if w != nil {
+		r.enc = json.NewEncoder(w)
+	}
+	return r
+}
+
+// Record appends one iteration.
+func (r *Recorder) Record(it Iteration) error {
+	r.iters = append(r.iters, it)
+	if r.enc != nil {
+		return r.enc.Encode(it)
+	}
+	return nil
+}
+
+// Iterations returns the recorded iterations.
+func (r *Recorder) Iterations() []Iteration { return r.iters }
+
+// Summary aggregates recorded iterations.
+type Summary struct {
+	Iterations int `json:"iterations"`
+	// Warmup is the number of leading iterations excluded (paper protocol).
+	Warmup          int     `json:"warmup"`
+	MeanExecSeconds float64 `json:"meanExecSeconds"`
+	MeanEstSeconds  float64 `json:"meanEstSeconds"`
+	// EstimateError is mean |est − exec| / exec (the Fig. 9 quantity).
+	EstimateError float64 `json:"estimateError"`
+	AllToAllShare float64 `json:"allToAllShare"`
+	TokensPerSec  float64 `json:"tokensPerSec"`
+	SolveP50      float64 `json:"solveP50Seconds"`
+	SolveP95      float64 `json:"solveP95Seconds"`
+}
+
+// Summarize aggregates, excluding the first `warmup` iterations (the paper
+// averages 40 iterations after a 10-iteration warm-up).
+func (r *Recorder) Summarize(warmup int) (Summary, error) {
+	if warmup < 0 {
+		warmup = 0
+	}
+	if warmup >= len(r.iters) {
+		return Summary{}, fmt.Errorf("trace: warmup %d leaves no iterations of %d", warmup, len(r.iters))
+	}
+	iters := r.iters[warmup:]
+	s := Summary{Iterations: len(iters), Warmup: warmup}
+	var exec, est, a2a, tokens, errAcc float64
+	var solves []float64
+	for _, it := range iters {
+		exec += it.ExecSeconds
+		est += it.EstSeconds
+		a2a += it.AllToAllSeconds
+		tokens += float64(it.Tokens)
+		if it.ExecSeconds > 0 {
+			errAcc += math.Abs(it.EstSeconds-it.ExecSeconds) / it.ExecSeconds
+		}
+		solves = append(solves, it.SolveSeconds)
+	}
+	n := float64(len(iters))
+	s.MeanExecSeconds = exec / n
+	s.MeanEstSeconds = est / n
+	s.EstimateError = errAcc / n
+	if exec > 0 {
+		s.AllToAllShare = a2a / exec
+		s.TokensPerSec = tokens / exec
+	}
+	sort.Float64s(solves)
+	s.SolveP50 = percentile(solves, 0.50)
+	s.SolveP95 = percentile(solves, 0.95)
+	return s, nil
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Read parses a JSONL trace back into iterations.
+func Read(r io.Reader) ([]Iteration, error) {
+	dec := json.NewDecoder(r)
+	var out []Iteration
+	for {
+		var it Iteration
+		if err := dec.Decode(&it); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: decoding record %d: %w", len(out), err)
+		}
+		out = append(out, it)
+	}
+}

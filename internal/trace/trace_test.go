@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample(i int) Iteration {
+	return Iteration{
+		Iter: i, Tokens: 1000 * (i + 1), Seqs: 10, MicroBatches: 2,
+		Groups:     []int{32, 8, 8},
+		EstSeconds: 10, ExecSeconds: 10.5, AllToAllSeconds: 2,
+		SolveSeconds: float64(i + 1), PeakMemFrac: 0.9,
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	for i := 0; i < 5; i++ {
+		if err := r.Record(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 5 {
+		t.Fatalf("wrote %d lines, want 5", lines)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 || back[3].Tokens != 4000 || back[3].Groups[0] != 32 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder(nil)
+	for i := 0; i < 10; i++ {
+		_ = r.Record(sample(i))
+	}
+	s, err := r.Summarize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Iterations != 8 || s.Warmup != 2 {
+		t.Fatalf("summary counts: %+v", s)
+	}
+	if math.Abs(s.MeanExecSeconds-10.5) > 1e-12 {
+		t.Fatalf("mean exec = %v", s.MeanExecSeconds)
+	}
+	// est=10, exec=10.5 → error ≈ 4.76%.
+	if s.EstimateError < 0.04 || s.EstimateError > 0.06 {
+		t.Fatalf("estimate error = %v", s.EstimateError)
+	}
+	if math.Abs(s.AllToAllShare-2.0/10.5) > 1e-12 {
+		t.Fatalf("a2a share = %v", s.AllToAllShare)
+	}
+	// Solve times after warm-up are 3..10 → p50=6 or 7, p95 near 10.
+	if s.SolveP50 < 5 || s.SolveP50 > 8 || s.SolveP95 < 8 {
+		t.Fatalf("solve percentiles: %+v", s)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	r := NewRecorder(nil)
+	if _, err := r.Summarize(0); err == nil {
+		t.Fatal("empty recorder should error")
+	}
+	_ = r.Record(sample(0))
+	if _, err := r.Summarize(5); err == nil {
+		t.Fatal("warmup beyond records should error")
+	}
+	if _, err := r.Summarize(-1); err != nil {
+		t.Fatal("negative warmup should clamp, not fail")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{bad json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatasetsValidate(t *testing.T) {
+	for _, d := range Datasets() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadMixtures(t *testing.T) {
+	bad := []Dataset{
+		{Name: "empty"},
+		{Name: "weights", Mix: []Component{{Weight: 0.5, Mu: 1, Sigma: 1}}, MinLen: 1, MaxLen: 10},
+		{Name: "sigma", Mix: []Component{{Weight: 1, Mu: 1, Sigma: 0}}, MinLen: 1, MaxLen: 10},
+		{Name: "bounds", Mix: []Component{{Weight: 1, Mu: 1, Sigma: 1}}, MinLen: 10, MaxLen: 1},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: invalid dataset accepted", d.Name)
+		}
+	}
+}
+
+// Fig. 2 / Observation 2: all datasets are long-tailed with the majority of
+// sequences below 8K, and the tail ordering is GitHub > CommonCrawl >
+// Wikipedia, with Wikipedia >96% below 8K.
+func TestFig2Shape(t *testing.T) {
+	const n = 50000
+	frac8K := map[string]float64{}
+	frac32K := map[string]float64{}
+	for _, d := range Datasets() {
+		rng := rand.New(rand.NewSource(7))
+		frac8K[d.Name] = d.FractionBelow(rng, 8<<10, n)
+		rng = rand.New(rand.NewSource(7))
+		frac32K[d.Name] = d.FractionBelow(rng, 32<<10, n)
+	}
+	for name, f := range frac8K {
+		if f < 0.70 {
+			t.Errorf("%s: only %.1f%% below 8K, want majority", name, 100*f)
+		}
+	}
+	if frac8K["Wikipedia"] < 0.96 {
+		t.Errorf("Wikipedia below 8K = %.3f, want > 0.96", frac8K["Wikipedia"])
+	}
+	tail := func(name string) float64 { return 1 - frac32K[name] }
+	if !(tail("GitHub") > tail("CommonCrawl") && tail("CommonCrawl") > tail("Wikipedia")) {
+		t.Errorf("tail ordering wrong: github=%.4f cc=%.4f wiki=%.4f",
+			tail("GitHub"), tail("CommonCrawl"), tail("Wikipedia"))
+	}
+	if tail("GitHub") < 0.01 {
+		t.Errorf("GitHub tail above 32K = %.4f, want a visible tail", tail("GitHub"))
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	d := CommonCrawl()
+	a := d.SampleN(rand.New(rand.NewSource(42)), 100)
+	b := d.SampleN(rand.New(rand.NewSource(42)), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		d := GitHub()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			l := d.Sample(rng)
+			if l < d.MinLen || l > d.MaxLen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchRespectsMaxCtx(t *testing.T) {
+	d := GitHub()
+	rng := rand.New(rand.NewSource(1))
+	batch := d.Batch(rng, 512, 192<<10)
+	if len(batch) != 512 {
+		t.Fatalf("batch size = %d, want 512", len(batch))
+	}
+	for _, l := range batch {
+		if l > 192<<10 {
+			t.Fatalf("sequence of %d exceeds 192K context", l)
+		}
+	}
+}
+
+func TestBuildHistogram(t *testing.T) {
+	lens := []int{100, 1024, 1025, 5000, 300000}
+	h := BuildHistogram(lens, Fig2Edges())
+	if h.Total != 5 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	fr := h.Fractions()
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	// 100 and 1024 land in bin 0 (≤1K), 300000 in the open last bin.
+	if h.Counts[0] != 2 {
+		t.Fatalf("bin 0 count = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("open bin count = %d, want 1", h.Counts[len(h.Counts)-1])
+	}
+}
+
+func TestBuildHistogramEmpty(t *testing.T) {
+	h := BuildHistogram(nil, Fig2Edges())
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Fatal("empty histogram should have zero fractions")
+		}
+	}
+}
+
+func TestTotalTokens(t *testing.T) {
+	if got := TotalTokens([]int{1, 2, 3}); got != 6 {
+		t.Fatalf("TotalTokens = %d", got)
+	}
+	if got := TotalTokens(nil); got != 0 {
+		t.Fatalf("TotalTokens(nil) = %d", got)
+	}
+}

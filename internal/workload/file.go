@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadLengths reads sequence lengths from a reader in either of two formats:
+// a JSON array of integers ("[512, 2048, ...]"), or plain text with one
+// integer per line (comments after '#' ignored). This lets the tools consume
+// real tokenized-corpus length dumps instead of the synthetic distributions.
+func LoadLengths(r io.Reader) ([]int, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("workload: empty input: %w", err)
+	}
+	if first[0] == '[' {
+		var lens []int
+		if err := json.NewDecoder(br).Decode(&lens); err != nil {
+			return nil, fmt.Errorf("workload: parsing JSON lengths: %w", err)
+		}
+		return validateLengths(lens)
+	}
+	var lens []int
+	scanner := bufio.NewScanner(br)
+	for lineNo := 1; scanner.Scan(); lineNo++ {
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		n, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		lens = append(lens, n)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading lengths: %w", err)
+	}
+	return validateLengths(lens)
+}
+
+// LoadLengthsFile reads lengths from a file path.
+func LoadLengthsFile(path string) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadLengths(f)
+}
+
+func validateLengths(lens []int) ([]int, error) {
+	if len(lens) == 0 {
+		return nil, fmt.Errorf("workload: no sequence lengths found")
+	}
+	for i, l := range lens {
+		if l <= 0 {
+			return nil, fmt.Errorf("workload: length %d at index %d must be positive", l, i)
+		}
+	}
+	return lens, nil
+}
+
+// FileDataset wraps a fixed length list as a Dataset-like batch source:
+// batches sample with replacement from the empirical distribution.
+type FileDataset struct {
+	Name string
+	Lens []int
+}
+
+// Batch draws batchSize lengths uniformly from the empirical list, skipping
+// lengths beyond maxCtx (mirroring Dataset.Batch's truncation protocol). It
+// fails closed if no length fits.
+func (d FileDataset) Batch(rng interface{ Intn(int) int }, batchSize, maxCtx int) ([]int, error) {
+	anyFits := false
+	for _, l := range d.Lens {
+		if l <= maxCtx {
+			anyFits = true
+			break
+		}
+	}
+	if !anyFits {
+		return nil, fmt.Errorf("workload: no sequence in %s fits %d tokens", d.Name, maxCtx)
+	}
+	out := make([]int, 0, batchSize)
+	for len(out) < batchSize {
+		l := d.Lens[rng.Intn(len(d.Lens))]
+		if l > maxCtx {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}

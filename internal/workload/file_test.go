@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLoadLengthsJSON(t *testing.T) {
+	lens, err := LoadLengths(strings.NewReader("[512, 2048, 100]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lens) != 3 || lens[1] != 2048 {
+		t.Fatalf("lens = %v", lens)
+	}
+}
+
+func TestLoadLengthsLines(t *testing.T) {
+	in := "512\n# comment\n2048  \n\n100 # trailing\n"
+	lens, err := LoadLengths(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lens) != 3 || lens[2] != 100 {
+		t.Fatalf("lens = %v", lens)
+	}
+}
+
+func TestLoadLengthsErrors(t *testing.T) {
+	cases := []string{"", "[1, -5]", "abc\n", "[]", "0\n"}
+	for _, in := range cases {
+		if _, err := LoadLengths(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestLoadLengthsFileMissing(t *testing.T) {
+	if _, err := LoadLengthsFile("/nonexistent/path"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFileDatasetBatch(t *testing.T) {
+	d := FileDataset{Name: "dump", Lens: []int{100, 5000, 90000}}
+	rng := rand.New(rand.NewSource(1))
+	batch, err := d.Batch(rng, 20, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 20 {
+		t.Fatalf("batch size = %d", len(batch))
+	}
+	for _, l := range batch {
+		if l > 10000 {
+			t.Fatalf("length %d exceeds max ctx", l)
+		}
+	}
+	if _, err := d.Batch(rng, 5, 50); err == nil {
+		t.Fatal("impossible max ctx accepted")
+	}
+}
