@@ -147,6 +147,35 @@ func BenchmarkTable4(b *testing.B) {
 	b.ReportMetric(res.NaiveErr[1], "naive-error-commoncrawl")
 }
 
+// BenchmarkPipeline regenerates the hybrid PP×SP comparison: the joint
+// planner must match or beat flat FlexSP on the GPT-30B long-tail workload
+// and fit the extreme-context probe flat SP cannot place.
+func BenchmarkPipeline(b *testing.B) {
+	if testing.Short() {
+		b.Skip("GPT-30B joint sweep in -short mode")
+	}
+	var res experiments.PipelineResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Pipeline(benchCfg())
+	}
+	b.ReportMetric(res.MaxSpeedupVsFlat(), "joint-vs-flat-speedup")
+	b.ReportMetric(float64(res.FlatInfeasibleFitCount()), "fits-where-flat-oom")
+}
+
+// BenchmarkJointPlanner measures the joint PP×SP solve latency on a
+// 256-sequence GPT-30B batch.
+func BenchmarkJointPlanner(b *testing.B) {
+	sys := NewSystem(Config{Devices: 64, Model: GPT30B, IncludeZeRO: true})
+	rng := rand.New(rand.NewSource(4))
+	batch := workload.CommonCrawl().Batch(rng, 256, 192<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SolvePipelined(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSolver measures raw Alg. 1 latency at the paper's batch size.
 func BenchmarkSolver(b *testing.B) {
 	sys := NewSystem(Config{Devices: 64, Model: GPT7B})

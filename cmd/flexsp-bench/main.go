@@ -13,10 +13,11 @@
 //	flexsp-bench fig9       # Fig. 9: estimator accuracy
 //	flexsp-bench table4     # Table 4: bucketing bias
 //	flexsp-bench table5     # Table 5: model configurations
+//	flexsp-bench pipeline   # hybrid PP×SP: joint planner vs flat FlexSP vs Megatron
 //	flexsp-bench all        # everything above
 //
-// Flags: -quick shrinks batch sizes/iterations, -seed and -iters override
-// the experiment configuration.
+// Flags: -quick shrinks batch sizes/iterations, -seed, -iters and -devices
+// override the experiment configuration.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"flexsp/internal/cluster"
 	"flexsp/internal/experiments"
 )
 
@@ -32,6 +34,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced experiment configuration")
 	seed := flag.Int64("seed", 0, "override the sampling seed")
 	iters := flag.Int("iters", 0, "override iterations per cell")
+	devices := flag.Int("devices", 0, "override the cluster size (multiple of 8, or < 8 for one node)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -44,6 +47,13 @@ func main() {
 	}
 	if *iters > 0 {
 		cfg.Iterations = *iters
+	}
+	if *devices != 0 {
+		if _, err := cluster.NewA100Cluster(*devices); err != nil {
+			fmt.Fprintln(os.Stderr, "flexsp-bench: invalid -devices:", err)
+			os.Exit(1)
+		}
+		cfg.Devices = *devices
 	}
 
 	args := flag.Args()
@@ -65,9 +75,10 @@ func main() {
 		"table4":     func(c experiments.Config) string { return experiments.Table4(c).Render() },
 		"table5":     func(c experiments.Config) string { return experiments.Table5() },
 		"appendixE":  func(c experiments.Config) string { return experiments.AppendixE(c).Render() },
+		"pipeline":   func(c experiments.Config) string { return experiments.Pipeline(c).Render() },
 	}
 	order := []string{"table5", "table1", "fig1", "fig2", "fig4", "table3fig5",
-		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE"}
+		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE", "pipeline"}
 
 	run := func(name string) {
 		start := time.Now()
@@ -91,8 +102,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] <experiment>
+	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] <experiment>
 
-experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE all`)
+experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline all`)
 	flag.PrintDefaults()
 }

@@ -69,13 +69,17 @@ func main() {
 	if in.Devices == 0 {
 		in.Devices = 64
 	}
+	topo, err := cluster.NewA100Cluster(in.Devices)
+	if err != nil {
+		fatal(fmt.Errorf("invalid \"devices\": %w", err))
+	}
 	model := costmodel.GPT7B
 	for _, m := range costmodel.Models() {
 		if m.Name == in.Model {
 			model = m
 		}
 	}
-	coeffs := costmodel.Profile(model, cluster.A100Cluster(in.Devices))
+	coeffs := costmodel.Profile(model, topo)
 	pl := planner.New(coeffs)
 	switch in.Strategy {
 	case "milp":

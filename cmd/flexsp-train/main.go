@@ -4,6 +4,9 @@
 // executor consumes plans in order while printing per-iteration stats.
 //
 //	flexsp-train -dataset commoncrawl -iters 10 -maxctx 192K -system flexsp
+//
+// With -system pipeline the joint PP×SP planner runs per iteration: -pp 0
+// sweeps PP ∈ {1,2,4,8}, -pp N pins the pipeline degree.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"flexsp/internal/baselines"
 	"flexsp/internal/cluster"
 	"flexsp/internal/costmodel"
+	"flexsp/internal/pipeline"
 	"flexsp/internal/planner"
 	"flexsp/internal/report"
 	"flexsp/internal/sim"
@@ -35,7 +39,8 @@ func main() {
 	iters := flag.Int("iters", 5, "training iterations")
 	batch := flag.Int("batch", 512, "global batch size (sequences)")
 	maxCtxStr := flag.String("maxctx", "192K", "maximum context length (e.g. 192K)")
-	system := flag.String("system", "flexsp", "system: flexsp, deepspeed, batchada")
+	system := flag.String("system", "flexsp", "system: flexsp, deepspeed, batchada, pipeline")
+	pp := flag.Int("pp", 0, "pipeline degree for -system pipeline (0 = sweep 1,2,4,8)")
 	workers := flag.Int("workers", 4, "solver service workers")
 	seed := flag.Int64("seed", 42, "sampling seed")
 	tracePath := flag.String("trace", "", "write per-iteration JSONL telemetry to this file")
@@ -62,7 +67,21 @@ func main() {
 		dataset = workload.CommonCrawl()
 	}
 
-	topo := cluster.A100Cluster(*devices)
+	topo, err := cluster.NewA100Cluster(*devices)
+	if err != nil {
+		fatal(fmt.Errorf("invalid -devices: %w", err))
+	}
+	if *pp < 0 || (*pp > 0 && *pp > model.Layers) {
+		fatal(fmt.Errorf("invalid -pp %d: must be positive and not exceed %d layers", *pp, model.Layers))
+	}
+	if *pp > 0 {
+		// Carve enforces the full stage-divisibility rules (device count and
+		// node boundaries), so bad degrees fail here with the real reason
+		// instead of an opaque unsolvable error later.
+		if _, err := topo.Carve(*pp); err != nil {
+			fatal(fmt.Errorf("invalid -pp %d: %w", *pp, err))
+		}
+	}
 	coeffs := costmodel.Profile(model, topo)
 	pool := cluster.NewGroupPool(*devices, cluster.DefaultGroupCreation)
 	// One-time startup: create the communicator hierarchy so hot switching
@@ -115,6 +134,26 @@ func main() {
 	rec := trace.NewRecorder(traceW)
 	var totalExec, totalSolve float64
 
+	// record emits one iteration's table row and telemetry and accumulates
+	// the summary totals, shared by the flat and pipelined paths.
+	record := func(i, micro int, label string, groups []int, tokens, seqs int,
+		est, execSeconds, a2aSeconds, a2aShare, peakMem, solveSeconds float64) error {
+		t.Add(strconv.Itoa(i), strconv.Itoa(micro), label,
+			report.Secs(est), report.Secs(execSeconds),
+			report.Pct(a2aShare), report.Secs(solveSeconds))
+		if err := rec.Record(trace.Iteration{
+			Iter: i, Tokens: tokens, Seqs: seqs, MicroBatches: micro,
+			Groups: groups, EstSeconds: est, ExecSeconds: execSeconds,
+			AllToAllSeconds: a2aSeconds, SolveSeconds: solveSeconds,
+			PeakMemFrac: peakMem,
+		}); err != nil {
+			return err
+		}
+		totalExec += execSeconds
+		totalSolve += solveSeconds
+		return nil
+	}
+
 	execPlans := func(i int, plans []planner.MicroPlan, est float64, solveWall time.Duration) error {
 		exec, err := sim.ExecuteIteration(coeffs, plans, sim.Options{
 			IncludeZeRO: true, Pool: pool, Seed: int64(i)})
@@ -122,15 +161,10 @@ func main() {
 			return err
 		}
 		first := "⟨⟩"
-		if len(plans) > 0 {
-			first = degreesString(plans[0].Degrees())
-		}
-		t.Add(strconv.Itoa(i), strconv.Itoa(len(plans)), first,
-			report.Secs(est), report.Secs(exec.Time),
-			report.Pct(exec.AllToAllShare()), report.Secs(solveWall.Seconds()))
 		var groups []int
 		if len(plans) > 0 {
 			groups = plans[0].Degrees()
+			first = degreesString(groups)
 		}
 		tokens, seqs := 0, 0
 		for _, p := range plans {
@@ -139,17 +173,9 @@ func main() {
 				tokens += g.Tokens()
 			}
 		}
-		if err := rec.Record(trace.Iteration{
-			Iter: i, Tokens: tokens, Seqs: seqs, MicroBatches: len(plans),
-			Groups: groups, EstSeconds: est, ExecSeconds: exec.Time,
-			AllToAllSeconds: exec.AllToAll, SolveSeconds: solveWall.Seconds(),
-			PeakMemFrac: exec.PeakMemFrac,
-		}); err != nil {
-			return err
-		}
-		totalExec += exec.Time
-		totalSolve += solveWall.Seconds()
-		return nil
+		return record(i, len(plans), first, groups, tokens, seqs,
+			est, exec.Time, exec.AllToAll, exec.AllToAllShare(), exec.PeakMemFrac,
+			solveWall.Seconds())
 	}
 
 	switch strings.ToLower(*system) {
@@ -172,6 +198,42 @@ func main() {
 				fatal(err)
 			}
 			if err := execPlans(i, plans, planTime(plans), time.Since(start)); err != nil {
+				fatal(err)
+			}
+		}
+	case "pipeline":
+		jp := pipeline.NewPlanner(coeffs)
+		jp.IncludeZeRO = true
+		if *pp > 0 {
+			jp.Degrees = []int{*pp}
+		}
+		for i, b := range batches {
+			res, err := jp.Solve(b)
+			if err != nil {
+				fatal(err)
+			}
+			exec, err := res.Pipe.Execute(res.Plans, pipeline.Options{
+				IncludeZeRO: true, Pool: pool, Seed: int64(i)})
+			if err != nil {
+				fatal(err)
+			}
+			first := "⟨⟩"
+			var groups []int
+			if len(res.Plans) > 0 {
+				groups = res.Plans[0][0].Degrees()
+				first = fmt.Sprintf("PP=%d %s (bubble %.0f%%)",
+					res.Pipe.PP, degreesString(groups), 100*exec.BubbleFrac)
+			}
+			tokens, seqs := 0, 0
+			for _, stages := range res.Plans {
+				for _, g := range stages[0].Groups {
+					seqs += len(g.Lens)
+					tokens += g.Tokens()
+				}
+			}
+			if err := record(i, len(res.Plans), first, groups, tokens, seqs,
+				res.Time, exec.Time, exec.AllToAll, exec.AllToAllShare(),
+				exec.PeakMemFrac, res.SolveWall.Seconds()); err != nil {
 				fatal(err)
 			}
 		}

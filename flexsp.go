@@ -18,7 +18,8 @@
 // workloads (internal/workload), packing/bucketing/chunking
 // (internal/packing, internal/bucket, internal/blaster), the MILP solver
 // (internal/milp), the planner (internal/planner), homogeneous baselines
-// (internal/baselines), the executor (internal/sim), and the collective
+// (internal/baselines), the executor (internal/sim), the hybrid pipeline ×
+// flexible-SP subsystem (internal/pipeline), and the collective
 // runtime plus tiny transformer used for numerical verification
 // (internal/comm, internal/tensor, internal/model).
 package flexsp
@@ -29,6 +30,7 @@ import (
 	"flexsp/internal/baselines"
 	"flexsp/internal/cluster"
 	"flexsp/internal/costmodel"
+	"flexsp/internal/pipeline"
 	"flexsp/internal/planner"
 	"flexsp/internal/sim"
 	"flexsp/internal/solver"
@@ -64,6 +66,20 @@ type Config struct {
 	Trials int
 	// IncludeZeRO charges exposed ZeRO-3 communication during execution.
 	IncludeZeRO bool
+	// Pipeline configures the hybrid PP×SP planner reached through
+	// SolvePipelined/ExecutePipelined. The zero value uses the default
+	// PP sweep with no SP-degree cap.
+	Pipeline PipelineConfig
+}
+
+// PipelineConfig configures hybrid pipeline-parallel × flexible-SP planning.
+type PipelineConfig struct {
+	// Degrees are the candidate PP degrees (default 1, 2, 4, 8).
+	Degrees []int
+	// HeadsCap applies the Ulysses head-count SP-degree cap to the whole
+	// system (flat and pipelined plans alike): SP degree ≤ the largest
+	// power of two not exceeding the model's attention head count.
+	HeadsCap bool
 }
 
 // System is a ready-to-use FlexSP instance.
@@ -72,6 +88,8 @@ type System struct {
 	Coeffs  costmodel.Coeffs
 	Planner *planner.Planner
 	Solver  *solver.Solver
+	// Joint is the hybrid PP×SP planner behind SolvePipelined.
+	Joint *pipeline.Planner
 
 	includeZeRO bool
 	pool        *cluster.GroupPool
@@ -87,6 +105,9 @@ func NewSystem(cfg Config) *System {
 	}
 	topo := cluster.A100Cluster(cfg.Devices)
 	coeffs := costmodel.Profile(cfg.Model, topo).WithStyle(cfg.CommStyle)
+	if cfg.Pipeline.HeadsCap {
+		coeffs = coeffs.WithHeadsCap()
+	}
 	pl := planner.New(coeffs)
 	pl.Strategy = cfg.Strategy
 	sv := solver.New(pl)
@@ -98,11 +119,21 @@ func NewSystem(cfg Config) *System {
 		// when choosing the micro-batch count.
 		sv.Overhead = coeffs.ZeROTime()
 	}
+	jp := pipeline.NewPlanner(coeffs)
+	jp.Strategy = cfg.Strategy
+	jp.IncludeZeRO = cfg.IncludeZeRO
+	if cfg.Trials > 0 {
+		jp.Trials = cfg.Trials
+	}
+	if len(cfg.Pipeline.Degrees) > 0 {
+		jp.Degrees = cfg.Pipeline.Degrees
+	}
 	return &System{
 		Topo:        topo,
 		Coeffs:      coeffs,
 		Planner:     pl,
 		Solver:      sv,
+		Joint:       jp,
 		includeZeRO: cfg.IncludeZeRO,
 		pool:        cluster.NewGroupPool(cfg.Devices, cluster.DefaultGroupCreation),
 	}
@@ -155,6 +186,26 @@ func (s *System) Train(iters int, nextBatch func(iter int) []int) ([]sim.IterRes
 		out = append(out, exec)
 	}
 	return out, nil
+}
+
+// SolvePipelined runs the joint PP×SP planner on one data batch: it sweeps
+// pipeline-parallel degrees, plans flexible SP within each stage's
+// sub-cluster, and returns the pipeline minimizing simulated 1F1B iteration
+// time. PP = 1 (flat FlexSP) is in the default sweep, so the joint plan
+// matches or beats Solve's unless Config.Pipeline.Degrees pins a sweep
+// without 1.
+func (s *System) SolvePipelined(batch []int) (pipeline.Result, error) {
+	return s.Joint.Solve(batch)
+}
+
+// ExecutePipelined replays a joint plan's 1F1B schedule on the simulated
+// cluster, reusing this system's communicator pool across calls (hot
+// switching across stage sub-clusters).
+func (s *System) ExecutePipelined(res pipeline.Result) (pipeline.ScheduleResult, error) {
+	return res.Pipe.Execute(res.Plans, pipeline.Options{
+		IncludeZeRO: s.includeZeRO,
+		Pool:        s.pool,
+	})
 }
 
 // NewService starts a disaggregated solver service (§5) over this system's

@@ -66,6 +66,44 @@ func TestSystemTrainLoop(t *testing.T) {
 	}
 }
 
+func TestSystemPipelined(t *testing.T) {
+	sys := NewSystem(Config{Devices: 64, Model: GPT30B, IncludeZeRO: true})
+	rng := rand.New(rand.NewSource(9))
+	batch := CommonCrawl().Batch(rng, 64, 192<<10)
+
+	res, err := sys.SolvePipelined(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) < 2 {
+		t.Fatalf("only %d PP candidates swept", len(res.Candidates))
+	}
+	flat, err := sys.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The joint plan must match or beat the flat plan's estimate (PP=1 is
+	// in its sweep, simulated with the same cost model).
+	if res.Time > flat.Time*1.001 {
+		t.Fatalf("joint %.2fs loses to flat estimate %.2fs", res.Time, flat.Time)
+	}
+	exec, err := sys.ExecutePipelined(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Time <= 0 {
+		t.Fatalf("bad execution time %v", exec.Time)
+	}
+	// Re-execution reuses cached communicators (hot switching).
+	exec2, err := sys.ExecutePipelined(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec2.GroupCreation != 0 {
+		t.Fatalf("second pipelined execution created groups: %v", exec2.GroupCreation)
+	}
+}
+
 // FlexSP end-to-end vs baselines on a skewed batch: the paper's headline
 // comparison in miniature. FlexSP must be at least as fast as BatchAda,
 // which must beat static DeepSpeed.

@@ -1,0 +1,3 @@
+module flexsp
+
+go 1.24

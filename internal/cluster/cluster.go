@@ -53,10 +53,22 @@ const (
 
 // A100Cluster returns the paper's testbed scaled to the given total device
 // count, which must be a multiple of 8 (or less than 8 for single partial
-// node setups used in tests).
+// node setups used in tests). It panics on invalid counts; CLIs and other
+// callers that need a recoverable error use NewA100Cluster.
 func A100Cluster(devices int) Topology {
+	t, err := NewA100Cluster(devices)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// NewA100Cluster is the non-panicking constructor behind A100Cluster: it
+// returns an error for non-positive counts and counts above one node that are
+// not whole numbers of 8-GPU nodes.
+func NewA100Cluster(devices int) (Topology, error) {
 	if devices <= 0 {
-		panic("cluster: device count must be positive")
+		return Topology{}, fmt.Errorf("cluster: device count must be positive, got %d", devices)
 	}
 	perNode := defaultDevPerNode
 	nodes := devices / perNode
@@ -65,7 +77,7 @@ func A100Cluster(devices int) Topology {
 		nodes = 1
 	}
 	if nodes*perNode != devices {
-		panic(fmt.Sprintf("cluster: %d devices is not a multiple of %d", devices, defaultDevPerNode))
+		return Topology{}, fmt.Errorf("cluster: %d devices is not a multiple of %d (use a whole number of 8-GPU nodes, or fewer than 8 for a partial node)", devices, defaultDevPerNode)
 	}
 	return Topology{
 		Nodes:          nodes,
@@ -75,7 +87,43 @@ func A100Cluster(devices int) Topology {
 		EffFLOPS:       a100EffFLOPS,
 		IntraBW:        nvlinkEffBW,
 		InterBW:        infinibandNodeBW,
+	}, nil
+}
+
+// Carve returns the topology of one of `parts` equal contiguous sub-clusters,
+// used by pipeline parallelism to give each stage its own device range: a
+// whole number of nodes when each part spans at least a node, or an even
+// slice of one node otherwise. Interconnect and per-device rates carry over
+// unchanged; a sub-cluster smaller than a node keeps the full node's
+// DevicesPerNode share semantics by shrinking DevicesPerNode, which is safe
+// because groups inside such a part never leave the node.
+func (t Topology) Carve(parts int) (Topology, error) {
+	n := t.NumDevices()
+	if parts <= 0 {
+		return Topology{}, fmt.Errorf("cluster: non-positive part count %d", parts)
 	}
+	if n%parts != 0 {
+		return Topology{}, fmt.Errorf("cluster: %d devices not divisible into %d parts", n, parts)
+	}
+	per := n / parts
+	sub := t
+	switch {
+	case per >= t.DevicesPerNode:
+		if per%t.DevicesPerNode != 0 {
+			return Topology{}, fmt.Errorf("cluster: part size %d is not a whole number of %d-device nodes", per, t.DevicesPerNode)
+		}
+		sub.Nodes = per / t.DevicesPerNode
+	default:
+		if t.DevicesPerNode%per != 0 {
+			return Topology{}, fmt.Errorf("cluster: part size %d does not evenly split a %d-device node", per, t.DevicesPerNode)
+		}
+		sub.Nodes = 1
+		sub.DevicesPerNode = per
+		// The node's NIC is still shared with the node's other parts, so a
+		// part keeps only its devices' share of it.
+		sub.InterBW = t.InterBW * float64(per) / float64(t.DevicesPerNode)
+	}
+	return sub, nil
 }
 
 // NumDevices returns the total device count.

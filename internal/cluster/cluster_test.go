@@ -42,6 +42,57 @@ func TestA100ClusterPanicsOnBadCount(t *testing.T) {
 	}
 }
 
+func TestNewA100ClusterErrors(t *testing.T) {
+	for _, n := range []int{0, -8, 12, 63} {
+		if _, err := NewA100Cluster(n); err == nil {
+			t.Errorf("NewA100Cluster(%d) = nil error", n)
+		}
+	}
+	topo, err := NewA100Cluster(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo != A100Cluster(64) {
+		t.Fatal("NewA100Cluster and A100Cluster disagree")
+	}
+}
+
+func TestCarve(t *testing.T) {
+	topo := A100Cluster(64)
+	for _, tc := range []struct {
+		parts, nodes, perNode int
+	}{
+		{1, 8, 8},
+		{2, 4, 8},
+		{4, 2, 8},
+		{8, 1, 8},
+		{16, 1, 4},
+		{64, 1, 1},
+	} {
+		sub, err := topo.Carve(tc.parts)
+		if err != nil {
+			t.Fatalf("Carve(%d): %v", tc.parts, err)
+		}
+		if sub.Nodes != tc.nodes || sub.DevicesPerNode != tc.perNode {
+			t.Errorf("Carve(%d) = %d×%d, want %d×%d",
+				tc.parts, sub.Nodes, sub.DevicesPerNode, tc.nodes, tc.perNode)
+		}
+		if err := sub.Validate(); err != nil {
+			t.Errorf("Carve(%d).Validate: %v", tc.parts, err)
+		}
+		// A part confined to a slice of a node keeps only its share of the
+		// node NIC, so the per-device share is invariant under carving.
+		if got, want := sub.InterBWPerDevice(), topo.InterBWPerDevice(); got != want {
+			t.Errorf("Carve(%d) per-device NIC share = %g, want %g", tc.parts, got, want)
+		}
+	}
+	for _, parts := range []int{0, -1, 3, 128} {
+		if _, err := topo.Carve(parts); err == nil {
+			t.Errorf("Carve(%d) = nil error", parts)
+		}
+	}
+}
+
 func TestSPDegrees(t *testing.T) {
 	topo := A100Cluster(64)
 	got := topo.SPDegrees()

@@ -25,6 +25,10 @@ type ModelConfig struct {
 	Name      string
 	Layers    int
 	HiddenDim int
+	// Heads is the attention head count, bounding the Ulysses SP degree
+	// (each head must land whole on one device). Zero means "unknown" and
+	// disables the head-count cap.
+	Heads int
 	// Params is the total parameter count (positional embeddings for the
 	// maximum context length included, per Appendix B.1).
 	Params float64
@@ -60,30 +64,13 @@ func (r RecomputePolicy) String() string {
 
 // The three evaluation models (paper Table 5, 384K max context).
 var (
-	GPT7B  = ModelConfig{Name: "GPT-7B", Layers: 32, HiddenDim: 4096, Params: 7.85e9, Recompute: RecomputeNone}
-	GPT13B = ModelConfig{Name: "GPT-13B", Layers: 40, HiddenDim: 5120, Params: 14.03e9, Recompute: RecomputeMLP}
-	GPT30B = ModelConfig{Name: "GPT-30B", Layers: 60, HiddenDim: 6656, Params: 32.72e9, Recompute: RecomputeFull}
+	GPT7B  = ModelConfig{Name: "GPT-7B", Layers: 32, HiddenDim: 4096, Heads: 32, Params: 7.85e9, Recompute: RecomputeNone}
+	GPT13B = ModelConfig{Name: "GPT-13B", Layers: 40, HiddenDim: 5120, Heads: 40, Params: 14.03e9, Recompute: RecomputeMLP}
+	GPT30B = ModelConfig{Name: "GPT-30B", Layers: 60, HiddenDim: 6656, Heads: 52, Params: 32.72e9, Recompute: RecomputeFull}
 )
 
 // Models lists the evaluation models in paper order.
 func Models() []ModelConfig { return []ModelConfig{GPT7B, GPT13B, GPT30B} }
-
-// actBytesPerToken returns activation bytes per token under the recompute
-// policy. With no recomputation a transformer layer keeps roughly 40
-// bytes/token/hidden of fp16 activations (flash-attention resident set);
-// checkpointing MLP blocks drops that to ~24; full checkpointing stores only
-// the fp16 layer inputs (2 bytes/token/hidden per layer) plus one layer's
-// recompute workspace.
-func actBytesPerToken(r RecomputePolicy, layers, hidden float64) float64 {
-	switch r {
-	case RecomputeMLP:
-		return 24 * layers * hidden
-	case RecomputeFull:
-		return (2*layers + 40) * hidden
-	default:
-		return 40 * layers * hidden
-	}
-}
 
 // Recompute multiplies backward compute by re-running part of the forward.
 func recomputeFactor(r RecomputePolicy) float64 {
@@ -146,35 +133,67 @@ type Coeffs struct {
 	// MStateBytes is the per-device model-state footprint (ZeRO-3 sharded
 	// over the full cluster, plus working overhead).
 	MStateBytes float64
+	// MaxSPDegree, when positive, caps the usable SP degree below the
+	// topology's device count — e.g. the Ulysses head-count limit (each
+	// attention head must land whole on one device). Zero leaves degrees
+	// uncapped, preserving the paper's main-body behavior.
+	MaxSPDegree int
+}
+
+// SPDegrees returns the candidate SP degrees under this cost model: the
+// topology's power-of-two degrees, truncated to MaxSPDegree when set.
+func (c Coeffs) SPDegrees() []int {
+	ds := c.Topo.SPDegrees()
+	if c.MaxSPDegree <= 0 {
+		return ds
+	}
+	var out []int
+	for _, d := range ds {
+		if d <= c.MaxSPDegree {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// MaxDegree returns the largest usable SP degree (device count, or the cap).
+func (c Coeffs) MaxDegree() int {
+	ds := c.SPDegrees()
+	if len(ds) == 0 {
+		return 0
+	}
+	return ds[len(ds)-1]
+}
+
+// WithSPDegreeCap returns the coefficients with the SP degree capped at the
+// largest power of two ≤ d (0 removes the cap).
+func (c Coeffs) WithSPDegreeCap(d int) Coeffs {
+	if d <= 0 {
+		c.MaxSPDegree = 0
+		return c
+	}
+	p := 1
+	for p*2 <= d {
+		p *= 2
+	}
+	c.MaxSPDegree = p
+	return c
+}
+
+// WithHeadsCap applies the Ulysses head-count degree limit from the model
+// configuration (no-op when the head count is unknown).
+func (c Coeffs) WithHeadsCap() Coeffs {
+	if c.Model.Heads <= 0 {
+		return c
+	}
+	return c.WithSPDegreeCap(c.Model.Heads)
 }
 
 // Profile derives the coefficients for the model on the topology, emulating
-// the profiling pass the paper performs on hardware.
+// the profiling pass the paper performs on hardware. It is the one-stage
+// special case of StageProfile, which holds the actual formulas.
 func Profile(m ModelConfig, topo cluster.Topology) Coeffs {
-	h := float64(m.HiddenDim)
-	l := float64(m.Layers)
-	rf := recomputeFactor(m.Recompute)
-
-	// Attention FLOPs per sequence: 2·s²·h per layer forward (causal flash
-	// attention), ×3 for backward, ×recompute.
-	attnFLOPsPerS2 := 2 * h * l * fwdBwdFactor * rf
-	// Linear FLOPs per token: 24·h² per layer forward (QKVO + 4h MLP), ×3.
-	linFLOPsPerTok := 24 * h * h * l * fwdBwdFactor * rf
-
-	n := float64(topo.NumDevices())
-	states := bytesPerParamState*m.Params/n + stateWorkingOverheadBytes
-
-	return Coeffs{
-		Model:                 m,
-		Topo:                  topo,
-		Alpha1:                attnFLOPsPerS2 / topo.EffFLOPS,
-		Alpha2:                linFLOPsPerTok / topo.EffFLOPS,
-		Beta1:                 kernelLaunchBeta,
-		AllToAllBytesPerToken: ulyssesAllToAllsPerLayer * l * h * bytesPerElem,
-		Beta2:                 commLaunchBeta,
-		MTokenBytes:           actBytesPerToken(m.Recompute, l, h),
-		MStateBytes:           states,
-	}
+	return StageProfile(m, topo, m.Layers, m.Layers, 1)
 }
 
 // ProfileFitting profiles the model with the lightest activation
@@ -202,11 +221,15 @@ func ProfileFitting(m ModelConfig, topo cluster.Topology, maxCtx int) Coeffs {
 
 // WithRecompute re-profiles the coefficients under a different activation
 // checkpointing policy (Appendix B.2: systems that cannot fit a workload
-// apply heavier checkpointing).
+// apply heavier checkpointing), preserving the communication style and
+// SP-degree cap overlays.
 func (c Coeffs) WithRecompute(r RecomputePolicy) Coeffs {
 	m := c.Model
 	m.Recompute = r
-	return Profile(m, c.Topo)
+	nc := Profile(m, c.Topo)
+	nc.Style = c.Style
+	nc.MaxSPDegree = c.MaxSPDegree
+	return nc
 }
 
 // sums returns Σs and Σs² over the sequence lengths.
@@ -292,7 +315,7 @@ func (c Coeffs) MinDegreeFor(s int) int {
 	if per == 0 {
 		return 0
 	}
-	for _, d := range c.Topo.SPDegrees() {
+	for _, d := range c.SPDegrees() {
 		if d*per >= s {
 			return d
 		}

@@ -1,0 +1,80 @@
+package costmodel
+
+import "flexsp/internal/cluster"
+
+// StageProfile derives the α-β coefficients for one pipeline stage: a
+// contiguous slice of stageLayers of the model's totalLayers layers, running
+// on its own sub-cluster (see cluster.Topology.Carve). The returned Coeffs
+// describe the stage exactly like Profile describes the whole model, so every
+// downstream consumer — the FlexSP planner, the solver, the executor — works
+// unchanged within a stage:
+//
+//   - compute and all-to-all coefficients scale with the stage's layer share;
+//   - model states are the stage's parameter share, ZeRO-3 sharded over the
+//     stage's devices (which leaves the per-device state bytes equal to the
+//     flat profile's — sharding over fewer devices exactly cancels the
+//     smaller stage);
+//   - activation memory per token is the stage's layer share, multiplied by
+//     inFlight, the number of micro-batches the 1F1B schedule keeps resident
+//     on this stage (min(p−s, m) for stage s of p). The recompute workspace
+//     is transient — only one micro-batch computes at a time — so it is
+//     charged once, not per in-flight micro-batch.
+//
+// StageProfile(m, topo, L, L, 1) equals Profile(m, topo): a one-stage
+// pipeline is the flat system.
+func StageProfile(m ModelConfig, stageTopo cluster.Topology, stageLayers, totalLayers, inFlight int) Coeffs {
+	if stageLayers <= 0 || totalLayers <= 0 || stageLayers > totalLayers {
+		panic("costmodel: invalid stage layer split")
+	}
+	if inFlight < 1 {
+		inFlight = 1
+	}
+	h := float64(m.HiddenDim)
+	l := float64(stageLayers)
+	frac := l / float64(totalLayers)
+	rf := recomputeFactor(m.Recompute)
+
+	// Attention FLOPs per sequence: 2·s²·h per layer forward (causal flash
+	// attention), ×3 for backward, ×recompute.
+	attnFLOPsPerS2 := 2 * h * l * fwdBwdFactor * rf
+	// Linear FLOPs per token: 24·h² per layer forward (QKVO + 4h MLP), ×3.
+	linFLOPsPerTok := 24 * h * h * l * fwdBwdFactor * rf
+
+	n := float64(stageTopo.NumDevices())
+	stage := m
+	stage.Layers = stageLayers
+	stage.Params = m.Params * frac
+	states := bytesPerParamState*stage.Params/n + stateWorkingOverheadBytes
+
+	return Coeffs{
+		Model:                 stage,
+		Topo:                  stageTopo,
+		Alpha1:                attnFLOPsPerS2 / stageTopo.EffFLOPS,
+		Alpha2:                linFLOPsPerTok / stageTopo.EffFLOPS,
+		Beta1:                 kernelLaunchBeta,
+		AllToAllBytesPerToken: ulyssesAllToAllsPerLayer * l * h * bytesPerElem,
+		Beta2:                 commLaunchBeta,
+		MTokenBytes:           stageActBytesPerToken(m.Recompute, l, h, inFlight),
+		MStateBytes:           states,
+	}
+}
+
+// stageActBytesPerToken returns activation bytes per token for a pipeline
+// stage holding inFlight micro-batches. With no recomputation a transformer
+// layer keeps roughly 40 bytes/token/hidden of fp16 activations
+// (flash-attention resident set); checkpointing MLP blocks drops that to
+// ~24; full checkpointing stores only the fp16 layer inputs
+// (2 bytes/token/hidden per layer) plus one layer's recompute workspace.
+// Stored activations (or checkpoints) multiply by the in-flight count; the
+// transient workspace does not — only one micro-batch computes at a time.
+func stageActBytesPerToken(r RecomputePolicy, layers, hidden float64, inFlight int) float64 {
+	fl := float64(inFlight)
+	switch r {
+	case RecomputeMLP:
+		return fl * 24 * layers * hidden
+	case RecomputeFull:
+		return fl*2*layers*hidden + 40*hidden
+	default:
+		return fl * 40 * layers * hidden
+	}
+}

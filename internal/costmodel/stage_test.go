@@ -1,0 +1,114 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"flexsp/internal/cluster"
+)
+
+// A one-stage "pipeline" must reproduce the flat profile exactly.
+func TestStageProfileFlatConsistency(t *testing.T) {
+	topo := cluster.A100Cluster(64)
+	for _, m := range Models() {
+		flat := Profile(m, topo)
+		stage := StageProfile(m, topo, m.Layers, m.Layers, 1)
+		if math.Abs(stage.Alpha1-flat.Alpha1) > 1e-18 ||
+			math.Abs(stage.Alpha2-flat.Alpha2) > 1e-15 {
+			t.Errorf("%s: stage alphas (%g,%g) != flat (%g,%g)",
+				m.Name, stage.Alpha1, stage.Alpha2, flat.Alpha1, flat.Alpha2)
+		}
+		if stage.AllToAllBytesPerToken != flat.AllToAllBytesPerToken {
+			t.Errorf("%s: a2a bytes %g != %g", m.Name, stage.AllToAllBytesPerToken, flat.AllToAllBytesPerToken)
+		}
+		if stage.MTokenBytes != flat.MTokenBytes {
+			t.Errorf("%s: MTokenBytes %g != %g", m.Name, stage.MTokenBytes, flat.MTokenBytes)
+		}
+		if math.Abs(stage.MStateBytes-flat.MStateBytes) > 1 {
+			t.Errorf("%s: MStateBytes %g != %g", m.Name, stage.MStateBytes, flat.MStateBytes)
+		}
+	}
+}
+
+// Splitting into p stages must conserve compute: the sum of per-stage alphas
+// equals the flat alphas, and per-device ZeRO state bytes are invariant
+// (sharding over p× fewer devices cancels the p× smaller stage).
+func TestStageProfileConservation(t *testing.T) {
+	topo := cluster.A100Cluster(64)
+	m := GPT30B
+	flat := Profile(m, topo)
+	for _, p := range []int{2, 4} {
+		sub, err := topo.Carve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := m.Layers / p
+		var a1, a2 float64
+		for s := 0; s < p; s++ {
+			c := StageProfile(m, sub, per, m.Layers, 1)
+			a1 += c.Alpha1
+			a2 += c.Alpha2
+			if rel := math.Abs(c.MStateBytes-flat.MStateBytes) / flat.MStateBytes; rel > 1e-12 {
+				t.Errorf("p=%d stage %d: MStateBytes %g != flat %g", p, s, c.MStateBytes, flat.MStateBytes)
+			}
+		}
+		if rel := math.Abs(a1-flat.Alpha1) / flat.Alpha1; rel > 1e-12 {
+			t.Errorf("p=%d: Σ Alpha1 = %g, flat %g", p, a1, flat.Alpha1)
+		}
+		if rel := math.Abs(a2-flat.Alpha2) / flat.Alpha2; rel > 1e-12 {
+			t.Errorf("p=%d: Σ Alpha2 = %g, flat %g", p, a2, flat.Alpha2)
+		}
+	}
+}
+
+// In-flight micro-batches multiply stored activations but not the recompute
+// workspace.
+func TestStageProfileInFlight(t *testing.T) {
+	topo := cluster.A100Cluster(64)
+	sub, _ := topo.Carve(4)
+	m := GPT30B // RecomputeFull: 2·L·h checkpoints + 40·h workspace
+	one := StageProfile(m, sub, 15, 60, 1)
+	four := StageProfile(m, sub, 15, 60, 4)
+	h := float64(m.HiddenDim)
+	wantOne := 2*15*h + 40*h
+	wantFour := 4*2*15*h + 40*h
+	if one.MTokenBytes != wantOne {
+		t.Errorf("inFlight=1: MTokenBytes = %g, want %g", one.MTokenBytes, wantOne)
+	}
+	if four.MTokenBytes != wantFour {
+		t.Errorf("inFlight=4: MTokenBytes = %g, want %g", four.MTokenBytes, wantFour)
+	}
+	// With all p micro-batches in flight, full-recompute stage-0 per-token
+	// memory matches the flat profile's checkpoint share exactly.
+	if four.MTokenBytes != Profile(m, topo).MTokenBytes {
+		t.Errorf("p in flight: stage MTokenBytes %g != flat %g", four.MTokenBytes, Profile(m, topo).MTokenBytes)
+	}
+}
+
+func TestSPDegreeCap(t *testing.T) {
+	c := Profile(GPT30B, cluster.A100Cluster(64))
+	if got := c.MaxDegree(); got != 64 {
+		t.Fatalf("uncapped MaxDegree = %d", got)
+	}
+	capped := c.WithHeadsCap() // 52 heads → 32
+	if got := capped.MaxDegree(); got != 32 {
+		t.Fatalf("capped MaxDegree = %d, want 32", got)
+	}
+	ds := capped.SPDegrees()
+	if ds[len(ds)-1] != 32 || len(ds) != 6 {
+		t.Fatalf("capped SPDegrees = %v", ds)
+	}
+	// A sequence needing more than the capped capacity is infeasible even
+	// though the uncapped cluster could host it.
+	per := capped.MaxTokensPerDevice()
+	s := 33 * per
+	if d := c.MinDegreeFor(s); d != 64 {
+		t.Fatalf("uncapped MinDegreeFor = %d, want 64", d)
+	}
+	if d := capped.MinDegreeFor(s); d != 0 {
+		t.Fatalf("capped MinDegreeFor = %d, want 0", d)
+	}
+	if uncapped := capped.WithSPDegreeCap(0); uncapped.MaxDegree() != 64 {
+		t.Fatal("WithSPDegreeCap(0) did not remove the cap")
+	}
+}

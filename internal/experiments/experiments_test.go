@@ -197,6 +197,37 @@ func TestDegreesString(t *testing.T) {
 	}
 }
 
+func TestPipelineExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GPT-30B joint sweep in -short mode")
+	}
+	res := Pipeline(Quick())
+	if len(res.Cells) != 5 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.JointTime == 0 {
+			t.Fatalf("joint planner infeasible on %s/%s (cap=%v)", c.Model, c.Dataset, c.HeadsCap)
+		}
+		// Acceptance: the joint PP×SP plan matches or beats flat FlexSP
+		// wherever flat is feasible...
+		if c.FlatTime > 0 && c.JointTime > c.FlatTime*1.001 {
+			t.Errorf("%s cap=%v: joint %.1fs loses to flat %.1fs", c.Dataset, c.HeadsCap, c.JointTime, c.FlatTime)
+		}
+		// ...and stays within device memory everywhere.
+		if c.PeakMemFrac > 1 {
+			t.Errorf("%s cap=%v: joint plan exceeds memory (%.0f%%)", c.Dataset, c.HeadsCap, 100*c.PeakMemFrac)
+		}
+	}
+	// The probe row is a workload flat SP cannot place but the hybrid fits.
+	if res.FlatInfeasibleFitCount() < 1 {
+		t.Error("no cell where the hybrid fits and flat SP does not")
+	}
+	if !strings.Contains(res.Render(), "Hybrid PP×SP") {
+		t.Error("render incomplete")
+	}
+}
+
 func TestAppendixEFlexCPBeatsStaticCP(t *testing.T) {
 	res := AppendixE(Quick())
 	if len(res.Cells) != 3 {

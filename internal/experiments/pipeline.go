@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/pipeline"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// PipelineCell is one (workload, head-cap) comparison of flat FlexSP, the
+// joint PP×SP planner, and the Megatron-LM (TP, CP, PP) grid.
+type PipelineCell struct {
+	Model   string
+	MaxCtx  int
+	Dataset string
+	// HeadsCap marks rows where the Ulysses head-count SP-degree cap is
+	// applied (to flat and hybrid alike).
+	HeadsCap bool
+	// FlatTime is mean iteration seconds of flat FlexSP (0 = infeasible).
+	FlatTime float64
+	// JointTime is mean iteration seconds of the joint PP×SP plan.
+	JointTime float64
+	// PP and M describe the joint plan (last batch).
+	PP, M int
+	// BubbleFrac and PeakMemFrac describe the joint schedule (last batch).
+	BubbleFrac, PeakMemFrac float64
+	// MegatronTime is the best Megatron-LM strategy's mean seconds.
+	MegatronTime float64
+}
+
+// PipelineResult is the hybrid PP×SP evaluation: the joint planner must
+// match or beat flat FlexSP wherever flat is feasible, and stay within
+// memory on workloads flat SP cannot fit at all.
+type PipelineResult struct {
+	Devices int
+	Cells   []PipelineCell
+}
+
+// Pipeline compares flat FlexSP, the joint PP×SP planner and Megatron-LM on
+// the GPT-30B long-tail workload (paper §6.2's hardest configuration), with
+// and without the Ulysses head-count cap, plus an extreme-context probe
+// batch that flat SP cannot fit under the cap.
+func Pipeline(cfg Config) PipelineResult {
+	res := PipelineResult{Devices: cfg.Devices}
+	m := costmodel.GPT30B
+	topo := cluster.A100Cluster(cfg.Devices)
+	for _, ctx := range []int{192 << 10, 384 << 10} {
+		for _, headsCap := range []bool{false, true} {
+			c := costmodel.ProfileFitting(m, topo, ctx)
+			if headsCap {
+				c = c.WithHeadsCap()
+			}
+			d := workload.CommonCrawl()
+			batches := cfg.drawBatches(d, ctx, int64(ctx))
+			cell := PipelineCell{Model: m.Name, MaxCtx: ctx, Dataset: d.Name, HeadsCap: headsCap}
+			fillPipelineCell(&cell, c, batches, ctx)
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+
+	// Extreme-context probe: one sequence larger than the biggest capped
+	// flat SP group plus a short tail. Flat FlexSP cannot place it; the
+	// joint planner must, within memory.
+	c := costmodel.Profile(m, topo).WithHeadsCap()
+	long := 33 * c.MaxTokensPerDevice()
+	probe := []int{long, 8 << 10, 8 << 10, 16 << 10, 32 << 10}
+	cell := PipelineCell{Model: m.Name, MaxCtx: long, Dataset: "probe(1-seq tail)", HeadsCap: true}
+	fillPipelineCell(&cell, c, [][]int{probe}, long)
+	res.Cells = append(res.Cells, cell)
+	return res
+}
+
+func fillPipelineCell(cell *PipelineCell, c costmodel.Coeffs, batches [][]int, maxCtx int) {
+	sv := solver.New(planner.New(c))
+	sv.Overhead = c.ZeROTime()
+	cell.FlatTime = meanFlexSP(c, sv, batches)
+	cell.MegatronTime = meanMegatron(c, batches, maxCtx)
+
+	jp := pipeline.NewPlanner(c)
+	jp.IncludeZeRO = true
+	var sum float64
+	for _, b := range batches {
+		res, err := jp.Solve(b)
+		if err != nil {
+			cell.JointTime = 0
+			cell.PP, cell.M = 0, 0
+			cell.BubbleFrac, cell.PeakMemFrac = 0, 0
+			return
+		}
+		sum += res.Time
+		cell.PP, cell.M = res.Pipe.PP, res.Pipe.M
+		cell.BubbleFrac = res.Sched.BubbleFrac
+		cell.PeakMemFrac = res.Sched.PeakMemFrac
+	}
+	cell.JointTime = sum / float64(len(batches))
+}
+
+// Render formats the comparison.
+func (r PipelineResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Hybrid PP×SP: GPT-30B on %d GPUs (joint planner vs flat FlexSP vs Megatron-LM)", r.Devices),
+		"max seq", "dataset", "SP cap", string(SysMegatron), "FlexSP flat", "FlexSP×PP",
+		"PP", "bubble", "peak mem", "vs flat")
+	for _, c := range r.Cells {
+		capStr := "—"
+		if c.HeadsCap {
+			capStr = "heads"
+		}
+		fmtT := func(v float64) string {
+			if v == 0 {
+				return "n/a"
+			}
+			return report.Secs(v)
+		}
+		vs := "n/a"
+		if c.FlatTime > 0 && c.JointTime > 0 {
+			vs = report.Ratio(c.FlatTime / c.JointTime)
+		} else if c.FlatTime == 0 && c.JointTime > 0 {
+			vs = "fits (flat OOM)"
+		}
+		t.Add(report.Tokens(c.MaxCtx), c.Dataset, capStr,
+			fmtT(c.MegatronTime), fmtT(c.FlatTime), fmtT(c.JointTime),
+			fmt.Sprintf("%d", c.PP), report.Pct(c.BubbleFrac), report.Pct(c.PeakMemFrac), vs)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "joint PP×SP never loses to flat FlexSP (PP=1 is in its sweep); rows with \"fits (flat OOM)\" are workloads flat SP cannot place at all\n")
+	return b.String()
+}
+
+// FlatInfeasibleFitCount counts cells where flat SP could not place the
+// batch but the joint planner found an in-memory plan.
+func (r PipelineResult) FlatInfeasibleFitCount() int {
+	n := 0
+	for _, c := range r.Cells {
+		if c.FlatTime == 0 && c.JointTime > 0 && c.PeakMemFrac <= 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxSpeedupVsFlat returns the joint planner's largest speedup over flat
+// FlexSP across feasible cells.
+func (r PipelineResult) MaxSpeedupVsFlat() float64 {
+	var m float64
+	for _, c := range r.Cells {
+		if c.FlatTime > 0 && c.JointTime > 0 {
+			if s := c.FlatTime / c.JointTime; s > m {
+				m = s
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,375 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/planner"
+)
+
+// OpKind distinguishes forward from backward passes in the schedule.
+type OpKind int
+
+const (
+	// Forward is a micro-batch forward pass on one stage.
+	Forward OpKind = iota
+	// Backward is a micro-batch backward pass on one stage.
+	Backward
+)
+
+func (k OpKind) String() string {
+	if k == Forward {
+		return "F"
+	}
+	return "B"
+}
+
+// Event is one executed (stage, micro-batch, direction) op of the schedule.
+type Event struct {
+	Stage, Micro int
+	Kind         OpKind
+	Start, End   float64
+}
+
+// Durations feeds Simulate1F1B: per-stage per-micro-batch forward and
+// backward seconds, plus the per-micro-batch inter-stage transfer latency
+// charged on every dependency edge that crosses a stage boundary.
+type Durations struct {
+	F, B [][]float64 // [stage][micro]
+	P2P  []float64   // [micro]
+}
+
+// ScheduleResult is the outcome of replaying one 1F1B iteration.
+type ScheduleResult struct {
+	// Time is the schedule makespan in seconds.
+	Time float64
+	// StageBusy is each stage's total executing seconds.
+	StageBusy []float64
+	// Bubble is the mean per-stage idle seconds within the makespan. For
+	// uniform stages with forward time t_f and backward time t_b and no
+	// transfer latency it equals the closed form (p−1)·(t_f+t_b).
+	Bubble float64
+	// BubbleFrac is Bubble / Time.
+	BubbleFrac float64
+	// Events lists every executed op in start order.
+	Events []Event
+
+	// The remaining fields are cost overlays filled by Pipeline.Execute.
+
+	// AllToAll and Comp are the critical stage's (the busiest stage's)
+	// summed slowest-group communication and compute seconds.
+	AllToAll, Comp float64
+	// P2P is the summed inter-stage transfer seconds charged on schedule
+	// edges (one forward and one backward crossing per stage boundary per
+	// micro-batch); the schedule overlaps them with compute where it can.
+	P2P float64
+	// ZeRO is the summed exposed ZeRO time charged into stage busy time.
+	ZeRO float64
+	// GroupCreation is the communicator-creation cost charged before the
+	// schedule starts (hot-switching pool misses).
+	GroupCreation float64
+	// PeakMemFrac is the maximum per-device memory fraction across stages,
+	// micro-batches and groups, with 1F1B in-flight activations accounted.
+	PeakMemFrac float64
+	// OOM is set when some group exceeded device memory.
+	OOM bool
+}
+
+// Simulate1F1B replays the non-interleaved 1F1B schedule (warm-up of
+// min(p−1−s, m) forwards on stage s, steady one-forward-one-backward,
+// cool-down of the remaining backwards) as a discrete-event simulation.
+//
+// Dependencies: F(s,j) needs F(s−1,j) plus the forward boundary transfer;
+// B(s,j) needs B(s+1,j) plus the gradient transfer (for the last stage, its
+// own F(s,j)). A stage executes at most one op at a time, in 1F1B order.
+// Transfers are charged on the edges only — the receiving stage may execute
+// other ops while a transfer is in flight, which is exactly the P2P/compute
+// overlap of pipelined training.
+func Simulate1F1B(d Durations) (ScheduleResult, error) {
+	p := len(d.F)
+	if p == 0 || len(d.B) != p {
+		return ScheduleResult{}, fmt.Errorf("pipeline: malformed durations (%d forward stages, %d backward)", p, len(d.B))
+	}
+	m := len(d.F[0])
+	for s := 0; s < p; s++ {
+		if len(d.F[s]) != m || len(d.B[s]) != m {
+			return ScheduleResult{}, fmt.Errorf("pipeline: stage %d has ragged micro-batch durations", s)
+		}
+	}
+	if m == 0 {
+		return ScheduleResult{StageBusy: make([]float64, p)}, nil
+	}
+	p2p := func(j int) float64 {
+		if j < len(d.P2P) {
+			return d.P2P[j]
+		}
+		return 0
+	}
+
+	// Fixed per-stage op order: warm-up forwards, steady 1F1B, cool-down.
+	type op struct {
+		kind  OpKind
+		micro int
+	}
+	ops := make([][]op, p)
+	for s := 0; s < p; s++ {
+		w := p - 1 - s
+		if w > m {
+			w = m
+		}
+		for j := 0; j < w; j++ {
+			ops[s] = append(ops[s], op{Forward, j})
+		}
+		for j := 0; j+w < m; j++ {
+			ops[s] = append(ops[s], op{Forward, j + w}, op{Backward, j})
+		}
+		for j := m - w; j < m; j++ {
+			ops[s] = append(ops[s], op{Backward, j})
+		}
+	}
+
+	unset := math.Inf(-1)
+	fEnd := make([][]float64, p)
+	bEnd := make([][]float64, p)
+	for s := 0; s < p; s++ {
+		fEnd[s] = make([]float64, m)
+		bEnd[s] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			fEnd[s][j], bEnd[s][j] = unset, unset
+		}
+	}
+
+	res := ScheduleResult{StageBusy: make([]float64, p)}
+	stageFree := make([]float64, p)
+	opIdx := make([]int, p)
+	remaining := 2 * p * m
+	for remaining > 0 {
+		// Pick, among stages whose next op has its dependency satisfied,
+		// the one that can start earliest (ties to the later stage, which
+		// drains backwards first).
+		pick, pickStart := -1, 0.0
+		for s := 0; s < p; s++ {
+			if opIdx[s] >= len(ops[s]) {
+				continue
+			}
+			o := ops[s][opIdx[s]]
+			var dep float64
+			switch o.kind {
+			case Forward:
+				if s > 0 {
+					if fEnd[s-1][o.micro] == unset {
+						continue
+					}
+					dep = fEnd[s-1][o.micro] + p2p(o.micro)
+				}
+			case Backward:
+				if s < p-1 {
+					if bEnd[s+1][o.micro] == unset {
+						continue
+					}
+					dep = bEnd[s+1][o.micro] + p2p(o.micro)
+				} else {
+					if fEnd[s][o.micro] == unset {
+						continue
+					}
+					dep = fEnd[s][o.micro]
+				}
+			}
+			start := stageFree[s]
+			if dep > start {
+				start = dep
+			}
+			if pick == -1 || start < pickStart || (start == pickStart && s > pick) {
+				pick, pickStart = s, start
+			}
+		}
+		if pick == -1 {
+			return res, fmt.Errorf("pipeline: 1F1B schedule deadlocked with %d ops left", remaining)
+		}
+		o := ops[pick][opIdx[pick]]
+		var dur float64
+		if o.kind == Forward {
+			dur = d.F[pick][o.micro]
+		} else {
+			dur = d.B[pick][o.micro]
+		}
+		end := pickStart + dur
+		if o.kind == Forward {
+			fEnd[pick][o.micro] = end
+		} else {
+			bEnd[pick][o.micro] = end
+		}
+		stageFree[pick] = end
+		opIdx[pick]++
+		res.StageBusy[pick] += dur
+		res.Events = append(res.Events, Event{Stage: pick, Micro: o.micro, Kind: o.kind, Start: pickStart, End: end})
+		if end > res.Time {
+			res.Time = end
+		}
+		remaining--
+	}
+
+	var idle float64
+	for s := 0; s < p; s++ {
+		idle += res.Time - res.StageBusy[s]
+	}
+	res.Bubble = idle / float64(p)
+	if res.Time > 0 {
+		res.BubbleFrac = res.Bubble / res.Time
+	}
+	return res, nil
+}
+
+// Options configures Pipeline.Execute, mirroring sim.Options.
+type Options struct {
+	// Noise is the multiplicative log-normal jitter σ on stage compute and
+	// communication times; 0 disables it.
+	Noise float64
+	// Seed drives the jitter.
+	Seed int64
+	// IncludeZeRO charges each stage's exposed ZeRO-3 cost per micro-batch
+	// (the stage's parameter share, sharded over the stage's devices).
+	IncludeZeRO bool
+	// Pool, when non-nil, charges communicator creation on first use of
+	// each stage-local device range (globally addressed, so stages share
+	// the one hot-switching pool).
+	Pool *cluster.GroupPool
+}
+
+// ErrOOM is returned when a stage plan exceeds device memory.
+var ErrOOM = fmt.Errorf("pipeline: stage plan exceeds device memory (OOM)")
+
+// forwardShare splits a group's compute and communication between the
+// forward and backward passes: backward compute is ~2× forward
+// (fwdBwdFactor), while Ulysses mirrors its forward all-to-alls in backward.
+const (
+	fwdCompShare = 1.0 / 3.0
+	fwdCommShare = 0.5
+)
+
+// Execute replays one iteration through the 1F1B schedule. plans[j][s] is
+// micro-batch j's flexible-SP plan for stage s; every stage of a micro-batch
+// must cover the same sequences. Communicator creation is charged once,
+// before the schedule (production warm-up per §5); per-op times optionally
+// jitter; memory is checked per stage group with in-flight accounting.
+func (p Pipeline) Execute(plans [][]planner.MicroPlan, opts Options) (ScheduleResult, error) {
+	m := len(plans)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	jitter := func() float64 {
+		if opts.Noise <= 0 {
+			return 1
+		}
+		return math.Exp(rng.NormFloat64() * opts.Noise)
+	}
+
+	d := Durations{
+		F:   make([][]float64, p.PP),
+		B:   make([][]float64, p.PP),
+		P2P: make([]float64, m),
+	}
+	for s := range d.F {
+		d.F[s] = make([]float64, m)
+		d.B[s] = make([]float64, m)
+	}
+
+	var res ScheduleResult
+	type stageComm struct{ comm, comp float64 }
+	critical := make([]stageComm, p.PP)
+	var creation float64
+	peak := 0.0
+	oom := false
+	for j := 0; j < m; j++ {
+		if len(plans[j]) != p.PP {
+			return res, fmt.Errorf("pipeline: micro-batch %d has %d stage plans, want %d", j, len(plans[j]), p.PP)
+		}
+		tokens := 0
+		for si, st := range p.Stages {
+			mp := plans[j][si]
+			c := st.Coeffs
+			usable := float64(c.Topo.UsableMemory())
+			var degrees []int
+			stageTokens := 0
+			var slow, slowComm, slowComp float64
+			for _, g := range mp.Groups {
+				if len(g.Lens) == 0 {
+					continue
+				}
+				degrees = append(degrees, g.Degree)
+				stageTokens += g.Tokens()
+				comp := c.ComputeTime(g.Lens, g.Degree) * jitter()
+				comm := c.CommTime(g.Lens, g.Degree) * jitter()
+				// The critical (slowest) group bounds both passes — groups
+				// run concurrently and the stage hands off only when all
+				// have finished, exactly like the flat executor's makespan.
+				if t := comp + comm; t > slow {
+					slow, slowComm, slowComp = t, comm, comp
+				}
+				if frac := c.MemoryBytes(g.Lens, g.Degree) / usable; frac > peak {
+					peak = frac
+					if frac > 1 {
+						oom = true
+					}
+				}
+			}
+			critical[si].comm += slowComm
+			critical[si].comp += slowComp
+			if si == 0 {
+				tokens = stageTokens
+			}
+			var zero float64
+			if opts.IncludeZeRO {
+				zero = c.ZeROTime()
+				res.ZeRO += zero
+			}
+			d.F[si][j] = slowComp*fwdCompShare + slowComm*fwdCommShare + zero
+			d.B[si][j] = slowComp*(1-fwdCompShare) + slowComm*(1-fwdCommShare)
+			if opts.Pool != nil {
+				placement, err := cluster.PlaceGroups(st.Devices.Size, degrees)
+				if err != nil {
+					return res, fmt.Errorf("pipeline: stage %d placement failed: %w", si, err)
+				}
+				for _, r := range placement.Ranges {
+					r.Start += st.Devices.Start
+					creation += opts.Pool.Acquire(r)
+				}
+			}
+		}
+		d.P2P[j] = p.P2PTime(tokens)
+	}
+
+	sched, err := Simulate1F1B(d)
+	if err != nil {
+		return sched, err
+	}
+	sched.ZeRO = res.ZeRO
+	for _, t := range d.P2P {
+		sched.P2P += t * float64(2*(p.PP-1))
+	}
+	sched.GroupCreation = creation
+	sched.Time += creation
+	sched.PeakMemFrac = peak
+	sched.OOM = oom
+	// Critical-path compute/communication: take the busiest stage's.
+	busiest := 0
+	for s := range sched.StageBusy {
+		if sched.StageBusy[s] > sched.StageBusy[busiest] {
+			busiest = s
+		}
+	}
+	sched.AllToAll = critical[busiest].comm
+	sched.Comp = critical[busiest].comp
+	if oom {
+		return sched, ErrOOM
+	}
+	return sched, nil
+}
+
+// AllToAllShare is the critical stage's all-to-all share of iteration time.
+func (r ScheduleResult) AllToAllShare() float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return r.AllToAll / r.Time
+}

@@ -44,10 +44,11 @@ func (pl *Planner) planEnum(lens []int) (MicroPlan, error) {
 		cands = append(cands, cand{degrees: append([]int(nil), degrees...), span: a.makespan()})
 	}
 
+	maxDeg := c.MaxDegree()
 	if n <= enumLimit {
-		enumeratePartitions(n, n, minDeg, tryConfig)
+		enumeratePartitions(n, maxDeg, minDeg, tryConfig)
 	} else {
-		for _, cfg := range searchConfigs(n, minDeg) {
+		for _, cfg := range searchConfigs(n, minDeg, maxDeg) {
 			tryConfig(cfg)
 		}
 	}
@@ -138,8 +139,8 @@ func enumeratePartitions(n, maxPart, minFirst int, yield func([]int)) {
 // searchConfigs builds a small set of promising configurations for large
 // clusters: homogeneous seeds at every feasible degree plus a two-level
 // split/merge neighbourhood expansion around each. Deterministic.
-func searchConfigs(n, minDeg int) [][]int {
-	seeds := seedConfigs(n, minDeg)
+func searchConfigs(n, minDeg, maxDeg int) [][]int {
+	seeds := seedConfigs(n, minDeg, maxDeg)
 	seen := map[string]bool{}
 	var out [][]int
 	addCfg := func(cfg []int) bool {
@@ -159,7 +160,7 @@ func searchConfigs(n, minDeg int) [][]int {
 		for depth := 0; depth < 2; depth++ {
 			var next [][]int
 			for _, cfg := range frontier {
-				for _, nb := range neighbours(cfg, minDeg) {
+				for _, nb := range neighbours(cfg, minDeg, maxDeg) {
 					if addCfg(nb) {
 						next = append(next, nb)
 					}
@@ -177,9 +178,12 @@ func searchConfigs(n, minDeg int) [][]int {
 // seedConfigs are the starting layouts for large-N search: homogeneous
 // configurations at every feasible degree, plus one "one big group + rest at
 // node size" mix.
-func seedConfigs(n, minDeg int) [][]int {
+func seedConfigs(n, minDeg, maxDeg int) [][]int {
+	if maxDeg > n {
+		maxDeg = n
+	}
 	var seeds [][]int
-	for d := minDeg; d <= n; d *= 2 {
+	for d := minDeg; d <= maxDeg; d *= 2 {
 		cfg := make([]int, 0, n/d)
 		for i := 0; i < n/d; i++ {
 			cfg = append(cfg, d)
@@ -211,8 +215,9 @@ func seedConfigs(n, minDeg int) [][]int {
 }
 
 // neighbours applies one split (d → d/2, d/2) or one merge (d, d → 2d) to
-// the configuration. The largest part never drops below minDeg.
-func neighbours(cfg []int, minDeg int) [][]int {
+// the configuration. The largest part never drops below minDeg nor grows
+// beyond maxDeg.
+func neighbours(cfg []int, minDeg, maxDeg int) [][]int {
 	counts := map[int]int{}
 	for _, d := range cfg {
 		counts[d]++
@@ -238,7 +243,7 @@ func neighbours(cfg []int, minDeg int) [][]int {
 				out = append(out, nb)
 			}
 		}
-		if k >= 2 {
+		if k >= 2 && 2*d <= maxDeg {
 			m := cloneCounts(counts)
 			m[d] -= 2
 			m[2*d]++

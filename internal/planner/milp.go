@@ -24,7 +24,7 @@ func (pl *Planner) planMILP(lens []int) (MicroPlan, error) {
 	// Virtual groups: every degree with up to min(N/d, K) copies —
 	// more groups than sequences can never all be occupied.
 	var vgroups []int // degree per virtual group
-	for _, d := range c.Topo.SPDegrees() {
+	for _, d := range c.SPDegrees() {
 		copies := n / d
 		if copies > k {
 			copies = k

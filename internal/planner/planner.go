@@ -82,7 +82,11 @@ func (pl *Planner) PlanHomogeneous(lens []int) (MicroPlan, error) {
 	items := itemsFromBuckets(pl.bucketize(lens))
 	var best MicroPlan
 	found := false
-	for d := minDeg; d <= n; d *= 2 {
+	maxDeg := c.MaxDegree()
+	if maxDeg > n {
+		maxDeg = n
+	}
+	for d := minDeg; d <= maxDeg; d *= 2 {
 		degrees := make([]int, n/d)
 		for i := range degrees {
 			degrees[i] = d
@@ -114,7 +118,7 @@ func (pl *Planner) PlanFixedDegree(lens []int, degree int) (MicroPlan, error) {
 	}
 	c := pl.Coeffs
 	n := c.Topo.NumDevices()
-	if !c.Topo.IsValidDegree(degree) {
+	if !c.Topo.IsValidDegree(degree) || degree > c.MaxDegree() {
 		return MicroPlan{}, ErrInfeasible
 	}
 	degrees := make([]int, n/degree)

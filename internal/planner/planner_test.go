@@ -221,7 +221,7 @@ func TestEnumeratePartitionsCount(t *testing.T) {
 }
 
 func TestSearchConfigsLargeN(t *testing.T) {
-	cfgs := searchConfigs(1024, 32)
+	cfgs := searchConfigs(1024, 32, 1024)
 	if len(cfgs) == 0 {
 		t.Fatal("no configurations for N=1024")
 	}
