@@ -12,9 +12,10 @@
 //	BenchmarkFig7       ablation slowdowns
 //	BenchmarkFig8       solver wall time and amortized overlap
 //	BenchmarkFig9       cost-estimator max error
-//	BenchmarkTable4     bucketing token-error gap
-//	BenchmarkSolver     raw Alg. 1 solve latency on a 512-sequence batch
-//	BenchmarkPlanner    single micro-batch planning latency per strategy
+//	BenchmarkTable4        bucketing token-error gap
+//	BenchmarkHeterogeneous placement-aware speedup on a mixed A100/H100 fleet
+//	BenchmarkSolver        raw Alg. 1 solve latency on a 512-sequence batch
+//	BenchmarkPlanner       single micro-batch planning latency per strategy
 package flexsp
 
 import (
@@ -160,6 +161,18 @@ func BenchmarkPipeline(b *testing.B) {
 	}
 	b.ReportMetric(res.MaxSpeedupVsFlat(), "joint-vs-flat-speedup")
 	b.ReportMetric(float64(res.FlatInfeasibleFitCount()), "fits-where-flat-oom")
+}
+
+// BenchmarkHeterogeneous reports the mixed-fleet headline: the
+// placement-aware planner's iteration-time speedup over class-oblivious
+// scheduling on an A100/H100 cluster.
+func BenchmarkHeterogeneous(b *testing.B) {
+	var res experiments.HeterogeneousResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Heterogeneous(benchCfg())
+	}
+	b.ReportMetric(res.AwareSpeedup("oblivious-shuffled"), "aware-vs-oblivious-speedup")
+	b.ReportMetric(res.AwareSpeedup("bottleneck-homogeneous"), "aware-vs-bottleneck-speedup")
 }
 
 // BenchmarkJointPlanner measures the joint PP×SP solve latency on a

@@ -2,25 +2,31 @@
 // the simulated cluster. Each subcommand maps to one experiment of the
 // evaluation (see DESIGN.md §3):
 //
-//	flexsp-bench table1     # Table 1: homogeneous SP grid, times + A2A ratio
-//	flexsp-bench fig1       # Fig. 1: motivating example
-//	flexsp-bench fig2       # Fig. 2: dataset length distributions
-//	flexsp-bench fig4       # Fig. 4: end-to-end comparison grid
-//	flexsp-bench table3fig5 # Table 3 + Fig. 5: case study
-//	flexsp-bench fig6       # Fig. 6: scalability sweeps
-//	flexsp-bench fig7       # Fig. 7: ablations
-//	flexsp-bench fig8       # Fig. 8: solver scalability
-//	flexsp-bench fig9       # Fig. 9: estimator accuracy
-//	flexsp-bench table4     # Table 4: bucketing bias
-//	flexsp-bench table5     # Table 5: model configurations
-//	flexsp-bench pipeline   # hybrid PP×SP: joint planner vs flat FlexSP vs Megatron
-//	flexsp-bench all        # everything above
+//	flexsp-bench table1        # Table 1: homogeneous SP grid, times + A2A ratio
+//	flexsp-bench fig1          # Fig. 1: motivating example
+//	flexsp-bench fig2          # Fig. 2: dataset length distributions
+//	flexsp-bench fig4          # Fig. 4: end-to-end comparison grid
+//	flexsp-bench table3fig5    # Table 3 + Fig. 5: case study
+//	flexsp-bench fig6          # Fig. 6: scalability sweeps
+//	flexsp-bench fig7          # Fig. 7: ablations
+//	flexsp-bench fig8          # Fig. 8: solver scalability
+//	flexsp-bench fig9          # Fig. 9: estimator accuracy
+//	flexsp-bench table4        # Table 4: bucketing bias
+//	flexsp-bench table5        # Table 5: model configurations
+//	flexsp-bench pipeline      # hybrid PP×SP: joint planner vs flat FlexSP vs Megatron
+//	flexsp-bench heterogeneous # mixed A100/H100 fleet: placement-aware vs class-oblivious
+//	flexsp-bench all           # everything above
 //
 // Flags: -quick shrinks batch sizes/iterations, -seed, -iters and -devices
-// override the experiment configuration.
+// override the experiment configuration; -cluster (e.g.
+// "mixed:32xA100,32xH100") picks the heterogeneous experiment's fleet. The
+// heterogeneous experiment also writes its result as machine-readable JSON
+// (default BENCH_heterogeneous.json, see -benchjson) so perf can be tracked
+// across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +40,9 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced experiment configuration")
 	seed := flag.Int64("seed", 0, "override the sampling seed")
 	iters := flag.Int("iters", 0, "override iterations per cell")
-	devices := flag.Int("devices", 0, "override the cluster size (multiple of 8, or < 8 for one node)")
+	devices := flag.Int("devices", 0, "override the cluster size (multiple of 8, or < 8 for one node); the heterogeneous experiment splits it half A100, half H100")
+	clusterSpec := flag.String("cluster", "", "mixed-fleet spec for the heterogeneous experiment, e.g. mixed:32xA100,32xH100")
+	benchJSON := flag.String("benchjson", "BENCH_heterogeneous.json", "path for the heterogeneous experiment's JSON result (empty disables)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -54,6 +62,13 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Devices = *devices
+	}
+	if *clusterSpec != "" {
+		if _, err := cluster.ParseClusterSpec(*clusterSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "flexsp-bench: invalid -cluster:", err)
+			os.Exit(1)
+		}
+		cfg.ClusterSpec = *clusterSpec
 	}
 
 	args := flag.Args()
@@ -76,9 +91,20 @@ func main() {
 		"table5":     func(c experiments.Config) string { return experiments.Table5() },
 		"appendixE":  func(c experiments.Config) string { return experiments.AppendixE(c).Render() },
 		"pipeline":   func(c experiments.Config) string { return experiments.Pipeline(c).Render() },
+		"heterogeneous": func(c experiments.Config) string {
+			r := experiments.Heterogeneous(c)
+			if *benchJSON != "" {
+				if err := writeBenchJSON(*benchJSON, r); err != nil {
+					fmt.Fprintln(os.Stderr, "flexsp-bench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("[wrote %s]\n", *benchJSON)
+			}
+			return r.Render()
+		},
 	}
 	order := []string{"table5", "table1", "fig1", "fig2", "fig4", "table3fig5",
-		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE", "pipeline"}
+		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE", "pipeline", "heterogeneous"}
 
 	run := func(name string) {
 		start := time.Now()
@@ -101,9 +127,17 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] <experiment>
+func writeBenchJSON(path string, r experiments.HeterogeneousResult) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
 
-experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline all`)
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] [-cluster SPEC] <experiment>
+
+experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous all`)
 	flag.PrintDefaults()
 }

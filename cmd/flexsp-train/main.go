@@ -7,6 +7,12 @@
 //
 // With -system pipeline the joint PP×SP planner runs per iteration: -pp 0
 // sweeps PP ∈ {1,2,4,8}, -pp N pins the pipeline degree.
+//
+// With -cluster mixed:32xA100,32xH100 the run targets a heterogeneous fleet:
+// the flexsp and pipeline systems plan placement-aware (groups and stages
+// know their device classes), while deepspeed/batchada plan against the
+// conservative bottleneck view; every system executes on the real mixed
+// fleet. -cluster overrides -devices.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 
 func main() {
 	devices := flag.Int("devices", 64, "GPU count")
+	clusterSpec := flag.String("cluster", "", "fleet spec, e.g. mixed:32xA100,32xH100 (overrides -devices)")
 	modelName := flag.String("model", "GPT-7B", "model: GPT-7B, GPT-13B, GPT-30B")
 	datasetName := flag.String("dataset", "commoncrawl", "dataset: github, commoncrawl, wikipedia")
 	dataFile := flag.String("data", "", "load sequence lengths from a file (JSON array or one per line) instead of a synthetic dataset")
@@ -67,10 +74,34 @@ func main() {
 		dataset = workload.CommonCrawl()
 	}
 
-	topo, err := cluster.NewA100Cluster(*devices)
-	if err != nil {
-		fatal(fmt.Errorf("invalid -devices: %w", err))
+	var topo cluster.Topology
+	var hetero *costmodel.HeteroCoeffs
+	fleet := ""
+	if *clusterSpec != "" {
+		mixed, err := cluster.ParseClusterSpec(*clusterSpec)
+		if err != nil {
+			fatal(fmt.Errorf("invalid -cluster: %w", err))
+		}
+		fleet = mixed.String()
+		if uni, ok := mixed.Uniform(); ok {
+			topo = uni // single class: the scalar path applies unchanged
+		} else {
+			h := costmodel.ProfileMixed(model, mixed)
+			if err := h.Validate(); err != nil {
+				fatal(err)
+			}
+			hetero = &h
+			topo = h.Bottleneck().Topo
+		}
+	} else {
+		t, err := cluster.NewA100Cluster(*devices)
+		if err != nil {
+			fatal(fmt.Errorf("invalid -devices: %w", err))
+		}
+		topo = t
+		fleet = fmt.Sprintf("%d GPUs", topo.NumDevices())
 	}
+	n := topo.NumDevices()
 	if *pp < 0 || (*pp > 0 && *pp > model.Layers) {
 		fatal(fmt.Errorf("invalid -pp %d: must be positive and not exceed %d layers", *pp, model.Layers))
 	}
@@ -82,21 +113,26 @@ func main() {
 			fatal(fmt.Errorf("invalid -pp %d: %w", *pp, err))
 		}
 	}
-	coeffs := costmodel.Profile(model, topo)
-	pool := cluster.NewGroupPool(*devices, cluster.DefaultGroupCreation)
+	var coeffs costmodel.Coeffs
+	if hetero != nil {
+		coeffs = hetero.Bottleneck()
+	} else {
+		coeffs = costmodel.Profile(model, topo)
+	}
+	pool := cluster.NewGroupPool(n, cluster.DefaultGroupCreation)
 	// One-time startup: create the communicator hierarchy so hot switching
 	// is free during measured iterations (§5).
 	var warmupCost float64
-	for size := 2; size <= *devices; size *= 2 {
-		for start := 0; start+size <= *devices; start += size {
+	for size := 2; size <= n; size *= 2 {
+		for start := 0; start+size <= n; start += size {
 			warmupCost += pool.Acquire(cluster.DeviceRange{Start: start, Size: size})
 		}
 	}
 	fmt.Printf("communicator warm-up: %.0fs simulated, one-time\n", warmupCost)
 	rng := rand.New(rand.NewSource(*seed))
 
-	fmt.Printf("%s on %s, %d GPUs, max ctx %s, batch %d, system %s\n\n",
-		model.Name, dataset.Name, *devices, report.Tokens(maxCtx), *batch, *system)
+	fmt.Printf("%s on %s, %s, max ctx %s, batch %d, system %s\n\n",
+		model.Name, dataset.Name, fleet, report.Tokens(maxCtx), *batch, *system)
 
 	// Draw all batches up front (lengths are known from the data loader)
 	// and prefetch plans through the service.
@@ -155,8 +191,14 @@ func main() {
 	}
 
 	execPlans := func(i int, plans []planner.MicroPlan, est float64, solveWall time.Duration) error {
-		exec, err := sim.ExecuteIteration(coeffs, plans, sim.Options{
-			IncludeZeRO: true, Pool: pool, Seed: int64(i)})
+		opts := sim.Options{IncludeZeRO: true, Pool: pool, Seed: int64(i)}
+		var exec sim.IterResult
+		var err error
+		if hetero != nil {
+			exec, err = sim.ExecuteIterationHetero(*hetero, plans, opts)
+		} else {
+			exec, err = sim.ExecuteIteration(coeffs, plans, opts)
+		}
 		if err != nil {
 			return err
 		}
@@ -202,7 +244,12 @@ func main() {
 			}
 		}
 	case "pipeline":
-		jp := pipeline.NewPlanner(coeffs)
+		var jp *pipeline.Planner
+		if hetero != nil {
+			jp = pipeline.NewHeteroPlanner(*hetero)
+		} else {
+			jp = pipeline.NewPlanner(coeffs)
+		}
 		jp.IncludeZeRO = true
 		if *pp > 0 {
 			jp.Degrees = []int{*pp}
@@ -238,7 +285,13 @@ func main() {
 			}
 		}
 	default: // flexsp with the disaggregated service
-		inner := solver.New(planner.New(coeffs))
+		var pl *planner.Planner
+		if hetero != nil {
+			pl = planner.NewHetero(*hetero)
+		} else {
+			pl = planner.New(coeffs)
+		}
+		inner := solver.New(pl)
 		inner.Overhead = coeffs.ZeROTime() // account for per-micro-batch ZeRO
 		sv := solver.NewService(inner, *workers)
 		defer sv.Close()

@@ -55,6 +55,13 @@ var (
 type Config struct {
 	// Devices is the GPU count (multiple of 8, or < 8 for one node).
 	Devices int
+	// Cluster optionally selects the fleet by spec instead of Devices:
+	// "mixed:32xA100,32xH100" builds a heterogeneous cluster (device counts
+	// per class; classes A100, A100-80G, H100), and a single-class spec like
+	// "64xH100" builds a homogeneous non-A100 fleet. Empty uses Devices
+	// A100-40G GPUs. Invalid specs panic, like invalid Devices counts do;
+	// CLIs validate with cluster.ParseClusterSpec first.
+	Cluster string
 	// Model selects the transformer configuration (default GPT7B).
 	Model costmodel.ModelConfig
 	// Strategy selects the planner algorithm (default enumerative).
@@ -84,12 +91,19 @@ type PipelineConfig struct {
 
 // System is a ready-to-use FlexSP instance.
 type System struct {
-	Topo    cluster.Topology
+	// Topo is the cluster topology; on a heterogeneous fleet it is the
+	// conservative bottleneck view (same device count, slowest class rates).
+	Topo cluster.Topology
+	// Coeffs mirrors Topo: the scalar cost model, or the bottleneck view of
+	// a mixed fleet.
 	Coeffs  costmodel.Coeffs
 	Planner *planner.Planner
 	Solver  *solver.Solver
 	// Joint is the hybrid PP×SP planner behind SolvePipelined.
 	Joint *pipeline.Planner
+	// Hetero is non-nil on mixed clusters: the placement-aware cost model
+	// that Solve/Execute plan and replay against.
+	Hetero *costmodel.HeteroCoeffs
 
 	includeZeRO bool
 	pool        *cluster.GroupPool
@@ -103,12 +117,41 @@ func NewSystem(cfg Config) *System {
 	if cfg.Model.Name == "" {
 		cfg.Model = costmodel.GPT7B
 	}
-	topo := cluster.A100Cluster(cfg.Devices)
-	coeffs := costmodel.Profile(cfg.Model, topo).WithStyle(cfg.CommStyle)
-	if cfg.Pipeline.HeadsCap {
+
+	var topo cluster.Topology
+	var coeffs costmodel.Coeffs
+	var hetero *costmodel.HeteroCoeffs
+	var pl *planner.Planner
+	if cfg.Cluster != "" {
+		mixed, err := cluster.ParseClusterSpec(cfg.Cluster)
+		if err != nil {
+			panic("flexsp: " + err.Error())
+		}
+		if uni, ok := mixed.Uniform(); ok {
+			// Single class: the scalar path applies unchanged.
+			topo = uni
+			coeffs = costmodel.Profile(cfg.Model, topo).WithStyle(cfg.CommStyle)
+		} else {
+			h := costmodel.ProfileMixed(cfg.Model, mixed).WithStyle(cfg.CommStyle)
+			if cfg.Pipeline.HeadsCap {
+				h = h.WithHeadsCap()
+			}
+			hetero = &h
+			coeffs = h.Bottleneck()
+			topo = coeffs.Topo
+		}
+	} else {
+		topo = cluster.A100Cluster(cfg.Devices)
+		coeffs = costmodel.Profile(cfg.Model, topo).WithStyle(cfg.CommStyle)
+	}
+	if cfg.Pipeline.HeadsCap && hetero == nil {
 		coeffs = coeffs.WithHeadsCap()
 	}
-	pl := planner.New(coeffs)
+	if hetero != nil {
+		pl = planner.NewHetero(*hetero)
+	} else {
+		pl = planner.New(coeffs)
+	}
 	pl.Strategy = cfg.Strategy
 	sv := solver.New(pl)
 	if cfg.Trials > 0 {
@@ -119,7 +162,12 @@ func NewSystem(cfg Config) *System {
 		// when choosing the micro-batch count.
 		sv.Overhead = coeffs.ZeROTime()
 	}
-	jp := pipeline.NewPlanner(coeffs)
+	var jp *pipeline.Planner
+	if hetero != nil {
+		jp = pipeline.NewHeteroPlanner(*hetero)
+	} else {
+		jp = pipeline.NewPlanner(coeffs)
+	}
 	jp.Strategy = cfg.Strategy
 	jp.IncludeZeRO = cfg.IncludeZeRO
 	if cfg.Trials > 0 {
@@ -134,8 +182,9 @@ func NewSystem(cfg Config) *System {
 		Planner:     pl,
 		Solver:      sv,
 		Joint:       jp,
+		Hetero:      hetero,
 		includeZeRO: cfg.IncludeZeRO,
-		pool:        cluster.NewGroupPool(cfg.Devices, cluster.DefaultGroupCreation),
+		pool:        cluster.NewGroupPool(topo.NumDevices(), cluster.DefaultGroupCreation),
 	}
 }
 
@@ -162,12 +211,14 @@ func (s *System) Solve(batch []int) (solver.Result, error) {
 }
 
 // Execute replays an iteration's plans on the simulated cluster, reusing
-// communicators across calls (hot switching).
+// communicators across calls (hot switching). On a mixed cluster every
+// group is costed against the device classes of the range it occupies.
 func (s *System) Execute(plans []planner.MicroPlan) (sim.IterResult, error) {
-	return sim.ExecuteIteration(s.Coeffs, plans, sim.Options{
-		IncludeZeRO: s.includeZeRO,
-		Pool:        s.pool,
-	})
+	opts := sim.Options{IncludeZeRO: s.includeZeRO, Pool: s.pool}
+	if s.Hetero != nil {
+		return sim.ExecuteIterationHetero(*s.Hetero, plans, opts)
+	}
+	return sim.ExecuteIteration(s.Coeffs, plans, opts)
 }
 
 // Train runs iters solve+execute iterations over batches drawn by nextBatch

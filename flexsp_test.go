@@ -149,3 +149,67 @@ func TestSystemBeatsBaselines(t *testing.T) {
 		t.Logf("note: Megatron %.2fs vs FlexSP %.2fs", mg.Time, flex.Time)
 	}
 }
+
+// A mixed-cluster System plans placement-aware and executes on the real
+// fleet; a single-class spec takes the legacy scalar path.
+func TestHeterogeneousSystem(t *testing.T) {
+	sys := NewSystem(Config{Cluster: "mixed:16xA100,16xH100", Model: GPT7B})
+	if sys.Hetero == nil {
+		t.Fatal("mixed spec did not enable the heterogeneous path")
+	}
+	if sys.Topo.NumDevices() != 32 {
+		t.Fatalf("topo has %d devices", sys.Topo.NumDevices())
+	}
+	rng := rand.New(rand.NewSource(2))
+	batch := CommonCrawl().Batch(rng, 64, 64<<10)
+	res, err := sys.Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Plans {
+		var lens []int
+		for _, g := range p.Groups {
+			lens = append(lens, g.Lens...)
+		}
+		if err := p.ValidatePlaced(*sys.Hetero, lens); err != nil {
+			t.Fatal(err)
+		}
+	}
+	placed := 0
+	for _, p := range res.Plans {
+		for _, g := range p.Groups {
+			if g.Placed() {
+				placed++
+			}
+		}
+	}
+	if placed == 0 {
+		t.Fatal("no placed groups in mixed-cluster plans")
+	}
+	exec, err := sys.Execute(res.Plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Time <= 0 || exec.PeakMemFrac > 1 {
+		t.Fatalf("bad execution: time %v, peak mem %v", exec.Time, exec.PeakMemFrac)
+	}
+
+	// Single-class spec: scalar path, identical to the Devices constructor.
+	uni := NewSystem(Config{Cluster: "64xA100", Model: GPT7B})
+	if uni.Hetero != nil {
+		t.Fatal("single-class spec took the heterogeneous path")
+	}
+	legacy := NewSystem(Config{Devices: 64, Model: GPT7B})
+	if uni.Coeffs != legacy.Coeffs {
+		t.Fatal("single-class spec coeffs differ from the legacy constructor")
+	}
+}
+
+func TestHeterogeneousSystemBadSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid cluster spec did not panic")
+		}
+	}()
+	NewSystem(Config{Cluster: "mixed:banana"})
+}

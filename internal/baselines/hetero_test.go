@@ -1,0 +1,71 @@
+package baselines
+
+import (
+	"reflect"
+	"testing"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+)
+
+func TestHeterogeneousObliviousPlacement(t *testing.T) {
+	m, err := cluster.MixedCluster(
+		cluster.ClassCount{Class: cluster.A100_40G, Devices: 8},
+		cluster.ClassCount{Class: cluster.H100, Devices: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := costmodel.ProfileMixed(costmodel.GPT7B, m)
+	plans := []planner.MicroPlan{
+		{Groups: []planner.Group{
+			{Degree: 8, Lens: []int{20 << 10}, Range: cluster.DeviceRange{Start: 8, Size: 8}},
+			{Degree: 4, Lens: []int{6 << 10}, Range: cluster.DeviceRange{Start: 0, Size: 4}},
+			{Degree: 4, Lens: []int{4 << 10}, Range: cluster.DeviceRange{Start: 4, Size: 4}},
+		}},
+	}
+
+	a, err := ObliviousPlacement(hc, plans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ObliviousPlacement(hc, plans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("oblivious placement not deterministic for one seed")
+	}
+
+	// Ranges must still form a valid placement, and group loads must be
+	// untouched.
+	var pl cluster.GroupPlacement
+	for gi, g := range a[0].Groups {
+		pl.Ranges = append(pl.Ranges, g.Range)
+		if !reflect.DeepEqual(g.Lens, plans[0].Groups[gi].Lens) {
+			t.Fatalf("group %d load changed", gi)
+		}
+	}
+	if err := pl.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+
+	// Across seeds the shuffle must actually move groups off the aware
+	// placement at least once.
+	moved := false
+	for seed := int64(0); seed < 8 && !moved; seed++ {
+		o, err := ObliviousPlacement(hc, plans, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi := range o[0].Groups {
+			if o[0].Groups[gi].Range != plans[0].Groups[gi].Range {
+				moved = true
+				break
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("shuffled placement never differed from the aware placement")
+	}
+}

@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"hash/fnv"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+)
+
+// ObliviousPlacement re-places every micro-plan's groups without regard to
+// device class, modeling a scheduler that sees only device counts: each
+// aligned slot gets a deterministic pseudo-random preference derived from
+// seed, so the same degree multiset lands on an arbitrary mix of regions.
+// Group loads (the sequence assignment) are preserved, and each plan's time
+// is re-estimated against the classes its groups actually land on. A group
+// that no longer fits its region's memory keeps the placement — the executor
+// reports the OOM, which is precisely the failure mode the heterogeneous
+// experiment charges to class-oblivious scheduling.
+func ObliviousPlacement(h costmodel.HeteroCoeffs, plans []planner.MicroPlan, seed int64) ([]planner.MicroPlan, error) {
+	n := h.Mixed.NumDevices()
+	out := make([]planner.MicroPlan, len(plans))
+	for pi, p := range plans {
+		var degrees []int
+		var groups []planner.Group
+		for _, g := range p.Groups {
+			if len(g.Lens) == 0 {
+				continue
+			}
+			degrees = append(degrees, g.Degree)
+			groups = append(groups, g)
+		}
+		score := slotShuffle(seed, int64(pi))
+		placed, err := cluster.PlaceGroupsScored(n, degrees, score)
+		if err != nil {
+			return nil, err
+		}
+		np := planner.MicroPlan{Groups: make([]planner.Group, len(groups))}
+		for gi, g := range groups {
+			r := placed.Ranges[gi]
+			np.Groups[gi] = planner.Group{Degree: g.Degree, Lens: g.Lens, Range: r}
+			if t := h.Group(r).GroupTime(g.Lens, g.Degree); t > np.Time {
+				np.Time = t
+			}
+		}
+		out[pi] = np
+	}
+	return out, nil
+}
+
+// slotShuffle returns a deterministic pseudo-random slot preference for one
+// micro-batch: a pure function of (seed, plan index, slot), so repeated runs
+// produce identical "shuffled" placements.
+func slotShuffle(seed, plan int64) func(cluster.DeviceRange) float64 {
+	return func(r cluster.DeviceRange) float64 {
+		f := fnv.New64a()
+		var buf [32]byte
+		put := func(off int, v int64) {
+			for i := 0; i < 8; i++ {
+				buf[off+i] = byte(v >> (8 * i))
+			}
+		}
+		put(0, seed)
+		put(8, plan)
+		put(16, int64(r.Start))
+		put(24, int64(r.Size))
+		f.Write(buf[:])
+		return float64(f.Sum64())
+	}
+}

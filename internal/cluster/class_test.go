@@ -1,0 +1,218 @@
+package cluster
+
+import "testing"
+
+func mustMixed(t *testing.T, parts ...ClassCount) MixedTopology {
+	t.Helper()
+	m, err := MixedCluster(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestHeterogeneousClassByName(t *testing.T) {
+	for name, want := range map[string]DeviceClass{
+		"A100":     A100_40G,
+		"a100-40g": A100_40G,
+		"A100_80G": A100_80G,
+		"h100":     H100,
+	} {
+		got, err := ClassByName(name)
+		if err != nil {
+			t.Fatalf("ClassByName(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("ClassByName(%q) = %s, want %s", name, got.Name, want.Name)
+		}
+	}
+	if _, err := ClassByName("V100"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestHeterogeneousClassesValidate(t *testing.T) {
+	for _, dc := range Classes() {
+		if err := dc.Validate(); err != nil {
+			t.Errorf("%s: %v", dc.Name, err)
+		}
+	}
+}
+
+// The single-class case must be bit-compatible with the legacy constructor.
+func TestHeterogeneousUniformMatchesA100Cluster(t *testing.T) {
+	m := mustMixed(t, ClassCount{Class: A100_40G, Devices: 64})
+	topo, ok := m.Uniform()
+	if !ok {
+		t.Fatal("single-class fleet not reported uniform")
+	}
+	if topo != A100Cluster(64) {
+		t.Fatalf("uniform view %+v != A100Cluster(64) %+v", topo, A100Cluster(64))
+	}
+	view, err := m.RangeView(m.FullRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view != A100Cluster(64) {
+		t.Fatalf("full RangeView %+v != A100Cluster(64) %+v", view, A100Cluster(64))
+	}
+	// Sub-node view matches Carve's semantics.
+	sub, err := m.RangeView(DeviceRange{Start: 4, Size: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	carved, err := A100Cluster(64).Carve(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != carved {
+		t.Fatalf("sub-node view %+v != Carve(16) %+v", sub, carved)
+	}
+}
+
+func TestHeterogeneousMixedClusterShape(t *testing.T) {
+	m := mustMixed(t,
+		ClassCount{Class: A100_40G, Devices: 32},
+		ClassCount{Class: H100, Devices: 32})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumDevices() != 64 || m.NumNodes() != 8 || m.DevicesPerNode() != 8 {
+		t.Fatalf("shape = %d devices, %d nodes × %d", m.NumDevices(), m.NumNodes(), m.DevicesPerNode())
+	}
+	if _, ok := m.Uniform(); ok {
+		t.Fatal("two-class fleet reported uniform")
+	}
+	if got := m.ClassAt(0); got != A100_40G {
+		t.Errorf("ClassAt(0) = %s", got.Name)
+	}
+	if got := m.ClassAt(63); got != H100 {
+		t.Errorf("ClassAt(63) = %s", got.Name)
+	}
+	if cs := m.ClassesIn(DeviceRange{Start: 24, Size: 16}); len(cs) != 2 {
+		t.Errorf("ClassesIn straddling range = %d classes, want 2", len(cs))
+	}
+	if cs := m.ClassesIn(DeviceRange{Start: 32, Size: 32}); len(cs) != 1 || cs[0] != H100 {
+		t.Errorf("ClassesIn H100 half = %v", cs)
+	}
+}
+
+func TestHeterogeneousMixedClusterErrors(t *testing.T) {
+	if _, err := MixedCluster(); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := MixedCluster(ClassCount{Class: A100_40G, Devices: 12}); err == nil {
+		t.Error("non-node-multiple count accepted")
+	}
+	if _, err := MixedCluster(
+		ClassCount{Class: A100_40G, Devices: 4},
+		ClassCount{Class: H100, Devices: 8}); err == nil {
+		t.Error("mismatched node sizes accepted")
+	}
+	if _, err := MixedCluster(ClassCount{Class: A100_40G, Devices: 0}); err == nil {
+		t.Error("zero count accepted")
+	}
+	// Non-power-of-two partial nodes would let aligned slots cross node
+	// boundaries, so they are rejected.
+	if _, err := MixedCluster(
+		ClassCount{Class: A100_40G, Devices: 6},
+		ClassCount{Class: H100, Devices: 6}); err == nil {
+		t.Error("non-power-of-two partial node accepted")
+	}
+}
+
+func TestHeterogeneousParseClusterSpec(t *testing.T) {
+	m, err := ParseClusterSpec("mixed:32xA100,32xH100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumDevices() != 64 || len(m.NodeGroups) != 2 {
+		t.Fatalf("parsed %s", m)
+	}
+	if m.String() != "32xA100-40G+32xH100" {
+		t.Errorf("String = %q", m.String())
+	}
+	// Prefix optional; whitespace tolerated.
+	if _, err := ParseClusterSpec(" 8xA100-80G , 8xH100 "); err != nil {
+		t.Errorf("prefix-free spec rejected: %v", err)
+	}
+	for _, bad := range []string{"", "mixed:", "32A100", "axA100", "32xV100", "12xA100"} {
+		if _, err := ParseClusterSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// RangeView must take the slowest compute, least usable memory and slowest
+// links among the spanned classes.
+func TestHeterogeneousRangeViewBottleneck(t *testing.T) {
+	m := mustMixed(t,
+		ClassCount{Class: A100_40G, Devices: 32},
+		ClassCount{Class: H100, Devices: 32})
+	h100, err := m.RangeView(DeviceRange{Start: 32, Size: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h100.EffFLOPS != H100.EffFLOPS || h100.DeviceMemory != H100.Memory {
+		t.Errorf("H100-only view = %+v", h100)
+	}
+	straddle, err := m.RangeView(DeviceRange{Start: 0, Size: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if straddle.EffFLOPS != A100_40G.EffFLOPS {
+		t.Errorf("straddling view FLOPS = %g, want slowest class %g", straddle.EffFLOPS, A100_40G.EffFLOPS)
+	}
+	if straddle.DeviceMemory != A100_40G.Memory || straddle.IntraBW != A100_40G.IntraBW || straddle.InterBW != A100_40G.InterBW {
+		t.Errorf("straddling view not bottlenecked: %+v", straddle)
+	}
+	if _, err := m.RangeView(DeviceRange{Start: 60, Size: 8}); err == nil {
+		t.Error("out-of-bounds range accepted")
+	}
+	// A sub-node range straddling a node boundary has no NVLink island and
+	// must be rejected, exactly like Topology.Carve rejects the shape.
+	if _, err := m.RangeView(DeviceRange{Start: 6, Size: 4}); err == nil {
+		t.Error("node-boundary-crossing sub-node range accepted")
+	}
+	// A node-sized range not starting on a node boundary spans two NICs.
+	if _, err := m.RangeView(DeviceRange{Start: 4, Size: 8}); err == nil {
+		t.Error("node-misaligned range accepted")
+	}
+}
+
+func TestHeterogeneousAlignedSlots(t *testing.T) {
+	m := mustMixed(t, ClassCount{Class: A100_40G, Devices: 16})
+	slots := m.AlignedSlots(8)
+	if len(slots) != 2 || slots[0] != (DeviceRange{0, 8}) || slots[1] != (DeviceRange{8, 8}) {
+		t.Fatalf("AlignedSlots(8) = %v", slots)
+	}
+	if got := m.AlignedSlots(3); got != nil {
+		t.Fatalf("AlignedSlots(3) = %v, want nil", got)
+	}
+}
+
+func TestPlaceGroupsScoredPrefersHighScore(t *testing.T) {
+	// Score favors the top half of a 16-device cluster.
+	score := func(r DeviceRange) float64 { return float64(r.Start) }
+	p, err := PlaceGroupsScored(16, []int{8, 4}, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ranges[0].Start != 8 {
+		t.Errorf("degree-8 group at %v, want start 8", p.Ranges[0])
+	}
+	if p.Ranges[1].Start != 4 {
+		t.Errorf("degree-4 group at %v, want the best remaining slot [4:8)", p.Ranges[1])
+	}
+	// Nil score reproduces PlaceGroups.
+	a, _ := PlaceGroupsScored(16, []int{8, 4}, nil)
+	b, _ := PlaceGroups(16, []int{8, 4})
+	for i := range a.Ranges {
+		if a.Ranges[i] != b.Ranges[i] {
+			t.Fatalf("nil-score placement %v != PlaceGroups %v", a.Ranges, b.Ranges)
+		}
+	}
+}

@@ -9,6 +9,12 @@
 // important input to FlexSP's cost model: an SP group that fits inside one
 // node communicates at NVLink speed, while a group spanning nodes is
 // bottlenecked by each GPU's share of the node NIC.
+//
+// Beyond the paper's homogeneous testbed, the package models heterogeneous
+// fleets: DeviceClass captures one GPU model's rates, MixedTopology strings
+// node groups of different classes together, and RangeView projects any
+// placed device range back onto a bottleneck homogeneous Topology so the
+// scalar α-β cost model applies per placement (see class.go).
 package cluster
 
 import (

@@ -36,6 +36,19 @@ func (r DeviceRange) String() string {
 // which always succeeds for power-of-two degrees by the buddy-allocation
 // property.
 func PlaceGroups(n int, degrees []int) (GroupPlacement, error) {
+	return PlaceGroupsScored(n, degrees, nil)
+}
+
+// PlaceGroupsScored is PlaceGroups with a slot preference: among the free
+// aligned slots for each group (largest groups choose first), the slot
+// maximizing score wins, ties to the lowest start. A nil score reproduces
+// PlaceGroups' lowest-address placement. On a heterogeneous fleet the score
+// lets the planner steer groups onto device-class regions — fast nodes for
+// the long-sequence groups, large-memory nodes for token-heavy ones — and
+// any choice of aligned slots succeeds: placing in non-increasing size order
+// keeps every size-d cell of the device grid either fully free or fully
+// occupied, so a free aligned slot always exists while capacity remains.
+func PlaceGroupsScored(n int, degrees []int, score func(DeviceRange) float64) (GroupPlacement, error) {
 	total := 0
 	for _, d := range degrees {
 		if d <= 0 || d&(d-1) != 0 {
@@ -59,7 +72,7 @@ func PlaceGroups(n int, degrees []int) (GroupPlacement, error) {
 	ranges := make([]DeviceRange, len(degrees))
 	for _, i := range idx {
 		d := degrees[i]
-		placed := false
+		best, bestScore := -1, 0.0
 		for start := 0; start+d <= n; start += d {
 			free := true
 			for dev := start; dev < start+d; dev++ {
@@ -68,18 +81,24 @@ func PlaceGroups(n int, degrees []int) (GroupPlacement, error) {
 					break
 				}
 			}
-			if free {
-				for dev := start; dev < start+d; dev++ {
-					used[dev] = true
-				}
-				ranges[i] = DeviceRange{Start: start, Size: d}
-				placed = true
+			if !free {
+				continue
+			}
+			if score == nil {
+				best = start
 				break
 			}
+			if s := score(DeviceRange{Start: start, Size: d}); best == -1 || s > bestScore {
+				best, bestScore = start, s
+			}
 		}
-		if !placed {
+		if best == -1 {
 			return GroupPlacement{}, fmt.Errorf("cluster: no aligned slot for degree %d", d)
 		}
+		for dev := best; dev < best+d; dev++ {
+			used[dev] = true
+		}
+		ranges[i] = DeviceRange{Start: best, Size: d}
 	}
 	return GroupPlacement{Ranges: ranges}, nil
 }

@@ -1,0 +1,256 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"flexsp/internal/cluster"
+)
+
+// GroupCost is the per-group evaluation API every planning and execution
+// layer consumes: how long one SP group takes and whether it fits, given the
+// sequences assigned to it. The scalar Coeffs implements it for homogeneous
+// clusters (the legacy path — numbers are untouched), and GroupCoeffs
+// implements it for one placed device range of a heterogeneous fleet.
+type GroupCost interface {
+	// ComputeTime is Eq. 12 for the group's sequences, paced by the group's
+	// slowest device.
+	ComputeTime(lens []int, degree int) float64
+	// CommTime is Eq. 13 on the group's bottleneck bandwidth.
+	CommTime(lens []int, degree int) float64
+	// GroupTime is Eq. 14: ComputeTime + CommTime.
+	GroupTime(lens []int, degree int) float64
+	// GroupTimeSums is GroupTime from running Σs and Σs² (planner hot path).
+	GroupTimeSums(sumS, sumS2 float64, degree int) float64
+	// CommUnitTime is the linear per-token communication bound at the degree.
+	CommUnitTime(degree int) float64
+	// MemoryBytes is Eq. 11 for the group's sequences.
+	MemoryBytes(lens []int, degree int) float64
+	// Fits reports the memory constraint (Eq. 7/19) against the group's
+	// minimum per-device memory.
+	Fits(lens []int, degree int) bool
+	// MaxTokensPerDevice is the activation token capacity of the group's
+	// most memory-constrained device.
+	MaxTokensPerDevice() int
+	// MaxTokensPerGroup is the token capacity at the given degree.
+	MaxTokensPerGroup(degree int) int
+}
+
+var (
+	_ GroupCost = Coeffs{}
+	_ GroupCost = GroupCoeffs{}
+)
+
+// GroupCoeffs is the per-placement evaluation of a heterogeneous cost model:
+// the shared model-derived coefficients specialized to one placed device
+// range. Compute is paced by the slowest device in the range, memory uses
+// the minimum usable memory of the spanned classes, and communication uses
+// the bottleneck bandwidth — all via the range's cluster.RangeView, so on a
+// single-class fleet a GroupCoeffs is numerically identical to the scalar
+// Coeffs.
+type GroupCoeffs struct {
+	Coeffs
+	// Range is the placed device range the coefficients describe.
+	Range cluster.DeviceRange
+}
+
+// HeteroCoeffs is the heterogeneous-cluster cost model: the model-derived
+// coefficients shared by every group (the communication style, the SP-degree
+// cap, and the cluster-wide ZeRO-3 model-state share — parameters shard over
+// the whole fleet regardless of where a group lands) plus the fleet itself,
+// from which per-placement GroupCoeffs are derived on demand. Build it with
+// ProfileMixed.
+type HeteroCoeffs struct {
+	// Model is the transformer configuration.
+	Model ModelConfig
+	// Mixed is the heterogeneous fleet.
+	Mixed cluster.MixedTopology
+	// Style selects the group communication pattern.
+	Style CommStyle
+	// MaxSPDegree caps the usable SP degree when positive (Ulysses heads).
+	MaxSPDegree int
+	// MStateBytes is the per-device model-state footprint shared by every
+	// placement: ZeRO-3 shards parameters over the full fleet, so it does
+	// not depend on which range a group occupies.
+	MStateBytes float64
+	// MTokenBytes is activation memory per token (class-independent).
+	MTokenBytes float64
+}
+
+// ProfileMixed derives the heterogeneous cost model for a model on a mixed
+// fleet, the MixedTopology counterpart of Profile.
+func ProfileMixed(m ModelConfig, mx cluster.MixedTopology) HeteroCoeffs {
+	n := float64(mx.NumDevices())
+	l, h := float64(m.Layers), float64(m.HiddenDim)
+	return HeteroCoeffs{
+		Model:       m,
+		Mixed:       mx,
+		MStateBytes: bytesPerParamState*m.Params/n + stateWorkingOverheadBytes,
+		MTokenBytes: stageActBytesPerToken(m.Recompute, l, h, 1),
+	}
+}
+
+// Group returns the placed evaluation for one device range: the scalar
+// coefficients profiled on the range's bottleneck view, with the model-state
+// share pinned to the fleet-wide value. It panics on malformed ranges, which
+// can only come from planner bugs (placements are always aligned
+// power-of-two ranges).
+func (hc HeteroCoeffs) Group(r cluster.DeviceRange) GroupCoeffs {
+	view, err := hc.Mixed.RangeView(r)
+	if err != nil {
+		panic("costmodel: " + err.Error())
+	}
+	c := Profile(hc.Model, view)
+	c.Style = hc.Style
+	c.MaxSPDegree = hc.MaxSPDegree
+	c.MStateBytes = hc.MStateBytes
+	return GroupCoeffs{Coeffs: c, Range: r}
+}
+
+// GroupEvaluator memoizes Group by device range: within one solve or one
+// executed iteration the same few ranges are evaluated many times, and
+// profiling is pure, so both the planner and the executor share this cache
+// instead of re-deriving coefficients per occurrence. Not safe for
+// concurrent use; create one per goroutine.
+type GroupEvaluator struct {
+	h     HeteroCoeffs
+	cache map[cluster.DeviceRange]GroupCoeffs
+}
+
+// Evaluator returns a fresh memoizing Group evaluator for this fleet.
+func (hc HeteroCoeffs) Evaluator() *GroupEvaluator {
+	return &GroupEvaluator{h: hc, cache: make(map[cluster.DeviceRange]GroupCoeffs)}
+}
+
+// Group is HeteroCoeffs.Group with memoization.
+func (ev *GroupEvaluator) Group(r cluster.DeviceRange) GroupCoeffs {
+	if e, ok := ev.cache[r]; ok {
+		return e
+	}
+	e := ev.h.Group(r)
+	ev.cache[r] = e
+	return e
+}
+
+// Uniform returns the legacy scalar cost model when the fleet has one device
+// class — the bridge that keeps single-class topologies bit-compatible.
+func (hc HeteroCoeffs) Uniform() (Coeffs, bool) {
+	topo, ok := hc.Mixed.Uniform()
+	if !ok {
+		return Coeffs{}, false
+	}
+	c := Profile(hc.Model, topo)
+	c.Style = hc.Style
+	c.MaxSPDegree = hc.MaxSPDegree
+	return c, true
+}
+
+// Bottleneck returns the conservative scalar cost model that treats every
+// device as the fleet's slowest, smallest-memory class: what a
+// class-oblivious planner would assume, and the safe whole-cluster view
+// hetero-unaware consumers (plan caches, baselines) fall back to.
+func (hc HeteroCoeffs) Bottleneck() Coeffs {
+	g := hc.Group(hc.Mixed.FullRange())
+	return g.Coeffs
+}
+
+// WithStyle returns the coefficients with the communication style replaced.
+func (hc HeteroCoeffs) WithStyle(s CommStyle) HeteroCoeffs {
+	hc.Style = s
+	return hc
+}
+
+// WithSPDegreeCap caps the SP degree at the largest power of two ≤ d
+// (0 removes the cap), mirroring Coeffs.WithSPDegreeCap.
+func (hc HeteroCoeffs) WithSPDegreeCap(d int) HeteroCoeffs {
+	if d <= 0 {
+		hc.MaxSPDegree = 0
+		return hc
+	}
+	p := 1
+	for p*2 <= d {
+		p *= 2
+	}
+	hc.MaxSPDegree = p
+	return hc
+}
+
+// WithHeadsCap applies the Ulysses head-count degree limit.
+func (hc HeteroCoeffs) WithHeadsCap() HeteroCoeffs {
+	if hc.Model.Heads <= 0 {
+		return hc
+	}
+	return hc.WithSPDegreeCap(hc.Model.Heads)
+}
+
+// SPDegrees returns the candidate SP degrees under the cap.
+func (hc HeteroCoeffs) SPDegrees() []int {
+	ds := hc.Mixed.SPDegrees()
+	if hc.MaxSPDegree <= 0 {
+		return ds
+	}
+	var out []int
+	for _, d := range ds {
+		if d <= hc.MaxSPDegree {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// MaxDegree returns the largest usable SP degree.
+func (hc HeteroCoeffs) MaxDegree() int {
+	ds := hc.SPDegrees()
+	if len(ds) == 0 {
+		return 0
+	}
+	return ds[len(ds)-1]
+}
+
+// maxTokensPerDeviceOf is the activation token capacity of one device class.
+func (hc HeteroCoeffs) maxTokensPerDeviceOf(dc cluster.DeviceClass) int {
+	budget := float64(dc.UsableMemory()) - hc.MStateBytes
+	if budget <= 0 {
+		return 0
+	}
+	return int(budget / hc.MTokenBytes)
+}
+
+// ClusterTokenCapacity is the total activation tokens the fleet can hold in
+// one micro-batch, summing each device's class-specific capacity (the
+// heterogeneous generalization of Coeffs.ClusterTokenCapacity).
+func (hc HeteroCoeffs) ClusterTokenCapacity() int {
+	total := 0
+	for _, g := range hc.Mixed.NodeGroups {
+		total += g.Devices() * hc.maxTokensPerDeviceOf(g.Class)
+	}
+	return total
+}
+
+// MinDegreeFor returns the smallest valid SP degree for which SOME aligned
+// slot of that size can hold a single sequence of length s — on a mixed
+// fleet a long sequence may fit a degree only on the large-memory region —
+// or 0 if no slot of any degree can.
+func (hc HeteroCoeffs) MinDegreeFor(s int) int {
+	for _, d := range hc.SPDegrees() {
+		for _, slot := range hc.Mixed.AlignedSlots(d) {
+			if hc.Group(slot).MaxTokensPerGroup(d) >= s {
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+// Validate reports whether the model can run on the fleet at all (some
+// device class must hold the sharded states plus at least one token).
+func (hc HeteroCoeffs) Validate() error {
+	if err := hc.Mixed.Validate(); err != nil {
+		return err
+	}
+	for _, g := range hc.Mixed.NodeGroups {
+		if hc.maxTokensPerDeviceOf(g.Class) > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("costmodel: %s model states exceed every device class's memory", hc.Model.Name)
+}

@@ -102,6 +102,12 @@ const (
 	// per-micro-batch startup latencies of Eq. 12/13, in seconds.
 	kernelLaunchBeta = 0.05
 	commLaunchBeta   = 0.02
+	// zeroLaunchBeta is the fixed per-micro-batch latency of the ZeRO-3
+	// gather/reduce-scatter machinery: hook dispatch, bucketing and stream
+	// synchronization that runs even when all traffic overlaps compute. Like
+	// β1/β2 it is an Eq. 12/13-style launch constant, set to β1's order of
+	// magnitude; the paper folds it into its profiled β terms.
+	zeroLaunchBeta = 0.05
 	// stateWorkingOverheadBytes covers gathered working parameters and
 	// transient ZeRO buffers beyond the sharded states.
 	stateWorkingOverheadBytes = 0.8 * float64(1<<30)
@@ -332,5 +338,5 @@ func (c Coeffs) ZeROTime() float64 {
 	n := float64(c.Topo.NumDevices())
 	perDevice := 3 * 2 * c.Model.Params * (n - 1) / n
 	raw := perDevice / c.Topo.InterBWPerDevice()
-	return raw*(1-zeroOverlap) + 0.05
+	return raw*(1-zeroOverlap) + zeroLaunchBeta
 }

@@ -30,6 +30,9 @@ type Config struct {
 	Seed int64
 	// SampleN is the per-dataset sample size for distribution experiments.
 	SampleN int
+	// ClusterSpec overrides the mixed fleet of the heterogeneous experiment
+	// (e.g. "mixed:32xA100,32xH100"); empty uses its default.
+	ClusterSpec string
 }
 
 // Default returns the paper-faithful configuration.

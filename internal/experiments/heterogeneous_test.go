@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Acceptance: the placement-aware planner beats the class-oblivious
+// shuffled-placement baseline on a mixed A100/H100 cluster in simulated
+// iteration time, never OOMs itself, and the result is machine-readable.
+func TestHeterogeneousExperiment(t *testing.T) {
+	cfg := Quick()
+	cfg.Iterations = 2
+	cfg.ClusterSpec = "mixed:8xA100,8xH100"
+	r := Heterogeneous(cfg)
+
+	if r.Devices != 16 || r.Spec != "8xA100-40G+8xH100" {
+		t.Fatalf("fleet = %q (%d devices)", r.Spec, r.Devices)
+	}
+	byName := map[string]HeteroSystem{}
+	for _, s := range r.Systems {
+		byName[s.System] = s
+	}
+	aware, ok := byName["flexsp-aware"]
+	if !ok {
+		t.Fatal("no flexsp-aware system in result")
+	}
+	if aware.OOMIters != 0 {
+		t.Fatalf("placement-aware planner OOMed %d iterations", aware.OOMIters)
+	}
+	if aware.MeanIterSeconds <= 0 {
+		t.Fatal("placement-aware planner recorded no time")
+	}
+	for _, name := range []string{"oblivious-shuffled", "bottleneck-homogeneous"} {
+		if s := r.AwareSpeedup(name); s <= 1 {
+			t.Errorf("aware speedup over %s = %.3f, want > 1", name, s)
+		}
+	}
+	// Placement must be load-bearing: shuffling the aware plans either OOMs
+	// or at least never helps.
+	if fragile := byName["aware-plans-shuffled"]; fragile.OOMIters == 0 &&
+		fragile.MeanIterSeconds < aware.MeanIterSeconds {
+		t.Errorf("class-blind re-placement of aware plans improved time: %.3f < %.3f",
+			fragile.MeanIterSeconds, aware.MeanIterSeconds)
+	}
+
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HeterogeneousResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Systems) != len(r.Systems) || back.Spec != r.Spec {
+		t.Fatalf("JSON round trip lost data: %s", buf)
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// The experiment must be deterministic for a fixed config — the CI runs it
+// twice and diffs.
+func TestHeterogeneousExperimentDeterminism(t *testing.T) {
+	cfg := Quick()
+	cfg.ClusterSpec = "mixed:8xA100,8xH100"
+	a, _ := json.Marshal(Heterogeneous(cfg))
+	b, _ := json.Marshal(Heterogeneous(cfg))
+	if string(a) != string(b) {
+		t.Fatalf("non-deterministic result:\n%s\nvs\n%s", a, b)
+	}
+}

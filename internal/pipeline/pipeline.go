@@ -50,7 +50,9 @@ type Stage struct {
 // Pipeline is a model and cluster partitioned into stages for an iteration
 // of M micro-batches.
 type Pipeline struct {
-	// Base is the flat (whole-model, whole-cluster) cost model.
+	// Base is the flat (whole-model, whole-cluster) cost model. For a
+	// heterogeneous fleet (NewHetero) it is the conservative bottleneck view;
+	// per-stage truth lives in each Stage's Coeffs.
 	Base costmodel.Coeffs
 	// PP is the pipeline-parallel degree (number of stages).
 	PP int
@@ -103,6 +105,106 @@ func New(base costmodel.Coeffs, pp, m int) (Pipeline, error) {
 		}
 	}
 	return p, nil
+}
+
+// NewHetero partitions the model over a heterogeneous fleet: devices are
+// carved into pp equal contiguous stage ranges and layers are apportioned
+// proportionally to each stage's bottleneck compute rate, so a stage on
+// H100 nodes takes more layers than one on A100 nodes and per-stage times
+// balance — the unbalanced-but-faster split a mixed fleet wants. Each
+// stage's cost model is profiled on its range's bottleneck view (a stage
+// straddling classes is paced by its slowest device); stage-internal
+// planning therefore sees a homogeneous sub-cluster. On a single-class
+// fleet the split degenerates to New's balanced partition.
+func NewHetero(h costmodel.HeteroCoeffs, pp, m int) (Pipeline, error) {
+	n := h.Mixed.NumDevices()
+	switch {
+	case pp < 1:
+		return Pipeline{}, fmt.Errorf("pipeline: non-positive PP degree %d", pp)
+	case pp > h.Model.Layers:
+		return Pipeline{}, fmt.Errorf("pipeline: PP=%d exceeds %d layers", pp, h.Model.Layers)
+	case m < 1:
+		return Pipeline{}, fmt.Errorf("pipeline: non-positive micro-batch count %d", m)
+	case n%pp != 0:
+		return Pipeline{}, fmt.Errorf("pipeline: %d devices not divisible into %d stages", n, pp)
+	}
+	per := n / pp
+	views := make([]cluster.Topology, pp)
+	weights := make([]float64, pp)
+	for s := 0; s < pp; s++ {
+		v, err := h.Mixed.RangeView(cluster.DeviceRange{Start: s * per, Size: per})
+		if err != nil {
+			return Pipeline{}, fmt.Errorf("pipeline: %w", err)
+		}
+		views[s] = v
+		weights[s] = v.EffFLOPS
+	}
+	layers := apportionLayers(h.Model.Layers, weights)
+	base := h.Bottleneck()
+	p := Pipeline{Base: base, PP: pp, M: m, Stages: make([]Stage, pp)}
+	for s := 0; s < pp; s++ {
+		inFlight := pp - s
+		if inFlight > m {
+			inFlight = m
+		}
+		c := costmodel.StageProfile(h.Model, views[s], layers[s], h.Model.Layers, inFlight)
+		c.Style = h.Style
+		c.MaxSPDegree = h.MaxSPDegree
+		p.Stages[s] = Stage{
+			Index:    s,
+			Layers:   layers[s],
+			Devices:  cluster.DeviceRange{Start: s * per, Size: per},
+			InFlight: inFlight,
+			Coeffs:   c,
+		}
+	}
+	return p, nil
+}
+
+// apportionLayers splits total layers proportionally to the stage weights
+// (largest-remainder method, every stage at least one layer, deterministic).
+func apportionLayers(total int, weights []float64) []int {
+	k := len(weights)
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	layers := make([]int, k)
+	fracs := make([]float64, k)
+	assigned := 0
+	for i, w := range weights {
+		raw := float64(total) * w / sum
+		layers[i] = int(raw)
+		if layers[i] < 1 {
+			layers[i] = 1
+		}
+		fracs[i] = raw - float64(int(raw))
+		assigned += layers[i]
+	}
+	for assigned < total {
+		best := 0
+		for i := 1; i < k; i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		layers[best]++
+		fracs[best] = -1
+		assigned++
+	}
+	for assigned > total {
+		// Clamping to ≥1 can overshoot on extreme weight skews; take the
+		// excess back from the largest stages.
+		big := 0
+		for i := 1; i < k; i++ {
+			if layers[i] > layers[big] {
+				big = i
+			}
+		}
+		layers[big]--
+		assigned--
+	}
+	return layers
 }
 
 // TokenCapacity is the number of tokens of one micro-batch the pipeline can

@@ -20,8 +20,13 @@ import (
 // plan matches or beats flat by construction. Setting Degrees without 1 —
 // e.g. to pin a pipeline depth — deliberately forgoes that guarantee.
 type Planner struct {
-	// Base is the flat cost model the pipelines derive from.
+	// Base is the flat cost model the pipelines derive from. On a
+	// heterogeneous fleet (Hetero non-nil) it holds the bottleneck view.
 	Base costmodel.Coeffs
+	// Hetero, when non-nil, builds every candidate pipeline with NewHetero:
+	// stage ranges keep their device classes and layer splits follow
+	// per-stage compute rates.
+	Hetero *costmodel.HeteroCoeffs
 	// Degrees are the candidate PP degrees (default 1, 2, 4, 8); degrees
 	// that do not divide the cluster or exceed the layer count are skipped.
 	Degrees []int
@@ -42,6 +47,21 @@ var DefaultDegrees = []int{1, 2, 4, 8}
 // NewPlanner returns a joint planner with the default sweep.
 func NewPlanner(base costmodel.Coeffs) *Planner {
 	return &Planner{Base: base, Degrees: DefaultDegrees, Trials: blaster.DefaultTrials, Parallel: true}
+}
+
+// NewHeteroPlanner returns a joint planner over a heterogeneous fleet.
+func NewHeteroPlanner(h costmodel.HeteroCoeffs) *Planner {
+	return &Planner{Base: h.Bottleneck(), Hetero: &h, Degrees: DefaultDegrees,
+		Trials: blaster.DefaultTrials, Parallel: true}
+}
+
+// newPipe builds one candidate pipeline, class-aware when a mixed fleet is
+// configured.
+func (jp *Planner) newPipe(pp, m int) (Pipeline, error) {
+	if jp.Hetero != nil {
+		return NewHetero(*jp.Hetero, pp, m)
+	}
+	return New(jp.Base, pp, m)
 }
 
 // Candidate summarizes one swept PP degree.
@@ -101,7 +121,7 @@ func (jp *Planner) Solve(batch []int) (Result, error) {
 	if len(batch) == 0 {
 		// An empty batch has a trivial plan; return a valid (flat) pipeline
 		// so the advertised Execute follow-up works.
-		pipe, err := New(jp.Base, 1, 1)
+		pipe, err := jp.newPipe(1, 1)
 		if err != nil {
 			return Result{}, err
 		}
@@ -155,7 +175,7 @@ func (jp *Planner) solveDegree(batch []int, pp int) (o outcome) {
 	// until m reaches pp, so iterate to the fixpoint.
 	mmin := 1
 	for {
-		pipe, err := New(jp.Base, pp, mmin)
+		pipe, err := jp.newPipe(pp, mmin)
 		if err != nil {
 			o.cand.Note = err.Error()
 			return o
@@ -212,7 +232,7 @@ func (jp *Planner) solveDegree(batch []int, pp int) (o outcome) {
 // planM blasts the batch into m micro-batches and plans every (micro-batch,
 // stage) cell, then simulates the schedule.
 func (jp *Planner) planM(batch []int, pp, m int) (Pipeline, [][]planner.MicroPlan, ScheduleResult, error) {
-	pipe, err := New(jp.Base, pp, m)
+	pipe, err := jp.newPipe(pp, m)
 	if err != nil {
 		return Pipeline{}, nil, ScheduleResult{}, err
 	}

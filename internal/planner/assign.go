@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"flexsp/internal/bucket"
+	"flexsp/internal/cluster"
 	"flexsp/internal/costmodel"
 )
 
@@ -15,7 +16,8 @@ type item struct {
 	actual int
 }
 
-// bucketize applies the planner's bucketing mode to the micro-batch.
+// bucketize applies the planner's bucketing mode to the micro-batch. It must
+// not write to the receiver: one Planner is shared by solver.Service workers.
 func (pl *Planner) bucketize(lens []int) []bucket.Bucket {
 	switch pl.Bucketing {
 	case BucketNaive:
@@ -24,7 +26,7 @@ func (pl *Planner) bucketize(lens []int) []bucket.Bucket {
 		// One bucket per distinct length: exact representation.
 		return bucket.DP(lens, len(lens))
 	default:
-		return bucket.DP(lens, pl.Q)
+		return bucket.DP(lens, pl.effectiveQ())
 	}
 }
 
@@ -47,10 +49,14 @@ func itemsFromBuckets(buckets []bucket.Bucket) []item {
 
 // assignment is the incremental state of placing items onto a fixed group
 // configuration. Group time is evaluated in O(1) per update from running
-// Σs and Σs² (Eq. 12–14 are linear in those sums).
+// Σs and Σs² (Eq. 12–14 are linear in those sums). Every group carries its
+// own coefficients: identical for all groups on a homogeneous cluster (the
+// legacy path), placement-specific on a heterogeneous fleet, where a group's
+// speed and memory depend on the device-class region it occupies.
 type assignment struct {
-	c         costmodel.Coeffs
+	cs        []costmodel.Coeffs
 	degrees   []int
+	ranges    []cluster.DeviceRange // nil on the unplaced homogeneous path
 	capTokens []int64
 	// commPT[g] is the linear per-token communication factor for group g
 	// (per-token all-to-all time, or the ring traffic time for CP); with it
@@ -64,21 +70,49 @@ type assignment struct {
 	tokens  []int64
 }
 
-func newAssignment(c costmodel.Coeffs, degrees []int) *assignment {
-	a := &assignment{
-		c:         c,
-		degrees:   degrees,
-		capTokens: make([]int64, len(degrees)),
-		commPT:    make([]float64, len(degrees)),
-		ringCP:    c.Style == costmodel.StyleRingCP,
-		members:   make([][]item, len(degrees)),
-		sumS:      make([]float64, len(degrees)),
-		sumS2:     make([]float64, len(degrees)),
-		tokens:    make([]int64, len(degrees)),
+func newAssignmentShell(k int) *assignment {
+	return &assignment{
+		cs:        make([]costmodel.Coeffs, k),
+		degrees:   make([]int, k),
+		capTokens: make([]int64, k),
+		commPT:    make([]float64, k),
+		members:   make([][]item, k),
+		sumS:      make([]float64, k),
+		sumS2:     make([]float64, k),
+		tokens:    make([]int64, k),
 	}
+}
+
+// newAssignment builds the homogeneous-cluster assignment: one shared cost
+// model for every group.
+func newAssignment(c costmodel.Coeffs, degrees []int) *assignment {
+	a := newAssignmentShell(len(degrees))
+	a.ringCP = c.Style == costmodel.StyleRingCP
+	copy(a.degrees, degrees)
 	for g, d := range degrees {
+		a.cs[g] = c
 		a.capTokens[g] = int64(c.MaxTokensPerGroup(d))
 		a.commPT[g] = c.CommUnitTime(d)
+	}
+	return a
+}
+
+// newPlacedAssignment builds the heterogeneous assignment from placed
+// per-group coefficients: group g's degree is its range's size and its cost
+// is evaluated against that range's device classes.
+func newPlacedAssignment(evals []costmodel.GroupCoeffs) *assignment {
+	a := newAssignmentShell(len(evals))
+	a.ranges = make([]cluster.DeviceRange, len(evals))
+	for g, e := range evals {
+		d := e.Range.Size
+		a.cs[g] = e.Coeffs
+		a.degrees[g] = d
+		a.ranges[g] = e.Range
+		a.capTokens[g] = int64(e.MaxTokensPerGroup(d))
+		a.commPT[g] = e.CommUnitTime(d)
+		if e.Style == costmodel.StyleRingCP {
+			a.ringCP = true
+		}
 	}
 	return a
 }
@@ -90,19 +124,20 @@ func (a *assignment) timeSums(g int, sumS, sumS2 float64) float64 {
 	if sumS == 0 {
 		return 0
 	}
+	c := &a.cs[g]
 	d := float64(a.degrees[g])
-	comp := (a.c.Alpha1*sumS2+a.c.Alpha2*sumS)/d + a.c.Beta1
+	comp := (c.Alpha1*sumS2+c.Alpha2*sumS)/d + c.Beta1
 	if a.degrees[g] <= 1 {
 		return comp
 	}
 	comm := sumS * a.commPT[g]
 	if a.ringCP {
-		comm -= a.c.Alpha1 * sumS2 / d // attention overlap
+		comm -= c.Alpha1 * sumS2 / d // attention overlap
 		if comm < 0 {
 			comm = 0
 		}
 	}
-	return comp + comm + a.c.Beta2
+	return comp + comm + c.Beta2
 }
 
 // groupTime is the Eq. 14 estimate for group g's current members.
@@ -255,7 +290,7 @@ func (a *assignment) improveOnce(gmax int, tmax float64) bool {
 
 // plan converts the assignment into a MicroPlan with actual sequence
 // lengths, dropping empty groups, and recomputes the time estimate from the
-// actual lengths.
+// actual lengths against each group's own cost model.
 func (a *assignment) plan() MicroPlan {
 	var p MicroPlan
 	for g, d := range a.degrees {
@@ -267,9 +302,15 @@ func (a *assignment) plan() MicroPlan {
 			lens = append(lens, it.actual)
 		}
 		sort.Sort(sort.Reverse(sort.IntSlice(lens)))
-		p.Groups = append(p.Groups, Group{Degree: d, Lens: lens})
+		grp := Group{Degree: d, Lens: lens}
+		if a.ranges != nil {
+			grp.Range = a.ranges[g]
+		}
+		p.Groups = append(p.Groups, grp)
+		if t := a.cs[g].GroupTime(lens, d); t > p.Time {
+			p.Time = t
+		}
 	}
 	sort.SliceStable(p.Groups, func(i, j int) bool { return p.Groups[i].Degree > p.Groups[j].Degree })
-	p.recomputeTime(a.c)
 	return p
 }

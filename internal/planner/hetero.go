@@ -1,0 +1,384 @@
+package planner
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/milp"
+)
+
+// This file holds the heterogeneous-fleet strategies: the planner decides
+// not only each SP group's degree but which device-class region it lands on.
+// A group's cost depends on its placement (slowest-device compute pacing,
+// minimum-memory capacity, bottleneck bandwidth — costmodel.GroupCoeffs), so
+// degree multisets are evaluated under several placement biases: long
+// sequences gravitate to fast regions, token-heavy groups to large-memory
+// ones. On a single-class fleet every bias collapses to the lowest-address
+// placement and the results coincide with the homogeneous path.
+
+// placementBiases are the slot-preference functions tried per degree
+// multiset: fastest-region-first (long sequences want FLOPS), largest-memory
+// first (token-heavy groups want headroom), and lowest-address (the
+// class-oblivious legacy order). Ties always break to the lowest address,
+// so on a uniform fleet all three coincide.
+func placementBiases(ec *costmodel.GroupEvaluator) []func(cluster.DeviceRange) float64 {
+	fast := func(r cluster.DeviceRange) float64 { return ec.Group(r).Topo.EffFLOPS }
+	roomy := func(r cluster.DeviceRange) float64 { return float64(ec.Group(r).Topo.UsableMemory()) }
+	return []func(cluster.DeviceRange) float64{fast, roomy, nil}
+}
+
+// rangesKey canonicalizes a placement for deduplication across biases.
+func rangesKey(ranges []cluster.DeviceRange) string {
+	s := append([]cluster.DeviceRange(nil), ranges...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	b := make([]byte, 0, len(s)*6)
+	for _, r := range s {
+		b = strconv.AppendInt(b, int64(r.Start), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(r.Size), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// planPlacedEnum is the enumerative solver over placed groups: every degree
+// multiset is placed under each bias, assigned with cost-aware LPT against
+// the per-range coefficients, and the best configurations are refined with
+// the move/swap local search.
+func (pl *Planner) planPlacedEnum(lens []int) (MicroPlan, error) {
+	if len(lens) == 0 {
+		return MicroPlan{}, nil
+	}
+	h := *pl.Hetero
+	n := h.Mixed.NumDevices()
+
+	maxLen := 0
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	minDeg := h.MinDegreeFor(maxLen)
+	if minDeg == 0 {
+		return MicroPlan{}, ErrInfeasible
+	}
+	items := itemsFromBuckets(pl.bucketize(lens))
+	ec := h.Evaluator()
+	biases := placementBiases(ec)
+
+	type cand struct {
+		evals []costmodel.GroupCoeffs
+		span  float64
+	}
+	var cands []cand
+	seen := map[string]bool{}
+	tryConfig := func(degrees []int) {
+		for _, bias := range biases {
+			placed, err := cluster.PlaceGroupsScored(n, degrees, bias)
+			if err != nil {
+				continue
+			}
+			key := rangesKey(placed.Ranges)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			evals := make([]costmodel.GroupCoeffs, len(placed.Ranges))
+			for i, r := range placed.Ranges {
+				evals[i] = ec.Group(r)
+			}
+			a := newPlacedAssignment(evals)
+			if !a.place(items) {
+				continue
+			}
+			cands = append(cands, cand{evals: evals, span: a.makespan()})
+		}
+	}
+
+	maxDeg := h.MaxDegree()
+	if n <= enumLimit {
+		enumeratePartitions(n, maxDeg, minDeg, tryConfig)
+	} else {
+		for _, cfg := range searchConfigs(n, minDeg, maxDeg) {
+			tryConfig(cfg)
+		}
+	}
+	if len(cands) == 0 {
+		return MicroPlan{}, ErrInfeasible
+	}
+
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].span < cands[j].span })
+	top := pl.refineTop
+	if top <= 0 {
+		top = 6
+	}
+	if top > len(cands) {
+		top = len(cands)
+	}
+	refineSet := append([]cand(nil), cands[:top]...)
+	for _, cd := range cands[top:] {
+		if homogeneousEvals(cd.evals) {
+			refineSet = append(refineSet, cd)
+		}
+	}
+	best := MicroPlan{Time: math.Inf(1)}
+	for _, cd := range refineSet {
+		a := newPlacedAssignment(cd.evals)
+		if !a.place(items) {
+			continue
+		}
+		a.refine(pl.refineIters())
+		if p := a.plan(); p.Time < best.Time {
+			best = p
+		}
+	}
+	if math.IsInf(best.Time, 1) {
+		return MicroPlan{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// homogeneousEvals reports whether all placed groups share one degree.
+func homogeneousEvals(evals []costmodel.GroupCoeffs) bool {
+	for _, e := range evals[1:] {
+		if e.Range.Size != evals[0].Range.Size {
+			return false
+		}
+	}
+	return true
+}
+
+// planPlacedGreedy is the naive baseline on a mixed fleet: it plans with the
+// class-oblivious bottleneck model (every device assumed as slow and small
+// as the worst class), places groups lowest-address-first, and only then
+// discovers what the placement actually costs — the behavior the
+// heterogeneous experiment measures the placement-aware planner against.
+func (pl *Planner) planPlacedGreedy(lens []int) (MicroPlan, error) {
+	p, err := pl.planGreedy(lens) // pl.Coeffs is the bottleneck view
+	if err != nil {
+		return MicroPlan{}, err
+	}
+	return pl.placeObliviously(p)
+}
+
+// placeObliviously attaches lowest-address device ranges to an unplaced plan
+// and re-times each group against the classes it actually landed on. Plans
+// built against the bottleneck model always fit: every real class has at
+// least the bottleneck's memory.
+func (pl *Planner) placeObliviously(p MicroPlan) (MicroPlan, error) {
+	h := *pl.Hetero
+	var degrees []int
+	for _, g := range p.Groups {
+		if len(g.Lens) > 0 {
+			degrees = append(degrees, g.Degree)
+		}
+	}
+	placed, err := cluster.PlaceGroups(h.Mixed.NumDevices(), degrees)
+	if err != nil {
+		return MicroPlan{}, err
+	}
+	gi := 0
+	p.Time = 0
+	for i := range p.Groups {
+		if len(p.Groups[i].Lens) == 0 {
+			continue
+		}
+		r := placed.Ranges[gi]
+		gi++
+		p.Groups[i].Range = r
+		if t := h.Group(r).GroupTime(p.Groups[i].Lens, p.Groups[i].Degree); t > p.Time {
+			p.Time = t
+		}
+	}
+	return p, nil
+}
+
+// planPlacedMILP solves the placed generalization of problem (17): one
+// binary selection variable per aligned slot of the fleet, so choosing a
+// group IS choosing its device-class region, with per-slot time and memory
+// coefficients from that region's GroupCoeffs. Overlap is excluded by
+// per-device packing constraints (aligned power-of-two slots overlap only by
+// containment, so each device's chain of ≤ log N slots gets one constraint).
+// Warm-started by the placed enumerative plan.
+func (pl *Planner) planPlacedMILP(lens []int) (MicroPlan, error) {
+	if len(lens) == 0 {
+		return MicroPlan{}, nil
+	}
+	h := *pl.Hetero
+	n := h.Mixed.NumDevices()
+	buckets := pl.bucketize(lens)
+	k := len(lens)
+	ec := h.Evaluator()
+
+	type slot struct {
+		r    cluster.DeviceRange
+		eval costmodel.GroupCoeffs
+	}
+	var slots []slot
+	slotIdx := map[cluster.DeviceRange]int{}
+	for _, d := range h.SPDegrees() {
+		for _, r := range h.Mixed.AlignedSlots(d) {
+			slotIdx[r] = len(slots)
+			slots = append(slots, slot{r: r, eval: ec.Group(r)})
+		}
+	}
+	p := len(slots)
+	q := len(buckets)
+
+	m := milp.NewModel()
+	cVar := m.AddVar(0, milp.Inf, 1, false, "C")
+	mVar := make([]int, p)
+	for i := range slots {
+		mVar[i] = m.AddVar(0, 1, 0, true, "m")
+	}
+	aVar := make([][]int, q)
+	for qi := range buckets {
+		aVar[qi] = make([]int, p)
+		for pi := 0; pi < p; pi++ {
+			aVar[qi][pi] = m.AddVar(0, float64(buckets[qi].Count()), 0, true, "A")
+		}
+	}
+
+	for pi, sl := range slots {
+		deg := sl.r.Size
+		e := sl.eval
+		// Time (Cond. 18) with the slot's own coefficients.
+		terms := []milp.Term{{Var: cVar, Coef: -1}}
+		beta := e.Beta1
+		if deg > 1 {
+			beta += e.Beta2
+		}
+		terms = append(terms, milp.Term{Var: mVar[pi], Coef: beta})
+		for qi := range buckets {
+			s := float64(buckets[qi].Upper)
+			unit := (e.Alpha1*s*s+e.Alpha2*s)/float64(deg) + s*e.CommUnitTime(deg)
+			terms = append(terms, milp.Term{Var: aVar[qi][pi], Coef: unit})
+		}
+		m.AddConstraint(terms, milp.LE, 0, "time")
+
+		// Memory (Cond. 19) against the slot's minimum-memory class.
+		memTerms := make([]milp.Term, 0, q)
+		for qi := range buckets {
+			memTerms = append(memTerms, milp.Term{Var: aVar[qi][pi], Coef: float64(buckets[qi].Upper)})
+		}
+		m.AddConstraint(memTerms, milp.LE, float64(e.MaxTokensPerGroup(deg)), "mem")
+
+		// Linking (Cond. 21).
+		linkTerms := make([]milp.Term, 0, q+1)
+		for qi := range buckets {
+			linkTerms = append(linkTerms, milp.Term{Var: aVar[qi][pi], Coef: 1})
+		}
+		linkTerms = append(linkTerms, milp.Term{Var: mVar[pi], Coef: -float64(k)})
+		m.AddConstraint(linkTerms, milp.LE, 0, "link")
+	}
+
+	// Packing (generalizes Cond. 20): overlapping slots exclude each other.
+	for dev := 0; dev < n; dev++ {
+		var devTerms []milp.Term
+		for pi, sl := range slots {
+			if sl.r.Start <= dev && dev < sl.r.End() {
+				devTerms = append(devTerms, milp.Term{Var: mVar[pi], Coef: 1})
+			}
+		}
+		m.AddConstraint(devTerms, milp.LE, 1, "pack")
+	}
+
+	// Assignment (Cond. 22).
+	for qi := range buckets {
+		asTerms := make([]milp.Term, 0, p)
+		for pi := 0; pi < p; pi++ {
+			asTerms = append(asTerms, milp.Term{Var: aVar[qi][pi], Coef: 1})
+		}
+		m.AddConstraint(asTerms, milp.EQ, float64(buckets[qi].Count()), "assign")
+	}
+
+	// Warm start from the placed enumerative plan: its aligned ranges map
+	// one-to-one onto slots.
+	var incumbent []float64
+	if warm, err := pl.planPlacedEnum(lens); err == nil {
+		x := make([]float64, m.NumVars())
+		bucketOf := func(l int) int {
+			for qi, b := range buckets {
+				if l <= b.Upper {
+					return qi
+				}
+			}
+			return len(buckets) - 1
+		}
+		maxTime := 0.0
+		ok := true
+		for _, g := range warm.Groups {
+			pi, found := slotIdx[g.Range]
+			if !found {
+				ok = false
+				break
+			}
+			x[mVar[pi]] = 1
+			e := slots[pi].eval
+			var sumS, sumS2 float64
+			for _, l := range g.Lens {
+				qi := bucketOf(l)
+				x[aVar[qi][pi]]++
+				s := float64(buckets[qi].Upper)
+				sumS += s
+				sumS2 += s * s
+			}
+			t := (e.Alpha1*sumS2+e.Alpha2*sumS)/float64(g.Degree) + e.Beta1
+			if g.Degree > 1 {
+				t += sumS*e.CommUnitTime(g.Degree) + e.Beta2
+			}
+			if t > maxTime {
+				maxTime = t
+			}
+		}
+		if ok {
+			x[cVar] = maxTime + 1e-9
+			if m.Feasible(x) {
+				incumbent = x
+			}
+		}
+	}
+
+	limit := pl.MILPTimeLimit
+	if limit <= 0 {
+		limit = 10 * time.Second
+	}
+	sol := milp.Solve(m, milp.Options{TimeLimit: limit, Incumbent: incumbent, Gap: 0.02})
+	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
+		return MicroPlan{}, ErrInfeasible
+	}
+
+	remaining := make([][]int, q)
+	for qi, b := range buckets {
+		remaining[qi] = append([]int(nil), b.Lens...)
+		sort.Sort(sort.Reverse(sort.IntSlice(remaining[qi])))
+	}
+	var plan MicroPlan
+	for pi, sl := range slots {
+		if sol.X[mVar[pi]] < 0.5 {
+			continue
+		}
+		var glens []int
+		for qi := range buckets {
+			cnt := int(sol.X[aVar[qi][pi]] + 0.5)
+			for j := 0; j < cnt && len(remaining[qi]) > 0; j++ {
+				glens = append(glens, remaining[qi][0])
+				remaining[qi] = remaining[qi][1:]
+			}
+		}
+		if len(glens) == 0 {
+			continue
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(glens)))
+		plan.Groups = append(plan.Groups, Group{Degree: sl.r.Size, Lens: glens, Range: sl.r})
+		if t := sl.eval.GroupTime(glens, sl.r.Size); t > plan.Time {
+			plan.Time = t
+		}
+	}
+	sort.SliceStable(plan.Groups, func(i, j int) bool { return plan.Groups[i].Degree > plan.Groups[j].Degree })
+	return plan, nil
+}

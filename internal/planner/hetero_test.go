@@ -1,0 +1,251 @@
+package planner
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+)
+
+func mixedFleet(t *testing.T, a100, h100 int) costmodel.HeteroCoeffs {
+	t.Helper()
+	m, err := cluster.MixedCluster(
+		cluster.ClassCount{Class: cluster.A100_40G, Devices: a100},
+		cluster.ClassCount{Class: cluster.H100, Devices: h100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return costmodel.ProfileMixed(costmodel.GPT7B, m)
+}
+
+// heteroBatch builds a deterministic long-tail micro-batch small enough to
+// fit the 8–16 device fleets these tests use: mostly 1–4K sequences with an
+// occasional 8–24K tail.
+func heteroBatch(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	lens := make([]int, n)
+	for i := range lens {
+		if rng.Intn(8) == 0 {
+			lens[i] = 8<<10 + rng.Intn(16<<10)
+		} else {
+			lens[i] = 1<<10 + rng.Intn(3<<10)
+		}
+	}
+	return lens
+}
+
+// On a single-class fleet the placement-aware path must reproduce the legacy
+// homogeneous planner exactly: same makespan, same degree multiset.
+func TestHeterogeneousSingleClassPlanMatchesLegacy(t *testing.T) {
+	m, err := cluster.MixedCluster(cluster.ClassCount{Class: cluster.A100_40G, Devices: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := costmodel.ProfileMixed(costmodel.GPT7B, m)
+	legacy := New(costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(16)))
+	placed := NewHetero(hc)
+
+	for _, seed := range []int64{1, 2, 4} {
+		batch := heteroBatch(seed, 16)
+		lp, err := legacy.Plan(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := placed.Plan(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp.Time != pp.Time {
+			t.Errorf("seed %d: placed time %.6f != legacy %.6f", seed, pp.Time, lp.Time)
+		}
+		if !reflect.DeepEqual(lp.Degrees(), pp.Degrees()) {
+			t.Errorf("seed %d: degrees %v != legacy %v", seed, pp.Degrees(), lp.Degrees())
+		}
+		if err := pp.ValidatePlaced(hc, batch); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestHeterogeneousPlanPlacedValid(t *testing.T) {
+	hc := mixedFleet(t, 8, 8)
+	pl := NewHetero(hc)
+	batch := heteroBatch(7, 24)
+	p, err := pl.Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidatePlaced(hc, batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range p.Groups {
+		if !g.Placed() {
+			t.Fatalf("group %v unplaced", g)
+		}
+	}
+}
+
+// The placement-aware plan loads each group knowing which device classes it
+// occupies (the H100 half absorbs more tokens). A class-oblivious scheduler
+// that maps the same groups onto the wrong regions — here the adversarial
+// reversed placement, heavy groups pushed onto the A100-40G half — must
+// either run slower or break the 40G memory budget, and may never be faster.
+func TestHeterogeneousAwareBeatsObliviousPlacement(t *testing.T) {
+	hc := mixedFleet(t, 8, 8)
+	pl := NewHetero(hc)
+	wins, total := 0, 0
+	for seed := int64(1); seed <= 5; seed++ {
+		batch := heteroBatch(seed, 24)
+		p, err := pl.Plan(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var degrees []int
+		for _, g := range p.Groups {
+			degrees = append(degrees, g.Degree)
+		}
+		rev, err := cluster.PlaceGroupsScored(hc.Mixed.NumDevices(), degrees,
+			func(r cluster.DeviceRange) float64 { return float64(r.Start) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		revTime, oom := 0.0, false
+		for i, g := range p.Groups {
+			e := hc.Group(rev.Ranges[i])
+			if !e.Fits(g.Lens, g.Degree) {
+				oom = true
+			}
+			if gt := e.GroupTime(g.Lens, g.Degree); gt > revTime {
+				revTime = gt
+			}
+		}
+		total++
+		if oom {
+			wins++ // oblivious placement breaks the 40G budget outright
+			continue
+		}
+		if p.Time > revTime*(1+1e-9) {
+			t.Errorf("seed %d: aware %.4f worse than oblivious placement %.4f", seed, p.Time, revTime)
+		}
+		if p.Time < revTime*(1-1e-6) {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Errorf("aware placement beat the oblivious mapping in only %d of %d batches", wins, total)
+	}
+}
+
+func TestHeterogeneousPlannerDeterminism(t *testing.T) {
+	hc := mixedFleet(t, 8, 8)
+	batch := heteroBatch(11, 24)
+	a, err := NewHetero(hc).Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHetero(hc).Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("non-deterministic plans:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestHeterogeneousGreedyStrategy(t *testing.T) {
+	hc := mixedFleet(t, 8, 8)
+	pl := NewHetero(hc)
+	pl.Strategy = StrategyGreedy
+	batch := heteroBatch(2, 16)
+	p, err := pl.Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidatePlaced(hc, batch); err != nil {
+		t.Fatal(err)
+	}
+	enum, err := NewHetero(hc).Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enum.Time > p.Time*(1+1e-9) {
+		t.Errorf("enum %.4f worse than greedy baseline %.4f", enum.Time, p.Time)
+	}
+}
+
+func TestHeterogeneousMILPStrategy(t *testing.T) {
+	hc := mixedFleet(t, 4, 4)
+	pl := NewHetero(hc)
+	pl.Strategy = StrategyMILP
+	pl.MILPTimeLimit = 2 * time.Second
+	batch := heteroBatch(5, 8)
+	p, err := pl.Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidatePlaced(hc, batch); err != nil {
+		t.Fatal(err)
+	}
+	// Warm-started by the placed enum plan, MILP must not be worse.
+	enum, err := NewHetero(hc).Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time > enum.Time*(1+1e-6) {
+		t.Errorf("MILP %.4f worse than its enum warm start %.4f", p.Time, enum.Time)
+	}
+}
+
+// ValidatePlaced must reject malformed plans with errors, never panic — it
+// is the gate callers use against untrusted plans.
+func TestHeterogeneousValidatePlacedRejectsWithoutPanic(t *testing.T) {
+	hc := mixedFleet(t, 8, 8)
+	lens := []int{4 << 10}
+	for name, p := range map[string]MicroPlan{
+		"out of bounds": {Groups: []Group{
+			{Degree: 4, Lens: lens, Range: cluster.DeviceRange{Start: 16, Size: 4}}}},
+		"unaligned": {Groups: []Group{
+			{Degree: 4, Lens: lens, Range: cluster.DeviceRange{Start: 6, Size: 4}}}},
+		"degree mismatch": {Groups: []Group{
+			{Degree: 8, Lens: lens, Range: cluster.DeviceRange{Start: 0, Size: 4}}}},
+		"unplaced": {Groups: []Group{{Degree: 4, Lens: lens}}},
+		"overlap": {Groups: []Group{
+			{Degree: 4, Lens: lens, Range: cluster.DeviceRange{Start: 0, Size: 4}},
+			{Degree: 4, Lens: nil, Range: cluster.DeviceRange{}},
+			{Degree: 4, Lens: []int{1 << 10}, Range: cluster.DeviceRange{Start: 0, Size: 4}}}},
+	} {
+		if err := p.ValidatePlaced(hc, lensOf(p)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func lensOf(p MicroPlan) []int {
+	var out []int
+	for _, g := range p.Groups {
+		out = append(out, g.Lens...)
+	}
+	return out
+}
+
+// Regression for the shared-receiver mutation: Plan must not write the
+// default bucket count through the pointer.
+func TestHeterogeneousPlanDoesNotMutateQ(t *testing.T) {
+	legacy := New(costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(8)))
+	legacy.Q = 0
+	if _, err := legacy.Plan(heteroBatch(4, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Q != 0 {
+		t.Fatalf("Plan mutated Q to %d", legacy.Q)
+	}
+	if _, err := legacy.PlanFixedDegree(heteroBatch(4, 8), 4); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Q != 0 {
+		t.Fatalf("PlanFixedDegree mutated Q to %d", legacy.Q)
+	}
+}

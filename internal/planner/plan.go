@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"flexsp/internal/cluster"
 	"flexsp/internal/costmodel"
 )
 
@@ -31,7 +32,15 @@ import (
 type Group struct {
 	Degree int
 	Lens   []int
+	// Range is the group's placed device range on a heterogeneous fleet
+	// (Size == Degree). The zero value means "unplaced": homogeneous-cluster
+	// plans leave placement to the executor, whose devices are
+	// interchangeable.
+	Range cluster.DeviceRange
 }
+
+// Placed reports whether the group carries an explicit device range.
+func (g Group) Placed() bool { return g.Range.Size > 0 }
 
 // Tokens returns the total tokens assigned to the group.
 func (g Group) Tokens() int {
@@ -111,6 +120,59 @@ func (p MicroPlan) Validate(c costmodel.Coeffs, lens []int) error {
 	for l, n := range want {
 		if n != 0 {
 			return fmt.Errorf("planner: %d sequences of length %d unassigned", n, l)
+		}
+	}
+	return nil
+}
+
+// ValidatePlaced checks a heterogeneous plan against the mixed fleet: every
+// group must carry an aligned device range matching its degree, ranges must
+// be disjoint and in bounds, each group must fit the memory of the classes
+// it actually spans, and the plan must cover the micro-batch exactly.
+func (p MicroPlan) ValidatePlaced(h costmodel.HeteroCoeffs, lens []int) error {
+	n := h.Mixed.NumDevices()
+	want := map[int]int{}
+	for _, l := range lens {
+		want[l]++
+	}
+	// Shape and bounds first: h.Group panics on malformed ranges, so every
+	// range must be proven in-bounds before the cost model sees it.
+	var placement cluster.GroupPlacement
+	for _, g := range p.Groups {
+		if len(g.Lens) == 0 {
+			continue
+		}
+		if !g.Placed() {
+			return fmt.Errorf("planner: group %v has no device range", g)
+		}
+		if g.Range.Size != g.Degree {
+			return fmt.Errorf("planner: group %v range %v does not match its degree", g, g.Range)
+		}
+		if !h.Mixed.IsValidDegree(g.Degree) {
+			return fmt.Errorf("planner: invalid degree %d", g.Degree)
+		}
+		placement.Ranges = append(placement.Ranges, g.Range)
+	}
+	if err := placement.Validate(n); err != nil {
+		return err
+	}
+	for _, g := range p.Groups {
+		if len(g.Lens) == 0 {
+			continue
+		}
+		if !h.Group(g.Range).Fits(g.Lens, g.Degree) {
+			return fmt.Errorf("planner: group %v exceeds memory of range %v", g, g.Range)
+		}
+		for _, l := range g.Lens {
+			want[l]--
+			if want[l] < 0 {
+				return fmt.Errorf("planner: unexpected sequence of length %d", l)
+			}
+		}
+	}
+	for l, c := range want {
+		if c != 0 {
+			return fmt.Errorf("planner: %d sequences of length %d unassigned", c, l)
 		}
 	}
 	return nil

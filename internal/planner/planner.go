@@ -9,8 +9,17 @@ import (
 
 // Planner solves the per-micro-batch parallelism problem.
 type Planner struct {
-	// Coeffs is the (model, cluster) cost model driving all decisions.
+	// Coeffs is the (model, cluster) cost model driving all decisions. On a
+	// heterogeneous fleet (Hetero non-nil) it holds the conservative
+	// bottleneck view consumed by hetero-unaware callers (plan caches,
+	// baselines); planning itself goes through Hetero.
 	Coeffs costmodel.Coeffs
+	// Hetero, when non-nil, plans over the mixed fleet with placed groups:
+	// the enumerative and MILP strategies decide each group's SP degree AND
+	// the device-class region it lands on, while StrategyGreedy — the
+	// ablation baseline the paper argues against — stays deliberately
+	// class-oblivious (bottleneck model, lowest-address placement).
+	Hetero *costmodel.HeteroCoeffs
 	// Strategy selects the algorithm (default StrategyEnum).
 	Strategy Strategy
 	// Q is the sequence bucket count (default bucket.DefaultQ = 16).
@@ -34,6 +43,12 @@ func New(c costmodel.Coeffs) *Planner {
 	return &Planner{Coeffs: c, Q: bucket.DefaultQ}
 }
 
+// NewHetero returns a placement-aware Planner for a heterogeneous fleet.
+// Coeffs is set to the fleet's bottleneck view for hetero-unaware consumers.
+func NewHetero(h costmodel.HeteroCoeffs) *Planner {
+	return &Planner{Coeffs: h.Bottleneck(), Hetero: &h, Q: bucket.DefaultQ}
+}
+
 func (pl *Planner) refineIters() int {
 	if pl.RefineIters > 0 {
 		return pl.RefineIters
@@ -41,12 +56,39 @@ func (pl *Planner) refineIters() int {
 	return 200
 }
 
+// effectiveQ resolves the bucket count without mutating the receiver (a
+// Planner is shared by solver.Service workers, so defaulting must not write
+// through the pointer).
+func (pl *Planner) effectiveQ() int {
+	if pl.Q > 0 {
+		return pl.Q
+	}
+	return bucket.DefaultQ
+}
+
+// TokenCapacity is the cluster's one-micro-batch activation token capacity
+// under this planner's cost model, used by Alg. 1 to derive M_min.
+func (pl *Planner) TokenCapacity() int {
+	if pl.Hetero != nil {
+		return pl.Hetero.ClusterTokenCapacity()
+	}
+	return pl.Coeffs.ClusterTokenCapacity()
+}
+
 // Plan computes the SP-group configuration and sequence assignment for one
 // micro-batch (paper §4.1). The returned plan's Time is the cost-model
-// estimate of the makespan.
+// estimate of the makespan. On a heterogeneous fleet the plan's groups also
+// carry their device ranges.
 func (pl *Planner) Plan(lens []int) (MicroPlan, error) {
-	if pl.Q <= 0 {
-		pl.Q = bucket.DefaultQ
+	if pl.Hetero != nil {
+		switch pl.Strategy {
+		case StrategyMILP:
+			return pl.planPlacedMILP(lens)
+		case StrategyGreedy:
+			return pl.planPlacedGreedy(lens)
+		default:
+			return pl.planPlacedEnum(lens)
+		}
 	}
 	switch pl.Strategy {
 	case StrategyMILP:
@@ -112,9 +154,6 @@ func (pl *Planner) PlanHomogeneous(lens []int) (MicroPlan, error) {
 func (pl *Planner) PlanFixedDegree(lens []int, degree int) (MicroPlan, error) {
 	if len(lens) == 0 {
 		return MicroPlan{}, nil
-	}
-	if pl.Q <= 0 {
-		pl.Q = bucket.DefaultQ
 	}
 	c := pl.Coeffs
 	n := c.Topo.NumDevices()

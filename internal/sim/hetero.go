@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+)
+
+// ExecuteIterationHetero replays an iteration's micro-batch plans on a
+// heterogeneous fleet: each group is costed against the device classes of
+// the range it actually occupies (costmodel.GroupCoeffs), so a group landing
+// on the H100 half runs faster and a group squeezed onto 40-GB nodes hits
+// its smaller memory budget. Plans whose groups carry explicit ranges (the
+// placement-aware planner's output) execute exactly where they were planned;
+// fully unplaced plans (legacy planners, baselines) are placed
+// lowest-address-first — the class-oblivious behavior the heterogeneous
+// experiment quantifies.
+func ExecuteIterationHetero(h costmodel.HeteroCoeffs, plans []planner.MicroPlan, opts Options) (IterResult, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	jitter := func() float64 {
+		if opts.Noise <= 0 {
+			return 1
+		}
+		return math.Exp(rng.NormFloat64() * opts.Noise)
+	}
+
+	n := h.Mixed.NumDevices()
+	// Per-range coefficients and the exposed ZeRO term are loop-invariant;
+	// profile each range once per iteration, not once per group occurrence.
+	ec := h.Evaluator()
+	var zeroTime float64
+	if opts.IncludeZeRO {
+		// ZeRO-3 gathers span the whole fleet, so the exposed time is
+		// bounded by the slowest class's NIC share: the bottleneck view.
+		zeroTime = h.Bottleneck().ZeROTime()
+	}
+	var res IterResult
+	for _, mp := range plans {
+		var mr MicroResult
+
+		groups, ranges, err := placedRanges(n, mp)
+		if err != nil {
+			return res, err
+		}
+		if opts.Pool != nil {
+			for _, r := range ranges {
+				mr.GroupCreation += opts.Pool.Acquire(r)
+			}
+		}
+
+		var slowest float64
+		var slowestComm, slowestComp float64
+		for gi, g := range groups {
+			e := ec.Group(ranges[gi])
+			comp := e.ComputeTime(g.Lens, g.Degree) * jitter()
+			comm := e.CommTime(g.Lens, g.Degree) * jitter()
+			mem := e.MemoryBytes(g.Lens, g.Degree)
+			gr := GroupResult{
+				Degree:  g.Degree,
+				Seqs:    len(g.Lens),
+				Tokens:  g.Tokens(),
+				Comp:    comp,
+				Comm:    comm,
+				Total:   comp + comm,
+				MemFrac: mem / float64(e.Topo.UsableMemory()),
+				Range:   ranges[gi],
+			}
+			mr.Groups = append(mr.Groups, gr)
+			if gr.MemFrac > res.PeakMemFrac {
+				res.PeakMemFrac = gr.MemFrac
+			}
+			if gr.MemFrac > 1 {
+				res.OOM = true
+			}
+			if gr.Total > slowest {
+				slowest = gr.Total
+				slowestComm = gr.Comm
+				slowestComp = gr.Comp
+			}
+		}
+		mr.ZeRO = zeroTime
+		mr.Time = slowest + mr.ZeRO + mr.GroupCreation
+		mr.CriticalComm = slowestComm
+		res.Micro = append(res.Micro, mr)
+		res.Time += mr.Time
+		res.AllToAll += slowestComm
+		res.Comp += slowestComp
+		res.ZeRO += mr.ZeRO
+		res.GroupCreation += mr.GroupCreation
+	}
+	if res.OOM {
+		return res, ErrOOM
+	}
+	return res, nil
+}
+
+// placedRanges resolves one micro-plan's device ranges: planner-placed plans
+// use (and validate) their own ranges; unplaced plans get lowest-address
+// buddy placement. Mixing placed and unplaced groups in one plan is a caller
+// bug.
+func placedRanges(n int, mp planner.MicroPlan) ([]planner.Group, []cluster.DeviceRange, error) {
+	var groups []planner.Group
+	placed, unplaced := 0, 0
+	for _, g := range mp.Groups {
+		if len(g.Lens) == 0 {
+			continue
+		}
+		groups = append(groups, g)
+		if g.Placed() {
+			placed++
+		} else {
+			unplaced++
+		}
+	}
+	switch {
+	case placed > 0 && unplaced > 0:
+		return nil, nil, fmt.Errorf("sim: plan mixes placed and unplaced groups")
+	case placed > 0:
+		var pl cluster.GroupPlacement
+		ranges := make([]cluster.DeviceRange, len(groups))
+		for i, g := range groups {
+			if g.Range.Size != g.Degree {
+				return nil, nil, fmt.Errorf("sim: group %v range %v does not match its degree", g, g.Range)
+			}
+			ranges[i] = g.Range
+			pl.Ranges = append(pl.Ranges, g.Range)
+		}
+		if err := pl.Validate(n); err != nil {
+			return nil, nil, fmt.Errorf("sim: invalid placement: %w", err)
+		}
+		return groups, ranges, nil
+	default:
+		degrees := make([]int, len(groups))
+		for i, g := range groups {
+			degrees[i] = g.Degree
+		}
+		pl, err := cluster.PlaceGroups(n, degrees)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: placement failed: %w", err)
+		}
+		return groups, pl.Ranges, nil
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+)
+
+func mixedModel(t *testing.T, a100, h100 int) costmodel.HeteroCoeffs {
+	t.Helper()
+	m, err := cluster.MixedCluster(
+		cluster.ClassCount{Class: cluster.A100_40G, Devices: a100},
+		cluster.ClassCount{Class: cluster.H100, Devices: h100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return costmodel.ProfileMixed(costmodel.GPT7B, m)
+}
+
+// On an all-A100 fleet the heterogeneous executor must reproduce the legacy
+// executor exactly for unplaced plans.
+func TestHeterogeneousExecutorSingleClassEquivalence(t *testing.T) {
+	m, err := cluster.MixedCluster(cluster.ClassCount{Class: cluster.A100_40G, Devices: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := costmodel.ProfileMixed(costmodel.GPT7B, m)
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(16))
+	plans := []planner.MicroPlan{
+		{Groups: []planner.Group{
+			{Degree: 8, Lens: []int{20 << 10, 8 << 10}},
+			{Degree: 4, Lens: []int{6 << 10, 2 << 10}},
+			{Degree: 4, Lens: []int{4 << 10, 1 << 10}},
+		}},
+		{Groups: []planner.Group{
+			{Degree: 16, Lens: []int{40 << 10, 10 << 10}},
+		}},
+	}
+	opts := Options{IncludeZeRO: true}
+	legacy, err := ExecuteIteration(c, plans, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero, err := ExecuteIterationHetero(hc, plans, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Time != hetero.Time || legacy.AllToAll != hetero.AllToAll ||
+		legacy.Comp != hetero.Comp || legacy.PeakMemFrac != hetero.PeakMemFrac ||
+		legacy.ZeRO != hetero.ZeRO {
+		t.Fatalf("hetero executor diverges on single class:\nlegacy %+v\nhetero %+v", legacy, hetero)
+	}
+}
+
+// Placement decides feasibility: a token load that overflows the 40-GB half
+// fits on the H100 half.
+func TestHeterogeneousExecutorPlacementDecidesOOM(t *testing.T) {
+	hc := mixedModel(t, 8, 8)
+	heavy := []int{50 << 10}
+	onA100 := []planner.MicroPlan{{Groups: []planner.Group{
+		{Degree: 8, Lens: heavy, Range: cluster.DeviceRange{Start: 0, Size: 8}},
+	}}}
+	if _, err := ExecuteIterationHetero(hc, onA100, Options{}); !errors.Is(err, ErrOOM) {
+		t.Fatalf("expected OOM on the A100-40G half, got %v", err)
+	}
+	onH100 := []planner.MicroPlan{{Groups: []planner.Group{
+		{Degree: 8, Lens: heavy, Range: cluster.DeviceRange{Start: 8, Size: 8}},
+	}}}
+	res, err := ExecuteIterationHetero(hc, onH100, Options{})
+	if err != nil {
+		t.Fatalf("H100 placement should fit: %v", err)
+	}
+	if res.PeakMemFrac > 1 {
+		t.Fatalf("peak mem %v > 1 on H100 half", res.PeakMemFrac)
+	}
+}
+
+// The same load runs faster on the H100 half than on the A100 half.
+func TestHeterogeneousExecutorClassSpeed(t *testing.T) {
+	hc := mixedModel(t, 8, 8)
+	lens := []int{16 << 10, 8 << 10}
+	at := func(start int) float64 {
+		plans := []planner.MicroPlan{{Groups: []planner.Group{
+			{Degree: 8, Lens: lens, Range: cluster.DeviceRange{Start: start, Size: 8}},
+		}}}
+		res, err := ExecuteIterationHetero(hc, plans, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	if a, h := at(0), at(8); h >= a {
+		t.Fatalf("H100 half %.4f not faster than A100 half %.4f", h, a)
+	}
+}
+
+func TestHeterogeneousExecutorRejectsMixedPlacement(t *testing.T) {
+	hc := mixedModel(t, 8, 8)
+	plans := []planner.MicroPlan{{Groups: []planner.Group{
+		{Degree: 8, Lens: []int{8 << 10}, Range: cluster.DeviceRange{Start: 0, Size: 8}},
+		{Degree: 8, Lens: []int{8 << 10}}, // unplaced
+	}}}
+	if _, err := ExecuteIterationHetero(hc, plans, Options{}); err == nil {
+		t.Fatal("plan mixing placed and unplaced groups accepted")
+	}
+	overlap := []planner.MicroPlan{{Groups: []planner.Group{
+		{Degree: 8, Lens: []int{8 << 10}, Range: cluster.DeviceRange{Start: 0, Size: 8}},
+		{Degree: 8, Lens: []int{8 << 10}, Range: cluster.DeviceRange{Start: 0, Size: 8}},
+	}}}
+	if _, err := ExecuteIterationHetero(hc, overlap, Options{}); err == nil {
+		t.Fatal("overlapping placement accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"sync"
 
+	"flexsp/internal/cluster"
 	"flexsp/internal/planner"
 )
 
@@ -61,14 +62,26 @@ func (pc *PlanCache) key(lens []int) string {
 	return string(buf)
 }
 
+// PlanCost re-validates and re-times cached plans: the scalar Coeffs for
+// homogeneous clusters. When the value also implements PlacedPlanCost
+// (heterogeneous models), placed groups are priced by their device range so
+// cached and freshly-planned estimates stay comparable.
+type PlanCost interface {
+	GroupTime([]int, int) float64
+	Fits([]int, int) bool
+}
+
+// PlacedPlanCost prices a group by the device range it occupies.
+type PlacedPlanCost interface {
+	PlacedGroupTime(r cluster.DeviceRange, lens []int, degree int) float64
+	PlacedFits(r cluster.DeviceRange, lens []int, degree int) bool
+}
+
 // Get returns a cached plan re-targeted onto the exact lengths, if present.
 // The returned plan assigns the actual sequences following the cached plan's
 // group shape (k-th longest sequence goes where the cached k-th longest
 // went), then re-estimates its time.
-func (pc *PlanCache) Get(c interface {
-	GroupTime([]int, int) float64
-	Fits([]int, int) bool
-}, lens []int) (planner.MicroPlan, bool) {
+func (pc *PlanCache) Get(c PlanCost, lens []int) (planner.MicroPlan, bool) {
 	k := pc.key(lens)
 	pc.mu.Lock()
 	cached, ok := pc.plans[k]
@@ -108,16 +121,33 @@ func (pc *PlanCache) Get(c interface {
 		groupLens[r.group] = append(groupLens[r.group], sorted[at])
 		at++
 	}
+	// Placement carries over: the cached plan's device ranges stay valid for
+	// the re-targeted lengths. With a PlacedPlanCost each placed group is
+	// checked and timed against its own range's classes, exactly like a
+	// fresh plan; otherwise the scalar model applies to every group.
+	placedCost, placedOK := c.(PlacedPlanCost)
+	fits := func(g planner.Group) bool {
+		if placedOK && g.Placed() {
+			return placedCost.PlacedFits(g.Range, g.Lens, g.Degree)
+		}
+		return c.Fits(g.Lens, g.Degree)
+	}
+	groupTime := func(g planner.Group) float64 {
+		if placedOK && g.Placed() {
+			return placedCost.PlacedGroupTime(g.Range, g.Lens, g.Degree)
+		}
+		return c.GroupTime(g.Lens, g.Degree)
+	}
 	out.Groups = make([]planner.Group, 0, len(cached.Groups))
 	for gi, g := range cached.Groups {
-		ng := planner.Group{Degree: g.Degree, Lens: groupLens[gi]}
-		if !c.Fits(ng.Lens, ng.Degree) {
+		ng := planner.Group{Degree: g.Degree, Lens: groupLens[gi], Range: g.Range}
+		if !fits(ng) {
 			return planner.MicroPlan{}, false // rounding edge case: reject
 		}
 		out.Groups = append(out.Groups, ng)
 	}
 	for _, g := range out.Groups {
-		if t := c.GroupTime(g.Lens, g.Degree); t > out.Time {
+		if t := groupTime(g); t > out.Time {
 			out.Time = t
 		}
 	}

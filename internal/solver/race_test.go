@@ -108,3 +108,28 @@ func TestServiceAndCacheConcurrency(t *testing.T) {
 		t.Fatalf("stats went backwards: %d/%d -> %d/%d", hits, misses, h2, m2)
 	}
 }
+
+// A Planner constructed with the zero value of Q (not via planner.New) is
+// shared by all Service workers. Plan used to write the default bucket count
+// through the shared pointer on first use — a data race under concurrent
+// workers. Run with -race; the planner must also never see the write.
+func TestServiceZeroQPlannerConcurrency(t *testing.T) {
+	coeffs := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(16))
+	shared := &planner.Planner{Coeffs: coeffs} // Q == 0 on purpose
+	sv := NewService(New(shared), 4)
+	defer sv.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	const batches = 16
+	for i := 0; i < batches; i++ {
+		sv.Submit(workload.Wikipedia().Batch(rng, 24, 32<<10))
+	}
+	for i := 0; i < batches; i++ {
+		if _, err := sv.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if shared.Q != 0 {
+		t.Fatalf("solver workers mutated the shared planner's Q to %d", shared.Q)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"flexsp/internal/blaster"
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
 	"flexsp/internal/planner"
 )
 
@@ -47,6 +49,32 @@ func New(pl *planner.Planner) *Solver {
 	return &Solver{Planner: pl, Trials: blaster.DefaultTrials, Sort: true, Parallel: true}
 }
 
+// cacheCost returns the model the plan cache re-validates and re-times
+// cached plans with: per-placement pricing on a mixed fleet (so cached and
+// freshly-planned estimates stay comparable inside one Alg. 1 run), the
+// scalar coefficients otherwise.
+func (s *Solver) cacheCost() PlanCost {
+	if s.Planner.Hetero != nil {
+		return heteroPlanCost{Coeffs: s.Planner.Coeffs, h: *s.Planner.Hetero}
+	}
+	return s.Planner.Coeffs
+}
+
+// heteroPlanCost prices cached plans on a mixed fleet: placed groups by
+// their device range, unplaced groups by the embedded bottleneck view.
+type heteroPlanCost struct {
+	costmodel.Coeffs
+	h costmodel.HeteroCoeffs
+}
+
+func (c heteroPlanCost) PlacedGroupTime(r cluster.DeviceRange, lens []int, degree int) float64 {
+	return c.h.Group(r).GroupTime(lens, degree)
+}
+
+func (c heteroPlanCost) PlacedFits(r cluster.DeviceRange, lens []int, degree int) bool {
+	return c.h.Group(r).Fits(lens, degree)
+}
+
 // Result is the outcome of solving one data batch.
 type Result struct {
 	// Plans is the chosen micro-batch plan sequence.
@@ -72,7 +100,7 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 	if trials <= 0 {
 		trials = blaster.DefaultTrials
 	}
-	mmin := blaster.MinMicroBatches(batch, s.Planner.Coeffs.ClusterTokenCapacity())
+	mmin := blaster.MinMicroBatches(batch, s.Planner.TokenCapacity())
 	if mmin == 0 && len(batch) > 0 {
 		return Result{}, ErrUnsolvable
 	}
@@ -108,7 +136,7 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 		errs := make([]error, len(micro))
 		planOne := func(i int) {
 			if s.Cache != nil {
-				if p, ok := s.Cache.Get(s.Planner.Coeffs, micro[i]); ok {
+				if p, ok := s.Cache.Get(s.cacheCost(), micro[i]); ok {
 					plans[i] = p
 					return
 				}

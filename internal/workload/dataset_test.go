@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -139,5 +140,73 @@ func TestTotalTokens(t *testing.T) {
 	}
 	if got := TotalTokens(nil); got != 0 {
 		t.Fatalf("TotalTokens(nil) = %d", got)
+	}
+}
+
+// quantile returns the q-quantile of a sorted copy of lens.
+func quantile(lens []int, q float64) int {
+	s := append([]int(nil), lens...)
+	sort.Ints(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// Long-tail percentile invariants (§3 Observation 2): every corpus has a
+// short-sequence body — the median well below 8K — with a tail stretched at
+// least an order of magnitude beyond it, and tail heaviness at p99 ordered
+// GitHub > CommonCrawl > Wikipedia.
+func TestDatasetPercentileShape(t *testing.T) {
+	const n = 50000
+	p99 := map[string]int{}
+	for _, d := range Datasets() {
+		sample := d.SampleN(rand.New(rand.NewSource(11)), n)
+		p50 := quantile(sample, 0.50)
+		p90 := quantile(sample, 0.90)
+		p99[d.Name] = quantile(sample, 0.99)
+		if p50 >= 8<<10 {
+			t.Errorf("%s: median %d is not below 8K", d.Name, p50)
+		}
+		if p90 < p50 || p99[d.Name] < p90 {
+			t.Errorf("%s: quantiles not monotone: p50=%d p90=%d p99=%d", d.Name, p50, p90, p99[d.Name])
+		}
+		if p99[d.Name] < 10*p50 {
+			t.Errorf("%s: p99 %d is under 10× the median %d — tail too light", d.Name, p99[d.Name], p50)
+		}
+	}
+	if !(p99["GitHub"] > p99["CommonCrawl"] && p99["CommonCrawl"] > p99["Wikipedia"]) {
+		t.Errorf("p99 ordering wrong: github=%d cc=%d wiki=%d",
+			p99["GitHub"], p99["CommonCrawl"], p99["Wikipedia"])
+	}
+}
+
+// Batch must be deterministic under a fixed seed — the solver pipeline and
+// the experiments depend on replayable draws.
+func TestBatchDeterminism(t *testing.T) {
+	for _, d := range Datasets() {
+		a := d.Batch(rand.New(rand.NewSource(9)), 64, 32<<10)
+		b := d.Batch(rand.New(rand.NewSource(9)), 64, 32<<10)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: batch diverges at %d: %d vs %d", d.Name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// The maxCtx filter must re-draw, preserving both the batch size and the
+// bounds, even when the budget cuts deep into the distribution.
+func TestBatchTokenBudgetTightCap(t *testing.T) {
+	d := GitHub()
+	rng := rand.New(rand.NewSource(3))
+	for _, maxCtx := range []int{2 << 10, 8 << 10, 64 << 10} {
+		batch := d.Batch(rng, 256, maxCtx)
+		if len(batch) != 256 {
+			t.Fatalf("maxCtx %d: batch size %d", maxCtx, len(batch))
+		}
+		for _, l := range batch {
+			if l > maxCtx || l < d.MinLen {
+				t.Fatalf("maxCtx %d: sequence %d out of bounds", maxCtx, l)
+			}
+		}
 	}
 }
