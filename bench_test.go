@@ -194,6 +194,7 @@ func BenchmarkSolver(b *testing.B) {
 	sys := NewSystem(Config{Devices: 64, Model: GPT7B})
 	rng := rand.New(rand.NewSource(1))
 	batch := workload.CommonCrawl().Batch(rng, 512, 192<<10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Solve(batch); err != nil {
@@ -202,15 +203,20 @@ func BenchmarkSolver(b *testing.B) {
 	}
 }
 
-// BenchmarkPlanner measures single micro-batch planning per strategy.
+// BenchmarkPlanner measures single micro-batch planning per strategy,
+// including the MILP path (problem 17 through the warm-started parallel
+// branch and bound).
 func BenchmarkPlanner(b *testing.B) {
 	sys := NewSystem(Config{Devices: 64, Model: GPT7B})
 	rng := rand.New(rand.NewSource(2))
 	micro := workload.CommonCrawl().Batch(rng, 64, 128<<10)
-	for _, strat := range []planner.Strategy{planner.StrategyEnum, planner.StrategyGreedy} {
+	for _, strat := range []planner.Strategy{
+		planner.StrategyEnum, planner.StrategyGreedy, planner.StrategyMILP,
+	} {
 		b.Run(strat.String(), func(b *testing.B) {
 			pl := planner.New(sys.Coeffs)
 			pl.Strategy = strat
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := pl.Plan(micro); err != nil {
 					b.Fatal(err)

@@ -15,14 +15,16 @@
 //	flexsp-bench table5        # Table 5: model configurations
 //	flexsp-bench pipeline      # hybrid PP×SP: joint planner vs flat FlexSP vs Megatron
 //	flexsp-bench heterogeneous # mixed A100/H100 fleet: placement-aware vs class-oblivious
+//	flexsp-bench solver        # solver hot path: Alg. 1 wall, planner wall per strategy, cache stats
 //	flexsp-bench all           # everything above
 //
 // Flags: -quick shrinks batch sizes/iterations, -seed, -iters and -devices
 // override the experiment configuration; -cluster (e.g.
 // "mixed:32xA100,32xH100") picks the heterogeneous experiment's fleet. The
-// heterogeneous experiment also writes its result as machine-readable JSON
-// (default BENCH_heterogeneous.json, see -benchjson) so perf can be tracked
-// across commits.
+// heterogeneous and solver experiments also write their results as
+// machine-readable JSON (default BENCH_heterogeneous.json / BENCH_solver.json,
+// see -benchjson and -solverjson) so perf can be tracked across commits.
+// -cpuprofile writes a pprof CPU profile of the run.
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"flexsp/internal/cluster"
@@ -37,14 +40,36 @@ import (
 )
 
 func main() {
+	// The body runs in its own function so deferred cleanup — notably
+	// flushing the -cpuprofile — still happens on error exits.
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "use the reduced experiment configuration")
 	seed := flag.Int64("seed", 0, "override the sampling seed")
 	iters := flag.Int("iters", 0, "override iterations per cell")
 	devices := flag.Int("devices", 0, "override the cluster size (multiple of 8, or < 8 for one node); the heterogeneous experiment splits it half A100, half H100")
 	clusterSpec := flag.String("cluster", "", "mixed-fleet spec for the heterogeneous experiment, e.g. mixed:32xA100,32xH100")
 	benchJSON := flag.String("benchjson", "BENCH_heterogeneous.json", "path for the heterogeneous experiment's JSON result (empty disables)")
+	solverJSON := flag.String("solverjson", "BENCH_solver.json", "path for the solver experiment's JSON result (empty disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexsp-bench: -cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "flexsp-bench: -cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -59,14 +84,14 @@ func main() {
 	if *devices != 0 {
 		if _, err := cluster.NewA100Cluster(*devices); err != nil {
 			fmt.Fprintln(os.Stderr, "flexsp-bench: invalid -devices:", err)
-			os.Exit(1)
+			return 1
 		}
 		cfg.Devices = *devices
 	}
 	if *clusterSpec != "" {
 		if _, err := cluster.ParseClusterSpec(*clusterSpec); err != nil {
 			fmt.Fprintln(os.Stderr, "flexsp-bench: invalid -cluster:", err)
-			os.Exit(1)
+			return 1
 		}
 		cfg.ClusterSpec = *clusterSpec
 	}
@@ -74,9 +99,10 @@ func main() {
 	args := flag.Args()
 	if len(args) != 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 
+	failed := false
 	runners := map[string]func(experiments.Config) string{
 		"table1":     func(c experiments.Config) string { return experiments.Table1(c).Render() },
 		"fig1":       func(c experiments.Config) string { return experiments.Fig1(c).Render() },
@@ -96,15 +122,29 @@ func main() {
 			if *benchJSON != "" {
 				if err := writeBenchJSON(*benchJSON, r); err != nil {
 					fmt.Fprintln(os.Stderr, "flexsp-bench:", err)
-					os.Exit(1)
+					failed = true
+					return r.Render()
 				}
 				fmt.Printf("[wrote %s]\n", *benchJSON)
 			}
 			return r.Render()
 		},
+		"solver": func(c experiments.Config) string {
+			r := experiments.SolverBench(c)
+			if *solverJSON != "" {
+				if err := writeBenchJSON(*solverJSON, r); err != nil {
+					fmt.Fprintln(os.Stderr, "flexsp-bench:", err)
+					failed = true
+					return r.Render()
+				}
+				fmt.Printf("[wrote %s]\n", *solverJSON)
+			}
+			return r.Render()
+		},
 	}
 	order := []string{"table5", "table1", "fig1", "fig2", "fig4", "table3fig5",
-		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE", "pipeline", "heterogeneous"}
+		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE", "pipeline",
+		"heterogeneous", "solver"}
 
 	run := func(name string) {
 		start := time.Now()
@@ -121,13 +161,17 @@ func main() {
 		if _, ok := runners[cmd]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
 			usage()
-			os.Exit(2)
+			return 2
 		}
 		run(cmd)
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
-func writeBenchJSON(path string, r experiments.HeterogeneousResult) error {
+func writeBenchJSON(path string, r interface{}) error {
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
@@ -136,8 +180,8 @@ func writeBenchJSON(path string, r experiments.HeterogeneousResult) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] [-cluster SPEC] <experiment>
+	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] [-cluster SPEC] [-cpuprofile FILE] <experiment>
 
-experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous all`)
+experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous solver all`)
 	flag.PrintDefaults()
 }

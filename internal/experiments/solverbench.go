@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// SolverBenchResult is the machine-readable solver hot-path benchmark
+// (`flexsp-bench solver` writes it as BENCH_solver.json): raw Alg. 1 wall
+// times on the paper's batch shape, per-strategy single-micro-batch planner
+// walls, and the steady-state plan-cache counters of a cached multi-batch
+// run. CI tracks it next to the heterogeneous benchmark so solve-path
+// regressions are visible per commit.
+type SolverBenchResult struct {
+	Devices   int   `json:"devices"`
+	BatchSize int   `json:"batch_size"`
+	Seed      int64 `json:"seed"`
+	// SolverWallSeconds is the mean uncached Alg. 1 wall over Iterations
+	// batches.
+	SolverWallSeconds float64 `json:"solver_wall_seconds"`
+	// CachedWallSeconds is the mean wall with the plan cache warm (batches
+	// re-solved once the cache has seen the workload's signatures).
+	CachedWallSeconds float64 `json:"cached_wall_seconds"`
+	// PlannerWallSeconds maps strategy name → wall seconds of planning one
+	// 64-sequence micro-batch.
+	PlannerWallSeconds map[string]float64 `json:"planner_wall_seconds"`
+	// Cache is the counter snapshot after the cached run.
+	Cache solver.CacheStats `json:"cache"`
+	// CacheHitRate is Cache hits / (hits+misses).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// SolverBench measures the solver hot path: the raw Alg. 1 latency at the
+// configured batch size, the per-strategy planner latency, and the cache
+// behavior of a steady-state run over repeated workload draws.
+func SolverBench(cfg Config) SolverBenchResult {
+	d := workload.CommonCrawl()
+	const maxCtx = 192 << 10
+	c := cfg.coeffs(costmodel.GPT7B)
+	res := SolverBenchResult{
+		Devices:            cfg.Devices,
+		BatchSize:          cfg.BatchSize,
+		Seed:               cfg.Seed,
+		PlannerWallSeconds: map[string]float64{},
+	}
+
+	iters := cfg.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	batches := make([][]int, iters)
+	for i := range batches {
+		batches[i] = d.Batch(cfg.rng(int64(100+i)), cfg.BatchSize, maxCtx)
+	}
+
+	// Uncached Alg. 1 wall.
+	sv := solver.New(planner.New(c))
+	start := time.Now()
+	for _, b := range batches {
+		if _, err := sv.Solve(b); err != nil {
+			panic(fmt.Sprintf("solver bench: %v", err))
+		}
+	}
+	res.SolverWallSeconds = time.Since(start).Seconds() / float64(iters)
+
+	// Cached steady state: warm the cache with one pass, then time a second.
+	cached := solver.New(planner.New(c))
+	cached.Cache = solver.NewPlanCache(4096, 256)
+	for _, b := range batches {
+		if _, err := cached.Solve(b); err != nil {
+			panic(fmt.Sprintf("solver bench (cache warm): %v", err))
+		}
+	}
+	start = time.Now()
+	for _, b := range batches {
+		if _, err := cached.Solve(b); err != nil {
+			panic(fmt.Sprintf("solver bench (cached): %v", err))
+		}
+	}
+	res.CachedWallSeconds = time.Since(start).Seconds() / float64(iters)
+	res.Cache = cached.Cache.Metrics()
+	res.CacheHitRate = res.Cache.HitRate()
+
+	// Per-strategy planning wall on one 64-sequence micro-batch.
+	micro := d.Batch(cfg.rng(7), 64, 128<<10)
+	for _, strat := range []planner.Strategy{
+		planner.StrategyEnum, planner.StrategyGreedy, planner.StrategyMILP,
+	} {
+		pl := planner.New(c)
+		pl.Strategy = strat
+		start := time.Now()
+		if _, err := pl.Plan(micro); err != nil {
+			panic(fmt.Sprintf("solver bench (%v): %v", strat, err))
+		}
+		res.PlannerWallSeconds[strat.String()] = time.Since(start).Seconds()
+	}
+	return res
+}
+
+// Render formats the result as a table.
+func (r SolverBenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Solver hot path (%d GPUs, batch %d, seed %d)\n",
+		r.Devices, r.BatchSize, r.Seed)
+	tbl := report.NewTable("", "metric", "value")
+	tbl.Add("Alg.1 wall (uncached)", fmt.Sprintf("%.3fs", r.SolverWallSeconds))
+	tbl.Add("Alg.1 wall (cache warm)", fmt.Sprintf("%.3fs", r.CachedWallSeconds))
+	for _, strat := range []string{"enum", "greedy", "milp"} {
+		if w, ok := r.PlannerWallSeconds[strat]; ok {
+			tbl.Add("planner wall ("+strat+")", fmt.Sprintf("%.3fs", w))
+		}
+	}
+	tbl.Add("cache hit rate", fmt.Sprintf("%.1f%%", 100*r.CacheHitRate))
+	tbl.Add("cache hits/misses/dedups", fmt.Sprintf("%d/%d/%d",
+		r.Cache.Hits, r.Cache.Misses, r.Cache.Dedups))
+	tbl.Add("cache entries/evictions", fmt.Sprintf("%d/%d",
+		r.Cache.Entries, r.Cache.Evictions))
+	b.WriteString(tbl.String())
+	return b.String()
+}

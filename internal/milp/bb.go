@@ -3,6 +3,8 @@ package milp
 import (
 	"container/heap"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 )
 
@@ -16,20 +18,50 @@ type Options struct {
 	// point (e.g. from a heuristic); it must satisfy Model.Feasible.
 	Incumbent []float64
 	// Gap is the relative optimality gap at which search stops (default 0,
-	// i.e. prove optimality).
+	// i.e. prove optimality). With Gap > 0 the returned point is any
+	// incumbent within the gap, so — exactly like a wall-clock budget — the
+	// specific solution may vary run to run on a parallel pool; the optimum
+	// value itself is deterministic at Gap 0.
 	Gap float64
+	// Workers bounds the branch-and-bound worker pool. Zero means
+	// min(GOMAXPROCS, 8); 1 runs the search on the calling goroutine.
+	Workers int
+	// DisableWarmStart forces a cold two-phase LP solve at every node,
+	// disabling the dual-simplex warm re-solves. It exists for equivalence
+	// testing against the warm path and for debugging numerical issues.
+	DisableWarmStart bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 type bbNode struct {
 	lb, ub []float64
 	bound  float64
 	depth  int
+	seq    int64 // deterministic tie-break for equal bounds
 }
 
 type nodeHeap []*bbNode
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].seq < h[j].seq
+}
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*bbNode)) }
 func (h *nodeHeap) Pop() interface{} {
@@ -42,9 +74,105 @@ func (h *nodeHeap) Pop() interface{} {
 
 const intTol = 1e-6
 
+// bbShared is the state the branch-and-bound workers coordinate through: a
+// best-first open list with deterministic (bound, seq) ordering and a shared
+// incumbent. Workers pop the globally best node, solve it, and dive down one
+// child (warm-starting each dive step from the basis still loaded in their
+// workspace) while pushing the sibling back for any worker to pick up.
+type bbShared struct {
+	m    *Model
+	opts Options
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	open     nodeHeap
+	bestObj  float64
+	bestX    []float64
+	haveInc  bool
+	nodes    int
+	inflight int
+	seq      int64
+	stopped  bool
+	// workerBound[w] is the bound of the node worker w is currently
+	// expanding (+Inf when idle): together with the heap top it yields the
+	// global lower bound for gap checks and final reporting.
+	workerBound []float64
+
+	maxNodes int
+	deadline time.Time
+}
+
+// globalBound is the best proven lower bound: min over open and in-flight
+// nodes. Callers hold mu.
+func (sh *bbShared) globalBound() float64 {
+	b := math.Inf(1)
+	if len(sh.open) > 0 {
+		b = sh.open[0].bound
+	}
+	for _, wb := range sh.workerBound {
+		if wb < b {
+			b = wb
+		}
+	}
+	return b
+}
+
+// gapMet reports whether the incumbent is within the requested relative gap
+// of the proven bound. Callers hold mu.
+func (sh *bbShared) gapMet() bool {
+	if !sh.haveInc {
+		return false
+	}
+	bound := sh.globalBound()
+	if math.IsInf(bound, 1) {
+		bound = sh.bestObj
+	}
+	gap := (sh.bestObj - bound) / math.Max(1e-9, math.Abs(sh.bestObj))
+	return gap <= sh.opts.Gap
+}
+
+// tryIncumbent installs x as the new incumbent if it improves. Copies x.
+func (sh *bbShared) tryIncumbent(x []float64, obj float64) {
+	sh.mu.Lock()
+	if obj < sh.bestObj-1e-9 {
+		sh.bestObj = obj
+		sh.bestX = append(sh.bestX[:0], x...)
+		sh.haveInc = true
+		sh.cond.Broadcast()
+	}
+	sh.mu.Unlock()
+}
+
+// chooseBranchVar picks the integer variable to branch on: binary variables
+// before general integers (they usually encode structural on/off decisions,
+// e.g. FlexSP's group selection), most fractional first within each class.
+// Returns -1 when x is integral.
+func chooseBranchVar(m *Model, x []float64) int {
+	frac, fi := -1.0, -1
+	fiBinary := false
+	for i, isInt := range m.integer {
+		if !isInt {
+			continue
+		}
+		f := math.Abs(x[i] - math.Round(x[i]))
+		if f <= intTol {
+			continue
+		}
+		binary := m.ub[i]-m.lb[i] <= 1+intTol
+		if fi == -1 || (binary && !fiBinary) || (binary == fiBinary && f > frac) {
+			frac, fi, fiBinary = f, i, binary
+		}
+	}
+	return fi
+}
+
 // Solve minimizes the model. It runs best-first branch and bound on the LP
-// relaxation, with a rounding heuristic at every node, and honours the
-// options' time and node budgets.
+// relaxation over a bounded worker pool: each worker pops the globally best
+// open node, solves its relaxation, and dives down one child per level —
+// re-solving each dive step from the parent's simplex basis with the dual
+// simplex instead of a cold two-phase solve — while the sibling joins the
+// shared open list. A rounding heuristic runs at every node, the incumbent is
+// shared across workers, and the options' time and node budgets are honoured.
 func Solve(m *Model, opts Options) Solution {
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
@@ -62,8 +190,10 @@ func Solve(m *Model, opts Options) Solution {
 		best.Obj = m.Objective(opts.Incumbent)
 	}
 
-	root := &bbNode{lb: append([]float64(nil), m.lb...), ub: append([]float64(nil), m.ub...)}
-	st, x, obj := solveLP(m, root.lb, root.ub)
+	// Root relaxation, solved inline so root-level statuses (infeasible,
+	// unbounded, stalled) map directly onto the solution status.
+	ws := newWorkspace(m)
+	st, x, obj := ws.solveCold(m, nil, nil)
 	switch st {
 	case lpInfeasible:
 		if best.Status == StatusFeasible {
@@ -81,93 +211,224 @@ func Solve(m *Model, opts Options) Solution {
 		}
 		return Solution{Status: StatusLimit}
 	}
-	root.bound = obj
 	best.Bound = obj
 
-	open := &nodeHeap{}
-	heap.Init(open)
-	processNode := func(n *bbNode, x []float64, obj float64) {
-		// x is this node's LP optimum. Either integral (new incumbent) or
-		// branch on a fractional integer variable. Binary variables are
-		// branched before general integers (they usually encode structural
-		// on/off decisions, e.g. FlexSP's group selection), most fractional
-		// first within each class.
-		frac, fi := -1.0, -1
-		fiBinary := false
-		for i, isInt := range m.integer {
-			if !isInt {
-				continue
-			}
-			f := math.Abs(x[i] - math.Round(x[i]))
-			if f <= intTol {
-				continue
-			}
-			binary := m.ub[i]-m.lb[i] <= 1+intTol
-			if fi == -1 || (binary && !fiBinary) || (binary == fiBinary && f > frac) {
-				frac, fi, fiBinary = f, i, binary
-			}
-		}
-		if fi == -1 {
-			if obj < best.Obj-1e-9 {
-				best.Obj = obj
-				best.X = append(best.X[:0], x...)
-				best.Status = StatusFeasible
-			}
-			return
-		}
-		// Rounding heuristic: snap all integers, keep continuous values.
-		if rounded := roundRepair(m, x, n.lb, n.ub); rounded != nil {
-			if o := m.Objective(rounded); o < best.Obj-1e-9 && m.Feasible(rounded) {
-				best.Obj = o
-				best.X = append(best.X[:0], rounded...)
-				best.Status = StatusFeasible
-			}
-		}
-		// Branch.
-		down := &bbNode{lb: append([]float64(nil), n.lb...), ub: append([]float64(nil), n.ub...), bound: obj, depth: n.depth + 1}
-		down.ub[fi] = math.Floor(x[fi])
-		up := &bbNode{lb: append([]float64(nil), n.lb...), ub: append([]float64(nil), n.ub...), bound: obj, depth: n.depth + 1}
-		up.lb[fi] = math.Ceil(x[fi])
-		heap.Push(open, down)
-		heap.Push(open, up)
+	workers := opts.workers()
+	sh := &bbShared{
+		m:           m,
+		opts:        opts,
+		bestObj:     best.Obj,
+		haveInc:     best.Status == StatusFeasible,
+		maxNodes:    maxNodes,
+		deadline:    deadline,
+		workerBound: make([]float64, workers),
 	}
-	processNode(root, x, obj)
-
-	nodes := 1
-	for open.Len() > 0 && nodes < maxNodes {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			break
-		}
-		n := heap.Pop(open).(*bbNode)
-		if n.bound >= best.Obj-1e-9 {
-			continue // pruned by incumbent
-		}
-		best.Bound = n.bound
-		if best.Obj < math.Inf(1) {
-			gap := (best.Obj - n.bound) / math.Max(1e-9, math.Abs(best.Obj))
-			if gap <= opts.Gap {
-				break
-			}
-		}
-		st, x, obj := solveLP(m, n.lb, n.ub)
-		nodes++
-		if st != lpOptimal || obj >= best.Obj-1e-9 {
-			continue
-		}
-		processNode(n, x, obj)
+	sh.cond = sync.NewCond(&sh.mu)
+	if sh.haveInc {
+		sh.bestX = append([]float64(nil), best.X...)
 	}
-	best.Nodes = nodes
+	for i := range sh.workerBound {
+		sh.workerBound[i] = math.Inf(1)
+	}
+	sh.nodes = 1 // root
 
+	// Process the root on worker 0's state: dive from it directly, pushing
+	// siblings for the pool.
+	rootNode := &bbNode{
+		lb:    append([]float64(nil), m.lb...),
+		ub:    append([]float64(nil), m.ub...),
+		bound: obj,
+	}
+
+	// The root dive counts as in-flight work so pool workers wait for its
+	// first sibling pushes instead of exiting on an empty open list.
+	sh.inflight = 1
+	sh.workerBound[0] = rootNode.bound
+	rootDive := func() {
+		sh.dive(0, ws, rootNode, st, x, obj)
+		sh.mu.Lock()
+		sh.inflight--
+		sh.workerBound[0] = math.Inf(1)
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+
+	if workers == 1 {
+		rootDive()
+		sh.runWorker(0, ws)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wws := ws
+				if w != 0 {
+					wws = newWorkspace(m)
+				} else {
+					rootDive()
+				}
+				sh.runWorker(w, wws)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	sh.mu.Lock()
+	best.Obj = sh.bestObj
+	if sh.haveInc {
+		best.Status = StatusFeasible
+		best.X = sh.bestX
+	}
+	bound := sh.globalBound()
+	exhausted := len(sh.open) == 0 && sh.inflight == 0 && !sh.stopped
+	best.Nodes = sh.nodes
+	sh.mu.Unlock()
+
+	if math.IsInf(bound, 1) {
+		bound = best.Obj
+	}
+	if bound > best.Bound {
+		best.Bound = bound
+	}
 	if best.Status == StatusFeasible {
-		if open.Len() == 0 || best.Bound >= best.Obj-1e-6 {
+		if exhausted || best.Bound >= best.Obj-1e-6 {
 			best.Status = StatusOptimal
 			best.Bound = best.Obj
 		}
-	} else if open.Len() == 0 && best.Status == StatusLimit {
+	} else if exhausted && best.Status == StatusLimit {
 		// Tree exhausted without an integral point: infeasible.
 		best.Status = StatusInfeasible
 	}
 	return best
+}
+
+// runWorker is the pool loop: pop the best open node, expand it with a dive.
+func (sh *bbShared) runWorker(w int, ws *lpWorkspace) {
+	for {
+		sh.mu.Lock()
+		for len(sh.open) == 0 && sh.inflight > 0 && !sh.stopped {
+			sh.cond.Wait()
+		}
+		if sh.stopped || len(sh.open) == 0 {
+			sh.mu.Unlock()
+			return
+		}
+		if sh.nodes >= sh.maxNodes ||
+			(!sh.deadline.IsZero() && time.Now().After(sh.deadline)) {
+			sh.stopped = true
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+			return
+		}
+		// Gap check while the heap still holds the candidate node, so the
+		// global bound accounts for it.
+		if sh.gapMet() {
+			sh.stopped = true
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+			return
+		}
+		n := heap.Pop(&sh.open).(*bbNode)
+		if n.bound >= sh.bestObj-1e-9 {
+			sh.mu.Unlock()
+			continue // pruned by incumbent
+		}
+		sh.inflight++
+		sh.workerBound[w] = n.bound
+		sh.nodes++
+		sh.mu.Unlock()
+
+		st, x, obj := ws.solveCold(sh.m, n.lb, n.ub)
+		sh.dive(w, ws, n, st, x, obj)
+
+		sh.mu.Lock()
+		sh.inflight--
+		sh.workerBound[w] = math.Inf(1)
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+}
+
+// dive expands a node depth-first: at each level it branches on a fractional
+// integer, pushes one child onto the shared open list, and continues into the
+// other by tightening bounds in place and re-solving warm from the basis the
+// workspace still holds. The dive ends on an integral point, an infeasible or
+// pruned child, or a stop signal.
+func (sh *bbShared) dive(w int, ws *lpWorkspace, n *bbNode, st lpStatus, x []float64, obj float64) {
+	for {
+		if st != lpOptimal {
+			return
+		}
+		sh.mu.Lock()
+		pruned := obj >= sh.bestObj-1e-9
+		stopped := sh.stopped
+		if !pruned && !stopped {
+			sh.workerBound[w] = obj // the dive tightened this subtree's bound
+		}
+		sh.mu.Unlock()
+		if pruned || stopped {
+			return
+		}
+
+		fi := chooseBranchVar(sh.m, x)
+		if fi == -1 {
+			sh.tryIncumbent(x, obj)
+			return
+		}
+		// Rounding heuristic: snap all integers, keep continuous values.
+		if rounded := roundRepair(sh.m, x, n.lb, n.ub); rounded != nil {
+			if o := sh.m.Objective(rounded); sh.m.Feasible(rounded) {
+				sh.tryIncumbent(rounded, o)
+			}
+		}
+
+		// Branch: the sibling goes to the shared open list, the dive follows
+		// the side the relaxation leans toward (deterministic).
+		floorV := math.Floor(x[fi])
+		diveDown := x[fi]-floorV < 0.5
+		sib := &bbNode{
+			lb:    append([]float64(nil), n.lb...),
+			ub:    append([]float64(nil), n.ub...),
+			bound: obj,
+			depth: n.depth + 1,
+		}
+		if diveDown {
+			sib.lb[fi] = floorV + 1
+			n.ub[fi] = floorV
+		} else {
+			sib.ub[fi] = floorV
+			n.lb[fi] = floorV + 1
+		}
+		n.bound = obj
+		n.depth++
+
+		sh.mu.Lock()
+		sib.seq = sh.seq
+		sh.seq++
+		heap.Push(&sh.open, sib)
+		sh.cond.Broadcast()
+		if sh.stopped || sh.nodes >= sh.maxNodes ||
+			(!sh.deadline.IsZero() && time.Now().After(sh.deadline)) {
+			sh.stopped = true
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+			return
+		}
+		sh.nodes++
+		sh.mu.Unlock()
+
+		// Warm re-solve from the basis still loaded in the workspace; cold
+		// fallback keeps the node exact when the dual simplex stalls.
+		if sh.opts.DisableWarmStart {
+			st, x, obj = ws.solveCold(sh.m, n.lb, n.ub)
+		} else {
+			st, x, obj = ws.resolve(sh.m, n.lb, n.ub)
+			if st == lpIterLimit {
+				st, x, obj = ws.solveCold(sh.m, n.lb, n.ub)
+			}
+		}
+	}
 }
 
 // roundRepair rounds integer variables of an LP point to the nearest

@@ -31,274 +31,425 @@ const (
 	basic
 )
 
-// simplexLP is a bounded-variable two-phase revised simplex over the model's
-// constraints, with per-solve lower/upper bound overrides (used by branch and
-// bound). It returns the structural variable values on optimality.
-type simplexLP struct {
+// lpWorkspace is the per-worker scratch for repeated LP-relaxation solves
+// over one model: a bounded-variable two-phase revised simplex whose column
+// structure (structural + slack columns) is built once, and whose bound,
+// basis, and dense-inverse buffers are reused across solves so
+// branch-and-bound node solves stop allocating.
+//
+// After an optimal solve the workspace retains its simplex basis and inverse;
+// resolve re-solves from that basis after a bound change with the
+// bounded-variable dual simplex (the warm start of branch-and-bound dives),
+// finishing with a primal cleanup pass. Callers fall back to solveCold when
+// resolve reports numerical trouble (lpIterLimit).
+type lpWorkspace struct {
 	nRows   int
 	nStruct int
-	nArt    int // artificial columns appended after slacks
+	nBase   int // structural + slack column count
 
-	cols [][]Term  // sparse column for every variable (structural, slack, artificial)
-	b    []float64 // RHS per row
-	lb   []float64
-	ub   []float64
-	cost []float64 // phase-2 costs
+	cols    [][]Term // worker-owned headers; Term slices shared, read-only
+	b       []float64
+	objCost []float64 // phase-2 cost template for the base columns
 
-	basis  []int       // variable index basic in each row
-	status []varStatus // per variable
-	xB     []float64   // value of basic variable per row
-	binv   [][]float64 // dense basis inverse
-
+	// Per-solve state, reused across solves. Artificial columns (cold phase 1
+	// only) are appended after the base columns and truncated on reset.
+	lb, ub []float64
+	cost   []float64
+	status []varStatus
+	basis  []int
+	xB     []float64
+	binv   []float64 // dense basis inverse, row-major nRows×nRows
+	resid  []float64
+	y, w   []float64
+	xOut   []float64
+	p1cost []float64
+	nzIdx  []int32 // scratch: nonzero support of the pivot row
 	phase1 bool
-	iters  int
+	warmOK bool // workspace holds a valid optimal basis for warm re-solves
 }
 
-// solveLP solves the LP relaxation of m with the given bound overrides
-// (nil means use the model's own bounds).
-func solveLP(m *Model, lbO, ubO []float64) (lpStatus, []float64, float64) {
-	lp := newSimplexLP(m, lbO, ubO)
-	return lp.run(m)
-}
-
-func newSimplexLP(m *Model, lbO, ubO []float64) *simplexLP {
+// newWorkspace builds the reusable solve state for m.
+func newWorkspace(m *Model) *lpWorkspace {
 	nRows := len(m.constrs)
 	nStruct := len(m.lb)
-	lp := &simplexLP{
+	nBase := nStruct + nRows
+	capAll := nBase + nRows // at most one artificial per row
+	ws := &lpWorkspace{
 		nRows:   nRows,
 		nStruct: nStruct,
-		cols:    make([][]Term, nStruct, nStruct+2*nRows),
+		nBase:   nBase,
+		cols:    make([][]Term, nBase, capAll),
 		b:       make([]float64, nRows),
-		lb:      make([]float64, nStruct, nStruct+2*nRows),
-		ub:      make([]float64, nStruct, nStruct+2*nRows),
-		cost:    make([]float64, nStruct, nStruct+2*nRows),
+		objCost: make([]float64, nBase, capAll),
+		lb:      make([]float64, nBase, capAll),
+		ub:      make([]float64, nBase, capAll),
+		cost:    make([]float64, nBase, capAll),
+		status:  make([]varStatus, nBase, capAll),
+		basis:   make([]int, nRows),
+		xB:      make([]float64, nRows),
+		binv:    make([]float64, nRows*nRows),
+		resid:   make([]float64, nRows),
+		y:       make([]float64, nRows),
+		w:       make([]float64, nRows),
+		xOut:    make([]float64, nStruct),
+		p1cost:  make([]float64, nBase, capAll),
+		nzIdx:   make([]int32, 0, nRows),
 	}
-	copy(lp.cost, m.obj)
-	if lbO == nil {
-		copy(lp.lb, m.lb)
-	} else {
-		copy(lp.lb, lbO)
-	}
-	if ubO == nil {
-		copy(lp.ub, m.ub)
-	} else {
-		copy(lp.ub, ubO)
-	}
+	copy(ws.objCost, m.obj)
+	colData := make([][]Term, nStruct)
 	for r, c := range m.constrs {
-		lp.b[r] = c.RHS
+		ws.b[r] = c.RHS
 		for _, t := range c.Terms {
-			lp.cols[t.Var] = append(lp.cols[t.Var], Term{Var: r, Coef: t.Coef})
+			colData[t.Var] = append(colData[t.Var], Term{Var: r, Coef: t.Coef})
 		}
 	}
-	// Slack per row: A·x + s = b with sense-dependent slack bounds.
-	for r, c := range m.constrs {
-		var lo, hi float64
-		switch c.Sense {
-		case LE:
-			lo, hi = 0, math.Inf(1)
-		case GE:
-			lo, hi = math.Inf(-1), 0
-		case EQ:
-			lo, hi = 0, 0
-		}
-		lp.cols = append(lp.cols, []Term{{Var: r, Coef: 1}})
-		lp.lb = append(lp.lb, lo)
-		lp.ub = append(lp.ub, hi)
-		lp.cost = append(lp.cost, 0)
+	copy(ws.cols, colData)
+	for r := range m.constrs {
+		ws.cols[nStruct+r] = []Term{{Var: r, Coef: 1}}
 	}
-	return lp
+	return ws
 }
 
-func (lp *simplexLP) nonbasicValue(j int) float64 {
-	switch lp.status[j] {
+// slackBounds returns the sense-dependent bounds of row r's slack.
+func slackBounds(c *Constraint) (float64, float64) {
+	switch c.Sense {
+	case LE:
+		return 0, math.Inf(1)
+	case GE:
+		return math.Inf(-1), 0
+	case EQ:
+		return 0, 0
+	}
+	return 0, 0
+}
+
+// setBounds loads the per-solve bound overrides (nil means model bounds) and
+// truncates any artificial columns from a previous cold solve.
+func (ws *lpWorkspace) setBounds(m *Model, lbO, ubO []float64) {
+	ws.cols = ws.cols[:ws.nBase]
+	ws.lb = ws.lb[:ws.nBase]
+	ws.ub = ws.ub[:ws.nBase]
+	ws.cost = ws.cost[:ws.nBase]
+	ws.status = ws.status[:ws.nBase]
+	if lbO == nil {
+		copy(ws.lb, m.lb)
+	} else {
+		copy(ws.lb, lbO)
+	}
+	if ubO == nil {
+		copy(ws.ub, m.ub)
+	} else {
+		copy(ws.ub, ubO)
+	}
+	copy(ws.cost, ws.objCost)
+	for r := range m.constrs {
+		lo, hi := slackBounds(&m.constrs[r])
+		ws.lb[ws.nStruct+r] = lo
+		ws.ub[ws.nStruct+r] = hi
+		ws.cost[ws.nStruct+r] = 0
+	}
+}
+
+func (ws *lpWorkspace) nonbasicValue(j int) float64 {
+	switch ws.status[j] {
 	case atLower:
-		return lp.lb[j]
+		return ws.lb[j]
 	case atUpper:
-		return lp.ub[j]
+		return ws.ub[j]
 	default:
 		return 0
 	}
 }
 
-func (lp *simplexLP) run(m *Model) (lpStatus, []float64, float64) {
-	// Quick bound sanity (branching can cross bounds).
-	for j := 0; j < len(lp.lb); j++ {
-		if lp.lb[j] > lp.ub[j]+boundTol {
-			return lpInfeasible, nil, 0
+// boundsFeasible reports whether every variable's bound interval is non-empty
+// (branching can cross bounds).
+func (ws *lpWorkspace) boundsFeasible() bool {
+	for j := 0; j < len(ws.lb); j++ {
+		if ws.lb[j] > ws.ub[j]+boundTol {
+			return false
 		}
 	}
+	return true
+}
 
-	nTotal := len(lp.cols)
-	lp.status = make([]varStatus, nTotal, nTotal+lp.nRows)
-	for j := 0; j < nTotal; j++ {
+// solveCold runs the two-phase simplex from the slack basis. On lpOptimal the
+// workspace retains the final basis for warm re-solves. The returned solution
+// slice aliases workspace scratch; callers copy what they keep.
+func (ws *lpWorkspace) solveCold(m *Model, lbO, ubO []float64) (lpStatus, []float64, float64) {
+	ws.warmOK = false
+	ws.phase1 = false // a prior solve may have bailed out mid-phase-1
+	ws.setBounds(m, lbO, ubO)
+	if !ws.boundsFeasible() {
+		return lpInfeasible, nil, 0
+	}
+
+	for j := 0; j < ws.nBase; j++ {
 		switch {
-		case !math.IsInf(lp.lb[j], -1):
-			lp.status[j] = atLower
-		case !math.IsInf(lp.ub[j], 1):
-			lp.status[j] = atUpper
+		case !math.IsInf(ws.lb[j], -1):
+			ws.status[j] = atLower
+		case !math.IsInf(ws.ub[j], 1):
+			ws.status[j] = atUpper
 		default:
-			lp.status[j] = atZero
+			ws.status[j] = atZero
 		}
 	}
 
-	// Residual of each row with all variables (including slacks) nonbasic
-	// at their parked values.
-	resid := make([]float64, lp.nRows)
-	copy(resid, lp.b)
-	for j := 0; j < nTotal; j++ {
-		v := lp.nonbasicValue(j)
+	// Residual of each row with all variables (including slacks) nonbasic at
+	// their parked values.
+	copy(ws.resid, ws.b)
+	for j := 0; j < ws.nBase; j++ {
+		v := ws.nonbasicValue(j)
 		if v == 0 {
 			continue
 		}
-		for _, t := range lp.cols[j] {
-			resid[t.Var] -= t.Coef * v
+		for _, t := range ws.cols[j] {
+			ws.resid[t.Var] -= t.Coef * v
 		}
 	}
 
 	// Start from the slack basis where possible; rows whose slack cannot
 	// absorb the residual get an artificial variable instead.
-	lp.basis = make([]int, lp.nRows)
-	lp.xB = make([]float64, lp.nRows)
-	lp.binv = make([][]float64, lp.nRows)
+	n := ws.nRows
+	for i := range ws.binv {
+		ws.binv[i] = 0
+	}
 	needPhase1 := false
-	for r := 0; r < lp.nRows; r++ {
-		lp.binv[r] = make([]float64, lp.nRows)
-		lp.binv[r][r] = 1
-		slack := lp.nStruct + r
-		// Slack basic value if we pull it into the basis: its parked value
-		// plus the residual it must absorb.
-		val := lp.nonbasicValue(slack) + resid[r]
-		if val >= lp.lb[slack]-boundTol && val <= lp.ub[slack]+boundTol {
-			lp.basis[r] = slack
-			lp.status[slack] = basic
-			lp.xB[r] = val
+	for r := 0; r < n; r++ {
+		ws.binv[r*n+r] = 1
+		slack := ws.nStruct + r
+		val := ws.nonbasicValue(slack) + ws.resid[r]
+		if val >= ws.lb[slack]-boundTol && val <= ws.ub[slack]+boundTol {
+			ws.basis[r] = slack
+			ws.status[slack] = basic
+			ws.xB[r] = val
 			continue
 		}
-		// Clamp slack to its closest bound, cover the rest with an
-		// artificial of matching sign.
-		target := lp.lb[slack]
-		if math.IsInf(target, -1) || math.Abs(val-lp.ub[slack]) < math.Abs(val-target) {
-			target = lp.ub[slack]
+		// Clamp slack to its closest bound, cover the rest with an artificial
+		// of matching sign.
+		target := ws.lb[slack]
+		if math.IsInf(target, -1) || math.Abs(val-ws.ub[slack]) < math.Abs(val-target) {
+			target = ws.ub[slack]
 		}
 		if math.IsInf(target, -1) || math.IsInf(target, 1) {
 			target = 0
 		}
-		if target == lp.lb[slack] {
-			lp.status[slack] = atLower
+		if target == ws.lb[slack] {
+			ws.status[slack] = atLower
 		} else {
-			lp.status[slack] = atUpper
+			ws.status[slack] = atUpper
 		}
 		rest := val - target
 		sign := 1.0
 		if rest < 0 {
 			sign = -1
 		}
-		art := len(lp.cols)
-		lp.cols = append(lp.cols, []Term{{Var: r, Coef: sign}})
-		lp.lb = append(lp.lb, 0)
-		lp.ub = append(lp.ub, math.Inf(1))
-		lp.cost = append(lp.cost, 0)
-		lp.status = append(lp.status, basic)
-		lp.nArt++
-		lp.basis[r] = art
-		lp.xB[r] = math.Abs(rest)
+		art := len(ws.cols)
+		ws.cols = append(ws.cols, []Term{{Var: r, Coef: sign}})
+		ws.lb = append(ws.lb, 0)
+		ws.ub = append(ws.ub, math.Inf(1))
+		ws.cost = append(ws.cost, 0)
+		ws.status = append(ws.status, basic)
+		ws.basis[r] = art
+		ws.xB[r] = math.Abs(rest)
 		// The basis column for this row is the artificial (coefficient
 		// `sign`), so the inverse's diagonal entry is 1/sign = sign.
-		lp.binv[r][r] = sign
+		ws.binv[r*n+r] = sign
 		needPhase1 = true
 	}
 
 	if needPhase1 {
-		lp.phase1 = true
-		st := lp.iterate(lp.phase1Cost())
+		ws.phase1 = true
+		st := ws.iterate(ws.phase1Cost())
 		if st == lpIterLimit {
 			return lpIterLimit, nil, 0
 		}
 		var infeas float64
-		for r := 0; r < lp.nRows; r++ {
-			if lp.basis[r] >= lp.nStruct+lp.nRows {
-				infeas += lp.xB[r]
+		for r := 0; r < n; r++ {
+			if ws.basis[r] >= ws.nBase {
+				infeas += ws.xB[r]
 			}
 		}
-		for j := lp.nStruct + lp.nRows; j < len(lp.cols); j++ {
-			if lp.status[j] != basic && lp.nonbasicValue(j) > phase1Tol {
-				infeas += lp.nonbasicValue(j)
+		for j := ws.nBase; j < len(ws.cols); j++ {
+			if ws.status[j] != basic && ws.nonbasicValue(j) > phase1Tol {
+				infeas += ws.nonbasicValue(j)
 			}
 		}
 		if infeas > phase1Tol {
 			return lpInfeasible, nil, 0
 		}
 		// Freeze artificials at zero for phase 2.
-		for j := lp.nStruct + lp.nRows; j < len(lp.cols); j++ {
-			lp.ub[j] = 0
+		for j := ws.nBase; j < len(ws.cols); j++ {
+			ws.ub[j] = 0
 		}
-		lp.phase1 = false
+		ws.phase1 = false
 	}
 
-	cost := make([]float64, len(lp.cols))
-	copy(cost, lp.cost)
-	st := lp.iterate(cost)
+	st := ws.iterate(ws.cost)
 	switch st {
 	case lpUnbounded:
 		return lpUnbounded, nil, 0
 	case lpIterLimit:
 		return lpIterLimit, nil, 0
 	}
-
-	x := make([]float64, lp.nStruct)
-	for j := 0; j < lp.nStruct; j++ {
-		if lp.status[j] != basic {
-			x[j] = lp.nonbasicValue(j)
-		}
-	}
-	for r, bi := range lp.basis {
-		if bi < lp.nStruct {
-			x[bi] = lp.xB[r]
-		}
-	}
-	var obj float64
-	for j := 0; j < lp.nStruct; j++ {
-		obj += lp.cost[j] * x[j]
-	}
+	x, obj := ws.extract()
+	ws.warmOK = true
 	return lpOptimal, x, obj
 }
 
-// phase1Cost is 1 on artificial variables, 0 elsewhere. The phase-1 cost
-// vector is extended lazily because artificials are appended after slacks.
-func (lp *simplexLP) phase1Cost() []float64 {
-	c := make([]float64, len(lp.cols))
-	for j := lp.nStruct + lp.nRows; j < len(lp.cols); j++ {
-		c[j] = 1
+// resolve re-solves the LP after a bound change, warm-starting from the
+// basis the workspace retained: recompute the basic values under the new
+// bounds, restore primal feasibility with the bounded-variable dual simplex
+// (reduced costs are untouched by bound changes, so the old optimal basis
+// stays dual feasible), then polish with the primal simplex. Returns
+// lpIterLimit when the warm path stalls; callers retry with solveCold.
+func (ws *lpWorkspace) resolve(m *Model, lbO, ubO []float64) (lpStatus, []float64, float64) {
+	if !ws.warmOK {
+		return lpIterLimit, nil, 0
 	}
+	// Load the new bounds without disturbing basis or statuses. Artificial
+	// columns from the cold solve stay frozen at zero.
+	nCols := len(ws.cols)
+	lbFull := ws.lb[:nCols]
+	ubFull := ws.ub[:nCols]
+	if lbO == nil {
+		copy(lbFull, m.lb)
+	} else {
+		copy(lbFull, lbO)
+	}
+	if ubO == nil {
+		copy(ubFull, m.ub)
+	} else {
+		copy(ubFull, ubO)
+	}
+	for r := range m.constrs {
+		lo, hi := slackBounds(&m.constrs[r])
+		lbFull[ws.nStruct+r] = lo
+		ubFull[ws.nStruct+r] = hi
+	}
+	for j := ws.nBase; j < nCols; j++ {
+		lbFull[j], ubFull[j] = 0, 0
+	}
+	if !ws.boundsFeasible() {
+		ws.warmOK = false
+		return lpInfeasible, nil, 0
+	}
+	// Nonbasic statuses must reference finite bounds.
+	for j := 0; j < nCols; j++ {
+		switch ws.status[j] {
+		case atLower:
+			if math.IsInf(ws.lb[j], -1) {
+				ws.warmOK = false
+				return lpIterLimit, nil, 0
+			}
+		case atUpper:
+			if math.IsInf(ws.ub[j], 1) {
+				ws.warmOK = false
+				return lpIterLimit, nil, 0
+			}
+		}
+	}
+
+	// Recompute basic values under the new bounds: xB = B⁻¹(b − N·x_N).
+	n := ws.nRows
+	copy(ws.resid, ws.b)
+	for j := 0; j < nCols; j++ {
+		if ws.status[j] == basic {
+			continue
+		}
+		v := ws.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		for _, t := range ws.cols[j] {
+			ws.resid[t.Var] -= t.Coef * v
+		}
+	}
+	for r := 0; r < n; r++ {
+		row := ws.binv[r*n : r*n+n]
+		var s float64
+		for i := 0; i < n; i++ {
+			s += row[i] * ws.resid[i]
+		}
+		ws.xB[r] = s
+	}
+
+	ws.warmOK = false
+	switch ws.dualSimplex() {
+	case lpInfeasible:
+		return lpInfeasible, nil, 0
+	case lpIterLimit:
+		return lpIterLimit, nil, 0
+	}
+	// Primal cleanup: terminates immediately when the dual pass left the
+	// basis optimal, and repairs any reduced-cost drift otherwise.
+	switch ws.iterate(ws.cost) {
+	case lpUnbounded, lpIterLimit:
+		return lpIterLimit, nil, 0
+	}
+	x, obj := ws.extract()
+	ws.warmOK = true
+	return lpOptimal, x, obj
+}
+
+// extract reads the structural solution and objective out of the basis.
+func (ws *lpWorkspace) extract() ([]float64, float64) {
+	x := ws.xOut
+	for j := 0; j < ws.nStruct; j++ {
+		if ws.status[j] != basic {
+			x[j] = ws.nonbasicValue(j)
+		}
+	}
+	for r, bi := range ws.basis {
+		if bi < ws.nStruct {
+			x[bi] = ws.xB[r]
+		}
+	}
+	var obj float64
+	for j := 0; j < ws.nStruct; j++ {
+		obj += ws.objCost[j] * x[j]
+	}
+	return x, obj
+}
+
+// phase1Cost is 1 on artificial variables, 0 elsewhere (its own buffer, so
+// the phase-2 costs in ws.cost survive phase 1).
+func (ws *lpWorkspace) phase1Cost() []float64 {
+	c := ws.p1cost[:ws.nBase]
+	for j := range c {
+		c[j] = 0
+	}
+	for j := ws.nBase; j < len(ws.cols); j++ {
+		c = append(c, 1)
+	}
+	ws.p1cost = c
 	return c
 }
 
 // iterate runs primal simplex pivots with the given cost vector until
 // optimality (lpOptimal), unboundedness, or the iteration cap.
-func (lp *simplexLP) iterate(cost []float64) lpStatus {
-	maxIter := 200*(lp.nRows+1) + 20*len(lp.cols)
+func (ws *lpWorkspace) iterate(cost []float64) lpStatus {
+	n := ws.nRows
+	maxIter := 200*(n+1) + 20*len(ws.cols)
 	if maxIter < 2000 {
 		maxIter = 2000
 	}
 	degenerate := 0
-	y := make([]float64, lp.nRows)
-	w := make([]float64, lp.nRows)
+	y, w := ws.y, ws.w
 
 	for iter := 0; iter < maxIter; iter++ {
-		lp.iters++
 		bland := degenerate > 40
 
 		// Dual values y = c_B · B⁻¹.
 		for i := range y {
 			y[i] = 0
 		}
-		for r, bi := range lp.basis {
+		for r, bi := range ws.basis {
 			cb := cost[bi]
 			if cb == 0 {
 				continue
 			}
-			row := lp.binv[r]
-			for i := 0; i < lp.nRows; i++ {
+			row := ws.binv[r*n : r*n+n]
+			for i := 0; i < n; i++ {
 				y[i] += cb * row[i]
 			}
 		}
@@ -306,20 +457,20 @@ func (lp *simplexLP) iterate(cost []float64) lpStatus {
 		// Pricing: pick the entering variable and its direction.
 		enter, dir := -1, 1.0
 		bestImprove := costTol
-		for j := 0; j < len(lp.cols); j++ {
-			if lp.status[j] == basic {
+		for j := 0; j < len(ws.cols); j++ {
+			if ws.status[j] == basic {
 				continue
 			}
-			if lp.ub[j]-lp.lb[j] < boundTol && lp.status[j] != atZero {
+			if ws.ub[j]-ws.lb[j] < boundTol && ws.status[j] != atZero {
 				continue // fixed variable
 			}
 			d := cost[j]
-			for _, t := range lp.cols[j] {
+			for _, t := range ws.cols[j] {
 				d -= y[t.Var] * t.Coef
 			}
 			var improve float64
 			var dj float64
-			switch lp.status[j] {
+			switch ws.status[j] {
 			case atLower:
 				improve, dj = -d, 1
 			case atUpper:
@@ -349,42 +500,42 @@ func (lp *simplexLP) iterate(cost []float64) lpStatus {
 		for i := range w {
 			w[i] = 0
 		}
-		for _, t := range lp.cols[enter] {
+		for _, t := range ws.cols[enter] {
 			if t.Coef == 0 {
 				continue
 			}
-			for i := 0; i < lp.nRows; i++ {
-				w[i] += lp.binv[i][t.Var] * t.Coef
+			for i := 0; i < n; i++ {
+				w[i] += ws.binv[i*n+t.Var] * t.Coef
 			}
 		}
 
-		// Ratio test. Entering moves by t ≥ 0 in direction dir; basic r
-		// moves by −t·dir·w_r. The step is limited by the first basic
-		// variable to hit a bound (tLeave) and by the entering variable's
-		// own opposite bound (tFlip).
+		// Ratio test. Entering moves by t ≥ 0 in direction dir; basic r moves
+		// by −t·dir·w_r. The step is limited by the first basic variable to
+		// hit a bound (tLeave) and by the entering variable's own opposite
+		// bound (tFlip).
 		tFlip := math.Inf(1)
-		if !math.IsInf(lp.lb[enter], -1) && !math.IsInf(lp.ub[enter], 1) {
-			tFlip = lp.ub[enter] - lp.lb[enter]
+		if !math.IsInf(ws.lb[enter], -1) && !math.IsInf(ws.ub[enter], 1) {
+			tFlip = ws.ub[enter] - ws.lb[enter]
 		}
 		tLeave := math.Inf(1)
 		leave, leaveToUpper := -1, false
 		bestPivot := 0.0
-		for r := 0; r < lp.nRows; r++ {
+		for r := 0; r < n; r++ {
 			delta := dir * w[r]
-			bi := lp.basis[r]
+			bi := ws.basis[r]
 			var limit float64
 			var toUpper bool
 			switch {
 			case delta > pivotTol:
-				if math.IsInf(lp.lb[bi], -1) {
+				if math.IsInf(ws.lb[bi], -1) {
 					continue
 				}
-				limit = (lp.xB[r] - lp.lb[bi]) / delta
+				limit = (ws.xB[r] - ws.lb[bi]) / delta
 			case delta < -pivotTol:
-				if math.IsInf(lp.ub[bi], 1) {
+				if math.IsInf(ws.ub[bi], 1) {
 					continue
 				}
-				limit = (lp.ub[bi] - lp.xB[r]) / (-delta)
+				limit = (ws.ub[bi] - ws.xB[r]) / (-delta)
 				toUpper = true
 			default:
 				continue
@@ -396,7 +547,7 @@ func (lp *simplexLP) iterate(cost []float64) lpStatus {
 			tie := !better && limit < tLeave+pivotTol && leave != -1
 			if better ||
 				(tie && !bland && math.Abs(w[r]) > bestPivot) ||
-				(tie && bland && lp.basis[r] < lp.basis[leave]) {
+				(tie && bland && ws.basis[r] < ws.basis[leave]) {
 				if limit < tLeave {
 					tLeave = limit
 				}
@@ -407,7 +558,7 @@ func (lp *simplexLP) iterate(cost []float64) lpStatus {
 
 		t := math.Min(tFlip, tLeave)
 		if math.IsInf(t, 1) {
-			if lp.phase1 {
+			if ws.phase1 {
 				// Phase-1 objective is bounded below by 0; cannot happen
 				// except numerically. Treat as stalled.
 				return lpIterLimit
@@ -423,55 +574,210 @@ func (lp *simplexLP) iterate(cost []float64) lpStatus {
 		if tFlip <= tLeave {
 			// Bound flip: entering variable crosses to its other bound
 			// without a basis change.
-			for r := 0; r < lp.nRows; r++ {
-				lp.xB[r] -= tFlip * dir * w[r]
+			for r := 0; r < n; r++ {
+				ws.xB[r] -= tFlip * dir * w[r]
 			}
-			if lp.status[enter] == atLower {
-				lp.status[enter] = atUpper
+			if ws.status[enter] == atLower {
+				ws.status[enter] = atUpper
 			} else {
-				lp.status[enter] = atLower
+				ws.status[enter] = atLower
 			}
 			continue
 		}
 
-		// Pivot: entering becomes basic, leaving goes to a bound.
-		tMax := tLeave
-		enterVal := lp.nonbasicValue(enter) + dir*tMax
-		out := lp.basis[leave]
-		if leaveToUpper {
-			lp.status[out] = atUpper
-		} else {
-			lp.status[out] = atLower
-		}
-		for r := 0; r < lp.nRows; r++ {
-			if r != leave {
-				lp.xB[r] -= tMax * dir * w[r]
-			}
-		}
-		lp.basis[leave] = enter
-		lp.status[enter] = basic
-		lp.xB[leave] = enterVal
+		ws.pivot(enter, leave, leaveToUpper, dir*tLeave)
+	}
+	return lpIterLimit
+}
 
-		// Eta update of the dense inverse.
-		piv := w[leave]
-		rowL := lp.binv[leave]
-		inv := 1 / piv
-		for i := 0; i < lp.nRows; i++ {
+// pivot makes `enter` basic in row `leave` (whose current basic variable goes
+// to its lower or upper bound), moving the entering variable by step, and
+// eta-updates the dense inverse. ws.w must hold B⁻¹·A_enter.
+func (ws *lpWorkspace) pivot(enter, leave int, leaveToUpper bool, step float64) {
+	n := ws.nRows
+	w := ws.w
+	enterVal := ws.nonbasicValue(enter) + step
+	out := ws.basis[leave]
+	if leaveToUpper {
+		ws.status[out] = atUpper
+	} else {
+		ws.status[out] = atLower
+	}
+	for r := 0; r < n; r++ {
+		if r != leave {
+			ws.xB[r] -= step * w[r]
+		}
+	}
+	ws.basis[leave] = enter
+	ws.status[enter] = basic
+	ws.xB[leave] = enterVal
+
+	piv := w[leave]
+	rowL := ws.binv[leave*n : leave*n+n]
+	inv := 1 / piv
+	// The pivot row of a basis inverse grown from slack/identity columns is
+	// usually sparse in branch-and-bound re-solves; updating only its
+	// nonzero support turns the O(m²) eta update into O(nnz(w)·nnz(rowL)).
+	nz := ws.nzIdx[:0]
+	for i := 0; i < n; i++ {
+		if rowL[i] != 0 {
 			rowL[i] *= inv
+			nz = append(nz, int32(i))
 		}
-		for r := 0; r < lp.nRows; r++ {
-			if r == leave {
+	}
+	ws.nzIdx = nz
+	for r := 0; r < n; r++ {
+		if r == leave {
+			continue
+		}
+		f := w[r]
+		if f == 0 {
+			continue
+		}
+		row := ws.binv[r*n : r*n+n]
+		for _, i := range nz {
+			row[i] -= f * rowL[i]
+		}
+	}
+}
+
+// dualSimplex restores primal feasibility of a dual-feasible basis after a
+// bound change: repeatedly picks the most bound-violating basic variable,
+// drives it to its violated bound, and brings in the nonbasic column that
+// preserves dual feasibility (min-ratio on reduced costs). Terminates with
+// lpOptimal when no basic variable violates its bounds, lpInfeasible when a
+// violated row admits no entering column (a Farkas certificate), or
+// lpIterLimit on stall.
+func (ws *lpWorkspace) dualSimplex() lpStatus {
+	n := ws.nRows
+	maxIter := 100*(n+1) + 10*len(ws.cols)
+	if maxIter < 2000 {
+		maxIter = 2000
+	}
+	degenerate := 0
+	y, w := ws.y, ws.w
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Leaving row: largest bound violation.
+		leave, toLower := -1, false
+		worst := boundTol
+		for r := 0; r < n; r++ {
+			bi := ws.basis[r]
+			if v := ws.lb[bi] - ws.xB[r]; v > worst {
+				worst, leave, toLower = v, r, true
+			}
+			if v := ws.xB[r] - ws.ub[bi]; v > worst {
+				worst, leave, toLower = v, r, false
+			}
+		}
+		if leave == -1 {
+			return lpOptimal // primal feasible
+		}
+
+		// Reduced costs need y = c_B·B⁻¹ (phase-2 cost; bound changes leave
+		// reduced costs — and hence dual feasibility — intact).
+		cost := ws.cost[:len(ws.cols)]
+		for i := range y {
+			y[i] = 0
+		}
+		for r, bi := range ws.basis {
+			cb := cost[bi]
+			if cb == 0 {
 				continue
 			}
-			f := w[r]
-			if f == 0 {
-				continue
-			}
-			row := lp.binv[r]
-			for i := 0; i < lp.nRows; i++ {
-				row[i] -= f * rowL[i]
+			row := ws.binv[r*n : r*n+n]
+			for i := 0; i < n; i++ {
+				y[i] += cb * row[i]
 			}
 		}
+
+		// σ = +1 when the leaving basic sits above its upper bound (its row
+		// value must decrease), −1 when below its lower bound.
+		sigma := 1.0
+		if toLower {
+			sigma = -1
+		}
+		rho := ws.binv[leave*n : leave*n+n]
+		bland := degenerate > 40
+		enter := -1
+		bestRatio, bestAlpha := math.Inf(1), 0.0
+		for j := 0; j < len(ws.cols); j++ {
+			if ws.status[j] == basic {
+				continue
+			}
+			if ws.ub[j]-ws.lb[j] < boundTol && ws.status[j] != atZero {
+				continue // fixed variable
+			}
+			var alpha float64
+			for _, t := range ws.cols[j] {
+				alpha += rho[t.Var] * t.Coef
+			}
+			ah := sigma * alpha
+			// Eligibility: increasing a lower-bounded nonbasic must push the
+			// leaving row toward its violated bound (ah > 0); decreasing an
+			// upper-bounded one needs ah < 0. Free variables go either way.
+			ok := false
+			switch ws.status[j] {
+			case atLower:
+				ok = ah > pivotTol
+			case atUpper:
+				ok = ah < -pivotTol
+			case atZero:
+				ok = ah > pivotTol || ah < -pivotTol
+			}
+			if !ok {
+				continue
+			}
+			d := cost[j]
+			for _, t := range ws.cols[j] {
+				d -= y[t.Var] * t.Coef
+			}
+			ratio := math.Abs(d) / math.Abs(ah)
+			better := ratio < bestRatio-costTol
+			tie := !better && ratio < bestRatio+costTol && enter != -1
+			if better ||
+				(tie && !bland && math.Abs(ah) > math.Abs(bestAlpha)) ||
+				(tie && bland && j < enter) {
+				if ratio < bestRatio {
+					bestRatio = ratio
+				}
+				enter, bestAlpha = j, ah
+			}
+		}
+		if enter == -1 {
+			// No column can move the violated row back into its bounds: the
+			// child LP is infeasible.
+			return lpInfeasible
+		}
+
+		// Full entering column through the basis for the updates.
+		for i := range w {
+			w[i] = 0
+		}
+		for _, t := range ws.cols[enter] {
+			if t.Coef == 0 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				w[i] += ws.binv[i*n+t.Var] * t.Coef
+			}
+		}
+		alpha := w[leave]
+		if math.Abs(alpha) < pivotTol {
+			return lpIterLimit // numerically degenerate pivot; fall back cold
+		}
+		bi := ws.basis[leave]
+		target := ws.ub[bi]
+		if toLower {
+			target = ws.lb[bi]
+		}
+		step := (ws.xB[leave] - target) / alpha
+		if math.Abs(step) < pivotTol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		ws.pivot(enter, leave, !toLower, step)
 	}
 	return lpIterLimit
 }

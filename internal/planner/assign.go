@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"math"
 	"sort"
 
 	"flexsp/internal/bucket"
@@ -47,12 +48,43 @@ func itemsFromBuckets(buckets []bucket.Bucket) []item {
 	return items
 }
 
+// degreeMemo caches the per-degree derived quantities newAssignment needs —
+// the group token capacity and the linear per-token communication factor —
+// so candidate-configuration scans stop re-deriving them for every group of
+// every configuration within one Plan call.
+type degreeMemo struct {
+	c         costmodel.Coeffs
+	capTokens map[int]int64
+	commPT    map[int]float64
+}
+
+func newDegreeMemo(c costmodel.Coeffs) *degreeMemo {
+	return &degreeMemo{c: c, capTokens: make(map[int]int64), commPT: make(map[int]float64)}
+}
+
+func (dm *degreeMemo) get(d int) (int64, float64) {
+	if cap, ok := dm.capTokens[d]; ok {
+		return cap, dm.commPT[d]
+	}
+	cap := int64(dm.c.MaxTokensPerGroup(d))
+	pt := dm.c.CommUnitTime(d)
+	dm.capTokens[d] = cap
+	dm.commPT[d] = pt
+	return cap, pt
+}
+
 // assignment is the incremental state of placing items onto a fixed group
 // configuration. Group time is evaluated in O(1) per update from running
-// Σs and Σs² (Eq. 12–14 are linear in those sums). Every group carries its
-// own coefficients: identical for all groups on a homogeneous cluster (the
-// legacy path), placement-specific on a heterogeneous fleet, where a group's
-// speed and memory depend on the device-class region it occupies.
+// Σs and Σs² (Eq. 12–14 are linear in those sums), and each group's current
+// time is cached so the makespan never re-derives unchanged groups. Every
+// group carries its own coefficients: identical for all groups on a
+// homogeneous cluster (the legacy path), placement-specific on a
+// heterogeneous fleet, where a group's speed and memory depend on the
+// device-class region it occupies.
+//
+// One assignment is reused across the hundreds of candidate configurations a
+// Plan call scans: reconfigure/reconfigurePlaced reset the group state while
+// keeping every backing buffer.
 type assignment struct {
 	cs        []costmodel.Coeffs
 	degrees   []int
@@ -64,37 +96,114 @@ type assignment struct {
 	commPT []float64
 	ringCP bool
 
+	// For the all-to-all style the group time is affine in the running sums:
+	// t_g = pA·Σs² + pB·Σs + pC with pA = α1/d, pB = α2/d + commPT, and
+	// pC the fixed β terms. partial caches that affine value for the current
+	// sums, so the LPT scan costs three flops per group instead of
+	// re-deriving Eq. 12–14 (ring CP keeps the exact clamped formula).
+	pA, pB, pC []float64
+	partial    []float64
+
 	members [][]item
 	sumS    []float64
 	sumS2   []float64
 	tokens  []int64
+	times   []float64 // cached groupTime per group, maintained by add/remove
 }
 
 func newAssignmentShell(k int) *assignment {
-	return &assignment{
-		cs:        make([]costmodel.Coeffs, k),
-		degrees:   make([]int, k),
-		capTokens: make([]int64, k),
-		commPT:    make([]float64, k),
-		members:   make([][]item, k),
-		sumS:      make([]float64, k),
-		sumS2:     make([]float64, k),
-		tokens:    make([]int64, k),
+	a := &assignment{}
+	a.grow(k)
+	return a
+}
+
+// grow resizes the per-group slices to k groups, reusing backing arrays and
+// clearing per-group state.
+func (a *assignment) grow(k int) {
+	if cap(a.cs) < k {
+		a.cs = make([]costmodel.Coeffs, k)
+		a.degrees = make([]int, k)
+		a.capTokens = make([]int64, k)
+		a.commPT = make([]float64, k)
+		a.pA = make([]float64, k)
+		a.pB = make([]float64, k)
+		a.pC = make([]float64, k)
+		a.partial = make([]float64, k)
+		old := a.members
+		a.members = make([][]item, k)
+		copy(a.members, old)
+		a.sumS = make([]float64, k)
+		a.sumS2 = make([]float64, k)
+		a.tokens = make([]int64, k)
+		a.times = make([]float64, k)
+	} else {
+		a.cs = a.cs[:k]
+		a.degrees = a.degrees[:k]
+		a.capTokens = a.capTokens[:k]
+		a.commPT = a.commPT[:k]
+		a.pA = a.pA[:k]
+		a.pB = a.pB[:k]
+		a.pC = a.pC[:k]
+		a.partial = a.partial[:k]
+		a.members = a.members[:k]
+		a.sumS = a.sumS[:k]
+		a.sumS2 = a.sumS2[:k]
+		a.tokens = a.tokens[:k]
+		a.times = a.times[:k]
 	}
+	for g := 0; g < k; g++ {
+		a.members[g] = a.members[g][:0]
+		a.sumS[g] = 0
+		a.sumS2[g] = 0
+		a.tokens[g] = 0
+		a.times[g] = 0
+	}
+	// Empty (not nil) so reconfigurePlaced can reuse the backing array; the
+	// homogeneous path leaves it empty.
+	a.ranges = a.ranges[:0]
+	a.ringCP = false
 }
 
 // newAssignment builds the homogeneous-cluster assignment: one shared cost
 // model for every group.
 func newAssignment(c costmodel.Coeffs, degrees []int) *assignment {
 	a := newAssignmentShell(len(degrees))
+	a.reconfigure(c, degrees, nil)
+	return a
+}
+
+// reconfigure resets the assignment onto a new homogeneous configuration,
+// reusing all buffers. memo, when non-nil, supplies the per-degree derived
+// quantities.
+func (a *assignment) reconfigure(c costmodel.Coeffs, degrees []int, memo *degreeMemo) {
+	a.grow(len(degrees))
 	a.ringCP = c.Style == costmodel.StyleRingCP
 	copy(a.degrees, degrees)
 	for g, d := range degrees {
 		a.cs[g] = c
-		a.capTokens[g] = int64(c.MaxTokensPerGroup(d))
-		a.commPT[g] = c.CommUnitTime(d)
+		if memo != nil {
+			a.capTokens[g], a.commPT[g] = memo.get(d)
+		} else {
+			a.capTokens[g] = int64(c.MaxTokensPerGroup(d))
+			a.commPT[g] = c.CommUnitTime(d)
+		}
+		a.setAffine(g)
 	}
-	return a
+}
+
+// setAffine derives group g's affine time coefficients from its cost model,
+// degree, and per-token communication factor.
+func (a *assignment) setAffine(g int) {
+	c := &a.cs[g]
+	d := float64(a.degrees[g])
+	a.pA[g] = c.Alpha1 / d
+	a.pB[g] = c.Alpha2 / d
+	a.pC[g] = c.Beta1
+	if a.degrees[g] > 1 {
+		a.pB[g] += a.commPT[g]
+		a.pC[g] += c.Beta2
+	}
+	a.partial[g] = a.pC[g]
 }
 
 // newPlacedAssignment builds the heterogeneous assignment from placed
@@ -102,7 +211,19 @@ func newAssignment(c costmodel.Coeffs, degrees []int) *assignment {
 // is evaluated against that range's device classes.
 func newPlacedAssignment(evals []costmodel.GroupCoeffs) *assignment {
 	a := newAssignmentShell(len(evals))
-	a.ranges = make([]cluster.DeviceRange, len(evals))
+	a.reconfigurePlaced(evals)
+	return a
+}
+
+// reconfigurePlaced resets the assignment onto a new placed configuration,
+// reusing all buffers.
+func (a *assignment) reconfigurePlaced(evals []costmodel.GroupCoeffs) {
+	a.grow(len(evals))
+	if cap(a.ranges) < len(evals) {
+		a.ranges = make([]cluster.DeviceRange, len(evals))
+	} else {
+		a.ranges = a.ranges[:len(evals)]
+	}
 	for g, e := range evals {
 		d := e.Range.Size
 		a.cs[g] = e.Coeffs
@@ -113,8 +234,8 @@ func newPlacedAssignment(evals []costmodel.GroupCoeffs) *assignment {
 		if e.Style == costmodel.StyleRingCP {
 			a.ringCP = true
 		}
+		a.setAffine(g)
 	}
-	return a
 }
 
 // timeSums is the inlined equivalent of Coeffs.GroupTimeSums using the
@@ -124,30 +245,33 @@ func (a *assignment) timeSums(g int, sumS, sumS2 float64) float64 {
 	if sumS == 0 {
 		return 0
 	}
+	if !a.ringCP {
+		return a.pA[g]*sumS2 + a.pB[g]*sumS + a.pC[g]
+	}
 	c := &a.cs[g]
 	d := float64(a.degrees[g])
 	comp := (c.Alpha1*sumS2+c.Alpha2*sumS)/d + c.Beta1
 	if a.degrees[g] <= 1 {
 		return comp
 	}
-	comm := sumS * a.commPT[g]
-	if a.ringCP {
-		comm -= c.Alpha1 * sumS2 / d // attention overlap
-		if comm < 0 {
-			comm = 0
-		}
+	comm := sumS*a.commPT[g] - c.Alpha1*sumS2/d // attention overlap
+	if comm < 0 {
+		comm = 0
 	}
 	return comp + comm + c.Beta2
 }
 
 // groupTime is the Eq. 14 estimate for group g's current members.
 func (a *assignment) groupTime(g int) float64 {
-	return a.timeSums(g, a.sumS[g], a.sumS2[g])
+	return a.times[g]
 }
 
 // timeWith is groupTime with a hypothetical extra item.
 func (a *assignment) timeWith(g int, it item) float64 {
 	s := float64(it.rep)
+	if !a.ringCP {
+		return a.partial[g] + a.pA[g]*s*s + a.pB[g]*s
+	}
 	return a.timeSums(g, a.sumS[g]+s, a.sumS2[g]+s*s)
 }
 
@@ -161,6 +285,7 @@ func (a *assignment) add(g int, it item) {
 	a.sumS[g] += s
 	a.sumS2[g] += s * s
 	a.tokens[g] += int64(it.rep)
+	a.syncGroup(g)
 }
 
 func (a *assignment) remove(g, idx int) item {
@@ -172,13 +297,22 @@ func (a *assignment) remove(g, idx int) item {
 	a.sumS[g] -= s
 	a.sumS2[g] -= s * s
 	a.tokens[g] -= int64(it.rep)
+	a.syncGroup(g)
 	return it
+}
+
+// syncGroup refreshes the cached affine partial and group time from the
+// running sums (recomputed rather than incrementally updated, so the caches
+// never drift from the sums across add/remove cycles).
+func (a *assignment) syncGroup(g int) {
+	a.partial[g] = a.pA[g]*a.sumS2[g] + a.pB[g]*a.sumS[g] + a.pC[g]
+	a.times[g] = a.timeSums(g, a.sumS[g], a.sumS2[g])
 }
 
 func (a *assignment) makespan() float64 {
 	var m float64
 	for g := range a.degrees {
-		if t := a.groupTime(g); t > m {
+		if t := a.times[g]; t > m {
 			m = t
 		}
 	}
@@ -189,34 +323,73 @@ func (a *assignment) makespan() float64 {
 // the group with the smallest resulting finish time among groups with
 // memory headroom. Returns false if some item fits nowhere.
 func (a *assignment) place(items []item) bool {
+	ok, _ := a.placeBounded(items, math.Inf(1))
+	return ok
+}
+
+// placeBounded is place with an abort threshold: group times only grow as
+// items are placed, so once the running makespan strictly exceeds `abort`
+// the final makespan is guaranteed to as well, and the scan of this
+// candidate configuration can stop early. Returns (placed, makespan);
+// placed is false on infeasibility or abort.
+func (a *assignment) placeBounded(items []item, abort float64) (bool, float64) {
+	span := 0.0
+	k := len(a.degrees)
+	tokens, capTokens := a.tokens, a.capTokens
+	partial, pA, pB := a.partial, a.pA, a.pB
 	for _, it := range items {
 		best, bestT := -1, 0.0
-		for g := range a.degrees {
-			if !a.fits(g, it) {
-				continue
+		if !a.ringCP {
+			// Affine fast path: t = partial[g] + pA[g]·s² + pB[g]·s.
+			rep := int64(it.rep)
+			s := float64(it.rep)
+			s2 := s * s
+			for g := 0; g < k; g++ {
+				if tokens[g]+rep > capTokens[g] {
+					continue
+				}
+				t := partial[g] + pA[g]*s2 + pB[g]*s
+				if best == -1 || t < bestT {
+					best, bestT = g, t
+				}
 			}
-			t := a.timeWith(g, it)
-			if best == -1 || t < bestT {
-				best, bestT = g, t
+		} else {
+			for g := 0; g < k; g++ {
+				if !a.fits(g, it) {
+					continue
+				}
+				t := a.timeWith(g, it)
+				if best == -1 || t < bestT {
+					best, bestT = g, t
+				}
 			}
 		}
 		if best == -1 {
-			return false
+			return false, 0
 		}
 		a.add(best, it)
+		if bestT > span {
+			span = bestT
+			if span > abort {
+				return false, span
+			}
+		}
 	}
-	return true
+	return true, span
 }
 
 // refine runs a bounded move/swap local search lowering the makespan: pull
 // items out of the bottleneck group into groups that can absorb them more
-// cheaply, or swap them against shorter items.
+// cheaply, or swap them against shorter items. Candidate steps re-derive
+// only the two groups they touch (add/remove maintain each group's cached
+// time in O(1)), so the post-move makespan check reads cached values instead
+// of re-costing every group.
 func (a *assignment) refine(maxIters int) {
 	for iter := 0; iter < maxIters; iter++ {
 		// Bottleneck group.
 		gmax, tmax := -1, 0.0
 		for g := range a.degrees {
-			if t := a.groupTime(g); t > tmax {
+			if t := a.times[g]; t > tmax {
 				gmax, tmax = g, t
 			}
 		}
@@ -290,8 +463,10 @@ func (a *assignment) improveOnce(gmax int, tmax float64) bool {
 
 // plan converts the assignment into a MicroPlan with actual sequence
 // lengths, dropping empty groups, and recomputes the time estimate from the
-// actual lengths against each group's own cost model.
-func (a *assignment) plan() MicroPlan {
+// actual lengths against each group's own cost model. memo, when non-nil,
+// caches the per-group times by (length signature, degree, range) across the
+// candidate plans of one Plan call.
+func (a *assignment) plan(memo *groupTimeMemo) MicroPlan {
 	var p MicroPlan
 	for g, d := range a.degrees {
 		if len(a.members[g]) == 0 {
@@ -303,14 +478,80 @@ func (a *assignment) plan() MicroPlan {
 		}
 		sort.Sort(sort.Reverse(sort.IntSlice(lens)))
 		grp := Group{Degree: d, Lens: lens}
-		if a.ranges != nil {
+		if len(a.ranges) > 0 {
 			grp.Range = a.ranges[g]
 		}
 		p.Groups = append(p.Groups, grp)
-		if t := a.cs[g].GroupTime(lens, d); t > p.Time {
+		var t float64
+		if memo != nil {
+			t = memo.groupTime(&a.cs[g], grp)
+		} else {
+			t = a.cs[g].GroupTime(lens, d)
+		}
+		if t > p.Time {
 			p.Time = t
 		}
 	}
 	sort.SliceStable(p.Groups, func(i, j int) bool { return p.Groups[i].Degree > p.Groups[j].Degree })
 	return p
+}
+
+// groupTimeMemo caches GroupTime evaluations by (length signature, degree,
+// range) within one Plan call: refined candidate configurations repeatedly
+// converge to the same final groups, whose exact-length re-costing is the
+// only remaining O(K) term per candidate. Entries keep the exact lengths and
+// compare them on lookup, so hash collisions fall back to a direct
+// evaluation instead of returning another group's time.
+type groupTimeMemo struct {
+	times map[groupKey]memoEntry
+}
+
+type groupKey struct {
+	sig    uint64
+	degree int
+	r      cluster.DeviceRange
+}
+
+type memoEntry struct {
+	lens []int
+	t    float64
+}
+
+func newGroupTimeMemo() *groupTimeMemo {
+	return &groupTimeMemo{times: make(map[groupKey]memoEntry)}
+}
+
+// lensSig is an FNV-1a hash over the (sorted) lengths.
+func lensSig(lens []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, l := range lens {
+		h ^= uint64(l)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func lensEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *groupTimeMemo) groupTime(c *costmodel.Coeffs, g Group) float64 {
+	k := groupKey{sig: lensSig(g.Lens), degree: g.Degree, r: g.Range}
+	if e, ok := m.times[k]; ok {
+		if lensEqual(e.lens, g.Lens) {
+			return e.t
+		}
+		return c.GroupTime(g.Lens, g.Degree) // hash collision: don't overwrite
+	}
+	t := c.GroupTime(g.Lens, g.Degree)
+	m.times[k] = memoEntry{lens: g.Lens, t: t}
+	return t
 }

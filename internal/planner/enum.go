@@ -31,17 +31,37 @@ func (pl *Planner) planEnum(lens []int) (MicroPlan, error) {
 	}
 	items := itemsFromBuckets(pl.bucketize(lens))
 
+	top := pl.refineTop
+	if top <= 0 {
+		top = 6
+	}
+
 	type cand struct {
 		degrees []int
 		span    float64
 	}
 	var cands []cand
+	// One reusable assignment scans every candidate configuration; placement
+	// is aborted as soon as the running makespan exceeds the k-th best span
+	// seen so far (the candidate provably cannot enter the refine set), and
+	// per-degree derived quantities are memoized across configurations.
+	memo := newDegreeMemo(c)
+	scan := newAssignmentShell(0)
+	prune := newTopkTracker(top)
 	tryConfig := func(degrees []int) {
-		a := newAssignment(c, degrees)
-		if !a.place(items) {
+		abort := math.Inf(1)
+		// Homogeneous layouts are always fully evaluated: they enter the
+		// refine set regardless of rank.
+		if !homogeneous(degrees) {
+			abort = prune.threshold()
+		}
+		scan.reconfigure(c, degrees, memo)
+		ok, span := scan.placeBounded(items, abort)
+		if !ok {
 			return
 		}
-		cands = append(cands, cand{degrees: append([]int(nil), degrees...), span: a.makespan()})
+		cands = append(cands, cand{degrees: append([]int(nil), degrees...), span: span})
+		prune.offer(span)
 	}
 
 	maxDeg := c.MaxDegree()
@@ -60,10 +80,6 @@ func (pl *Planner) planEnum(lens []int) (MicroPlan, error) {
 	// Homogeneous layouts are always included so the plan never loses to a
 	// single-degree baseline merely because LPT under-ranked it.
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].span < cands[j].span })
-	top := pl.refineTop
-	if top <= 0 {
-		top = 6
-	}
 	if top > len(cands) {
 		top = len(cands)
 	}
@@ -74,13 +90,14 @@ func (pl *Planner) planEnum(lens []int) (MicroPlan, error) {
 		}
 	}
 	best := MicroPlan{Time: math.Inf(1)}
+	gtMemo := newGroupTimeMemo()
 	for _, cd := range refineSet {
-		a := newAssignment(c, cd.degrees)
-		if !a.place(items) {
+		scan.reconfigure(c, cd.degrees, memo)
+		if !scan.place(items) {
 			continue
 		}
-		a.refine(pl.refineIters())
-		if p := a.plan(); p.Time < best.Time {
+		scan.refine(pl.refineIters())
+		if p := scan.plan(gtMemo); p.Time < best.Time {
 			best = p
 		}
 	}
@@ -88,6 +105,48 @@ func (pl *Planner) planEnum(lens []int) (MicroPlan, error) {
 		return MicroPlan{}, ErrInfeasible
 	}
 	return best, nil
+}
+
+// topkTracker maintains the k smallest spans offered so far; threshold() is
+// the k-th smallest once k spans have been seen (+Inf before that). A
+// candidate whose running span strictly exceeds the threshold can never
+// displace the current top k, so its placement may be aborted without
+// changing which configurations reach refinement.
+type topkTracker struct {
+	k     int
+	spans []float64
+	thr   float64
+}
+
+func newTopkTracker(k int) *topkTracker {
+	return &topkTracker{k: k, spans: make([]float64, 0, k), thr: math.Inf(1)}
+}
+
+func (t *topkTracker) threshold() float64 { return t.thr }
+
+func (t *topkTracker) offer(span float64) {
+	if len(t.spans) < t.k {
+		t.spans = append(t.spans, span)
+	} else {
+		mi := 0
+		for i, v := range t.spans {
+			if v > t.spans[mi] {
+				mi = i
+			}
+		}
+		if span >= t.spans[mi] {
+			return
+		}
+		t.spans[mi] = span
+	}
+	if len(t.spans) == t.k {
+		t.thr = 0
+		for _, v := range t.spans {
+			if v > t.thr {
+				t.thr = v
+			}
+		}
+	}
 }
 
 // homogeneous reports whether all parts of the configuration are equal.

@@ -70,12 +70,22 @@ func (pl *Planner) planPlacedEnum(lens []int) (MicroPlan, error) {
 	ec := h.Evaluator()
 	biases := placementBiases(ec)
 
+	top := pl.refineTop
+	if top <= 0 {
+		top = 6
+	}
+
 	type cand struct {
 		evals []costmodel.GroupCoeffs
 		span  float64
 	}
 	var cands []cand
 	seen := map[string]bool{}
+	// One reusable assignment scans every placed candidate; non-homogeneous
+	// placements abort as soon as their running makespan exceeds the k-th
+	// best span seen so far (they provably cannot reach refinement).
+	scan := newAssignmentShell(0)
+	prune := newTopkTracker(top)
 	tryConfig := func(degrees []int) {
 		for _, bias := range biases {
 			placed, err := cluster.PlaceGroupsScored(n, degrees, bias)
@@ -91,11 +101,17 @@ func (pl *Planner) planPlacedEnum(lens []int) (MicroPlan, error) {
 			for i, r := range placed.Ranges {
 				evals[i] = ec.Group(r)
 			}
-			a := newPlacedAssignment(evals)
-			if !a.place(items) {
+			abort := math.Inf(1)
+			if !homogeneousEvals(evals) {
+				abort = prune.threshold()
+			}
+			scan.reconfigurePlaced(evals)
+			ok, span := scan.placeBounded(items, abort)
+			if !ok {
 				continue
 			}
-			cands = append(cands, cand{evals: evals, span: a.makespan()})
+			cands = append(cands, cand{evals: evals, span: span})
+			prune.offer(span)
 		}
 	}
 
@@ -112,10 +128,6 @@ func (pl *Planner) planPlacedEnum(lens []int) (MicroPlan, error) {
 	}
 
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].span < cands[j].span })
-	top := pl.refineTop
-	if top <= 0 {
-		top = 6
-	}
 	if top > len(cands) {
 		top = len(cands)
 	}
@@ -126,13 +138,14 @@ func (pl *Planner) planPlacedEnum(lens []int) (MicroPlan, error) {
 		}
 	}
 	best := MicroPlan{Time: math.Inf(1)}
+	gtMemo := newGroupTimeMemo()
 	for _, cd := range refineSet {
-		a := newPlacedAssignment(cd.evals)
-		if !a.place(items) {
+		scan.reconfigurePlaced(cd.evals)
+		if !scan.place(items) {
 			continue
 		}
-		a.refine(pl.refineIters())
-		if p := a.plan(); p.Time < best.Time {
+		scan.refine(pl.refineIters())
+		if p := scan.plan(gtMemo); p.Time < best.Time {
 			best = p
 		}
 	}
@@ -299,7 +312,10 @@ func (pl *Planner) planPlacedMILP(lens []int) (MicroPlan, error) {
 	// Warm start from the placed enumerative plan: its aligned ranges map
 	// one-to-one onto slots.
 	var incumbent []float64
+	var warmPlan MicroPlan
+	haveWarm := false
 	if warm, err := pl.planPlacedEnum(lens); err == nil {
+		warmPlan, haveWarm = warm, true
 		x := make([]float64, m.NumVars())
 		bucketOf := func(l int) int {
 			for qi, b := range buckets {
@@ -347,7 +363,9 @@ func (pl *Planner) planPlacedMILP(lens []int) (MicroPlan, error) {
 	if limit <= 0 {
 		limit = 10 * time.Second
 	}
-	sol := milp.Solve(m, milp.Options{TimeLimit: limit, Incumbent: incumbent, Gap: 0.02})
+	sol := milp.Solve(m, milp.Options{
+		TimeLimit: limit, Incumbent: incumbent, Gap: 0.02, Workers: pl.MILPWorkers,
+	})
 	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
 		return MicroPlan{}, ErrInfeasible
 	}
@@ -380,5 +398,10 @@ func (pl *Planner) planPlacedMILP(lens []int) (MicroPlan, error) {
 		}
 	}
 	sort.SliceStable(plan.Groups, func(i, j int) bool { return plan.Groups[i].Degree > plan.Groups[j].Degree })
+	// The placed enumerative warm start is a floor on plan quality: under a
+	// time budget or relative gap, never return anything worse than it.
+	if haveWarm && warmPlan.Time < plan.Time {
+		return warmPlan, nil
+	}
 	return plan, nil
 }

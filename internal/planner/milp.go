@@ -53,12 +53,26 @@ func (pl *Planner) planMILP(lens []int) (MicroPlan, error) {
 		}
 	}
 
-	// Per-(bucket, degree) unit costs. CommUnitTime keeps the row linear
-	// (for ring CP it is the conservative no-overlap bound).
-	unitTime := func(qi, degree int) float64 {
-		s := float64(buckets[qi].Upper)
-		return (c.Alpha1*s*s+c.Alpha2*s)/float64(degree) + s*c.CommUnitTime(degree)
+	// Per-(bucket, degree) unit costs, memoized per distinct degree: virtual
+	// groups repeat each degree up to N/d times, and CommUnitTime — which
+	// keeps the row linear (for ring CP it is the conservative no-overlap
+	// bound) — and the group token capacity depend only on the degree.
+	unitByDeg := map[int][]float64{}
+	capByDeg := map[int]float64{}
+	for _, d := range vgroups {
+		if _, ok := unitByDeg[d]; ok {
+			continue
+		}
+		cu := c.CommUnitTime(d)
+		units := make([]float64, q)
+		for qi := range buckets {
+			s := float64(buckets[qi].Upper)
+			units[qi] = (c.Alpha1*s*s+c.Alpha2*s)/float64(d) + s*cu
+		}
+		unitByDeg[d] = units
+		capByDeg[d] = float64(c.MaxTokensPerGroup(d))
 	}
+	unitTime := func(qi, degree int) float64 { return unitByDeg[degree][qi] }
 
 	for pi, deg := range vgroups {
 		// Time (Cond. 18): Σ_q A·t + (β1+β2)·m_p ≤ C.
@@ -78,7 +92,7 @@ func (pl *Planner) planMILP(lens []int) (MicroPlan, error) {
 		for qi := range buckets {
 			memTerms = append(memTerms, milp.Term{Var: aVar[qi][pi], Coef: float64(buckets[qi].Upper)})
 		}
-		m.AddConstraint(memTerms, milp.LE, float64(c.MaxTokensPerGroup(deg)), "mem")
+		m.AddConstraint(memTerms, milp.LE, capByDeg[deg], "mem")
 
 		// Linking (Cond. 21): Σ_q A ≤ K·m_p.
 		linkTerms := make([]milp.Term, 0, q+1)
@@ -125,7 +139,10 @@ func (pl *Planner) planMILP(lens []int) (MicroPlan, error) {
 
 	// Warm start from the enumerative plan.
 	var incumbent []float64
+	var warmPlan MicroPlan
+	haveWarm := false
 	if warm, err := pl.planEnum(lens); err == nil {
+		warmPlan, haveWarm = warm, true
 		incumbent = pl.encodeIncumbent(m.NumVars(), cVar, mVar, aVar, vgroups, buckets, warm)
 		if incumbent != nil && !m.Feasible(incumbent) {
 			incumbent = nil
@@ -138,7 +155,9 @@ func (pl *Planner) planMILP(lens []int) (MicroPlan, error) {
 	}
 	// A small relative gap matches practice: the paper accepts SCIP's first
 	// good solution within its 5–15s window rather than a proven optimum.
-	sol := milp.Solve(m, milp.Options{TimeLimit: limit, Incumbent: incumbent, Gap: 0.02})
+	sol := milp.Solve(m, milp.Options{
+		TimeLimit: limit, Incumbent: incumbent, Gap: 0.02, Workers: pl.MILPWorkers,
+	})
 	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
 		return MicroPlan{}, ErrInfeasible
 	}
@@ -171,6 +190,12 @@ func (pl *Planner) planMILP(lens []int) (MicroPlan, error) {
 	}
 	sort.SliceStable(plan.Groups, func(i, j int) bool { return plan.Groups[i].Degree > plan.Groups[j].Degree })
 	plan.recomputeTime(c)
+	// Under a time budget or a relative gap the branch and bound may settle
+	// for a feasible-within-gap point; the enumerative warm start is a floor
+	// on plan quality, so never return anything worse than it.
+	if haveWarm && warmPlan.Time < plan.Time {
+		return warmPlan, nil
+	}
 	return plan, nil
 }
 

@@ -31,6 +31,11 @@ type Planner struct {
 	// MILPTimeLimit budgets the branch-and-bound search for StrategyMILP
 	// (default 10s, matching the paper's 5–15s SCIP solves).
 	MILPTimeLimit time.Duration
+	// MILPWorkers bounds the branch-and-bound worker pool of StrategyMILP
+	// (default min(GOMAXPROCS, 8)). Set 1 when Plan already runs inside an
+	// outer worker pool (e.g. a parallel Solver), where nested fan-out
+	// oversubscribes the CPUs.
+	MILPWorkers int
 	// refineTop is how many enumerated configurations receive local-search
 	// refinement (default 6).
 	refineTop int
@@ -138,7 +143,7 @@ func (pl *Planner) PlanHomogeneous(lens []int) (MicroPlan, error) {
 			continue
 		}
 		a.refine(pl.refineIters())
-		if p := a.plan(); !found || p.Time < best.Time {
+		if p := a.plan(nil); !found || p.Time < best.Time {
 			best, found = p, true
 		}
 	}
@@ -170,5 +175,5 @@ func (pl *Planner) PlanFixedDegree(lens []int, degree int) (MicroPlan, error) {
 		return MicroPlan{}, ErrInfeasible
 	}
 	a.refine(pl.refineIters())
-	return a.plan(), nil
+	return a.plan(nil), nil
 }

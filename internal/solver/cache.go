@@ -1,9 +1,10 @@
 package solver
 
 import (
+	"container/list"
 	"sort"
-	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"flexsp/internal/cluster"
 	"flexsp/internal/planner"
@@ -19,15 +20,37 @@ import (
 // micro-batches share entries; the cached plan is re-validated against the
 // exact lengths before reuse (memory feasibility is monotone in length, so
 // rounding up keeps reuse safe).
+//
+// The cache is sharded: entries map to one of 16 independently locked LRU
+// shards by a 64-bit FNV-1a hash of the rounded signature, so the concurrent
+// planners of one solve (and of overlapping solves in a Service) never
+// serialize on a single mutex. Hash collisions are detected by comparing the
+// stored signature. Hit/miss/dedup/eviction counters are exposed via Stats
+// and Metrics.
 type PlanCache struct {
 	granularity int
-	limit       int
+	shardLimit  int
 
-	mu    sync.Mutex
-	plans map[string]planner.MicroPlan
-	order []string // FIFO eviction
-	hits  int
-	miss  int
+	shards []cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	dedups    atomic.Int64
+	evictions atomic.Int64
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[uint64]*list.Element
+	lru     list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key  uint64
+	sig  []int32 // rounded sorted signature, for collision detection
+	plan planner.MicroPlan
 }
 
 // NewPlanCache creates a cache holding at most limit entries (default 1024)
@@ -39,27 +62,64 @@ func NewPlanCache(limit, granularity int) *PlanCache {
 	if granularity <= 0 {
 		granularity = 256
 	}
-	return &PlanCache{
-		granularity: granularity,
-		limit:       limit,
-		plans:       make(map[string]planner.MicroPlan),
+	// Small caches keep one shard (an exact global LRU limit); larger ones
+	// split into 16 shards of limit/16 entries, trading an exact limit for
+	// contention-free concurrent access.
+	nShards := cacheShards
+	if limit < 4*cacheShards {
+		nShards = 1
 	}
+	pc := &PlanCache{
+		granularity: granularity,
+		shardLimit:  limit / nShards,
+		shards:      make([]cacheShard, nShards),
+	}
+	if pc.shardLimit < 1 {
+		pc.shardLimit = 1
+	}
+	for i := range pc.shards {
+		pc.shards[i].entries = make(map[uint64]*list.Element)
+	}
+	return pc
 }
 
-// key canonicalizes a micro-batch: sorted lengths rounded up to the
-// granularity.
-func (pc *PlanCache) key(lens []int) string {
-	rounded := make([]int, len(lens))
+// signature canonicalizes a micro-batch — lengths rounded up to the
+// granularity, sorted — and returns it with its FNV-1a hash.
+func (pc *PlanCache) signature(lens []int) ([]int32, uint64) {
+	return roundedSig(lens, pc.granularity)
+}
+
+// roundedSig is the one canonical signature construction shared by the cache
+// and the singleflight keys (granularity 1 keeps exact lengths): lengths
+// rounded up to the granularity, sorted, with their FNV-1a hash.
+func roundedSig(lens []int, granularity int) ([]int32, uint64) {
+	sig := make([]int32, len(lens))
 	for i, l := range lens {
-		rounded[i] = (l + pc.granularity - 1) / pc.granularity
+		sig[i] = int32((l + granularity - 1) / granularity)
 	}
-	sort.Ints(rounded)
-	buf := make([]byte, 0, len(rounded)*4)
-	for _, r := range rounded {
-		buf = strconv.AppendInt(buf, int64(r), 32)
-		buf = append(buf, ',')
+	sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+	h := uint64(14695981039346656037)
+	for _, r := range sig {
+		h ^= uint64(uint32(r))
+		h *= 1099511628211
 	}
-	return string(buf)
+	return sig, h
+}
+
+func (pc *PlanCache) shard(key uint64) *cacheShard {
+	return &pc.shards[key%uint64(len(pc.shards))]
+}
+
+func sigsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // PlanCost re-validates and re-times cached plans: the scalar Coeffs for
@@ -82,16 +142,31 @@ type PlacedPlanCost interface {
 // group shape (k-th longest sequence goes where the cached k-th longest
 // went), then re-estimates its time.
 func (pc *PlanCache) Get(c PlanCost, lens []int) (planner.MicroPlan, bool) {
-	k := pc.key(lens)
-	pc.mu.Lock()
-	cached, ok := pc.plans[k]
+	sig, key := pc.signature(lens)
+	return pc.getWithSig(c, lens, sig, key)
+}
+
+// getWithSig is Get with the signature precomputed (the solve hot path
+// computes it once and shares it with the singleflight key).
+func (pc *PlanCache) getWithSig(c PlanCost, lens []int, sig []int32, key uint64) (planner.MicroPlan, bool) {
+	sh := pc.shard(key)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
+	var cached planner.MicroPlan
 	if ok {
-		pc.hits++
-	} else {
-		pc.miss++
+		ent := el.Value.(*cacheEntry)
+		if !sigsEqual(ent.sig, sig) {
+			ok = false // hash collision: treat as miss
+		} else {
+			sh.lru.MoveToFront(el)
+			cached = ent.plan
+		}
 	}
-	pc.mu.Unlock()
-	if !ok {
+	sh.mu.Unlock()
+	if ok {
+		pc.hits.Add(1)
+	} else {
+		pc.misses.Add(1)
 		return planner.MicroPlan{}, false
 	}
 
@@ -156,30 +231,74 @@ func (pc *PlanCache) Get(c PlanCost, lens []int) (planner.MicroPlan, bool) {
 
 // Put stores a plan under the micro-batch's signature.
 func (pc *PlanCache) Put(lens []int, p planner.MicroPlan) {
-	k := pc.key(lens)
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if _, exists := pc.plans[k]; !exists {
-		pc.order = append(pc.order, k)
-		if len(pc.order) > pc.limit {
-			oldest := pc.order[0]
-			pc.order = pc.order[1:]
-			delete(pc.plans, oldest)
-		}
+	sig, key := pc.signature(lens)
+	sh := pc.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.sig, ent.plan = sig, p
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		return
 	}
-	pc.plans[k] = p
+	sh.entries[key] = sh.lru.PushFront(&cacheEntry{key: key, sig: sig, plan: p})
+	var evicted bool
+	if sh.lru.Len() > pc.shardLimit {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.entries, oldest.Value.(*cacheEntry).key)
+		evicted = true
+	}
+	sh.mu.Unlock()
+	if evicted {
+		pc.evictions.Add(1)
+	}
 }
+
+// noteDedup records one in-flight deduplication (a plan shared between
+// concurrent identical micro-batch signatures instead of being recomputed).
+func (pc *PlanCache) noteDedup() { pc.dedups.Add(1) }
 
 // Stats reports cache hits and misses.
 func (pc *PlanCache) Stats() (hits, misses int) {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return pc.hits, pc.miss
+	return int(pc.hits.Load()), int(pc.misses.Load())
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Dedups    int64 `json:"dedups"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// HitRate is hits / (hits + misses), zero when empty.
+func (cs CacheStats) HitRate() float64 {
+	if cs.Hits+cs.Misses == 0 {
+		return 0
+	}
+	return float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+}
+
+// Metrics returns the full counter snapshot.
+func (pc *PlanCache) Metrics() CacheStats {
+	return CacheStats{
+		Hits:      pc.hits.Load(),
+		Misses:    pc.misses.Load(),
+		Dedups:    pc.dedups.Load(),
+		Evictions: pc.evictions.Load(),
+		Entries:   pc.Len(),
+	}
 }
 
 // Len returns the number of cached entries.
 func (pc *PlanCache) Len() int {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return len(pc.plans)
+	n := 0
+	for i := range pc.shards {
+		pc.shards[i].mu.Lock()
+		n += pc.shards[i].lru.Len()
+		pc.shards[i].mu.Unlock()
+	}
+	return n
 }

@@ -53,6 +53,80 @@ func TestPlanCacheEviction(t *testing.T) {
 	if cache.Len() != 2 {
 		t.Fatalf("Len = %d, want 2 after eviction", cache.Len())
 	}
+	if ev := cache.Metrics().Evictions; ev != 1 {
+		t.Fatalf("Evictions = %d, want 1", ev)
+	}
+}
+
+// Eviction must follow recency, not insertion order: a Get refreshes the
+// entry, so the least-recently-used one goes first.
+func TestPlanCacheLRUOrder(t *testing.T) {
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(8))
+	cache := NewPlanCache(2, 256)
+	planFor := func(lens []int) planner.MicroPlan {
+		return planner.MicroPlan{Groups: []planner.Group{{Degree: 8, Lens: lens}}}
+	}
+	a, b, x := []int{1000}, []int{2000}, []int{3000}
+	cache.Put(a, planFor(a))
+	cache.Put(b, planFor(b))
+	if _, ok := cache.Get(c, a); !ok { // touch a: b becomes LRU
+		t.Fatal("expected hit on a")
+	}
+	cache.Put(x, planFor(x)) // evicts b, not a
+	if _, ok := cache.Get(c, a); !ok {
+		t.Fatal("a should have survived eviction (recently used)")
+	}
+	if _, ok := cache.Get(c, b); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+}
+
+// The sharded configuration must still bound the entry count and keep
+// per-signature lookups exact.
+func TestPlanCacheShardedLimit(t *testing.T) {
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(64))
+	const limit = 128
+	cache := NewPlanCache(limit, 256)
+	for i := 0; i < 4*limit; i++ {
+		lens := []int{1000 + 300*i}
+		cache.Put(lens, planner.MicroPlan{Groups: []planner.Group{{Degree: 64, Lens: lens}}})
+	}
+	if n := cache.Len(); n > limit {
+		t.Fatalf("Len = %d exceeds limit %d", n, limit)
+	}
+	// Recently inserted signatures must still resolve exactly.
+	lens := []int{1000 + 300*(4*limit-1)}
+	if _, ok := cache.Get(c, lens); !ok {
+		t.Fatal("most recent entry missing")
+	}
+	m := cache.Metrics()
+	if m.Entries != cache.Len() || m.Evictions == 0 {
+		t.Fatalf("metrics inconsistent: %+v", m)
+	}
+}
+
+// Concurrent solves of batches with overlapping micro-batch signatures must
+// record dedups (singleflight) and keep the hit rate accounting consistent.
+func TestPlanCacheDedupStats(t *testing.T) {
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(64))
+	s := New(planner.New(c))
+	s.Cache = NewPlanCache(1024, 256)
+	rng := rand.New(rand.NewSource(11))
+	batch := workload.CommonCrawl().Batch(rng, 256, 128<<10)
+	if _, err := s.Solve(batch); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Cache.Metrics()
+	if m.Hits+m.Misses == 0 {
+		t.Fatal("no cache traffic recorded")
+	}
+	if m.HitRate() < 0 || m.HitRate() > 1 {
+		t.Fatalf("hit rate %v out of range", m.HitRate())
+	}
+	hits, misses := s.Cache.Stats()
+	if int64(hits) != m.Hits || int64(misses) != m.Misses {
+		t.Fatalf("Stats (%d,%d) disagrees with Metrics %+v", hits, misses, m)
+	}
 }
 
 func TestSolverWithCacheMatchesWithout(t *testing.T) {

@@ -6,14 +6,18 @@
 // with the smallest total estimated time.
 //
 // Like the paper's implementation it is two-level parallel — micro-batch
-// counts and micro-batches are solved concurrently — and the Service type
-// disaggregates solving from execution (§5): plans for future batches are
-// computed in the background and handed to the executor in order.
+// counts and micro-batches are solved concurrently, on a worker pool bounded
+// by the machine's parallelism — and the Service type disaggregates solving
+// from execution (§5): plans for future batches are computed in the
+// background and handed to the executor in order. Identical micro-batch
+// signatures in flight at once (adjacent M trials frequently blast out the
+// same bucketed batch) are planned once and shared.
 package solver
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -33,8 +37,11 @@ type Solver struct {
 	// disabled only by the Fig. 7 "w/o Sort" ablation.
 	Sort bool
 	// Parallel enables the two-level multi-process solving of Alg. 1
-	// (goroutines here).
+	// (a bounded goroutine pool here).
 	Parallel bool
+	// Workers bounds the planning worker pool when Parallel is set; zero
+	// means GOMAXPROCS.
+	Workers int
 	// Overhead is a fixed per-micro-batch cost (seconds) added to each
 	// trial's total when comparing micro-batch counts — e.g. the exposed
 	// ZeRO time, which grows with M (takeaway #1's fixed-cost argument).
@@ -93,6 +100,109 @@ type Result struct {
 // feasible plan.
 var ErrUnsolvable = fmt.Errorf("solver: no feasible plan for batch")
 
+// planPool is the bounded worker pool planning micro-batches: a fixed set of
+// workers drains a task channel, replacing the historical trials×micros
+// goroutine fan-out. A nil pool runs tasks inline (the Parallel=false path).
+type planPool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+func newPlanPool(workers int) *planPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &planPool{tasks: make(chan func(), 2*workers)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// do submits n tasks and waits for all of them. Task functions must not
+// submit further tasks (the trial goroutines, not pool workers, fan out).
+func (p *planPool) do(n int, task func(i int)) {
+	if p == nil {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.tasks <- func() {
+			defer wg.Done()
+			task(i)
+		}
+	}
+	wg.Wait()
+}
+
+func (p *planPool) close() {
+	if p != nil {
+		close(p.tasks)
+		p.wg.Wait()
+	}
+}
+
+// flightGroup deduplicates concurrent plans of identical micro-batch
+// signatures (singleflight): when trials for M and M+1 blast out the same
+// bucketed batch at once, one leader plans it and the others wait and reuse.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[uint64]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	sig  []int32 // sorted signature the leader is planning (collision guard)
+	plan planner.MicroPlan
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[uint64]*flight)}
+}
+
+// start registers a flight for key. The second return is true when the
+// caller became the leader and must call finish; false means another plan of
+// the same signature is in progress and f.done can be awaited.
+func (fg *flightGroup) start(key uint64, sig []int32) (*flight, bool) {
+	fg.mu.Lock()
+	defer fg.mu.Unlock()
+	if f, ok := fg.m[key]; ok && sigsEqual(f.sig, sig) {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{}), sig: sig}
+	fg.m[key] = f
+	return f, true
+}
+
+func (fg *flightGroup) finish(key uint64, f *flight, plan planner.MicroPlan, err error) {
+	fg.mu.Lock()
+	if fg.m[key] == f {
+		delete(fg.m, key)
+	}
+	fg.mu.Unlock()
+	f.plan, f.err = plan, err
+	close(f.done)
+}
+
+// sortedSig returns the micro-batch's sorted length multiset and its FNV-1a
+// hash: the exact-plan singleflight key used when no cache is configured
+// (the cache's canonical signature at granularity 1).
+func sortedSig(lens []int) ([]int32, uint64) {
+	return roundedSig(lens, 1)
+}
+
 // Solve runs Alg. 1 on one data batch of sequence lengths.
 func (s *Solver) Solve(batch []int) (Result, error) {
 	start := time.Now()
@@ -108,18 +218,22 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 		return Result{SolveWall: time.Since(start)}, nil
 	}
 
+	var pool *planPool
+	if s.Parallel {
+		pool = newPlanPool(s.Workers)
+		defer pool.close()
+	}
+	flights := newFlightGroup()
+
 	type trial struct {
 		plans []planner.MicroPlan
 		time  float64
 		m     int
 		err   error
 	}
-	trialsOut := make([]trial, trials)
-	runTrial := func(ti int) {
-		m := mmin + ti
+	runTrial := func(m int) trial {
 		if m > len(batch) {
-			trialsOut[ti] = trial{err: fmt.Errorf("solver: m %d exceeds batch size", m)}
-			return
+			return trial{err: fmt.Errorf("solver: m %d exceeds batch size", m)}
 		}
 		var micro [][]int
 		var err error
@@ -129,56 +243,37 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 			micro, err = blaster.BlastUnsorted(batch, m)
 		}
 		if err != nil {
-			trialsOut[ti] = trial{err: err}
-			return
+			return trial{err: err}
 		}
 		plans := make([]planner.MicroPlan, len(micro))
 		errs := make([]error, len(micro))
-		planOne := func(i int) {
-			if s.Cache != nil {
-				if p, ok := s.Cache.Get(s.cacheCost(), micro[i]); ok {
-					plans[i] = p
-					return
-				}
-			}
-			plans[i], errs[i] = s.Planner.Plan(micro[i])
-			if s.Cache != nil && errs[i] == nil {
-				s.Cache.Put(micro[i], plans[i])
-			}
-		}
-		if s.Parallel {
-			var wg sync.WaitGroup
-			for i := range micro {
-				wg.Add(1)
-				go func(i int) { defer wg.Done(); planOne(i) }(i)
-			}
-			wg.Wait()
-		} else {
-			for i := range micro {
-				planOne(i)
-			}
-		}
+		pool.do(len(micro), func(i int) {
+			plans[i], errs[i] = s.planOne(flights, micro[i])
+		})
 		total := s.Overhead * float64(len(plans))
 		for i := range plans {
 			if errs[i] != nil {
-				trialsOut[ti] = trial{err: errs[i]}
-				return
+				return trial{err: errs[i]}
 			}
 			total += plans[i].Time
 		}
-		trialsOut[ti] = trial{plans: plans, time: total, m: m}
+		return trial{plans: plans, time: total, m: m}
 	}
 
+	trialsOut := make([]trial, trials)
 	if s.Parallel {
 		var wg sync.WaitGroup
 		for ti := 0; ti < trials; ti++ {
 			wg.Add(1)
-			go func(ti int) { defer wg.Done(); runTrial(ti) }(ti)
+			go func(ti int) {
+				defer wg.Done()
+				trialsOut[ti] = runTrial(mmin + ti)
+			}(ti)
 		}
 		wg.Wait()
 	} else {
 		for ti := 0; ti < trials; ti++ {
-			runTrial(ti)
+			trialsOut[ti] = runTrial(mmin + ti)
 		}
 	}
 
@@ -194,30 +289,16 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 	if math.IsInf(best.Time, 1) {
 		// Every trial in [M_min, M_min+M′) was infeasible — typically when
 		// a conservative bucketing inflates memory estimates. Widen the
-		// window geometrically rather than fail.
+		// window geometrically rather than fail, going through the same
+		// runTrial path as the window (same sorting ablation, plan cache,
+		// and parallel planning).
 		for m := mmin + trials; m <= len(batch); m += trials {
-			micro, err := blaster.Blast(batch, m)
-			if !s.Sort {
-				micro, err = blaster.BlastUnsorted(batch, m)
+			tr := runTrial(m)
+			if tr.err != nil {
+				continue
 			}
-			if err != nil {
-				break
-			}
-			total := s.Overhead * float64(len(micro))
-			plans := make([]planner.MicroPlan, len(micro))
-			feasible := true
-			for i := range micro {
-				plans[i], err = s.Planner.Plan(micro[i])
-				if err != nil {
-					feasible = false
-					break
-				}
-				total += plans[i].Time
-			}
-			if feasible {
-				best.Plans, best.Time, best.M = plans, total, m
-				break
-			}
+			best.Plans, best.Time, best.M = tr.plans, tr.time, tr.m
+			break
 		}
 	}
 	if math.IsInf(best.Time, 1) {
@@ -225,4 +306,50 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 	}
 	best.SolveWall = time.Since(start)
 	return best, nil
+}
+
+// planOne plans one micro-batch through the cache and the in-flight
+// deduplication: cache hits return retargeted plans, concurrent identical
+// signatures are planned once (singleflight, so the trials for M and M+1
+// never plan the same bucketed batch twice), and everything else goes to
+// the planner.
+func (s *Solver) planOne(flights *flightGroup, lens []int) (planner.MicroPlan, error) {
+	if s.Cache != nil {
+		sig, key := s.Cache.signature(lens)
+		if p, ok := s.Cache.getWithSig(s.cacheCost(), lens, sig, key); ok {
+			return p, nil
+		}
+		// Singleflight on the cache's rounded signature: the leader plans
+		// and fills the cache, waiters re-read it and retarget.
+		f, leader := flights.start(key, sig)
+		if !leader {
+			<-f.done
+			if p, ok := s.Cache.getWithSig(s.cacheCost(), lens, sig, key); ok {
+				s.Cache.noteDedup()
+				return p, nil
+			}
+			// Leader failed or the retarget was rejected; plan independently.
+			return s.Planner.Plan(lens)
+		}
+		p, err := s.Planner.Plan(lens)
+		if err == nil {
+			s.Cache.Put(lens, p)
+		}
+		flights.finish(key, f, p, err)
+		return p, err
+	}
+	// No cache: deduplicate exact length multisets in flight and share the
+	// identical plan.
+	sig, key := sortedSig(lens)
+	f, leader := flights.start(key, sig)
+	if !leader {
+		<-f.done
+		if f.err == nil {
+			return f.plan, nil
+		}
+		return s.Planner.Plan(lens)
+	}
+	p, err := s.Planner.Plan(lens)
+	flights.finish(key, f, p, err)
+	return p, err
 }

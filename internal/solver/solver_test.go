@@ -167,3 +167,74 @@ func TestServiceCloseIdempotent(t *testing.T) {
 	sv.Close()
 	sv.Close()
 }
+
+// TestWideningFallback forces the [M_min, M_min+M′) window to be infeasible
+// (a single coarse bucket inflates every sequence to the batch maximum) so
+// the solver must widen the micro-batch count. The widened search goes
+// through the same runTrial path as the window: it must honour Sort and
+// Parallel, reuse the plan cache, and return a feasible plan.
+func TestWideningFallback(t *testing.T) {
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(8))
+	mk := func(parallel, sorted bool, cache *PlanCache) *Solver {
+		pl := planner.New(c)
+		pl.Q = 1 // one bucket: reps round up to the longest sequence
+		s := New(pl)
+		s.Trials = 1
+		s.Parallel = parallel
+		s.Sort = sorted
+		s.Cache = cache
+		return s
+	}
+	batch := []int{24 << 10}
+	for i := 0; i < 40; i++ {
+		batch = append(batch, 1<<10+32*i)
+	}
+
+	s := mk(true, true, nil)
+	mmin := blaster.MinMicroBatches(batch, s.Planner.TokenCapacity())
+	res, err := s.Solve(batch)
+	if err != nil {
+		t.Fatalf("widened solve failed: %v", err)
+	}
+	if res.M < mmin+s.Trials {
+		t.Fatalf("M = %d inside the supposedly infeasible window [%d, %d)", res.M, mmin, mmin+s.Trials)
+	}
+	// Coverage: every sequence appears exactly once.
+	want := map[int]int{}
+	for _, l := range batch {
+		want[l]++
+	}
+	for _, p := range res.Plans {
+		for _, g := range p.Groups {
+			for _, l := range g.Lens {
+				want[l]--
+			}
+		}
+	}
+	for l, n := range want {
+		if n != 0 {
+			t.Fatalf("sequence %d unbalanced by %d", l, n)
+		}
+	}
+
+	// The fallback must behave identically across Parallel and Sort modes
+	// (it used to bypass both), and must populate the cache when present.
+	serial, err := mk(false, true, nil).Solve(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.M != res.M || serial.Time != res.Time {
+		t.Fatalf("fallback parallel (M=%d %.4f) != serial (M=%d %.4f)",
+			res.M, res.Time, serial.M, serial.Time)
+	}
+	if _, err := mk(true, false, nil).Solve(batch); err != nil {
+		t.Fatalf("unsorted fallback failed: %v", err)
+	}
+	cache := NewPlanCache(64, 256)
+	if _, err := mk(true, true, cache).Solve(batch); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("widened fallback did not populate the plan cache")
+	}
+}
