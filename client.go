@@ -1,0 +1,130 @@
+package flexsp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"flexsp/internal/server"
+)
+
+// Client talks to a flexsp-serve planning daemon (see internal/server and
+// cmd/flexsp-serve): training jobs submit their batch signatures over HTTP
+// and receive placed plans, so one long-lived solver serves many trainers.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenant labels this client's requests for the daemon's per-tenant
+	// admission control; empty shares the unlabeled bucket.
+	Tenant string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+// StatusError is a non-2xx daemon response: 429 when admission control
+// refused the request (retry later), 503 while draining.
+type StatusError struct {
+	Status  int
+	Message string
+}
+
+// Error formats the status and the daemon's error message.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("flexsp: server status %d: %s", e.Status, e.Message)
+}
+
+// Overloaded reports whether the daemon refused the request under load
+// (queue or tenant overflow) — the retryable case.
+func (e *StatusError) Overloaded() bool {
+	return e.Status == http.StatusTooManyRequests
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON body and decodes the response into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("flexsp: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("flexsp: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("flexsp: %w", err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("flexsp: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg := resp.Status
+		var e server.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &StatusError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("flexsp: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Solve submits one batch of sequence lengths to POST /v1/solve and returns
+// the plan response; resp.Plans() yields planner micro-plans ready for
+// System.Execute.
+func (c *Client) Solve(ctx context.Context, lengths []int) (server.SolveResponse, error) {
+	var out server.SolveResponse
+	err := c.post(ctx, "/v1/solve", server.SolveRequest{Lengths: lengths, Tenant: c.Tenant}, &out)
+	return out, err
+}
+
+// SolvePipelined submits one batch to POST /v1/solve/pipelined and returns
+// the joint PP×SP plan response.
+func (c *Client) SolvePipelined(ctx context.Context, lengths []int) (server.PipelinedResponse, error) {
+	var out server.PipelinedResponse
+	err := c.post(ctx, "/v1/solve/pipelined", server.SolveRequest{Lengths: lengths, Tenant: c.Tenant}, &out)
+	return out, err
+}
+
+// Metrics fetches GET /v1/metrics.
+func (c *Client) Metrics(ctx context.Context) (server.MetricsResponse, error) {
+	var out server.MetricsResponse
+	err := c.get(ctx, "/v1/metrics", &out)
+	return out, err
+}
+
+// Health checks GET /healthz; a draining or down daemon returns an error.
+func (c *Client) Health(ctx context.Context) error {
+	return c.get(ctx, "/healthz", nil)
+}

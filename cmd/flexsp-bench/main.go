@@ -13,17 +13,21 @@
 //	flexsp-bench fig9          # Fig. 9: estimator accuracy
 //	flexsp-bench table4        # Table 4: bucketing bias
 //	flexsp-bench table5        # Table 5: model configurations
+//	flexsp-bench appendixE     # Appendix E: ring-attention flexible CP
 //	flexsp-bench pipeline      # hybrid PP×SP: joint planner vs flat FlexSP vs Megatron
 //	flexsp-bench heterogeneous # mixed A100/H100 fleet: placement-aware vs class-oblivious
 //	flexsp-bench solver        # solver hot path: Alg. 1 wall, planner wall per strategy, cache stats
+//	flexsp-bench serve         # flexsp-serve load bench: concurrent clients, throughput, tail latency
 //	flexsp-bench all           # everything above
 //
 // Flags: -quick shrinks batch sizes/iterations, -seed, -iters and -devices
 // override the experiment configuration; -cluster (e.g.
 // "mixed:32xA100,32xH100") picks the heterogeneous experiment's fleet. The
-// heterogeneous and solver experiments also write their results as
-// machine-readable JSON (default BENCH_heterogeneous.json / BENCH_solver.json,
-// see -benchjson and -solverjson) so perf can be tracked across commits.
+// heterogeneous, solver and serve experiments also write their results as
+// machine-readable JSON (default BENCH_heterogeneous.json / BENCH_solver.json
+// / BENCH_serve.json, see -benchjson, -solverjson and -servejson) so perf can
+// be tracked across commits. The serve experiment starts an in-process daemon
+// by default; -serveaddr points it at a running flexsp-serve instead.
 // -cpuprofile writes a pprof CPU profile of the run.
 package main
 
@@ -53,6 +57,8 @@ func run() int {
 	clusterSpec := flag.String("cluster", "", "mixed-fleet spec for the heterogeneous experiment, e.g. mixed:32xA100,32xH100")
 	benchJSON := flag.String("benchjson", "BENCH_heterogeneous.json", "path for the heterogeneous experiment's JSON result (empty disables)")
 	solverJSON := flag.String("solverjson", "BENCH_solver.json", "path for the solver experiment's JSON result (empty disables)")
+	serveJSON := flag.String("servejson", "BENCH_serve.json", "path for the serve experiment's JSON result (empty disables)")
+	serveAddr := flag.String("serveaddr", "", "run the serve bench against this flexsp-serve URL (e.g. http://127.0.0.1:8080) instead of an in-process daemon")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.Usage = usage
 	flag.Parse()
@@ -141,10 +147,22 @@ func run() int {
 			}
 			return r.Render()
 		},
+		"serve": func(c experiments.Config) string {
+			r := experiments.ServeBench(c, *serveAddr)
+			if *serveJSON != "" {
+				if err := writeBenchJSON(*serveJSON, r); err != nil {
+					fmt.Fprintln(os.Stderr, "flexsp-bench:", err)
+					failed = true
+					return r.Render()
+				}
+				fmt.Printf("[wrote %s]\n", *serveJSON)
+			}
+			return r.Render()
+		},
 	}
 	order := []string{"table5", "table1", "fig1", "fig2", "fig4", "table3fig5",
 		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE", "pipeline",
-		"heterogeneous", "solver"}
+		"heterogeneous", "solver", "serve"}
 
 	run := func(name string) {
 		start := time.Now()
@@ -180,8 +198,8 @@ func writeBenchJSON(path string, r interface{}) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] [-cluster SPEC] [-cpuprofile FILE] <experiment>
+	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] [-cluster SPEC] [-serveaddr URL] [-cpuprofile FILE] <experiment>
 
-experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous solver all`)
+experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous solver serve all`)
 	flag.PrintDefaults()
 }

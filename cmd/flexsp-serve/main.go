@@ -1,0 +1,148 @@
+// Command flexsp-serve runs the FlexSP planner as a long-lived HTTP/JSON
+// daemon — the disaggregated solver service of paper §5 as a standalone,
+// multi-tenant component. Training jobs POST batch signatures and receive
+// placed plans; concurrent identical requests coalesce into one solver pass
+// and repeated signatures hit the shared plan cache.
+//
+//	flexsp-serve -addr :8080 -devices 64 -model GPT-7B
+//
+// Endpoints:
+//
+//	POST /v1/solve            {"lengths":[...], "tenant":"..."} → plans
+//	POST /v1/solve/pipelined  joint PP×SP planning
+//	GET  /v1/metrics          cache/dedup counters, queue depth, p50/p99
+//	GET  /healthz             liveness (503 while draining)
+//
+// Admission control answers overflow with 429: -queue bounds admitted
+// requests, -tenant-limit bounds each tenant label. -batch-window sets how
+// long the first request for a signature waits for identical requests to
+// coalesce with. On SIGTERM/SIGINT the daemon drains gracefully: /healthz
+// flips to 503, new plan requests are refused, and in-flight solves finish
+// (up to -drain-timeout) before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flexsp"
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	devices := flag.Int("devices", 64, "GPU count (multiple of 8, or < 8 for one node)")
+	clusterSpec := flag.String("cluster", "", "fleet spec, e.g. mixed:32xA100,32xH100 (overrides -devices)")
+	modelName := flag.String("model", "GPT-7B", "model: GPT-7B, GPT-13B, GPT-30B")
+	strategy := flag.String("strategy", "enum", "planner strategy: enum, milp, greedy")
+	trials := flag.Int("trials", 0, "Alg. 1 micro-batch-count trials (0 = default)")
+	queue := flag.Int("queue", 64, "max admitted requests before 429")
+	tenantLimit := flag.Int("tenant-limit", 16, "max concurrent requests per tenant before 429")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for identical requests (negative disables)")
+	cacheEntries := flag.Int("cache", 4096, "plan cache entries")
+	cacheGranularity := flag.Int("granularity", 256, "plan cache rounding granularity, tokens")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
+	flag.Parse()
+
+	var strat planner.Strategy
+	switch *strategy {
+	case "enum":
+		strat = planner.StrategyEnum
+	case "milp":
+		strat = planner.StrategyMILP
+	case "greedy":
+		strat = planner.StrategyGreedy
+	default:
+		fmt.Fprintf(os.Stderr, "flexsp-serve: unknown -strategy %q\n", *strategy)
+		return 2
+	}
+	model := costmodel.GPT7B
+	found := false
+	for _, m := range costmodel.Models() {
+		if m.Name == *modelName {
+			model, found = m, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "flexsp-serve: unknown -model %q\n", *modelName)
+		return 2
+	}
+	if *clusterSpec != "" {
+		if _, err := cluster.ParseClusterSpec(*clusterSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "flexsp-serve: invalid -cluster:", err)
+			return 2
+		}
+	} else if _, err := cluster.NewA100Cluster(*devices); err != nil {
+		fmt.Fprintln(os.Stderr, "flexsp-serve: invalid -devices:", err)
+		return 2
+	}
+
+	sys := flexsp.NewSystem(flexsp.Config{
+		Devices:  *devices,
+		Cluster:  *clusterSpec,
+		Model:    model,
+		Strategy: strat,
+		Trials:   *trials,
+		Serve: flexsp.ServeConfig{
+			QueueLimit:       *queue,
+			TenantLimit:      *tenantLimit,
+			BatchWindow:      *batchWindow,
+			CacheEntries:     *cacheEntries,
+			CacheGranularity: *cacheGranularity,
+		},
+	})
+	srv := sys.NewServer()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("flexsp-serve: listening on %s (%d devices%s, model %s, strategy %s)",
+			*addr, sys.Topo.NumDevices(), clusterNote(*clusterSpec), model.Name, strat)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Printf("flexsp-serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising healthy, refuse new plan requests,
+	// let http.Server.Shutdown wait for in-flight handlers (and their
+	// solves) to finish.
+	log.Printf("flexsp-serve: draining (timeout %s)", *drainTimeout)
+	srv.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("flexsp-serve: shutdown: %v", err)
+		return 1
+	}
+	log.Print("flexsp-serve: drained")
+	return 0
+}
+
+func clusterNote(spec string) string {
+	if spec == "" {
+		return ""
+	}
+	return ", cluster " + spec
+}

@@ -1,0 +1,103 @@
+package flexsp
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDocumentation enforces the repo's documentation contract (it is the
+// CI docs gate):
+//
+//  1. every internal/ package carries a `// Package xxx ...` comment, and
+//  2. every exported symbol of the public facade (the root flexsp package)
+//     carries a doc comment.
+//
+// ARCHITECTURE.md holds the corresponding package map; a new package lands
+// with its package comment or this test names it.
+func TestDocumentation(t *testing.T) {
+	fset := token.NewFileSet()
+
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := "internal/" + e.Name()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		documented := false
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), "Package "+e.Name()) {
+					documented = true
+				}
+			}
+		}
+		if !documented {
+			t.Errorf("%s: missing `// Package %s ...` comment", dir, e.Name())
+		}
+	}
+
+	// The facade: every exported symbol in the root package's non-test
+	// files must have a doc comment.
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, ok := pkgs["flexsp"]
+	if !ok {
+		t.Fatal("root flexsp package not found")
+	}
+	for name, f := range root.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					t.Errorf("%s: exported %s %s has no doc comment", name, kindOf(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+							t.Errorf("%s: exported type %s has no doc comment", name, s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, id := range s.Names {
+							if id.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								t.Errorf("%s: exported %s %s has no doc comment", name, kindTok(d.Tok.String()), id.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func kindTok(tok string) string {
+	if tok == "const" {
+		return "constant"
+	}
+	return tok
+}

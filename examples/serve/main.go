@@ -1,0 +1,72 @@
+// Serve: run the planning daemon in-process and hit it like a training job
+// would — submit a batch over HTTP, receive placed plans, execute them on
+// the simulated cluster, and read the daemon's metrics.
+//
+// Against a separately started daemon (`go run ./cmd/flexsp-serve`), point
+// flexsp.NewClient at its address instead of the loopback listener below.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+
+	"flexsp"
+)
+
+func main() {
+	// One long-lived daemon, many trainers: the server side is a System
+	// like any other, plus serving limits.
+	sys := flexsp.NewSystem(flexsp.Config{
+		Devices: 64,
+		Model:   flexsp.GPT7B,
+		Serve:   flexsp.ServeConfig{QueueLimit: 128, TenantLimit: 16},
+	})
+	srv := sys.NewServer()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	client := flexsp.NewClient("http://" + ln.Addr().String())
+	client.Tenant = "example"
+	ctx := context.Background()
+	if err := client.Health(ctx); err != nil {
+		panic(err)
+	}
+
+	// A training job submits its next batch's sequence lengths and gets
+	// the placed plans back.
+	rng := rand.New(rand.NewSource(1))
+	batch := flexsp.CommonCrawl().Batch(rng, 128, 192<<10)
+	resp, err := client.Solve(ctx, batch)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("daemon planned M=%d micro-batches, estimated %.2fs\n", resp.M, resp.EstTime)
+
+	// The wire plans convert straight back into executable micro-plans.
+	exec, err := sys.Execute(resp.Plans())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("executed: %.2fs end-to-end, %.1f%% All-to-All\n",
+		exec.Time, 100*exec.AllToAllShare())
+
+	// A second identical submission is served from the shared plan cache.
+	if _, err := client.Solve(ctx, batch); err != nil {
+		panic(err)
+	}
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("daemon metrics: %d requests, %d solver passes, cache hit rate %.0f%%\n",
+		m.Requests, m.Solves, 100*m.CacheHitRate)
+}

@@ -1,0 +1,73 @@
+// Compile-checked versions of the README snippets: each Example mirrors a
+// documented usage, so the docs break the build instead of rotting.
+package flexsp_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexsp"
+)
+
+// Example_quickstart is the README quickstart: build a system, solve one
+// varied-length batch, execute the heterogeneous SP plans.
+func Example_quickstart() {
+	sys := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+	rng := rand.New(rand.NewSource(1))
+	batch := flexsp.CommonCrawl().Batch(rng, 128, 192<<10)
+
+	res, err := sys.Solve(batch) // heterogeneous SP groups per micro-batch
+	if err != nil {
+		panic(err)
+	}
+	exec, err := sys.Execute(res.Plans)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.M >= res.MMin, len(res.Plans) == res.M, exec.Time > 0)
+	// Output: true true true
+}
+
+// Example_pipelined is the README hybrid PP×SP snippet: sweep pipeline
+// degrees, plan flexible SP per stage, execute the winning 1F1B schedule.
+func Example_pipelined() {
+	sys := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+	rng := rand.New(rand.NewSource(1))
+	batch := flexsp.CommonCrawl().Batch(rng, 128, 192<<10)
+
+	jres, err := sys.SolvePipelined(batch)
+	if err != nil {
+		panic(err)
+	}
+	sched, err := sys.ExecutePipelined(jres)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(jres.Pipe.PP >= 1, sched.Time > 0, sched.BubbleFrac >= 0)
+	// Output: true true true
+}
+
+// Example_mixedCluster is the README mixed-cluster snippet: a heterogeneous
+// fleet by spec, placement-aware planning, per-range costing on execution.
+func Example_mixedCluster() {
+	sys := flexsp.NewSystem(flexsp.Config{Cluster: "mixed:32xA100,32xH100", Model: flexsp.GPT7B})
+	rng := rand.New(rand.NewSource(1))
+	batch := flexsp.CommonCrawl().Batch(rng, 128, 192<<10)
+
+	res, err := sys.Solve(batch) // groups carry placed device ranges
+	if err != nil {
+		panic(err)
+	}
+	exec, err := sys.Execute(res.Plans) // per-range device-class costing
+	if err != nil {
+		panic(err)
+	}
+	placed := true
+	for _, mp := range res.Plans {
+		for _, g := range mp.Groups {
+			placed = placed && g.Placed()
+		}
+	}
+	fmt.Println(placed, exec.Time > 0)
+	// Output: true true
+}

@@ -26,12 +26,14 @@ package flexsp
 
 import (
 	"fmt"
+	"time"
 
 	"flexsp/internal/baselines"
 	"flexsp/internal/cluster"
 	"flexsp/internal/costmodel"
 	"flexsp/internal/pipeline"
 	"flexsp/internal/planner"
+	"flexsp/internal/server"
 	"flexsp/internal/sim"
 	"flexsp/internal/solver"
 	"flexsp/internal/workload"
@@ -77,6 +79,28 @@ type Config struct {
 	// SolvePipelined/ExecutePipelined. The zero value uses the default
 	// PP sweep with no SP-degree cap.
 	Pipeline PipelineConfig
+	// Serve configures the HTTP planning daemon reached through NewServer.
+	// The zero value uses the server defaults.
+	Serve ServeConfig
+}
+
+// ServeConfig configures the solver-as-a-service daemon (paper §5) built by
+// System.NewServer: admission control, the request-batching window, and the
+// shared plan cache. Zero fields take the server/cache defaults.
+type ServeConfig struct {
+	// QueueLimit bounds admitted requests (default 64); overflow gets 429.
+	QueueLimit int
+	// TenantLimit bounds concurrent requests per tenant label (default 16).
+	TenantLimit int
+	// BatchWindow is how long the first request for a batch signature waits
+	// for identical requests to coalesce with before solving (default 2ms;
+	// negative disables the wait, leaving pure singleflight).
+	BatchWindow time.Duration
+	// CacheEntries and CacheGranularity size the shared plan cache the
+	// server attaches when the system's solver has none yet (defaults 1024
+	// entries, 256-token rounding); a cache already on the solver is kept
+	// as-is.
+	CacheEntries, CacheGranularity int
 }
 
 // PipelineConfig configures hybrid pipeline-parallel × flexible-SP planning.
@@ -107,6 +131,7 @@ type System struct {
 
 	includeZeRO bool
 	pool        *cluster.GroupPool
+	serve       ServeConfig
 }
 
 // NewSystem builds a System for the given configuration.
@@ -185,6 +210,7 @@ func NewSystem(cfg Config) *System {
 		Hetero:      hetero,
 		includeZeRO: cfg.IncludeZeRO,
 		pool:        cluster.NewGroupPool(topo.NumDevices(), cluster.DefaultGroupCreation),
+		serve:       cfg.Serve,
 	}
 }
 
@@ -263,6 +289,24 @@ func (s *System) ExecutePipelined(res pipeline.Result) (pipeline.ScheduleResult,
 // solver.
 func (s *System) NewService(workers int) *solver.Service {
 	return solver.NewService(s.Solver, workers)
+}
+
+// NewServer builds the HTTP planning daemon (§5 as a standalone service)
+// over this system's solver and joint PP×SP planner, configured by
+// Config.Serve. The returned server is an http.Handler; serve it with an
+// http.Server and call its Drain method before Shutdown for a graceful
+// SIGTERM. Creating the server attaches a shared plan cache to the system's
+// solver if it has none.
+func (s *System) NewServer() *server.Server {
+	return server.New(server.Config{
+		Solver:           s.Solver,
+		Joint:            s.Joint,
+		QueueLimit:       s.serve.QueueLimit,
+		TenantLimit:      s.serve.TenantLimit,
+		BatchWindow:      s.serve.BatchWindow,
+		CacheEntries:     s.serve.CacheEntries,
+		CacheGranularity: s.serve.CacheGranularity,
+	})
 }
 
 // DeepSpeedBaseline plans the batch as the static homogeneous DeepSpeed

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"flexsp/internal/costmodel"
+	"flexsp/internal/pipeline"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/server"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// ServeBenchResult is the machine-readable serving benchmark
+// (`flexsp-bench serve` writes it as BENCH_serve.json): N concurrent
+// clients replay workload-sampled batches from a small signature pool
+// against a flexsp-serve daemon, so repeated signatures exercise the
+// request batcher and the shared plan cache the way steady-state training
+// traffic would. CI tracks throughput and tail latency per commit.
+type ServeBenchResult struct {
+	Devices   int   `json:"devices"`
+	BatchSize int   `json:"batch_size"`
+	Seed      int64 `json:"seed"`
+	// Clients is the concurrent client count, PoolSize the number of
+	// distinct batch signatures they replay, Requests the completed total.
+	Clients  int `json:"clients"`
+	PoolSize int `json:"pool_size"`
+	Requests int `json:"requests"`
+	// Rejected counts 429 admission refusals, Errors other failures;
+	// neither enters the latency percentiles.
+	Rejected int `json:"rejected"`
+	Errors   int `json:"errors"`
+
+	DurationSeconds float64 `json:"duration_seconds"`
+	// ThroughputRPS is completed requests per wall second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Millis     float64 `json:"p50_millis"`
+	P99Millis     float64 `json:"p99_millis"`
+
+	// Server is the daemon's /v1/metrics snapshot after the run.
+	Server server.MetricsResponse `json:"server"`
+	// CacheHitRate is the plan-level hits / (hits + misses); ReuseRate adds
+	// in-flight dedups: (hits + dedups) / (hits + misses + dedups).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	ReuseRate    float64 `json:"reuse_rate"`
+	// CoalesceRate is the share of requests served by joining another
+	// request's solver pass.
+	CoalesceRate float64 `json:"coalesce_rate"`
+}
+
+// serveBenchClients and serveBenchPool shape the replayed traffic: a small
+// signature pool makes the workload repeat the way per-iteration training
+// batches do.
+const (
+	serveBenchClients   = 8
+	serveBenchPool      = 4
+	serveBenchPerClient = 50
+)
+
+// ServeBench runs the load generator. With addr == "" it starts an
+// in-process daemon on a loopback listener (the solver configured like the
+// solver benchmark: GPT-7B at cfg.Devices, 4096-entry shared cache);
+// otherwise clients hammer the flexsp-serve instance at addr (e.g.
+// "http://127.0.0.1:8080") and the server snapshot is fetched from its
+// /v1/metrics.
+func ServeBench(cfg Config, addr string) ServeBenchResult {
+	d := workload.CommonCrawl()
+	const maxCtx = 192 << 10
+	res := ServeBenchResult{
+		Devices:   cfg.Devices,
+		BatchSize: cfg.BatchSize,
+		Seed:      cfg.Seed,
+		Clients:   serveBenchClients,
+		PoolSize:  serveBenchPool,
+	}
+
+	pool := make([][]int, serveBenchPool)
+	rng := cfg.rng(271)
+	for i := range pool {
+		pool[i] = d.Batch(rng, cfg.BatchSize, maxCtx)
+	}
+
+	if addr == "" {
+		c := cfg.coeffs(costmodel.GPT7B)
+		sv := solver.New(planner.New(c))
+		sv.Cache = solver.NewPlanCache(4096, 256)
+		srv := server.New(server.Config{
+			Solver:      sv,
+			Joint:       pipeline.NewPlanner(c),
+			QueueLimit:  256,
+			TenantLimit: 256,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(fmt.Sprintf("serve bench: %v", err))
+		}
+		httpSrv := &http.Server{Handler: srv}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		addr = "http://" + ln.Addr().String()
+	}
+
+	type clientStats struct {
+		lat      []float64
+		rejected int
+		errors   int
+	}
+	stats := make([]clientStats, serveBenchClients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < serveBenchClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			for i := 0; i < serveBenchPerClient; i++ {
+				batch := pool[(c*serveBenchPerClient+i)%serveBenchPool]
+				t0 := time.Now()
+				status, err := postSolveOnce(addr, batch)
+				switch {
+				case err != nil:
+					st.errors++
+				case status == http.StatusTooManyRequests:
+					st.rejected++
+				case status != http.StatusOK:
+					st.errors++
+				default:
+					st.lat = append(st.lat, time.Since(t0).Seconds())
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.DurationSeconds = time.Since(start).Seconds()
+
+	var lat []float64
+	for _, st := range stats {
+		lat = append(lat, st.lat...)
+		res.Rejected += st.rejected
+		res.Errors += st.errors
+	}
+	res.Requests = len(lat)
+	if res.DurationSeconds > 0 {
+		res.ThroughputRPS = float64(res.Requests) / res.DurationSeconds
+	}
+	sort.Float64s(lat)
+	if len(lat) > 0 {
+		res.P50Millis = 1e3 * lat[len(lat)/2]
+		res.P99Millis = 1e3 * lat[int(0.99*float64(len(lat)-1))]
+	}
+
+	if m, err := fetchMetrics(addr); err == nil {
+		res.Server = m
+		res.CacheHitRate = m.CacheHitRate
+		if planned := m.Cache.Hits + m.Cache.Misses + m.Cache.Dedups; planned > 0 {
+			res.ReuseRate = float64(m.Cache.Hits+m.Cache.Dedups) / float64(planned)
+		}
+		if m.Requests > 0 {
+			res.CoalesceRate = float64(m.Coalesced) / float64(m.Requests)
+		}
+	}
+	return res
+}
+
+// postSolveOnce sends one /v1/solve request and fully drains the response.
+func postSolveOnce(addr string, lens []int) (int, error) {
+	body, err := json.Marshal(server.SolveRequest{Lengths: lens, Tenant: "bench"})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// fetchMetrics reads the daemon's /v1/metrics snapshot.
+func fetchMetrics(addr string) (server.MetricsResponse, error) {
+	var m server.MetricsResponse
+	resp, err := http.Get(addr + "/v1/metrics")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+// Render formats the result as a table.
+func (r ServeBenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving (flexsp-serve, %d clients × pool of %d batches, %d GPUs, batch %d)\n",
+		r.Clients, r.PoolSize, r.Devices, r.BatchSize)
+	tbl := report.NewTable("", "metric", "value")
+	tbl.Add("requests (ok/429/err)", fmt.Sprintf("%d/%d/%d", r.Requests, r.Rejected, r.Errors))
+	tbl.Add("throughput", fmt.Sprintf("%.1f req/s", r.ThroughputRPS))
+	tbl.Add("latency p50/p99", fmt.Sprintf("%.1fms / %.1fms", r.P50Millis, r.P99Millis))
+	tbl.Add("cache hit rate", fmt.Sprintf("%.1f%%", 100*r.CacheHitRate))
+	tbl.Add("plan reuse rate (hits+dedups)", fmt.Sprintf("%.1f%%", 100*r.ReuseRate))
+	tbl.Add("request coalesce rate", fmt.Sprintf("%.1f%%", 100*r.CoalesceRate))
+	tbl.Add("server solves/coalesced", fmt.Sprintf("%d/%d", r.Server.Solves, r.Server.Coalesced))
+	b.WriteString(tbl.String())
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"flexsp/internal/solver"
+)
+
+// batcher groups compatible requests into one solver pass. Two requests are
+// compatible when they carry the same sequence-length multiset — the only
+// sound grouping, since a plan depends on the whole batch. The first request
+// for a signature opens a pass and holds it open for the batching window;
+// identical requests arriving within the window join the pass; when the
+// window closes the opener solves once and every member receives the same
+// pre-encoded response bytes, so coalesced responses are byte-identical by
+// construction. Passes are keyed by solver.Signature — the same canonical
+// sorted-multiset FNV-1a key the plan cache and the in-flight singleflight
+// use — with the full signature compared on join, so hash collisions fall
+// back to independent passes rather than wrong plans.
+//
+// Each pass carries a context that is canceled once every member's request
+// context is done, so a solve whose consumers all disconnected (or were cut
+// off by shutdown) stops at the next trial/micro-batch boundary instead of
+// burning planner workers on a response nobody reads.
+//
+// A window of zero degenerates to pure singleflight: no added latency, but
+// only requests overlapping an in-flight solve coalesce.
+type batcher struct {
+	window time.Duration
+	// run executes one solver pass under the pass context and returns the
+	// encoded response body and HTTP status shared by every member.
+	run func(ctx context.Context, lens []int) ([]byte, int)
+
+	mu     sync.Mutex
+	passes map[uint64]*pass
+}
+
+type pass struct {
+	done    chan struct{}
+	sig     []int32 // canonical sorted signature (collision guard)
+	members int
+
+	// ctx is canceled when live — the number of member request contexts
+	// not yet done — reaches zero.
+	ctx    context.Context
+	cancel context.CancelFunc
+	liveMu sync.Mutex
+	live   int
+
+	body   []byte
+	status int
+}
+
+// addMember counts a member's request context toward the pass lifetime: when
+// the last live member disconnects, the pass context is canceled. The
+// watcher goroutine exits when the request context is done, which the HTTP
+// server guarantees at handler return.
+func (p *pass) addMember(ctx context.Context) {
+	p.liveMu.Lock()
+	p.live++
+	p.liveMu.Unlock()
+	go func() {
+		<-ctx.Done()
+		p.liveMu.Lock()
+		p.live--
+		last := p.live == 0
+		p.liveMu.Unlock()
+		if last {
+			p.cancel()
+		}
+	}()
+}
+
+func newBatcher(window time.Duration, run func(ctx context.Context, lens []int) ([]byte, int)) *batcher {
+	return &batcher{window: window, run: run, passes: make(map[uint64]*pass)}
+}
+
+// do runs lens through the batcher. It returns the shared response body and
+// status, the number of requests the pass served, and whether this caller
+// joined another request's pass (true) or opened and ran its own (false).
+// A canceled context while waiting returns ctx.Err(); the pass itself keeps
+// running while it has other live members.
+func (b *batcher) do(ctx context.Context, lens []int) (body []byte, status, members int, joined bool, err error) {
+	sig, key := solver.Signature(lens)
+
+	b.mu.Lock()
+	if p, ok := b.passes[key]; ok && solver.SigsEqual(p.sig, sig) {
+		p.members++
+		p.addMember(ctx)
+		b.mu.Unlock()
+		select {
+		case <-p.done:
+			if p.status == 0 {
+				// The opener was canceled before solving; run our own pass.
+				return b.do(ctx, lens)
+			}
+			return p.body, p.status, p.members, true, nil
+		case <-ctx.Done():
+			return nil, 0, 0, true, ctx.Err()
+		}
+	}
+	p := &pass{done: make(chan struct{}), sig: sig, members: 1}
+	p.ctx, p.cancel = context.WithCancel(context.Background())
+	p.addMember(ctx)
+	// A hash collision with a different signature overwrites the map slot;
+	// the displaced pass still completes (members hold the *pass directly).
+	b.passes[key] = p
+	b.mu.Unlock()
+
+	if b.window > 0 {
+		t := time.NewTimer(b.window)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			// The opener is canceled: close the pass so members are not
+			// stranded; whoever is waiting re-enters as its own opener.
+			t.Stop()
+			b.closePass(key, p, nil, 0)
+			return nil, 0, 0, false, ctx.Err()
+		}
+	}
+
+	// Remove the pass before solving so requests arriving mid-solve open a
+	// fresh pass (they will typically hit the plan cache) instead of
+	// extending this one indefinitely.
+	b.mu.Lock()
+	if b.passes[key] == p {
+		delete(b.passes, key)
+	}
+	members = p.members
+	b.mu.Unlock()
+
+	body, status = b.run(p.ctx, lens)
+	p.body, p.status = body, status
+	close(p.done)
+	return body, status, members, false, nil
+}
+
+// closePass abandons a pass with the given result (used when the opener's
+// context is canceled before the window fires).
+func (b *batcher) closePass(key uint64, p *pass, body []byte, status int) {
+	b.mu.Lock()
+	if b.passes[key] == p {
+		delete(b.passes, key)
+	}
+	b.mu.Unlock()
+	p.body, p.status = body, status
+	close(p.done)
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flexsp/internal/solver"
+)
+
+// MetricsResponse is the body of GET /v1/metrics: the daemon's request
+// counters, queue state, solve-latency percentiles, and the shared plan
+// cache and solver snapshots.
+type MetricsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	// Requests counts every admitted solve/pipelined request; Solves counts
+	// the solver passes actually executed, and Coalesced the requests that
+	// joined another request's pass inside the batching window instead of
+	// paying for their own. Rejected counts 429s (queue or tenant
+	// overflow), Unavailable 503s while draining, and Errors failed
+	// requests — decode/validation failures plus every member of a failed
+	// solver pass — so errors/requests is a meaningful failure rate.
+	Requests    int64 `json:"requests"`
+	Solves      int64 `json:"solves"`
+	Coalesced   int64 `json:"coalesced"`
+	Rejected    int64 `json:"rejected"`
+	Unavailable int64 `json:"unavailable"`
+	Errors      int64 `json:"errors"`
+
+	// QueueDepth is the number of requests currently admitted (queued in a
+	// batching window or solving); QueueLimit is the admission bound.
+	QueueDepth int64 `json:"queue_depth"`
+	QueueLimit int   `json:"queue_limit"`
+
+	// LatencyP50Millis / LatencyP99Millis are request-latency percentiles
+	// over a sliding window of recent requests (admission to response).
+	LatencyP50Millis float64 `json:"latency_p50_millis"`
+	LatencyP99Millis float64 `json:"latency_p99_millis"`
+
+	// Cache is the shared plan cache snapshot; CacheHitRate its plan-level
+	// hits / (hits + misses).
+	Cache        solver.CacheStats `json:"cache"`
+	CacheHitRate float64           `json:"cache_hit_rate"`
+	// Solver counts whole Solve calls and planner invocations.
+	Solver solver.SolverMetrics `json:"solver"`
+}
+
+// metrics aggregates the daemon's atomic counters and the latency window.
+type metrics struct {
+	requests    atomic.Int64
+	solves      atomic.Int64
+	coalesced   atomic.Int64
+	rejected    atomic.Int64
+	unavailable atomic.Int64
+	errors      atomic.Int64
+
+	lat latencyWindow
+}
+
+// latencyWindow keeps the last windowSize request latencies (seconds) in a
+// ring; percentiles sort a snapshot on demand, which is cheap at metric-read
+// frequency.
+type latencyWindow struct {
+	mu   sync.Mutex
+	buf  [latencyWindowSize]float64
+	next int
+	n    int
+}
+
+const latencyWindowSize = 4096
+
+func (w *latencyWindow) observe(seconds float64) {
+	w.mu.Lock()
+	w.buf[w.next] = seconds
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// percentiles returns the p50 and p99 of the window, zero when empty.
+func (w *latencyWindow) percentiles() (p50, p99 float64) {
+	w.mu.Lock()
+	snap := make([]float64, w.n)
+	copy(snap, w.buf[:w.n])
+	w.mu.Unlock()
+	if len(snap) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(snap)
+	return quantile(snap, 0.50), quantile(snap, 0.99)
+}
+
+// quantile reads the q-th quantile of a sorted slice (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,312 @@
+// Package server turns the FlexSP solver into a long-lived HTTP/JSON
+// planning daemon — the solver-as-a-service deployment of paper §5, where
+// sequence-parallel planning is disaggregated from training and runs ahead
+// of each step as a standalone, multi-tenant component.
+//
+// The daemon wraps a solver.Solver (and optionally the joint PP×SP
+// pipeline.Planner) behind four endpoints:
+//
+//	POST /v1/solve            micro-batch signatures in, placed plans out
+//	POST /v1/solve/pipelined  joint PP×SP planning
+//	GET  /v1/metrics          cache/dedup counters, queue depth, p50/p99
+//	GET  /healthz             liveness (503 while draining)
+//
+// Three layers keep it standing under heavy traffic: admission control (a
+// bounded queue plus per-tenant concurrency limits, overflow answered with
+// 429), request batching (compatible requests arriving within a short
+// window coalesce into one solver pass and share one pre-encoded response),
+// and the solver's sharded PlanCache (repeated length signatures skip
+// planning entirely). Drain() plus http.Server.Shutdown give a graceful
+// SIGTERM: in-flight solves complete, new work is refused with 503.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexsp/internal/pipeline"
+	"flexsp/internal/solver"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Solver handles /v1/solve; required. If it has no PlanCache one is
+	// attached (sized by CacheEntries/CacheGranularity), so repeated
+	// signatures always hit.
+	Solver *solver.Solver
+	// CacheEntries and CacheGranularity size the plan cache attached when
+	// Solver arrives without one (defaults 1024 entries, 256-token
+	// rounding); they are ignored for a solver that already has a cache.
+	CacheEntries, CacheGranularity int
+	// Joint handles /v1/solve/pipelined; nil answers that route with 501.
+	Joint *pipeline.Planner
+	// QueueLimit bounds admitted requests (waiting in a batching window or
+	// solving); overflow is answered with 429. Default 64.
+	QueueLimit int
+	// TenantLimit bounds concurrently admitted requests per tenant label
+	// (the empty tenant is one shared bucket). Default 16.
+	TenantLimit int
+	// BatchWindow is how long the first request for a signature waits for
+	// compatible requests to coalesce with before solving. Zero takes the
+	// 2ms default; negative disables the wait, leaving pure singleflight
+	// (no added latency, but only requests overlapping an in-flight solve
+	// coalesce).
+	BatchWindow time.Duration
+}
+
+// Server is the planning daemon. It implements http.Handler; wrap it in an
+// http.Server (or httptest.Server) to serve it.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	solve *batcher
+	piped *batcher
+	start time.Time
+
+	sem      chan struct{} // admission slots; len(sem) is the queue depth
+	draining atomic.Bool
+
+	tenantMu sync.Mutex
+	tenants  map[string]int
+
+	met metrics
+}
+
+// New builds a Server. It panics when cfg.Solver is nil, like the facade
+// does on invalid configuration.
+func New(cfg Config) *Server {
+	if cfg.Solver == nil {
+		panic("server: Config.Solver is required")
+	}
+	if cfg.Solver.Cache == nil {
+		cfg.Solver.Cache = solver.NewPlanCache(cfg.CacheEntries, cfg.CacheGranularity)
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 64
+	}
+	if cfg.TenantLimit <= 0 {
+		cfg.TenantLimit = 16
+	}
+	switch {
+	case cfg.BatchWindow == 0:
+		cfg.BatchWindow = 2 * time.Millisecond
+	case cfg.BatchWindow < 0:
+		cfg.BatchWindow = 0
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		sem:     make(chan struct{}, cfg.QueueLimit),
+		tenants: make(map[string]int),
+	}
+	s.solve = newBatcher(cfg.BatchWindow, s.runSolve)
+	s.piped = newBatcher(cfg.BatchWindow, s.runPipelined)
+	s.mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		s.handlePlan(w, r, s.solve)
+	})
+	s.mux.HandleFunc("POST /v1/solve/pipelined", func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Joint == nil {
+			s.met.errors.Add(1)
+			writeError(w, http.StatusNotImplemented, "pipelined planning not configured")
+			return
+		}
+		s.handlePlan(w, r, s.piped)
+	})
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the daemon's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain puts the server into draining mode: /healthz turns 503 (so load
+// balancers stop routing here) and new plan requests are refused with 503,
+// while requests already admitted run to completion. Pair it with
+// http.Server.Shutdown, which waits for in-flight handlers, for a graceful
+// SIGTERM.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	return s.draining.Load()
+}
+
+// statusClientGone is nginx's 499 "client closed request": every member of
+// the pass disconnected, so the solve was abandoned and nobody reads the
+// response. It must be non-zero — status 0 marks an abandoned-before-solve
+// pass that joiners retry.
+const statusClientGone = 499
+
+// runSolve is the batcher's solver pass for /v1/solve: one SolveContext
+// call under the pass context (canceled once every coalesced request has
+// disconnected), encoded once, shared by every member.
+func (s *Server) runSolve(ctx context.Context, lens []int) ([]byte, int) {
+	s.met.solves.Add(1)
+	res, err := s.cfg.Solver.SolveContext(ctx, lens)
+	switch {
+	case ctx.Err() != nil:
+		return encodeJSON(ErrorResponse{Error: "canceled: all requesting clients disconnected"}), statusClientGone
+	case err != nil:
+		return encodeJSON(ErrorResponse{Error: err.Error()}), http.StatusUnprocessableEntity
+	}
+	return encodeJSON(EncodeResult(res)), http.StatusOK
+}
+
+// runPipelined is the solver pass for /v1/solve/pipelined. The joint
+// planner has no cancellation points, so an abandoned pass is only detected
+// once the sweep finishes.
+func (s *Server) runPipelined(ctx context.Context, lens []int) ([]byte, int) {
+	s.met.solves.Add(1)
+	res, err := s.cfg.Joint.Solve(lens)
+	switch {
+	case ctx.Err() != nil:
+		return encodeJSON(ErrorResponse{Error: "canceled: all requesting clients disconnected"}), statusClientGone
+	case err != nil:
+		return encodeJSON(ErrorResponse{Error: err.Error()}), http.StatusUnprocessableEntity
+	}
+	return encodeJSON(EncodePipelined(res)), http.StatusOK
+}
+
+// handlePlan is the shared plan route: decode, admit, batch, respond.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, b *batcher) {
+	var req SolveRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 32<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	for _, l := range req.Lengths {
+		if l <= 0 {
+			s.met.errors.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("non-positive sequence length %d", l))
+			return
+		}
+	}
+
+	release, status, msg := s.admit(req.Tenant)
+	if status != 0 {
+		writeError(w, status, msg)
+		return
+	}
+	defer release()
+	s.met.requests.Add(1)
+
+	admitted := time.Now()
+	body, code, members, joined, err := b.do(r.Context(), req.Lengths)
+	if err != nil {
+		// The client went away; nothing useful can be written.
+		s.met.errors.Add(1)
+		return
+	}
+	if joined {
+		s.met.coalesced.Add(1)
+	}
+	if code/100 != 2 {
+		// Errors count per request, not per pass: every member of a failed
+		// pass sees the failure.
+		s.met.errors.Add(1)
+	}
+	s.met.lat.observe(time.Since(admitted).Seconds())
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Flexsp-Pass-Size", fmt.Sprint(members))
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+// admit applies drain, queue, and per-tenant admission. A zero status means
+// admitted and release must be called; otherwise status/msg describe the
+// refusal.
+func (s *Server) admit(tenant string) (release func(), status int, msg string) {
+	if s.draining.Load() {
+		s.met.unavailable.Add(1)
+		return nil, http.StatusServiceUnavailable, "server is draining"
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.met.rejected.Add(1)
+		return nil, http.StatusTooManyRequests, "queue full"
+	}
+	s.tenantMu.Lock()
+	if s.tenants[tenant] >= s.cfg.TenantLimit {
+		s.tenantMu.Unlock()
+		<-s.sem
+		s.met.rejected.Add(1)
+		return nil, http.StatusTooManyRequests, fmt.Sprintf("tenant %q concurrency limit", tenant)
+	}
+	s.tenants[tenant]++
+	s.tenantMu.Unlock()
+	return func() {
+		s.tenantMu.Lock()
+		s.tenants[tenant]--
+		if s.tenants[tenant] == 0 {
+			delete(s.tenants, tenant)
+		}
+		s.tenantMu.Unlock()
+		<-s.sem
+	}, 0, ""
+}
+
+// Metrics returns the daemon's counter snapshot (the /v1/metrics body).
+func (s *Server) Metrics() MetricsResponse {
+	p50, p99 := s.met.lat.percentiles()
+	cache := s.cfg.Solver.Cache.Metrics()
+	return MetricsResponse{
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Draining:         s.draining.Load(),
+		Requests:         s.met.requests.Load(),
+		Solves:           s.met.solves.Load(),
+		Coalesced:        s.met.coalesced.Load(),
+		Rejected:         s.met.rejected.Load(),
+		Unavailable:      s.met.unavailable.Load(),
+		Errors:           s.met.errors.Load(),
+		QueueDepth:       int64(len(s.sem)),
+		QueueLimit:       s.cfg.QueueLimit,
+		LatencyP50Millis: 1e3 * p50,
+		LatencyP99Millis: 1e3 * p99,
+		Cache:            cache,
+		CacheHitRate:     cache.HitRate(),
+		Solver:           s.cfg.Solver.Metrics(),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(encodeJSON(s.Metrics()))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(encodeJSON(ErrorResponse{Error: msg}))
+}
+
+// encodeJSON marshals v, panicking on failure: every wire type here
+// marshals by construction.
+func encodeJSON(v any) []byte {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		panic("server: encoding response: " + err.Error())
+	}
+	return append(buf, '\n')
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"flexsp/internal/cluster"
+	"flexsp/internal/pipeline"
+	"flexsp/internal/planner"
+	"flexsp/internal/solver"
+)
+
+// SolveRequest is the body of POST /v1/solve and POST /v1/solve/pipelined:
+// the sequence lengths of one global data batch, plus an optional tenant
+// label the server's per-tenant admission control keys on (an empty tenant
+// is one shared bucket).
+type SolveRequest struct {
+	Lengths []int  `json:"lengths"`
+	Tenant  string `json:"tenant,omitempty"`
+}
+
+// GroupJSON is one SP group on the wire. Start/Size carry the placed device
+// range on heterogeneous fleets; both are zero for unplaced groups.
+type GroupJSON struct {
+	Degree  int   `json:"degree"`
+	Lengths []int `json:"lengths"`
+	Start   int   `json:"start,omitempty"`
+	Size    int   `json:"size,omitempty"`
+}
+
+// MicroPlanJSON is one micro-batch plan on the wire.
+type MicroPlanJSON struct {
+	Time   float64     `json:"time"`
+	Groups []GroupJSON `json:"groups"`
+}
+
+// SolveResponse is the body of a successful POST /v1/solve: the chosen
+// micro-batch plan sequence and its estimate. The Micro field is produced by
+// EncodePlans, so a plan served over HTTP is byte-identical to encoding an
+// in-process Solve of the same batch.
+type SolveResponse struct {
+	M                int             `json:"m"`
+	MMin             int             `json:"mMin"`
+	EstTime          float64         `json:"estTime"`
+	SolveWallSeconds float64         `json:"solveWallSeconds"`
+	Micro            []MicroPlanJSON `json:"micro"`
+}
+
+// Plans decodes the wire plans back into planner micro-plans, ready for
+// System.Execute on the client side.
+func (r SolveResponse) Plans() []planner.MicroPlan {
+	return DecodePlans(r.Micro)
+}
+
+// StageJSON is one pipeline stage on the wire.
+type StageJSON struct {
+	Layers int `json:"layers"`
+	Start  int `json:"start"`
+	Size   int `json:"size"`
+}
+
+// CandidateJSON summarizes one swept PP degree on the wire.
+type CandidateJSON struct {
+	PP         int     `json:"pp"`
+	M          int     `json:"m"`
+	Time       float64 `json:"time"`
+	BubbleFrac float64 `json:"bubbleFrac"`
+	Feasible   bool    `json:"feasible"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// PipelinedResponse is the body of a successful POST /v1/solve/pipelined:
+// the chosen PP degree, the per-stage layer/device split, the per-stage
+// micro-batch plans (Plans[j][s] is micro-batch j's plan on stage s) and the
+// swept candidates.
+type PipelinedResponse struct {
+	PP               int               `json:"pp"`
+	M                int               `json:"m"`
+	EstTime          float64           `json:"estTime"`
+	BubbleFrac       float64           `json:"bubbleFrac"`
+	Stages           []StageJSON       `json:"stages"`
+	Plans            [][]MicroPlanJSON `json:"plans"`
+	Candidates       []CandidateJSON   `json:"candidates"`
+	SolveWallSeconds float64           `json:"solveWallSeconds"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// EncodePlans converts planner micro-plans to their wire form. It is the
+// single encoding used by the daemon and by tests comparing HTTP plans
+// against in-process solves.
+func EncodePlans(plans []planner.MicroPlan) []MicroPlanJSON {
+	out := make([]MicroPlanJSON, len(plans))
+	for i, mp := range plans {
+		m := MicroPlanJSON{Time: mp.Time, Groups: make([]GroupJSON, 0, len(mp.Groups))}
+		for _, g := range mp.Groups {
+			m.Groups = append(m.Groups, GroupJSON{
+				Degree:  g.Degree,
+				Lengths: g.Lens,
+				Start:   g.Range.Start,
+				Size:    g.Range.Size,
+			})
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// DecodePlans is the inverse of EncodePlans.
+func DecodePlans(micro []MicroPlanJSON) []planner.MicroPlan {
+	out := make([]planner.MicroPlan, len(micro))
+	for i, m := range micro {
+		mp := planner.MicroPlan{Time: m.Time, Groups: make([]planner.Group, 0, len(m.Groups))}
+		for _, g := range m.Groups {
+			mp.Groups = append(mp.Groups, planner.Group{
+				Degree: g.Degree,
+				Lens:   g.Lengths,
+				Range:  cluster.DeviceRange{Start: g.Start, Size: g.Size},
+			})
+		}
+		out[i] = mp
+	}
+	return out
+}
+
+// EncodeResult converts a solver result to the /v1/solve wire form.
+func EncodeResult(res solver.Result) SolveResponse {
+	return SolveResponse{
+		M:                res.M,
+		MMin:             res.MMin,
+		EstTime:          res.Time,
+		SolveWallSeconds: res.SolveWall.Seconds(),
+		Micro:            EncodePlans(res.Plans),
+	}
+}
+
+// EncodePipelined converts a joint PP×SP result to the /v1/solve/pipelined
+// wire form.
+func EncodePipelined(res pipeline.Result) PipelinedResponse {
+	out := PipelinedResponse{
+		PP:               res.Pipe.PP,
+		M:                res.Pipe.M,
+		EstTime:          res.Time,
+		BubbleFrac:       res.Sched.BubbleFrac,
+		SolveWallSeconds: res.SolveWall.Seconds(),
+		Stages:           make([]StageJSON, 0, len(res.Pipe.Stages)),
+		Plans:            make([][]MicroPlanJSON, len(res.Plans)),
+	}
+	for _, st := range res.Pipe.Stages {
+		out.Stages = append(out.Stages, StageJSON{
+			Layers: st.Layers,
+			Start:  st.Devices.Start,
+			Size:   st.Devices.Size,
+		})
+	}
+	for j, stages := range res.Plans {
+		out.Plans[j] = EncodePlans(stages)
+	}
+	for _, c := range res.Candidates {
+		out.Candidates = append(out.Candidates, CandidateJSON{
+			PP:         c.PP,
+			M:          c.M,
+			Time:       c.Time,
+			BubbleFrac: c.BubbleFrac,
+			Feasible:   c.Feasible,
+			Note:       c.Note,
+		})
+	}
+	return out
+}

@@ -89,6 +89,16 @@ func (pc *PlanCache) signature(lens []int) ([]int32, uint64) {
 	return roundedSig(lens, pc.granularity)
 }
 
+// Signature returns the canonical exact-length signature of a batch — the
+// sorted length multiset and its FNV-1a hash. It is the one construction
+// shared by the plan cache (at its rounding granularity), the in-flight
+// singleflight keys, and the serving layer's request-batching pass keys, so
+// "the same batch" means the same thing at every reuse point. Compare the
+// returned signatures on hash equality to rule out collisions.
+func Signature(lens []int) ([]int32, uint64) {
+	return roundedSig(lens, 1)
+}
+
 // roundedSig is the one canonical signature construction shared by the cache
 // and the singleflight keys (granularity 1 keeps exact lengths): lengths
 // rounded up to the granularity, sorted, with their FNV-1a hash.
@@ -110,7 +120,10 @@ func (pc *PlanCache) shard(key uint64) *cacheShard {
 	return &pc.shards[key%uint64(len(pc.shards))]
 }
 
-func sigsEqual(a, b []int32) bool {
+// SigsEqual reports whether two canonical signatures (see Signature) are
+// identical — the collision guard every hash-keyed reuse point applies
+// before trusting a 64-bit key match.
+func SigsEqual(a, b []int32) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -147,7 +160,10 @@ func (pc *PlanCache) Get(c PlanCost, lens []int) (planner.MicroPlan, bool) {
 }
 
 // getWithSig is Get with the signature precomputed (the solve hot path
-// computes it once and shares it with the singleflight key).
+// computes it once and shares it with the singleflight key). A hit is only
+// counted once the retargeted plan is accepted: a lookup whose entry fails
+// re-validation behaves as a miss (the caller plans from scratch), so it
+// counts as one.
 func (pc *PlanCache) getWithSig(c PlanCost, lens []int, sig []int32, key uint64) (planner.MicroPlan, bool) {
 	sh := pc.shard(key)
 	sh.mu.Lock()
@@ -155,7 +171,7 @@ func (pc *PlanCache) getWithSig(c PlanCost, lens []int, sig []int32, key uint64)
 	var cached planner.MicroPlan
 	if ok {
 		ent := el.Value.(*cacheEntry)
-		if !sigsEqual(ent.sig, sig) {
+		if !SigsEqual(ent.sig, sig) {
 			ok = false // hash collision: treat as miss
 		} else {
 			sh.lru.MoveToFront(el)
@@ -163,9 +179,7 @@ func (pc *PlanCache) getWithSig(c PlanCost, lens []int, sig []int32, key uint64)
 		}
 	}
 	sh.mu.Unlock()
-	if ok {
-		pc.hits.Add(1)
-	} else {
+	if !ok {
 		pc.misses.Add(1)
 		return planner.MicroPlan{}, false
 	}
@@ -217,7 +231,10 @@ func (pc *PlanCache) getWithSig(c PlanCost, lens []int, sig []int32, key uint64)
 	for gi, g := range cached.Groups {
 		ng := planner.Group{Degree: g.Degree, Lens: groupLens[gi], Range: g.Range}
 		if !fits(ng) {
-			return planner.MicroPlan{}, false // rounding edge case: reject
+			// Rounding edge case: the retarget is rejected and the caller
+			// plans from scratch, so this lookup was a miss.
+			pc.misses.Add(1)
+			return planner.MicroPlan{}, false
 		}
 		out.Groups = append(out.Groups, ng)
 	}
@@ -226,6 +243,7 @@ func (pc *PlanCache) getWithSig(c PlanCost, lens []int, sig []int32, key uint64)
 			out.Time = t
 		}
 	}
+	pc.hits.Add(1)
 	return out, true
 }
 

@@ -1,0 +1,78 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+)
+
+func contextTestSolver() *Solver {
+	c := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(8))
+	return New(planner.New(c))
+}
+
+var contextTestBatch = []int{1024, 2048, 3072, 4096, 6144, 8192, 12288, 16384}
+
+// TestSolveContextCanceled pins cancellation: a canceled context returns
+// ctx.Err(), never ErrUnsolvable, and counts as canceled in the metrics.
+func TestSolveContextCanceled(t *testing.T) {
+	s := contextTestSolver()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.SolveContext(ctx, contextTestBatch)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m := s.Metrics(); m.Canceled != 1 || m.Solves != 0 {
+		t.Fatalf("metrics = %+v, want Canceled=1 Solves=0", m)
+	}
+}
+
+// TestSolveContextBackground pins that Solve and SolveContext with a live
+// context agree.
+func TestSolveContextBackground(t *testing.T) {
+	a, b := contextTestSolver(), contextTestSolver()
+	ra, err := a.Solve(contextTestBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.SolveContext(context.Background(), contextTestBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.M != rb.M || ra.Time != rb.Time || len(ra.Plans) != len(rb.Plans) {
+		t.Fatalf("Solve and SolveContext disagree: %v vs %v", ra, rb)
+	}
+}
+
+// TestSolverMetricsCounters pins the exported counters a serving layer
+// reports: completed solves and planner invocations, with cache hits and
+// dedups reducing Planned on repeat batches.
+func TestSolverMetricsCounters(t *testing.T) {
+	s := contextTestSolver()
+	s.Cache = NewPlanCache(128, 256)
+	if _, err := s.Solve(contextTestBatch); err != nil {
+		t.Fatal(err)
+	}
+	m1 := s.Metrics()
+	if m1.Solves != 1 {
+		t.Fatalf("Solves = %d, want 1", m1.Solves)
+	}
+	if m1.Planned == 0 {
+		t.Fatal("Planned = 0 after an uncached solve")
+	}
+	if _, err := s.Solve(contextTestBatch); err != nil {
+		t.Fatal(err)
+	}
+	m2 := s.Metrics()
+	if m2.Solves != 2 {
+		t.Fatalf("Solves = %d, want 2", m2.Solves)
+	}
+	if grown := m2.Planned - m1.Planned; grown >= m1.Planned {
+		t.Fatalf("repeat solve planned %d micro-batches, first planned %d — cache not engaged", grown, m1.Planned)
+	}
+}

@@ -15,10 +15,12 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flexsp/internal/blaster"
@@ -49,6 +51,44 @@ type Solver struct {
 	// Cache, when non-nil, memoizes micro-batch plans by bucketed length
 	// signature, so recurring distributions skip the planner entirely.
 	Cache *PlanCache
+
+	stats solverStats
+}
+
+// solverStats holds the Solver's atomic counters behind Metrics.
+type solverStats struct {
+	solves   atomic.Int64
+	canceled atomic.Int64
+	planned  atomic.Int64
+	deduped  atomic.Int64
+}
+
+// SolverMetrics is a point-in-time snapshot of a Solver's counters. Unlike
+// CacheStats (plan-level reuse inside the PlanCache), these count whole
+// Solve calls and planner invocations, so a serving layer can report how
+// much planning work the daemon actually did.
+type SolverMetrics struct {
+	// Solves is the number of completed Solve/SolveContext calls.
+	Solves int64 `json:"solves"`
+	// Canceled is the number of calls that returned early because their
+	// context was canceled.
+	Canceled int64 `json:"canceled"`
+	// Planned is the number of micro-batches that reached the planner (a
+	// cache hit or an in-flight dedup avoids one planner invocation).
+	Planned int64 `json:"planned"`
+	// Deduped is the number of micro-batches served by waiting on another
+	// in-flight plan of the same signature instead of planning.
+	Deduped int64 `json:"deduped"`
+}
+
+// Metrics returns the solver's counter snapshot.
+func (s *Solver) Metrics() SolverMetrics {
+	return SolverMetrics{
+		Solves:   s.stats.solves.Load(),
+		Canceled: s.stats.canceled.Load(),
+		Planned:  s.stats.planned.Load(),
+		Deduped:  s.stats.deduped.Load(),
+	}
 }
 
 // New returns a Solver with the paper's defaults.
@@ -178,7 +218,7 @@ func newFlightGroup() *flightGroup {
 func (fg *flightGroup) start(key uint64, sig []int32) (*flight, bool) {
 	fg.mu.Lock()
 	defer fg.mu.Unlock()
-	if f, ok := fg.m[key]; ok && sigsEqual(f.sig, sig) {
+	if f, ok := fg.m[key]; ok && SigsEqual(f.sig, sig) {
 		return f, false
 	}
 	f := &flight{done: make(chan struct{}), sig: sig}
@@ -196,15 +236,16 @@ func (fg *flightGroup) finish(key uint64, f *flight, plan planner.MicroPlan, err
 	close(f.done)
 }
 
-// sortedSig returns the micro-batch's sorted length multiset and its FNV-1a
-// hash: the exact-plan singleflight key used when no cache is configured
-// (the cache's canonical signature at granularity 1).
-func sortedSig(lens []int) ([]int32, uint64) {
-	return roundedSig(lens, 1)
-}
-
 // Solve runs Alg. 1 on one data batch of sequence lengths.
 func (s *Solver) Solve(batch []int) (Result, error) {
+	return s.SolveContext(context.Background(), batch)
+}
+
+// SolveContext is Solve with cancellation: the context is checked at every
+// trial and micro-batch boundary, so a canceled request (an HTTP client gone
+// away, a draining server) stops consuming planner workers within one
+// micro-batch plan. A canceled call returns ctx.Err(), never ErrUnsolvable.
+func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) {
 	start := time.Now()
 	trials := s.Trials
 	if trials <= 0 {
@@ -215,6 +256,7 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 		return Result{}, ErrUnsolvable
 	}
 	if mmin == 0 {
+		s.stats.solves.Add(1)
 		return Result{SolveWall: time.Since(start)}, nil
 	}
 
@@ -232,6 +274,9 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 		err   error
 	}
 	runTrial := func(m int) trial {
+		if err := ctx.Err(); err != nil {
+			return trial{err: err}
+		}
 		if m > len(batch) {
 			return trial{err: fmt.Errorf("solver: m %d exceeds batch size", m)}
 		}
@@ -248,6 +293,9 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 		plans := make([]planner.MicroPlan, len(micro))
 		errs := make([]error, len(micro))
 		pool.do(len(micro), func(i int) {
+			if errs[i] = ctx.Err(); errs[i] != nil {
+				return
+			}
 			plans[i], errs[i] = s.planOne(flights, micro[i])
 		})
 		total := s.Overhead * float64(len(plans))
@@ -301,10 +349,15 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 			break
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		s.stats.canceled.Add(1)
+		return Result{}, err
+	}
 	if math.IsInf(best.Time, 1) {
 		return Result{}, ErrUnsolvable
 	}
 	best.SolveWall = time.Since(start)
+	s.stats.solves.Add(1)
 	return best, nil
 }
 
@@ -326,11 +379,14 @@ func (s *Solver) planOne(flights *flightGroup, lens []int) (planner.MicroPlan, e
 			<-f.done
 			if p, ok := s.Cache.getWithSig(s.cacheCost(), lens, sig, key); ok {
 				s.Cache.noteDedup()
+				s.stats.deduped.Add(1)
 				return p, nil
 			}
 			// Leader failed or the retarget was rejected; plan independently.
+			s.stats.planned.Add(1)
 			return s.Planner.Plan(lens)
 		}
+		s.stats.planned.Add(1)
 		p, err := s.Planner.Plan(lens)
 		if err == nil {
 			s.Cache.Put(lens, p)
@@ -340,15 +396,18 @@ func (s *Solver) planOne(flights *flightGroup, lens []int) (planner.MicroPlan, e
 	}
 	// No cache: deduplicate exact length multisets in flight and share the
 	// identical plan.
-	sig, key := sortedSig(lens)
+	sig, key := Signature(lens)
 	f, leader := flights.start(key, sig)
 	if !leader {
 		<-f.done
 		if f.err == nil {
+			s.stats.deduped.Add(1)
 			return f.plan, nil
 		}
+		s.stats.planned.Add(1)
 		return s.Planner.Plan(lens)
 	}
+	s.stats.planned.Add(1)
 	p, err := s.Planner.Plan(lens)
 	flights.finish(key, f, p, err)
 	return p, err
