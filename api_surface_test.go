@@ -1,0 +1,162 @@
+package flexsp
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// updateAPISurface regenerates the golden exported-API file:
+//
+//	go test -run TestAPISurface -update-api-surface
+var updateAPISurface = flag.Bool("update-api-surface", false,
+	"rewrite testdata/api_surface.golden from the current facade")
+
+const apiSurfaceGolden = "testdata/api_surface.golden"
+
+// TestAPISurface is the CI gate for the public facade: it renders every
+// exported identifier of the root flexsp package (functions, methods on
+// exported types, types with their exported fields, vars, consts with their
+// values) and diffs the result against the checked-in golden file. Breaking
+// the flexsp/client surface — removing a symbol, changing a signature,
+// renaming a strategy constant — fails this test until the golden file is
+// deliberately regenerated with -update-api-surface.
+func TestAPISurface(t *testing.T) {
+	got := renderAPISurface(t)
+	if *updateAPISurface {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiSurfaceGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", apiSurfaceGolden, len(got))
+		return
+	}
+	want, err := os.ReadFile(apiSurfaceGolden)
+	if err != nil {
+		t.Fatalf("missing golden API surface (run `go test -run TestAPISurface -update-api-surface`): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exported API surface changed; if deliberate, regenerate with "+
+			"`go test -run TestAPISurface -update-api-surface` and review the diff:\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// renderAPISurface prints the package's exported declarations, one block per
+// declaration, sorted for stability.
+func renderAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, ok := pkgs["flexsp"]
+	if !ok {
+		t.Fatal("root flexsp package not found")
+	}
+
+	var blocks []string
+	add := func(node any) {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, buf.String())
+	}
+
+	for _, f := range root.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || hasUnexportedRecv(d) {
+					continue
+				}
+				fn := *d
+				fn.Doc, fn.Body = nil, nil
+				add(&fn)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						ts := *s
+						ts.Doc, ts.Comment = nil, nil
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							ts.Type = exportedFieldsOnly(st)
+						}
+						add(&ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&ts}})
+					case *ast.ValueSpec:
+						exported := false
+						for _, id := range s.Names {
+							exported = exported || id.IsExported()
+						}
+						if !exported {
+							continue
+						}
+						vs := *s
+						vs.Doc, vs.Comment = nil, nil
+						add(&ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&vs}})
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(blocks)
+	return strings.Join(blocks, "\n\n") + "\n"
+}
+
+// exportedFieldsOnly strips unexported struct fields, so internal state
+// (pools, config copies) does not churn the golden file.
+func exportedFieldsOnly(st *ast.StructType) *ast.StructType {
+	out := &ast.StructType{Fields: &ast.FieldList{}}
+	for _, f := range st.Fields.List {
+		keep := len(f.Names) == 0 // embedded
+		for _, n := range f.Names {
+			keep = keep || n.IsExported()
+		}
+		if keep {
+			nf := *f
+			nf.Doc, nf.Comment = nil, nil
+			out.Fields.List = append(out.Fields.List, &nf)
+		}
+	}
+	return out
+}
+
+// surfaceDiff renders a simple line diff of the two surfaces.
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if !gotSet[l] && strings.TrimSpace(l) != "" {
+			b.WriteString("- " + l + "\n")
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if !wantSet[l] && strings.TrimSpace(l) != "" {
+			b.WriteString("+ " + l + "\n")
+		}
+	}
+	return b.String()
+}

@@ -178,7 +178,7 @@ func BenchmarkHeterogeneous(b *testing.B) {
 // BenchmarkJointPlanner measures the joint PP×SP solve latency on a
 // 256-sequence GPT-30B batch.
 func BenchmarkJointPlanner(b *testing.B) {
-	sys := NewSystem(Config{Devices: 64, Model: GPT30B, IncludeZeRO: true})
+	sys := MustNewSystem(Config{Devices: 64, Model: GPT30B, IncludeZeRO: true})
 	rng := rand.New(rand.NewSource(4))
 	batch := workload.CommonCrawl().Batch(rng, 256, 192<<10)
 	b.ResetTimer()
@@ -191,7 +191,7 @@ func BenchmarkJointPlanner(b *testing.B) {
 
 // BenchmarkSolver measures raw Alg. 1 latency at the paper's batch size.
 func BenchmarkSolver(b *testing.B) {
-	sys := NewSystem(Config{Devices: 64, Model: GPT7B})
+	sys := MustNewSystem(Config{Devices: 64, Model: GPT7B})
 	rng := rand.New(rand.NewSource(1))
 	batch := workload.CommonCrawl().Batch(rng, 512, 192<<10)
 	b.ReportAllocs()
@@ -207,7 +207,7 @@ func BenchmarkSolver(b *testing.B) {
 // including the MILP path (problem 17 through the warm-started parallel
 // branch and bound).
 func BenchmarkPlanner(b *testing.B) {
-	sys := NewSystem(Config{Devices: 64, Model: GPT7B})
+	sys := MustNewSystem(Config{Devices: 64, Model: GPT7B})
 	rng := rand.New(rand.NewSource(2))
 	micro := workload.CommonCrawl().Batch(rng, 64, 128<<10)
 	for _, strat := range []planner.Strategy{

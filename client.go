@@ -100,9 +100,30 @@ func (c *Client) do(req *http.Request, out any) error {
 	return nil
 }
 
+// PlanRequest is the body of POST /v2/plan, re-exported so clients can name
+// it without importing the wire package: the batch lengths, the named
+// strategy, and the static baselines' MaxCtx.
+type PlanRequest = server.PlanRequest
+
+// Plan submits one batch to POST /v2/plan and returns the tagged plan
+// envelope for the requested strategy (empty = the daemon default, flexsp).
+// The envelope's Plans method yields executable micro-plans for
+// System.Execute; an empty request tenant takes the client's Tenant label.
+func (c *Client) Plan(ctx context.Context, req PlanRequest) (server.PlanEnvelope, error) {
+	if req.Tenant == "" {
+		req.Tenant = c.Tenant
+	}
+	var out server.PlanEnvelope
+	err := c.post(ctx, "/v2/plan", req, &out)
+	return out, err
+}
+
 // Solve submits one batch of sequence lengths to POST /v1/solve and returns
 // the plan response; resp.Plans() yields planner micro-plans ready for
 // System.Execute.
+//
+// Deprecated: use Plan, the v2 endpoint; Solve remains as the v1 shim
+// client.
 func (c *Client) Solve(ctx context.Context, lengths []int) (server.SolveResponse, error) {
 	var out server.SolveResponse
 	err := c.post(ctx, "/v1/solve", server.SolveRequest{Lengths: lengths, Tenant: c.Tenant}, &out)
@@ -111,6 +132,9 @@ func (c *Client) Solve(ctx context.Context, lengths []int) (server.SolveResponse
 
 // SolvePipelined submits one batch to POST /v1/solve/pipelined and returns
 // the joint PP×SP plan response.
+//
+// Deprecated: use Plan with Strategy "pipeline"; SolvePipelined remains as
+// the v1 shim client.
 func (c *Client) SolvePipelined(ctx context.Context, lengths []int) (server.PipelinedResponse, error) {
 	var out server.PipelinedResponse
 	err := c.post(ctx, "/v1/solve/pipelined", server.SolveRequest{Lengths: lengths, Tenant: c.Tenant}, &out)

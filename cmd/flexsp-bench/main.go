@@ -39,7 +39,7 @@ import (
 	"runtime/pprof"
 	"time"
 
-	"flexsp/internal/cluster"
+	"flexsp/internal/cliutil"
 	"flexsp/internal/experiments"
 )
 
@@ -87,18 +87,20 @@ func run() int {
 	if *iters > 0 {
 		cfg.Iterations = *iters
 	}
+	// -devices and -cluster configure different experiments (the latter only
+	// the heterogeneous one), so validate them independently.
+	if err := cliutil.ValidateFleet(*devices, ""); err != nil {
+		fmt.Fprintln(os.Stderr, "flexsp-bench:", err)
+		return 1
+	}
+	if err := cliutil.ValidateFleet(0, *clusterSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "flexsp-bench:", err)
+		return 1
+	}
 	if *devices != 0 {
-		if _, err := cluster.NewA100Cluster(*devices); err != nil {
-			fmt.Fprintln(os.Stderr, "flexsp-bench: invalid -devices:", err)
-			return 1
-		}
 		cfg.Devices = *devices
 	}
 	if *clusterSpec != "" {
-		if _, err := cluster.ParseClusterSpec(*clusterSpec); err != nil {
-			fmt.Fprintln(os.Stderr, "flexsp-bench: invalid -cluster:", err)
-			return 1
-		}
 		cfg.ClusterSpec = *clusterSpec
 	}
 

@@ -6,10 +6,13 @@
 //
 //	flexsp-serve -addr :8080 -devices 64 -model GPT-7B
 //
-// Endpoints:
+// Endpoints (versioned wire protocol):
 //
-//	POST /v1/solve            {"lengths":[...], "tenant":"..."} → plans
-//	POST /v1/solve/pipelined  joint PP×SP planning
+//	POST /v2/plan             {"strategy","lengths","maxCtx","tenant"} →
+//	                          tagged plan envelope; strategies: flexsp,
+//	                          pipeline, deepspeed, batchada, megatron
+//	POST /v1/solve            v1 shim (flexsp strategy, flat body)
+//	POST /v1/solve/pipelined  v1 shim (pipeline strategy)
 //	GET  /v1/metrics          cache/dedup counters, queue depth, p50/p99
 //	GET  /healthz             liveness (503 while draining)
 //
@@ -30,13 +33,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"flexsp"
-	"flexsp/internal/cluster"
-	"flexsp/internal/costmodel"
-	"flexsp/internal/planner"
+	"flexsp/internal/cliutil"
 )
 
 func main() {
@@ -48,7 +50,7 @@ func run() int {
 	devices := flag.Int("devices", 64, "GPU count (multiple of 8, or < 8 for one node)")
 	clusterSpec := flag.String("cluster", "", "fleet spec, e.g. mixed:32xA100,32xH100 (overrides -devices)")
 	modelName := flag.String("model", "GPT-7B", "model: GPT-7B, GPT-13B, GPT-30B")
-	strategy := flag.String("strategy", "enum", "planner strategy: enum, milp, greedy")
+	plannerName := flag.String("planner", "enum", "per-micro-batch planning algorithm: enum, milp, greedy")
 	trials := flag.Int("trials", 0, "Alg. 1 micro-batch-count trials (0 = default)")
 	queue := flag.Int("queue", 64, "max admitted requests before 429")
 	tenantLimit := flag.Int("tenant-limit", 16, "max concurrent requests per tenant before 429")
@@ -58,45 +60,27 @@ func run() int {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
 	flag.Parse()
 
-	var strat planner.Strategy
-	switch *strategy {
-	case "enum":
-		strat = planner.StrategyEnum
-	case "milp":
-		strat = planner.StrategyMILP
-	case "greedy":
-		strat = planner.StrategyGreedy
-	default:
-		fmt.Fprintf(os.Stderr, "flexsp-serve: unknown -strategy %q\n", *strategy)
+	plAlgo, err := cliutil.ParsePlanner(*plannerName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexsp-serve: invalid -planner:", err)
 		return 2
 	}
-	model := costmodel.GPT7B
-	found := false
-	for _, m := range costmodel.Models() {
-		if m.Name == *modelName {
-			model, found = m, true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "flexsp-serve: unknown -model %q\n", *modelName)
+	model, err := cliutil.ModelByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexsp-serve: invalid -model:", err)
 		return 2
 	}
-	if *clusterSpec != "" {
-		if _, err := cluster.ParseClusterSpec(*clusterSpec); err != nil {
-			fmt.Fprintln(os.Stderr, "flexsp-serve: invalid -cluster:", err)
-			return 2
-		}
-	} else if _, err := cluster.NewA100Cluster(*devices); err != nil {
-		fmt.Fprintln(os.Stderr, "flexsp-serve: invalid -devices:", err)
+	if err := cliutil.ValidateFleet(*devices, *clusterSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "flexsp-serve:", err)
 		return 2
 	}
 
-	sys := flexsp.NewSystem(flexsp.Config{
-		Devices:  *devices,
-		Cluster:  *clusterSpec,
-		Model:    model,
-		Strategy: strat,
-		Trials:   *trials,
+	sys, err := flexsp.NewSystem(flexsp.Config{
+		Devices: *devices,
+		Cluster: *clusterSpec,
+		Model:   model,
+		Planner: plAlgo,
+		Trials:  *trials,
 		Serve: flexsp.ServeConfig{
 			QueueLimit:       *queue,
 			TenantLimit:      *tenantLimit,
@@ -105,7 +89,15 @@ func run() int {
 			CacheGranularity: *cacheGranularity,
 		},
 	})
-	srv := sys.NewServer()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexsp-serve:", err)
+		return 2
+	}
+	srv, err := sys.NewServer()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexsp-serve:", err)
+		return 2
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -113,8 +105,9 @@ func run() int {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("flexsp-serve: listening on %s (%d devices%s, model %s, strategy %s)",
-			*addr, sys.Topo.NumDevices(), clusterNote(*clusterSpec), model.Name, strat)
+		log.Printf("flexsp-serve: listening on %s (%d devices%s, model %s, planner %s, strategies %s)",
+			*addr, sys.Topo.NumDevices(), clusterNote(*clusterSpec), model.Name, plAlgo,
+			strings.Join(srv.StrategyNames(), ","))
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -1,52 +1,43 @@
-// Command flexsp-solve runs the FlexSP solver (paper Alg. 1) on one data
-// batch and emits the parallelism plan as JSON. Input is a JSON object on
-// stdin (or -in file):
+// Command flexsp-solve plans one data batch through the unified facade and
+// emits the versioned plan envelope as JSON — the same tagged shape POST
+// /v2/plan serves. Input is a JSON object on stdin (or -in file):
 //
 //	{"devices": 64, "model": "GPT-7B", "lengths": [102400, 49152, ...]}
 //
-// Output is the chosen micro-batch plans, one SP-group list per micro-batch,
-// with the estimated times:
+// Optional fields select the cluster ("cluster": "mixed:32xA100,32xH100"),
+// the named strategy ("strategy": "flexsp", "pipeline", "deepspeed",
+// "batchada", "megatron"), the per-micro-batch algorithm ("planner": "enum",
+// "milp", "greedy") and the static baselines' context bound ("maxctx":
+// "192K"). For v1 compatibility, a planner algorithm given as "strategy"
+// (the old field meaning) is accepted and routed to the planner.
 //
-//	{"m": 2, "estTime": 7.31, "micro": [{"time": 3.6, "groups": [
-//	    {"degree": 32, "lengths": [...]}, ...]}]}
+// Output is the tagged envelope:
+//
+//	{"version": 2, "strategy": "flexsp", "estTime": 7.31,
+//	 "flat": {"m": 2, "micro": [{"time": 3.6, "groups": [...]}, ...]}}
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
-	"flexsp/internal/cluster"
-	"flexsp/internal/costmodel"
-	"flexsp/internal/planner"
-	"flexsp/internal/solver"
+	"flexsp"
+	"flexsp/internal/cliutil"
 )
 
 type input struct {
 	Devices  int    `json:"devices"`
+	Cluster  string `json:"cluster"`
 	Model    string `json:"model"`
 	Strategy string `json:"strategy"`
+	Planner  string `json:"planner"`
+	MaxCtx   string `json:"maxctx"`
 	Lengths  []int  `json:"lengths"`
-}
-
-type outGroup struct {
-	Degree  int   `json:"degree"`
-	Lengths []int `json:"lengths"`
-}
-
-type outMicro struct {
-	Time   float64    `json:"time"`
-	Groups []outGroup `json:"groups"`
-}
-
-type output struct {
-	M         int        `json:"m"`
-	MMin      int        `json:"mMin"`
-	EstTime   float64    `json:"estTime"`
-	SolveWall float64    `json:"solveWallSeconds"`
-	Micro     []outMicro `json:"micro"`
 }
 
 func main() {
@@ -66,44 +57,47 @@ func main() {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		fatal(fmt.Errorf("decoding input: %w", err))
 	}
-	if in.Devices == 0 {
-		in.Devices = 64
-	}
-	topo, err := cluster.NewA100Cluster(in.Devices)
-	if err != nil {
-		fatal(fmt.Errorf("invalid \"devices\": %w", err))
-	}
-	model := costmodel.GPT7B
-	for _, m := range costmodel.Models() {
-		if m.Name == in.Model {
-			model = m
+	// v1 compatibility: "strategy" used to name the planner algorithm. The
+	// remap only applies when no explicit "planner" was given, so a
+	// provided planner is never silently discarded.
+	if in.Planner == "" && in.Strategy != "" {
+		if _, err := cliutil.ParsePlanner(in.Strategy); err == nil {
+			in.Planner, in.Strategy = in.Strategy, ""
 		}
 	}
-	coeffs := costmodel.Profile(model, topo)
-	pl := planner.New(coeffs)
-	switch in.Strategy {
-	case "milp":
-		pl.Strategy = planner.StrategyMILP
-	case "greedy":
-		pl.Strategy = planner.StrategyGreedy
+	model, err := cliutil.ModelByName(in.Model)
+	if err != nil {
+		fatal(fmt.Errorf("invalid \"model\": %w", err))
 	}
-	res, err := solver.New(pl).Solve(in.Lengths)
+	plAlgo, err := cliutil.ParsePlanner(in.Planner)
+	if err != nil {
+		fatal(fmt.Errorf("invalid \"planner\": %w", err))
+	}
+	maxCtx := 0
+	if in.MaxCtx != "" {
+		if maxCtx, err = cliutil.ParseTokens(in.MaxCtx); err != nil {
+			fatal(fmt.Errorf("invalid \"maxctx\": %w", err))
+		}
+	}
+	sys, err := flexsp.NewSystem(flexsp.Config{
+		Devices: in.Devices,
+		Cluster: in.Cluster,
+		Model:   model,
+		Planner: plAlgo,
+	})
 	if err != nil {
 		fatal(err)
 	}
 
-	out := output{M: res.M, MMin: res.MMin, EstTime: res.Time,
-		SolveWall: res.SolveWall.Seconds()}
-	for _, mp := range res.Plans {
-		om := outMicro{Time: mp.Time}
-		for _, g := range mp.Groups {
-			om.Groups = append(om.Groups, outGroup{Degree: g.Degree, Lengths: g.Lens})
-		}
-		out.Micro = append(out.Micro, om)
+	start := time.Now()
+	plan, err := sys.Plan(context.Background(), in.Lengths, flexsp.PlanOptions{
+		Strategy: in.Strategy, MaxCtx: maxCtx})
+	if err != nil {
+		fatal(err)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(flexsp.EncodePlan(plan, time.Since(start))); err != nil {
 		fatal(err)
 	}
 }

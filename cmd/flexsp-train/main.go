@@ -1,38 +1,37 @@
-// Command flexsp-train runs a multi-iteration simulated training loop with
-// the disaggregated solver service of paper §5: batch lengths are submitted
-// ahead of time, per-node solver workers plan them concurrently, and the
-// executor consumes plans in order while printing per-iteration stats.
+// Command flexsp-train runs a multi-iteration simulated training loop
+// through the unified planning facade: every system — flexsp, pipeline,
+// deepspeed, batchada, megatron — is a named strategy dispatched by
+// System.Plan, and plans for future batches are solved concurrently ahead of
+// the executor (the disaggregated solving of paper §5).
 //
 //	flexsp-train -dataset commoncrawl -iters 10 -maxctx 192K -system flexsp
 //
 // With -system pipeline the joint PP×SP planner runs per iteration: -pp 0
-// sweeps PP ∈ {1,2,4,8}, -pp N pins the pipeline degree.
+// sweeps PP ∈ {1,2,4,8}, -pp N pins the pipeline degree. -planner selects
+// the per-micro-batch algorithm (enum, milp, greedy).
 //
 // With -cluster mixed:32xA100,32xH100 the run targets a heterogeneous fleet:
-// the flexsp and pipeline systems plan placement-aware (groups and stages
+// the flexsp and pipeline strategies plan placement-aware (groups and stages
 // know their device classes), while deepspeed/batchada plan against the
-// conservative bottleneck view; every system executes on the real mixed
+// conservative bottleneck view; every strategy executes on the real mixed
 // fleet. -cluster overrides -devices.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
 
-	"flexsp/internal/baselines"
-	"flexsp/internal/cluster"
-	"flexsp/internal/costmodel"
-	"flexsp/internal/pipeline"
-	"flexsp/internal/planner"
+	"flexsp"
+	"flexsp/internal/cliutil"
 	"flexsp/internal/report"
-	"flexsp/internal/sim"
-	"flexsp/internal/solver"
 	"flexsp/internal/trace"
 	"flexsp/internal/workload"
 )
@@ -46,62 +45,50 @@ func main() {
 	iters := flag.Int("iters", 5, "training iterations")
 	batch := flag.Int("batch", 512, "global batch size (sequences)")
 	maxCtxStr := flag.String("maxctx", "192K", "maximum context length (e.g. 192K)")
-	system := flag.String("system", "flexsp", "system: flexsp, deepspeed, batchada, pipeline")
+	system := flag.String("system", flexsp.StrategyFlexSP, "strategy: flexsp, pipeline, deepspeed, batchada, megatron")
+	plannerName := flag.String("planner", "enum", "per-micro-batch planning algorithm: enum, milp, greedy")
 	pp := flag.Int("pp", 0, "pipeline degree for -system pipeline (0 = sweep 1,2,4,8)")
-	workers := flag.Int("workers", 4, "solver service workers")
+	workers := flag.Int("workers", 4, "concurrent plan prefetchers")
 	seed := flag.Int64("seed", 42, "sampling seed")
 	tracePath := flag.String("trace", "", "write per-iteration JSONL telemetry to this file")
 	warmup := flag.Int("warmup", 0, "iterations excluded from the summary")
 	flag.Parse()
 
-	maxCtx, err := parseTokens(*maxCtxStr)
+	maxCtx, err := cliutil.ParseTokens(*maxCtxStr)
+	if err != nil {
+		fatal(fmt.Errorf("invalid -maxctx: %w", err))
+	}
+	model, err := cliutil.ModelByName(*modelName)
+	if err != nil {
+		fatal(fmt.Errorf("invalid -model: %w", err))
+	}
+	dataset, err := cliutil.DatasetByName(*datasetName)
+	if err != nil {
+		fatal(fmt.Errorf("invalid -dataset: %w", err))
+	}
+	plAlgo, err := cliutil.ParsePlanner(*plannerName)
+	if err != nil {
+		fatal(fmt.Errorf("invalid -planner: %w", err))
+	}
+	strategy := strings.ToLower(*system)
+	if !slices.Contains(flexsp.Strategies(), strategy) {
+		fatal(fmt.Errorf("invalid -system %q (known: %v)", *system, flexsp.Strategies()))
+	}
+
+	cfg := flexsp.Config{
+		Devices:     *devices,
+		Cluster:     *clusterSpec,
+		Model:       model,
+		Planner:     plAlgo,
+		IncludeZeRO: true,
+	}
+	if *pp > 0 {
+		cfg.Pipeline.Degrees = []int{*pp}
+	}
+	sys, err := flexsp.NewSystem(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	model := costmodel.GPT7B
-	for _, m := range costmodel.Models() {
-		if strings.EqualFold(m.Name, *modelName) {
-			model = m
-		}
-	}
-	var dataset workload.Dataset
-	switch strings.ToLower(*datasetName) {
-	case "github":
-		dataset = workload.GitHub()
-	case "wikipedia":
-		dataset = workload.Wikipedia()
-	default:
-		dataset = workload.CommonCrawl()
-	}
-
-	var topo cluster.Topology
-	var hetero *costmodel.HeteroCoeffs
-	fleet := ""
-	if *clusterSpec != "" {
-		mixed, err := cluster.ParseClusterSpec(*clusterSpec)
-		if err != nil {
-			fatal(fmt.Errorf("invalid -cluster: %w", err))
-		}
-		fleet = mixed.String()
-		if uni, ok := mixed.Uniform(); ok {
-			topo = uni // single class: the scalar path applies unchanged
-		} else {
-			h := costmodel.ProfileMixed(model, mixed)
-			if err := h.Validate(); err != nil {
-				fatal(err)
-			}
-			hetero = &h
-			topo = h.Bottleneck().Topo
-		}
-	} else {
-		t, err := cluster.NewA100Cluster(*devices)
-		if err != nil {
-			fatal(fmt.Errorf("invalid -devices: %w", err))
-		}
-		topo = t
-		fleet = fmt.Sprintf("%d GPUs", topo.NumDevices())
-	}
-	n := topo.NumDevices()
 	if *pp < 0 || (*pp > 0 && *pp > model.Layers) {
 		fatal(fmt.Errorf("invalid -pp %d: must be positive and not exceed %d layers", *pp, model.Layers))
 	}
@@ -109,33 +96,24 @@ func main() {
 		// Carve enforces the full stage-divisibility rules (device count and
 		// node boundaries), so bad degrees fail here with the real reason
 		// instead of an opaque unsolvable error later.
-		if _, err := topo.Carve(*pp); err != nil {
+		if _, err := sys.Topo.Carve(*pp); err != nil {
 			fatal(fmt.Errorf("invalid -pp %d: %w", *pp, err))
 		}
 	}
-	var coeffs costmodel.Coeffs
-	if hetero != nil {
-		coeffs = hetero.Bottleneck()
-	} else {
-		coeffs = costmodel.Profile(model, topo)
+	fleet := fmt.Sprintf("%d GPUs", sys.Topo.NumDevices())
+	if *clusterSpec != "" {
+		fleet = *clusterSpec
 	}
-	pool := cluster.NewGroupPool(n, cluster.DefaultGroupCreation)
+
 	// One-time startup: create the communicator hierarchy so hot switching
 	// is free during measured iterations (§5).
-	var warmupCost float64
-	for size := 2; size <= n; size *= 2 {
-		for start := 0; start+size <= n; start += size {
-			warmupCost += pool.Acquire(cluster.DeviceRange{Start: start, Size: size})
-		}
-	}
-	fmt.Printf("communicator warm-up: %.0fs simulated, one-time\n", warmupCost)
+	fmt.Printf("communicator warm-up: %.0fs simulated, one-time\n", sys.WarmupGroups())
 	rng := rand.New(rand.NewSource(*seed))
 
 	fmt.Printf("%s on %s, %s, max ctx %s, batch %d, system %s\n\n",
-		model.Name, dataset.Name, fleet, report.Tokens(maxCtx), *batch, *system)
+		model.Name, dataset.Name, fleet, report.Tokens(maxCtx), *batch, strategy)
 
-	// Draw all batches up front (lengths are known from the data loader)
-	// and prefetch plans through the service.
+	// Draw all batches up front (lengths are known from the data loader).
 	batches := make([][]int, *iters)
 	if *dataFile != "" {
 		lens, err := workload.LoadLengthsFile(*dataFile)
@@ -156,7 +134,35 @@ func main() {
 		}
 	}
 
-	t := report.NewTable("", "iter", "micro", "groups (first micro-batch)",
+	// Prefetch: plan every batch concurrently through the one Plan entry
+	// point (bounded by -workers) while the executor consumes plans in
+	// order — the same disaggregation the solver service provides, for
+	// every strategy uniformly.
+	ctx := context.Background()
+	type planned struct {
+		plan flexsp.Plan
+		wall time.Duration
+		err  error
+	}
+	out := make([]chan planned, *iters)
+	for i := range out {
+		out[i] = make(chan planned, 1)
+	}
+	sem := make(chan struct{}, max(*workers, 1))
+	go func() {
+		for i, b := range batches {
+			sem <- struct{}{}
+			go func(i int, b []int) {
+				defer func() { <-sem }()
+				start := time.Now()
+				p, err := sys.Plan(ctx, b, flexsp.PlanOptions{
+					Strategy: strategy, MaxCtx: maxCtx, Seed: int64(i)})
+				out[i] <- planned{plan: p, wall: time.Since(start), err: err}
+			}(i, b)
+		}
+	}()
+
+	t := report.NewTable("", "iter", "micro", "layout (first micro-batch)",
 		"est", "exec", "a2a share", "solve")
 	var traceW io.Writer
 	if *tracePath != "" {
@@ -170,143 +176,41 @@ func main() {
 	rec := trace.NewRecorder(traceW)
 	var totalExec, totalSolve float64
 
-	// record emits one iteration's table row and telemetry and accumulates
-	// the summary totals, shared by the flat and pipelined paths.
-	record := func(i, micro int, label string, groups []int, tokens, seqs int,
-		est, execSeconds, a2aSeconds, a2aShare, peakMem, solveSeconds float64) error {
-		t.Add(strconv.Itoa(i), strconv.Itoa(micro), label,
-			report.Secs(est), report.Secs(execSeconds),
-			report.Pct(a2aShare), report.Secs(solveSeconds))
-		if err := rec.Record(trace.Iteration{
-			Iter: i, Tokens: tokens, Seqs: seqs, MicroBatches: micro,
-			Groups: groups, EstSeconds: est, ExecSeconds: execSeconds,
-			AllToAllSeconds: a2aSeconds, SolveSeconds: solveSeconds,
-			PeakMemFrac: peakMem,
-		}); err != nil {
-			return err
+	for i := 0; i < *iters; i++ {
+		pr := <-out[i]
+		if pr.err != nil {
+			fatal(pr.err)
 		}
-		totalExec += execSeconds
-		totalSolve += solveSeconds
-		return nil
-	}
-
-	execPlans := func(i int, plans []planner.MicroPlan, est float64, solveWall time.Duration) error {
-		opts := sim.Options{IncludeZeRO: true, Pool: pool, Seed: int64(i)}
-		var exec sim.IterResult
-		var err error
-		if hetero != nil {
-			exec, err = sim.ExecuteIterationHetero(*hetero, plans, opts)
-		} else {
-			exec, err = sim.ExecuteIteration(coeffs, plans, opts)
-		}
+		exec, err := pr.plan.Execute(ctx)
 		if err != nil {
-			return err
+			fatal(err)
 		}
-		first := "⟨⟩"
+		label := pr.plan.Describe()
+		if exec.BubbleFrac > 0 {
+			label += fmt.Sprintf(" (bubble %.0f%%)", 100*exec.BubbleFrac)
+		}
+		micro := pr.plan.MicroPlans()
 		var groups []int
-		if len(plans) > 0 {
-			groups = plans[0].Degrees()
-			first = degreesString(groups)
+		if len(micro) > 0 {
+			groups = micro[0].Degrees()
 		}
-		tokens, seqs := 0, 0
-		for _, p := range plans {
-			for _, g := range p.Groups {
-				seqs += len(g.Lens)
-				tokens += g.Tokens()
-			}
+		tokens, seqs := 0, len(batches[i])
+		for _, l := range batches[i] {
+			tokens += l
 		}
-		return record(i, len(plans), first, groups, tokens, seqs,
-			est, exec.Time, exec.AllToAll, exec.AllToAllShare(), exec.PeakMemFrac,
-			solveWall.Seconds())
-	}
-
-	switch strings.ToLower(*system) {
-	case "deepspeed":
-		for i, b := range batches {
-			start := time.Now()
-			plans, err := baselines.DeepSpeed(coeffs, b, maxCtx)
-			if err != nil {
-				fatal(err)
-			}
-			if err := execPlans(i, plans, planTime(plans), time.Since(start)); err != nil {
-				fatal(err)
-			}
+		t.Add(strconv.Itoa(i), strconv.Itoa(pr.plan.MicroBatches()), label,
+			report.Secs(pr.plan.EstTime()), report.Secs(exec.Time),
+			report.Pct(exec.AllToAllShare()), report.Secs(pr.wall.Seconds()))
+		if err := rec.Record(trace.Iteration{
+			Iter: i, Tokens: tokens, Seqs: seqs, MicroBatches: pr.plan.MicroBatches(),
+			Groups: groups, EstSeconds: pr.plan.EstTime(), ExecSeconds: exec.Time,
+			AllToAllSeconds: exec.AllToAll, SolveSeconds: pr.wall.Seconds(),
+			PeakMemFrac: exec.PeakMemFrac,
+		}); err != nil {
+			fatal(err)
 		}
-	case "batchada":
-		for i, b := range batches {
-			start := time.Now()
-			plans, err := baselines.BatchAda(coeffs, b)
-			if err != nil {
-				fatal(err)
-			}
-			if err := execPlans(i, plans, planTime(plans), time.Since(start)); err != nil {
-				fatal(err)
-			}
-		}
-	case "pipeline":
-		var jp *pipeline.Planner
-		if hetero != nil {
-			jp = pipeline.NewHeteroPlanner(*hetero)
-		} else {
-			jp = pipeline.NewPlanner(coeffs)
-		}
-		jp.IncludeZeRO = true
-		if *pp > 0 {
-			jp.Degrees = []int{*pp}
-		}
-		for i, b := range batches {
-			res, err := jp.Solve(b)
-			if err != nil {
-				fatal(err)
-			}
-			exec, err := res.Pipe.Execute(res.Plans, pipeline.Options{
-				IncludeZeRO: true, Pool: pool, Seed: int64(i)})
-			if err != nil {
-				fatal(err)
-			}
-			first := "⟨⟩"
-			var groups []int
-			if len(res.Plans) > 0 {
-				groups = res.Plans[0][0].Degrees()
-				first = fmt.Sprintf("PP=%d %s (bubble %.0f%%)",
-					res.Pipe.PP, degreesString(groups), 100*exec.BubbleFrac)
-			}
-			tokens, seqs := 0, 0
-			for _, stages := range res.Plans {
-				for _, g := range stages[0].Groups {
-					seqs += len(g.Lens)
-					tokens += g.Tokens()
-				}
-			}
-			if err := record(i, len(res.Plans), first, groups, tokens, seqs,
-				res.Time, exec.Time, exec.AllToAll, exec.AllToAllShare(),
-				exec.PeakMemFrac, res.SolveWall.Seconds()); err != nil {
-				fatal(err)
-			}
-		}
-	default: // flexsp with the disaggregated service
-		var pl *planner.Planner
-		if hetero != nil {
-			pl = planner.NewHetero(*hetero)
-		} else {
-			pl = planner.New(coeffs)
-		}
-		inner := solver.New(pl)
-		inner.Overhead = coeffs.ZeROTime() // account for per-micro-batch ZeRO
-		sv := solver.NewService(inner, *workers)
-		defer sv.Close()
-		for _, b := range batches {
-			sv.Submit(b)
-		}
-		for i := 0; i < *iters; i++ {
-			res, err := sv.Next()
-			if err != nil {
-				fatal(err)
-			}
-			if err := execPlans(i, res.Plans, res.Time, res.SolveWall); err != nil {
-				fatal(err)
-			}
-		}
+		totalExec += exec.Time
+		totalSolve += pr.wall.Seconds()
 	}
 
 	fmt.Println(t.String())
@@ -317,48 +221,6 @@ func main() {
 			sum.Warmup, sum.MeanExecSeconds, 100*sum.AllToAllShare,
 			sum.TokensPerSec, 100*sum.EstimateError, sum.SolveP95)
 	}
-}
-
-func planTime(plans []planner.MicroPlan) float64 {
-	var t float64
-	for _, p := range plans {
-		t += p.Time
-	}
-	return t
-}
-
-func degreesString(degrees []int) string {
-	var parts []string
-	i := 0
-	for i < len(degrees) {
-		j := i
-		for j < len(degrees) && degrees[j] == degrees[i] {
-			j++
-		}
-		if j-i > 1 {
-			parts = append(parts, fmt.Sprintf("%d×%d", degrees[i], j-i))
-		} else {
-			parts = append(parts, strconv.Itoa(degrees[i]))
-		}
-		i = j
-	}
-	return "⟨" + strings.Join(parts, ",") + "⟩"
-}
-
-func parseTokens(s string) (int, error) {
-	s = strings.TrimSpace(strings.ToUpper(s))
-	mult := 1
-	switch {
-	case strings.HasSuffix(s, "M"):
-		mult, s = 1<<20, strings.TrimSuffix(s, "M")
-	case strings.HasSuffix(s, "K"):
-		mult, s = 1<<10, strings.TrimSuffix(s, "K")
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil {
-		return 0, fmt.Errorf("bad token count %q", s)
-	}
-	return n * mult, nil
 }
 
 func fatal(err error) {

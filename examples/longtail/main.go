@@ -1,12 +1,14 @@
 // Longtail runs a short simulated training campaign of GPT-7B on a
 // CommonCrawl-like long-tail corpus (the workload the paper's introduction
 // motivates) and compares FlexSP against the DeepSpeed-style static baseline
-// and FlexSP-BatchAda, iteration by iteration. It also demonstrates the
-// disaggregated solver service of §5: plans for future batches are solved in
-// the background while the current one "trains".
+// and FlexSP-BatchAda, iteration by iteration. All three systems go through
+// the same System.Plan entry point — they are named strategies in one
+// registry — and FlexSP's plans are prefetched concurrently, demonstrating
+// the disaggregated solving of §5.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -20,7 +22,11 @@ func main() {
 		maxCtx = 192 << 10
 		batchN = 256
 	)
-	sys := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B, IncludeZeRO: true})
+	sys, err := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B, IncludeZeRO: true})
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(7))
 	dataset := flexsp.CommonCrawl()
 
@@ -29,12 +35,21 @@ func main() {
 		batches[i] = dataset.Batch(rng, batchN, maxCtx)
 	}
 
-	// Prefetch all plans through the solver service (overlapped solving).
-	svc := sys.NewService(4)
-	defer svc.Close()
-	for _, b := range batches {
-		svc.Submit(b)
+	// Prefetch the FlexSP plans concurrently (overlapped solving): plan
+	// batch i+1 while batch i "trains".
+	flexPlans := make([]chan flexsp.Plan, iters)
+	for i := range flexPlans {
+		flexPlans[i] = make(chan flexsp.Plan, 1)
 	}
+	go func() {
+		for i, b := range batches {
+			p, err := sys.Plan(ctx, b, flexsp.PlanOptions{})
+			if err != nil {
+				panic(err)
+			}
+			flexPlans[i] <- p
+		}
+	}()
 
 	// One-time startup: create the full communicator hierarchy so hot
 	// switching is free during the measured iterations (the paper averages
@@ -45,31 +60,24 @@ func main() {
 	t := report.NewTable("GPT-7B on CommonCrawl-like corpus, 64 GPUs, 192K max context",
 		"iter", "tokens", "DeepSpeed", "BatchAda", "FlexSP", "speedup", "a2a DS→Flex")
 	var dsSum, flexSum float64
+	execOf := func(b []int, strategy string) flexsp.ExecResult {
+		p, err := sys.Plan(ctx, b, flexsp.PlanOptions{Strategy: strategy, MaxCtx: maxCtx})
+		if err != nil {
+			panic(err)
+		}
+		exec, err := p.Execute(ctx)
+		if err != nil {
+			panic(err)
+		}
+		return exec
+	}
 	for i, b := range batches {
-		res, err := svc.Next()
+		flexExec, err := (<-flexPlans[i]).Execute(ctx)
 		if err != nil {
 			panic(err)
 		}
-		flexExec, err := sys.Execute(res.Plans)
-		if err != nil {
-			panic(err)
-		}
-		dsPlans, err := sys.DeepSpeedBaseline(b, maxCtx)
-		if err != nil {
-			panic(err)
-		}
-		dsExec, err := sys.Execute(dsPlans)
-		if err != nil {
-			panic(err)
-		}
-		adaPlans, err := sys.BatchAdaBaseline(b)
-		if err != nil {
-			panic(err)
-		}
-		adaExec, err := sys.Execute(adaPlans)
-		if err != nil {
-			panic(err)
-		}
+		dsExec := execOf(b, flexsp.StrategyDeepSpeed)
+		adaExec := execOf(b, flexsp.StrategyBatchAda)
 		tokens := 0
 		for _, l := range b {
 			tokens += l

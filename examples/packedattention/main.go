@@ -49,11 +49,19 @@ func main() {
 	fmt.Printf("packed w/ plain causal mask:   max|Δ| = %.2e (contaminated!)\n",
 		tensor.MaxAbsDiff(truth, naive))
 
-	// (2) Ulysses SP attention matches at every degree.
+	// (2) Ulysses SP attention matches at every degree. SP=3 does not divide
+	// the 32-token pack: UlyssesAttention reports that as an error instead
+	// of planning a broken reshard.
 	for _, p := range []int{1, 2, 4} {
-		out := runUlysses(p, q, k, v, heads, model.PackedCausalMask(offsets))
+		out, err := runUlysses(p, q, k, v, heads, model.PackedCausalMask(offsets))
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("Ulysses SP=%d:                  max|Δ| = %.2e\n",
 			p, tensor.MaxAbsDiff(truth, out))
+	}
+	if _, err := runUlysses(3, q, k, v, heads, model.PackedCausalMask(offsets)); err != nil {
+		fmt.Printf("Ulysses SP=3 rejected:         %v\n", err)
 	}
 	fmt.Println("\nheterogeneous SP groups are numerically interchangeable — FlexSP can")
 	fmt.Println("route any sequence to any group size without affecting training.")
@@ -61,23 +69,29 @@ func main() {
 
 // runUlysses shards the sequence over p goroutine "devices" and reassembles
 // the output.
-func runUlysses(p int, q, k, v *tensor.Matrix, heads int, mask tensor.MaskFunc) *tensor.Matrix {
+func runUlysses(p int, q, k, v *tensor.Matrix, heads int, mask tensor.MaskFunc) (*tensor.Matrix, error) {
 	world := comm.NewWorld(p)
 	c := world.Group(0, p)
 	seq := q.Rows
 	local := seq / p
 	outs := make([]*tensor.Matrix, p)
+	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			lo, hi := rank*local, (rank+1)*local
-			outs[rank] = model.UlyssesAttention(c, rank,
+			outs[rank], errs[rank] = model.UlyssesAttention(c, rank,
 				q.SliceRows(lo, hi), k.SliceRows(lo, hi), v.SliceRows(lo, hi),
 				heads, seq, mask)
 		}(r)
 	}
 	wg.Wait()
-	return tensor.ConcatRows(outs...)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tensor.ConcatRows(outs...), nil
 }

@@ -1,18 +1,25 @@
-// Quickstart: build a FlexSP system, solve one varied-length batch, inspect
-// the heterogeneous SP groups it chose, and execute the plan on the
-// simulated cluster.
+// Quickstart: build a FlexSP system, plan one varied-length batch through
+// the unified Plan entry point, inspect the heterogeneous SP groups it
+// chose, and execute the plan on the simulated cluster.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"flexsp"
 )
 
 func main() {
 	// The paper's testbed: 64 A100-40GB GPUs (8 nodes × 8), GPT-7B.
-	sys := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+	// Construction is honest: invalid configurations return an error.
+	sys, err := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
 
 	// Draw one global batch from a long-tail corpus, truncated at a 192K
 	// maximum context length.
@@ -21,15 +28,18 @@ func main() {
 	fmt.Printf("batch: %d sequences, min %d / max %d tokens\n",
 		len(batch), minOf(batch), maxOf(batch))
 
-	// Solve: the FlexSP solver chunks the batch into micro-batches and
-	// chooses heterogeneous SP groups for each (paper Alg. 1).
-	res, err := sys.Solve(batch)
+	// Plan: the default strategy is the FlexSP solver (paper Alg. 1), which
+	// chunks the batch into micro-batches and chooses heterogeneous SP
+	// groups for each.
+	start := time.Now()
+	plan, err := sys.Plan(ctx, batch, flexsp.PlanOptions{})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nsolver chose %d micro-batches (M_min=%d), estimated %.2fs, solved in %v\n",
-		res.M, res.MMin, res.Time, res.SolveWall.Round(1000000))
-	for i, mp := range res.Plans {
+	micro := plan.MicroPlans()
+	fmt.Printf("\nsolver chose %d micro-batches %s, estimated %.2fs, solved in %v\n",
+		len(micro), plan.Describe(), plan.EstTime(), time.Since(start).Round(time.Millisecond))
+	for i, mp := range micro {
 		fmt.Printf("  micro-batch %d (%.2fs):\n", i, mp.Time)
 		for _, g := range mp.Groups {
 			fmt.Printf("    SP=%-2d %3d seqs %8d tokens\n", g.Degree, len(g.Lens), g.Tokens())
@@ -39,31 +49,33 @@ func main() {
 	// Execute on the simulated cluster. The first execution creates the
 	// NCCL-style communicators (hot switching, §5) — a one-time cost over a
 	// whole training run — so report the warmed-up iteration.
-	cold, err := sys.Execute(res.Plans)
+	cold, err := plan.Execute(ctx)
 	if err != nil {
 		panic(err)
 	}
-	exec, err := sys.Execute(res.Plans)
+	exec, err := plan.Execute(ctx)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("\nexecuted: %.2fs end-to-end (+%.1fs one-time group creation), %.1f%% All-to-All, peak memory %.0f%%\n",
 		exec.Time, cold.GroupCreation, 100*exec.AllToAllShare(), 100*exec.PeakMemFrac)
 
-	// Compare against the static homogeneous baseline.
-	ds, err := sys.DeepSpeedBaseline(batch, 192<<10)
+	// Compare against the static homogeneous baseline — the same Plan call,
+	// a different strategy name.
+	ds, err := sys.Plan(ctx, batch, flexsp.PlanOptions{
+		Strategy: flexsp.StrategyDeepSpeed, MaxCtx: 192 << 10})
 	if err != nil {
 		panic(err)
 	}
-	if _, err := sys.Execute(ds); err != nil { // warm its communicators too
+	if _, err := ds.Execute(ctx); err != nil { // warm its communicators too
 		panic(err)
 	}
-	dsExec, err := sys.Execute(ds)
+	dsExec, err := ds.Execute(ctx)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("DeepSpeed-style static SP: %.2fs → FlexSP speedup %.2f×\n",
-		dsExec.Time, dsExec.Time/exec.Time)
+	fmt.Printf("DeepSpeed-style static SP %s: %.2fs → FlexSP speedup %.2f×\n",
+		ds.Describe(), dsExec.Time, dsExec.Time/exec.Time)
 }
 
 func minOf(xs []int) int {

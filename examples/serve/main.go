@@ -19,12 +19,18 @@ import (
 func main() {
 	// One long-lived daemon, many trainers: the server side is a System
 	// like any other, plus serving limits.
-	sys := flexsp.NewSystem(flexsp.Config{
+	sys, err := flexsp.NewSystem(flexsp.Config{
 		Devices: 64,
 		Model:   flexsp.GPT7B,
 		Serve:   flexsp.ServeConfig{QueueLimit: 128, TenantLimit: 16},
 	})
-	srv := sys.NewServer()
+	if err != nil {
+		panic(err)
+	}
+	srv, err := sys.NewServer()
+	if err != nil {
+		panic(err)
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -58,6 +64,16 @@ func main() {
 	}
 	fmt.Printf("executed: %.2fs end-to-end, %.1f%% All-to-All\n",
 		exec.Time, 100*exec.AllToAllShare())
+
+	// The versioned endpoint serves any registered strategy by name: the
+	// same daemon plans the DeepSpeed baseline on request.
+	env, err := client.Plan(ctx, flexsp.PlanRequest{
+		Strategy: "deepspeed", Lengths: batch, MaxCtx: 192 << 10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("v2 %s envelope: version %d, estimated %.2fs, %d micro-plans\n",
+		env.Strategy, env.Version, env.EstTime, len(env.Plans()))
 
 	// A second identical submission is served from the shared plan cache.
 	if _, err := client.Solve(ctx, batch); err != nil {

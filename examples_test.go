@@ -3,67 +3,103 @@
 package flexsp_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"flexsp"
 )
 
-// Example_quickstart is the README quickstart: build a system, solve one
-// varied-length batch, execute the heterogeneous SP plans.
+// Example_quickstart is the README quickstart: build a system (errors, not
+// panics, on bad configuration), plan one varied-length batch through the
+// unified entry point, execute the heterogeneous SP plans.
 func Example_quickstart() {
-	sys := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+	sys, err := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(1))
 	batch := flexsp.CommonCrawl().Batch(rng, 128, 192<<10)
 
-	res, err := sys.Solve(batch) // heterogeneous SP groups per micro-batch
+	plan, err := sys.Plan(ctx, batch, flexsp.PlanOptions{}) // default strategy: flexsp
 	if err != nil {
 		panic(err)
 	}
-	exec, err := sys.Execute(res.Plans)
+	exec, err := plan.Execute(ctx)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(res.M >= res.MMin, len(res.Plans) == res.M, exec.Time > 0)
-	// Output: true true true
+	fmt.Println(plan.Strategy(), len(plan.MicroPlans()) > 0, exec.Time > 0)
+	// Output: flexsp true true
 }
 
-// Example_pipelined is the README hybrid PP×SP snippet: sweep pipeline
-// degrees, plan flexible SP per stage, execute the winning 1F1B schedule.
-func Example_pipelined() {
-	sys := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+// Example_strategies is the README registry snippet: every system of the
+// paper's evaluation is a named strategy behind the same Plan call.
+func Example_strategies() {
+	sys := flexsp.MustNewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(1))
 	batch := flexsp.CommonCrawl().Batch(rng, 128, 192<<10)
 
-	jres, err := sys.SolvePipelined(batch)
+	for _, name := range flexsp.Strategies() {
+		plan, err := sys.Plan(ctx, batch, flexsp.PlanOptions{Strategy: name, MaxCtx: 192 << 10})
+		if err != nil {
+			panic(err)
+		}
+		exec, err := plan.Execute(ctx)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(name, plan.EstTime() > 0, exec.Time > 0)
+	}
+	// Output:
+	// batchada true true
+	// deepspeed true true
+	// flexsp true true
+	// megatron true true
+	// pipeline true true
+}
+
+// Example_pipelined is the README hybrid PP×SP snippet: the pipeline
+// strategy sweeps PP degrees, plans flexible SP per stage, and executes the
+// winning 1F1B schedule.
+func Example_pipelined() {
+	sys := flexsp.MustNewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	batch := flexsp.CommonCrawl().Batch(rng, 128, 192<<10)
+
+	plan, err := sys.Plan(ctx, batch, flexsp.PlanOptions{Strategy: flexsp.StrategyPipeline})
 	if err != nil {
 		panic(err)
 	}
-	sched, err := sys.ExecutePipelined(jres)
+	sched, err := plan.Execute(ctx)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(jres.Pipe.PP >= 1, sched.Time > 0, sched.BubbleFrac >= 0)
+	fmt.Println(plan.EstTime() > 0, sched.Time > 0, sched.BubbleFrac >= 0)
 	// Output: true true true
 }
 
 // Example_mixedCluster is the README mixed-cluster snippet: a heterogeneous
 // fleet by spec, placement-aware planning, per-range costing on execution.
 func Example_mixedCluster() {
-	sys := flexsp.NewSystem(flexsp.Config{Cluster: "mixed:32xA100,32xH100", Model: flexsp.GPT7B})
+	sys := flexsp.MustNewSystem(flexsp.Config{Cluster: "mixed:32xA100,32xH100", Model: flexsp.GPT7B})
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(1))
 	batch := flexsp.CommonCrawl().Batch(rng, 128, 192<<10)
 
-	res, err := sys.Solve(batch) // groups carry placed device ranges
+	plan, err := sys.Plan(ctx, batch, flexsp.PlanOptions{}) // groups carry placed device ranges
 	if err != nil {
 		panic(err)
 	}
-	exec, err := sys.Execute(res.Plans) // per-range device-class costing
+	exec, err := plan.Execute(ctx) // per-range device-class costing
 	if err != nil {
 		panic(err)
 	}
 	placed := true
-	for _, mp := range res.Plans {
+	for _, mp := range plan.MicroPlans() {
 		for _, g := range mp.Groups {
 			placed = placed && g.Placed()
 		}

@@ -5,12 +5,15 @@
 // Parallelism" (Wang et al., ASPLOS 2025).
 //
 // A System ties together the cluster topology, the profiled cost model, the
-// Alg. 1 solver and the discrete-event executor:
+// Alg. 1 solver and the discrete-event executor behind one context-first
+// entry point. Every planning strategy — the FlexSP solver, the joint PP×SP
+// pipeline planner, and the homogeneous baselines — is a named entry in one
+// registry, dispatched by System.Plan:
 //
-//	sys := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+//	sys, _ := flexsp.NewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
 //	batch := flexsp.CommonCrawl().Batch(rng, 512, 192<<10)
-//	res, _ := sys.Solve(batch)   // heterogeneous SP groups per micro-batch
-//	exec, _ := sys.Execute(res.Plans)
+//	plan, _ := sys.Plan(ctx, batch, flexsp.PlanOptions{})       // default: flexsp
+//	exec, _ := plan.Execute(ctx)
 //	fmt.Println(exec.Time, exec.AllToAllShare())
 //
 // The packages under internal/ hold the substrates: cluster topology
@@ -25,6 +28,7 @@
 package flexsp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -53,21 +57,25 @@ var (
 	Wikipedia   = workload.Wikipedia
 )
 
-// Config configures a System.
+// Config configures a System. The zero value is valid: 64 A100-40G GPUs,
+// GPT-7B, the enumerative planner.
 type Config struct {
-	// Devices is the GPU count (multiple of 8, or < 8 for one node).
+	// Devices is the GPU count (multiple of 8, or < 8 for one node; 0
+	// defaults to 64). Ignored when Cluster is set.
 	Devices int
 	// Cluster optionally selects the fleet by spec instead of Devices:
 	// "mixed:32xA100,32xH100" builds a heterogeneous cluster (device counts
 	// per class; classes A100, A100-80G, H100), and a single-class spec like
 	// "64xH100" builds a homogeneous non-A100 fleet. Empty uses Devices
-	// A100-40G GPUs. Invalid specs panic, like invalid Devices counts do;
-	// CLIs validate with cluster.ParseClusterSpec first.
+	// A100-40G GPUs. Invalid specs make NewSystem return an error.
 	Cluster string
 	// Model selects the transformer configuration (default GPT7B).
 	Model costmodel.ModelConfig
-	// Strategy selects the planner algorithm (default enumerative).
-	Strategy planner.Strategy
+	// Planner selects the per-micro-batch planning algorithm (default
+	// enumerative; also milp, greedy). This is orthogonal to
+	// PlanOptions.Strategy, which names the system-level strategy
+	// (flexsp, pipeline, a baseline).
+	Planner planner.Strategy
 	// CommStyle selects Ulysses all-to-all SP (default) or ring-attention
 	// context parallelism (flexible CP, paper Appendix E).
 	CommStyle costmodel.CommStyle
@@ -75,13 +83,38 @@ type Config struct {
 	Trials int
 	// IncludeZeRO charges exposed ZeRO-3 communication during execution.
 	IncludeZeRO bool
-	// Pipeline configures the hybrid PP×SP planner reached through
-	// SolvePipelined/ExecutePipelined. The zero value uses the default
-	// PP sweep with no SP-degree cap.
+	// Pipeline configures the hybrid PP×SP planner behind the pipeline
+	// strategy. The zero value uses the default PP sweep with no SP-degree
+	// cap.
 	Pipeline PipelineConfig
 	// Serve configures the HTTP planning daemon reached through NewServer.
 	// The zero value uses the server defaults.
 	Serve ServeConfig
+}
+
+// Validate reports whether the configuration can build a System: the fleet
+// spec must parse, the device count must be valid, and numeric knobs must be
+// non-negative. NewSystem validates implicitly; CLIs can call this early for
+// a friendly flag error.
+func (c Config) Validate() error {
+	if c.Cluster != "" {
+		if _, err := cluster.ParseClusterSpec(c.Cluster); err != nil {
+			return fmt.Errorf("flexsp: invalid Cluster %q: %w", c.Cluster, err)
+		}
+	} else if c.Devices != 0 {
+		if _, err := cluster.NewA100Cluster(c.Devices); err != nil {
+			return fmt.Errorf("flexsp: invalid Devices %d: %w", c.Devices, err)
+		}
+	}
+	if c.Trials < 0 {
+		return fmt.Errorf("flexsp: negative Trials %d", c.Trials)
+	}
+	for _, d := range c.Pipeline.Degrees {
+		if d < 1 {
+			return fmt.Errorf("flexsp: invalid pipeline degree %d", d)
+		}
+	}
+	return nil
 }
 
 // ServeConfig configures the solver-as-a-service daemon (paper §5) built by
@@ -123,10 +156,10 @@ type System struct {
 	Coeffs  costmodel.Coeffs
 	Planner *planner.Planner
 	Solver  *solver.Solver
-	// Joint is the hybrid PP×SP planner behind SolvePipelined.
+	// Joint is the hybrid PP×SP planner behind the pipeline strategy.
 	Joint *pipeline.Planner
 	// Hetero is non-nil on mixed clusters: the placement-aware cost model
-	// that Solve/Execute plan and replay against.
+	// that planning and execution use.
 	Hetero *costmodel.HeteroCoeffs
 
 	includeZeRO bool
@@ -134,9 +167,14 @@ type System struct {
 	serve       ServeConfig
 }
 
-// NewSystem builds a System for the given configuration.
-func NewSystem(cfg Config) *System {
-	if cfg.Devices <= 0 {
+// NewSystem builds a System for the given configuration. Invalid
+// configurations (see Config.Validate) return an error instead of
+// panicking.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Devices == 0 {
 		cfg.Devices = 64
 	}
 	if cfg.Model.Name == "" {
@@ -148,9 +186,11 @@ func NewSystem(cfg Config) *System {
 	var hetero *costmodel.HeteroCoeffs
 	var pl *planner.Planner
 	if cfg.Cluster != "" {
+		// Unreachable after Validate; kept defensive without duplicating
+		// Validate's error wording.
 		mixed, err := cluster.ParseClusterSpec(cfg.Cluster)
 		if err != nil {
-			panic("flexsp: " + err.Error())
+			return nil, fmt.Errorf("flexsp: %w", err)
 		}
 		if uni, ok := mixed.Uniform(); ok {
 			// Single class: the scalar path applies unchanged.
@@ -158,6 +198,9 @@ func NewSystem(cfg Config) *System {
 			coeffs = costmodel.Profile(cfg.Model, topo).WithStyle(cfg.CommStyle)
 		} else {
 			h := costmodel.ProfileMixed(cfg.Model, mixed).WithStyle(cfg.CommStyle)
+			if err := h.Validate(); err != nil {
+				return nil, fmt.Errorf("flexsp: profiling %q: %w", cfg.Cluster, err)
+			}
 			if cfg.Pipeline.HeadsCap {
 				h = h.WithHeadsCap()
 			}
@@ -166,7 +209,12 @@ func NewSystem(cfg Config) *System {
 			topo = coeffs.Topo
 		}
 	} else {
-		topo = cluster.A100Cluster(cfg.Devices)
+		t, err := cluster.NewA100Cluster(cfg.Devices)
+		if err != nil {
+			// Unreachable after Validate (which owns the wording).
+			return nil, fmt.Errorf("flexsp: %w", err)
+		}
+		topo = t
 		coeffs = costmodel.Profile(cfg.Model, topo).WithStyle(cfg.CommStyle)
 	}
 	if cfg.Pipeline.HeadsCap && hetero == nil {
@@ -177,7 +225,7 @@ func NewSystem(cfg Config) *System {
 	} else {
 		pl = planner.New(coeffs)
 	}
-	pl.Strategy = cfg.Strategy
+	pl.Strategy = cfg.Planner
 	sv := solver.New(pl)
 	if cfg.Trials > 0 {
 		sv.Trials = cfg.Trials
@@ -193,7 +241,7 @@ func NewSystem(cfg Config) *System {
 	} else {
 		jp = pipeline.NewPlanner(coeffs)
 	}
-	jp.Strategy = cfg.Strategy
+	jp.Strategy = cfg.Planner
 	jp.IncludeZeRO = cfg.IncludeZeRO
 	if cfg.Trials > 0 {
 		jp.Trials = cfg.Trials
@@ -211,7 +259,17 @@ func NewSystem(cfg Config) *System {
 		includeZeRO: cfg.IncludeZeRO,
 		pool:        cluster.NewGroupPool(topo.NumDevices(), cluster.DefaultGroupCreation),
 		serve:       cfg.Serve,
+	}, nil
+}
+
+// MustNewSystem is NewSystem for terse examples and tests: it panics on an
+// invalid configuration instead of returning an error.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return s
 }
 
 // WarmupGroups pre-creates every aligned power-of-two communicator (the
@@ -230,33 +288,36 @@ func (s *System) WarmupGroups() float64 {
 	return total
 }
 
-// Solve runs the FlexSP solver (Alg. 1) on one data batch of sequence
-// lengths, returning the heterogeneous micro-batch plans.
-func (s *System) Solve(batch []int) (solver.Result, error) {
-	return s.Solver.Solve(batch)
-}
-
-// Execute replays an iteration's plans on the simulated cluster, reusing
-// communicators across calls (hot switching). On a mixed cluster every
-// group is costed against the device classes of the range it occupies.
-func (s *System) Execute(plans []planner.MicroPlan) (sim.IterResult, error) {
-	opts := sim.Options{IncludeZeRO: s.includeZeRO, Pool: s.pool}
+// executeMicro replays micro-batch plans on the simulated cluster, reusing
+// communicators across calls (hot switching). On a mixed cluster every group
+// is costed against the device classes of the range it occupies.
+func (s *System) executeMicro(plans []planner.MicroPlan, seed int64) (sim.IterResult, error) {
+	opts := sim.Options{IncludeZeRO: s.includeZeRO, Pool: s.pool, Seed: seed}
 	if s.Hetero != nil {
 		return sim.ExecuteIterationHetero(*s.Hetero, plans, opts)
 	}
 	return sim.ExecuteIteration(s.Coeffs, plans, opts)
 }
 
-// Train runs iters solve+execute iterations over batches drawn by nextBatch
-// and returns the per-iteration results.
-func (s *System) Train(iters int, nextBatch func(iter int) []int) ([]sim.IterResult, error) {
-	var out []sim.IterResult
+// Execute replays an iteration's micro-batch plans — e.g. plans decoded from
+// a planning daemon's response — on the simulated cluster, reusing
+// communicators across calls (hot switching). Plans produced by System.Plan
+// carry their own Execute method; use that when you have a Plan.
+func (s *System) Execute(plans []planner.MicroPlan) (sim.IterResult, error) {
+	return s.executeMicro(plans, 0)
+}
+
+// Train runs iters plan+execute iterations over batches drawn by nextBatch
+// and returns the per-iteration results. opts selects the strategy (and
+// baseline sizing) for every iteration; the context cancels mid-run.
+func (s *System) Train(ctx context.Context, iters int, opts PlanOptions, nextBatch func(iter int) []int) ([]ExecResult, error) {
+	var out []ExecResult
 	for i := 0; i < iters; i++ {
-		res, err := s.Solve(nextBatch(i))
+		p, err := s.Plan(ctx, nextBatch(i), opts)
 		if err != nil {
-			return out, fmt.Errorf("flexsp: iteration %d solve: %w", i, err)
+			return out, fmt.Errorf("flexsp: iteration %d plan: %w", i, err)
 		}
-		exec, err := s.Execute(res.Plans)
+		exec, err := p.Execute(ctx)
 		if err != nil {
 			return out, fmt.Errorf("flexsp: iteration %d execute: %w", i, err)
 		}
@@ -265,19 +326,26 @@ func (s *System) Train(iters int, nextBatch func(iter int) []int) ([]sim.IterRes
 	return out, nil
 }
 
-// SolvePipelined runs the joint PP×SP planner on one data batch: it sweeps
-// pipeline-parallel degrees, plans flexible SP within each stage's
-// sub-cluster, and returns the pipeline minimizing simulated 1F1B iteration
-// time. PP = 1 (flat FlexSP) is in the default sweep, so the joint plan
-// matches or beats Solve's unless Config.Pipeline.Degrees pins a sweep
-// without 1.
+// Solve runs the FlexSP solver (Alg. 1) on one data batch of sequence
+// lengths, returning the heterogeneous micro-batch plans.
+//
+// Deprecated: use Plan with the default strategy; Solve remains for v1
+// compatibility.
+func (s *System) Solve(batch []int) (solver.Result, error) {
+	return s.Solver.Solve(batch)
+}
+
+// SolvePipelined runs the joint PP×SP planner on one data batch.
+//
+// Deprecated: use Plan with PlanOptions{Strategy: StrategyPipeline}.
 func (s *System) SolvePipelined(batch []int) (pipeline.Result, error) {
 	return s.Joint.Solve(batch)
 }
 
 // ExecutePipelined replays a joint plan's 1F1B schedule on the simulated
-// cluster, reusing this system's communicator pool across calls (hot
-// switching across stage sub-clusters).
+// cluster.
+//
+// Deprecated: use the Execute method of a pipeline-strategy Plan.
 func (s *System) ExecutePipelined(res pipeline.Result) (pipeline.ScheduleResult, error) {
 	return res.Pipe.Execute(res.Plans, pipeline.Options{
 		IncludeZeRO: s.includeZeRO,
@@ -292,15 +360,18 @@ func (s *System) NewService(workers int) *solver.Service {
 }
 
 // NewServer builds the HTTP planning daemon (§5 as a standalone service)
-// over this system's solver and joint PP×SP planner, configured by
-// Config.Serve. The returned server is an http.Handler; serve it with an
+// over this system, configured by Config.Serve. It serves the versioned wire
+// protocol: POST /v2/plan dispatches every registered strategy by name, and
+// the v1 endpoints (/v1/solve, /v1/solve/pipelined) remain as byte-identical
+// shims. The returned server is an http.Handler; serve it with an
 // http.Server and call its Drain method before Shutdown for a graceful
 // SIGTERM. Creating the server attaches a shared plan cache to the system's
 // solver if it has none.
-func (s *System) NewServer() *server.Server {
+func (s *System) NewServer() (*server.Server, error) {
 	return server.New(server.Config{
 		Solver:           s.Solver,
 		Joint:            s.Joint,
+		Strategies:       s.serverStrategies(),
 		QueueLimit:       s.serve.QueueLimit,
 		TenantLimit:      s.serve.TenantLimit,
 		BatchWindow:      s.serve.BatchWindow,
@@ -309,19 +380,49 @@ func (s *System) NewServer() *server.Server {
 	})
 }
 
+// serverStrategies exposes every registered strategy to POST /v2/plan,
+// except flexsp and pipeline: the server implements those natively on its
+// solver and joint planner (shared with the v1 shims).
+func (s *System) serverStrategies() map[string]server.StrategyFunc {
+	out := make(map[string]server.StrategyFunc)
+	for _, name := range Strategies() {
+		if name == StrategyFlexSP || name == StrategyPipeline {
+			continue
+		}
+		name := name
+		out[name] = func(ctx context.Context, lengths []int, maxCtx int) (server.PlanEnvelope, error) {
+			start := time.Now()
+			p, err := s.Plan(ctx, lengths, PlanOptions{Strategy: name, MaxCtx: maxCtx})
+			if err != nil {
+				return server.PlanEnvelope{}, err
+			}
+			return EncodePlan(p, time.Since(start)), nil
+		}
+	}
+	return out
+}
+
 // DeepSpeedBaseline plans the batch as the static homogeneous DeepSpeed
 // baseline would for the given maximum context length.
+//
+// Deprecated: use Plan with PlanOptions{Strategy: StrategyDeepSpeed,
+// MaxCtx: maxCtx}.
 func (s *System) DeepSpeedBaseline(batch []int, maxCtx int) ([]planner.MicroPlan, error) {
 	return baselines.DeepSpeed(s.Coeffs, batch, maxCtx)
 }
 
 // BatchAdaBaseline plans the batch as FlexSP-BatchAda (best homogeneous SP
 // degree per batch).
+//
+// Deprecated: use Plan with PlanOptions{Strategy: StrategyBatchAda}.
 func (s *System) BatchAdaBaseline(batch []int) ([]planner.MicroPlan, error) {
 	return baselines.BatchAda(s.Coeffs, batch)
 }
 
 // MegatronBaseline costs the batch under the best Megatron-LM strategy.
+//
+// Deprecated: use Plan with PlanOptions{Strategy: StrategyMegatron,
+// MaxCtx: maxCtx}.
 func (s *System) MegatronBaseline(batch []int, maxCtx int) (baselines.MegatronResult, error) {
 	return baselines.Megatron(s.Coeffs, batch, maxCtx)
 }

@@ -1,0 +1,108 @@
+// Package cliutil holds the flag- and input-parsing helpers shared by the
+// flexsp commands: token-count suffixes ("192K"), model and dataset lookup
+// by name, planner-algorithm names, and fleet validation. Every command
+// parses these the same way, so an error message learned on one CLI reads
+// identically on the others.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/workload"
+)
+
+// ParseTokens parses a token count with an optional binary suffix: "192K" is
+// 192·2¹⁰, "1M" is 2²⁰. Case-insensitive; plain integers pass through.
+func ParseTokens(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad token count %q", s)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("non-positive token count %q", s)
+	}
+	return n * mult, nil
+}
+
+// ModelByName resolves a model configuration by name, case-insensitively
+// ("gpt-7b" works). Empty selects the default GPT-7B; unknown names error
+// with the known list.
+func ModelByName(name string) (costmodel.ModelConfig, error) {
+	if name == "" {
+		return costmodel.GPT7B, nil
+	}
+	var known []string
+	for _, m := range costmodel.Models() {
+		if strings.EqualFold(m.Name, name) {
+			return m, nil
+		}
+		known = append(known, m.Name)
+	}
+	return costmodel.ModelConfig{}, fmt.Errorf("unknown model %q (known: %s)",
+		name, strings.Join(known, ", "))
+}
+
+// DatasetByName resolves a synthetic dataset by name, case-insensitively.
+// Empty selects CommonCrawl; unknown names error with the known list.
+func DatasetByName(name string) (workload.Dataset, error) {
+	if name == "" {
+		return workload.CommonCrawl(), nil
+	}
+	var known []string
+	for _, d := range workload.Datasets() {
+		if strings.EqualFold(d.Name, name) {
+			return d, nil
+		}
+		known = append(known, strings.ToLower(d.Name))
+	}
+	return workload.Dataset{}, fmt.Errorf("unknown dataset %q (known: %s)",
+		name, strings.Join(known, ", "))
+}
+
+// ParsePlanner resolves a planner-algorithm name — the per-micro-batch
+// solving algorithm, orthogonal to the system strategy. Empty means the
+// default enumerative planner.
+func ParsePlanner(name string) (planner.Strategy, error) {
+	switch strings.ToLower(name) {
+	case "", "enum":
+		return planner.StrategyEnum, nil
+	case "milp":
+		return planner.StrategyMILP, nil
+	case "greedy":
+		return planner.StrategyGreedy, nil
+	}
+	return 0, fmt.Errorf("unknown planner %q (known: enum, milp, greedy)", name)
+}
+
+// ValidateFleet checks a -devices/-cluster flag pair early, so commands fail
+// with the flag's name instead of a construction error later: a non-empty
+// spec must parse, otherwise the device count must build an A100 cluster.
+// devices 0 with an empty spec is the default fleet and passes.
+func ValidateFleet(devices int, spec string) error {
+	if spec != "" {
+		if _, err := cluster.ParseClusterSpec(spec); err != nil {
+			return fmt.Errorf("invalid -cluster: %w", err)
+		}
+		return nil
+	}
+	if devices == 0 {
+		return nil
+	}
+	if _, err := cluster.NewA100Cluster(devices); err != nil {
+		return fmt.Errorf("invalid -devices: %w", err)
+	}
+	return nil
+}

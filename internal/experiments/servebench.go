@@ -94,12 +94,15 @@ func ServeBench(cfg Config, addr string) ServeBenchResult {
 		c := cfg.coeffs(costmodel.GPT7B)
 		sv := solver.New(planner.New(c))
 		sv.Cache = solver.NewPlanCache(4096, 256)
-		srv := server.New(server.Config{
+		srv, err := server.New(server.Config{
 			Solver:      sv,
 			Joint:       pipeline.NewPlanner(c),
 			QueueLimit:  256,
 			TenantLimit: 256,
 		})
+		if err != nil {
+			panic(fmt.Sprintf("serve bench: %v", err))
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			panic(fmt.Sprintf("serve bench: %v", err))

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -93,18 +94,24 @@ func runUlysses(t *testing.T, p int, q, k, v *tensor.Matrix, heads int, mask ten
 	seq := q.Rows
 	localSeq := seq / p
 	outs := make([]*tensor.Matrix, p)
+	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			lo, hi := rank*localSeq, (rank+1)*localSeq
-			outs[rank] = UlyssesAttention(c, rank,
+			outs[rank], errs[rank] = UlyssesAttention(c, rank,
 				q.SliceRows(lo, hi), k.SliceRows(lo, hi), v.SliceRows(lo, hi),
 				heads, seq, mask)
 		}(r)
 	}
 	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
 	return tensor.ConcatRows(outs...)
 }
 
@@ -146,24 +153,27 @@ func TestUlyssesPackedVariedLengths(t *testing.T) {
 	}
 }
 
-func TestUlyssesPanicsOnBadShapes(t *testing.T) {
+func TestUlyssesErrorsOnBadShapes(t *testing.T) {
 	world := comm.NewWorld(2)
 	c := world.Group(0, 2)
 	q := tensor.New(3, 4)
-	cases := []func(){
-		func() { UlyssesAttention(c, 0, q, q, q, 4, 7, CausalMask()) }, // seq not divisible
-		func() { UlyssesAttention(c, 0, q, q, q, 3, 6, CausalMask()) }, // heads not divisible
-		func() { UlyssesAttention(c, 0, q, q, q, 2, 8, CausalMask()) }, // wrong local rows
+	cases := []func() (*tensor.Matrix, error){
+		func() (*tensor.Matrix, error) { return UlyssesAttention(c, 0, q, q, q, 4, 7, CausalMask()) }, // seq not divisible
+		func() (*tensor.Matrix, error) { return UlyssesAttention(c, 0, q, q, q, 3, 6, CausalMask()) }, // heads not divisible
+		func() (*tensor.Matrix, error) { return UlyssesAttention(c, 0, q, q, q, 2, 8, CausalMask()) }, // wrong local rows
 	}
 	for i, f := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: no panic", i)
-				}
-			}()
-			f()
-		}()
+		out, err := f()
+		if err == nil {
+			t.Errorf("case %d: no error", i)
+			continue
+		}
+		if !errors.Is(err, ErrShape) {
+			t.Errorf("case %d: error %v does not wrap ErrShape", i, err)
+		}
+		if out != nil {
+			t.Errorf("case %d: non-nil output alongside error", i)
+		}
 	}
 }
 

@@ -1,11 +1,17 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 
 	"flexsp/internal/comm"
 	"flexsp/internal/tensor"
 )
+
+// ErrShape reports q/k/v shapes or head counts incompatible with Ulysses
+// resharding on the given communicator; errors wrapping it carry the
+// offending dimensions.
+var ErrShape = errors.New("model: shape incompatible with Ulysses SP")
 
 // UlyssesAttention computes multi-head attention under Ulysses-style
 // sequence parallelism (paper Eq. 1–4) on the given communicator. Each rank
@@ -15,25 +21,28 @@ import (
 // final all-to-all scatters the output back to sequence shards (Eq. 4).
 //
 // The mask receives global sequence positions, so packed-sequence masks work
-// unchanged at any SP degree. heads must be divisible by the group size.
+// unchanged at any SP degree. The sequence length, head count, and hidden
+// dimension must all be divisible by the group size; incompatible inputs
+// return an error wrapping ErrShape.
 func UlyssesAttention(c *comm.Communicator, rank int, q, k, v *tensor.Matrix,
-	heads, globalSeq int, mask tensor.MaskFunc) *tensor.Matrix {
+	heads, globalSeq int, mask tensor.MaskFunc) (*tensor.Matrix, error) {
 
 	p := c.Size()
 	localSeq := globalSeq / p
 	dim := q.Cols
 	switch {
 	case globalSeq%p != 0:
-		panic(fmt.Sprintf("model: sequence %d not divisible by SP degree %d", globalSeq, p))
+		return nil, fmt.Errorf("%w: sequence %d not divisible by SP degree %d", ErrShape, globalSeq, p)
 	case heads%p != 0:
-		panic(fmt.Sprintf("model: %d heads not divisible by SP degree %d", heads, p))
+		return nil, fmt.Errorf("%w: %d heads not divisible by SP degree %d", ErrShape, heads, p)
 	case dim%p != 0:
-		panic(fmt.Sprintf("model: dim %d not divisible by SP degree %d", dim, p))
+		return nil, fmt.Errorf("%w: dim %d not divisible by SP degree %d", ErrShape, dim, p)
 	case q.Rows != localSeq || k.Rows != localSeq || v.Rows != localSeq:
-		panic("model: local shard has wrong row count")
+		return nil, fmt.Errorf("%w: local shard has %d/%d/%d rows, want %d",
+			ErrShape, q.Rows, k.Rows, v.Rows, localSeq)
 	}
 	if p == 1 {
-		return Attention(q, k, v, heads, mask)
+		return Attention(q, k, v, heads, mask), nil
 	}
 	colBlock := dim / p
 
@@ -70,5 +79,5 @@ func UlyssesAttention(c *comm.Communicator, rank int, q, k, v *tensor.Matrix,
 	for i := 0; i < p; i++ {
 		parts[i] = &tensor.Matrix{Rows: localSeq, Cols: colBlock, Data: recv[i]}
 	}
-	return tensor.ConcatCols(parts...)
+	return tensor.ConcatCols(parts...), nil
 }

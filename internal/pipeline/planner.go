@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -103,6 +104,15 @@ var ErrUnsolvable = fmt.Errorf("pipeline: no feasible joint PP×SP plan for batc
 
 // Solve runs the joint PP×SP search on one data batch of sequence lengths.
 func (jp *Planner) Solve(batch []int) (Result, error) {
+	return jp.SolveContext(context.Background(), batch)
+}
+
+// SolveContext is Solve with cancellation: the context is checked at every
+// PP-degree, micro-batch-count, and micro-batch-plan boundary, so a canceled
+// request (an HTTP client gone away, a draining server) stops consuming
+// planner workers within one micro-batch plan. A canceled call returns
+// ctx.Err(), never ErrUnsolvable.
+func (jp *Planner) SolveContext(ctx context.Context, batch []int) (Result, error) {
 	start := time.Now()
 	degrees := jp.Degrees
 	if len(degrees) == 0 {
@@ -130,7 +140,7 @@ func (jp *Planner) Solve(batch []int) (Result, error) {
 	}
 
 	outs := make([]outcome, len(sweep))
-	run := func(i int) { outs[i] = jp.solveDegree(batch, sweep[i]) }
+	run := func(i int) { outs[i] = jp.solveDegree(ctx, batch, sweep[i]) }
 	if jp.Parallel {
 		var wg sync.WaitGroup
 		for i := range sweep {
@@ -151,6 +161,9 @@ func (jp *Planner) Solve(batch []int) (Result, error) {
 			res.Pipe, res.Plans, res.Time, res.Sched = o.pipe, o.plans, o.cand.Time, o.sched
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if math.IsInf(res.Time, 1) {
 		return Result{Candidates: res.Candidates}, ErrUnsolvable
 	}
@@ -167,7 +180,7 @@ type outcome struct {
 }
 
 // solveDegree runs the micro-batch-count search at one PP degree.
-func (jp *Planner) solveDegree(batch []int, pp int) (o outcome) {
+func (jp *Planner) solveDegree(ctx context.Context, batch []int, pp int) (o outcome) {
 	o.cand = Candidate{PP: pp}
 
 	// M_min: smallest m whose in-flight-aware stage capacity admits the
@@ -197,7 +210,10 @@ func (jp *Planner) solveDegree(batch []int, pp int) (o outcome) {
 	}
 	best := math.Inf(1)
 	tryM := func(m int) bool {
-		pipe, plans, sched, err := jp.planM(batch, pp, m)
+		if ctx.Err() != nil {
+			return false
+		}
+		pipe, plans, sched, err := jp.planM(ctx, batch, pp, m)
 		if err != nil {
 			if o.cand.Note == "" {
 				o.cand.Note = err.Error()
@@ -231,7 +247,7 @@ func (jp *Planner) solveDegree(batch []int, pp int) (o outcome) {
 
 // planM blasts the batch into m micro-batches and plans every (micro-batch,
 // stage) cell, then simulates the schedule.
-func (jp *Planner) planM(batch []int, pp, m int) (Pipeline, [][]planner.MicroPlan, ScheduleResult, error) {
+func (jp *Planner) planM(ctx context.Context, batch []int, pp, m int) (Pipeline, [][]planner.MicroPlan, ScheduleResult, error) {
 	pipe, err := jp.newPipe(pp, m)
 	if err != nil {
 		return Pipeline{}, nil, ScheduleResult{}, err
@@ -244,6 +260,9 @@ func (jp *Planner) planM(batch []int, pp, m int) (Pipeline, [][]planner.MicroPla
 	plans := make([][]planner.MicroPlan, len(micro))
 	errs := make([]error, len(micro))
 	planOne := func(j int) {
+		if errs[j] = ctx.Err(); errs[j] != nil {
+			return
+		}
 		plans[j] = make([]planner.MicroPlan, pp)
 		for s, st := range pipe.Stages {
 			pl := planner.New(st.Coeffs)

@@ -2,23 +2,52 @@ package server
 
 import (
 	"context"
+	"hash/fnv"
+	"strconv"
 	"sync"
 	"time"
 
 	"flexsp/internal/solver"
 )
 
+// planJob identifies one batchable planning request: the length multiset
+// plus the strategy/maxCtx coordinates that change the resulting plan. The
+// v1 batchers run with a fixed strategy; the /v2/plan batcher carries the
+// request's strategy through, so only requests asking for the same plan
+// coalesce.
+type planJob struct {
+	lens     []int
+	strategy string
+	maxCtx   int
+}
+
+// key returns the pass key and the canonical sorted length signature: the
+// solver's multiset FNV-1a key folded with the strategy name and maxCtx, so
+// two jobs share a pass only when every coordinate matches (the signature
+// and the job fields are re-compared on join — hash collisions fall back to
+// independent passes, never shared plans).
+func (j planJob) key() ([]int32, uint64) {
+	sig, key := solver.Signature(j.lens)
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(key >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(j.strategy))
+	h.Write([]byte(strconv.Itoa(j.maxCtx)))
+	return sig, h.Sum64()
+}
+
 // batcher groups compatible requests into one solver pass. Two requests are
-// compatible when they carry the same sequence-length multiset — the only
-// sound grouping, since a plan depends on the whole batch. The first request
-// for a signature opens a pass and holds it open for the batching window;
+// compatible when they carry the same sequence-length multiset and the same
+// strategy/maxCtx coordinates — the only sound grouping, since a plan
+// depends on the whole batch and on what was asked of it. The first request
+// for a job opens a pass and holds it open for the batching window;
 // identical requests arriving within the window join the pass; when the
 // window closes the opener solves once and every member receives the same
 // pre-encoded response bytes, so coalesced responses are byte-identical by
-// construction. Passes are keyed by solver.Signature — the same canonical
-// sorted-multiset FNV-1a key the plan cache and the in-flight singleflight
-// use — with the full signature compared on join, so hash collisions fall
-// back to independent passes rather than wrong plans.
+// construction.
 //
 // Each pass carries a context that is canceled once every member's request
 // context is done, so a solve whose consumers all disconnected (or were cut
@@ -31,7 +60,7 @@ type batcher struct {
 	window time.Duration
 	// run executes one solver pass under the pass context and returns the
 	// encoded response body and HTTP status shared by every member.
-	run func(ctx context.Context, lens []int) ([]byte, int)
+	run func(ctx context.Context, job planJob) ([]byte, int)
 
 	mu     sync.Mutex
 	passes map[uint64]*pass
@@ -40,6 +69,7 @@ type batcher struct {
 type pass struct {
 	done    chan struct{}
 	sig     []int32 // canonical sorted signature (collision guard)
+	job     planJob // the opener's job (strategy/maxCtx collision guard)
 	members int
 
 	// ctx is canceled when live — the number of member request contexts
@@ -73,20 +103,21 @@ func (p *pass) addMember(ctx context.Context) {
 	}()
 }
 
-func newBatcher(window time.Duration, run func(ctx context.Context, lens []int) ([]byte, int)) *batcher {
+func newBatcher(window time.Duration, run func(ctx context.Context, job planJob) ([]byte, int)) *batcher {
 	return &batcher{window: window, run: run, passes: make(map[uint64]*pass)}
 }
 
-// do runs lens through the batcher. It returns the shared response body and
-// status, the number of requests the pass served, and whether this caller
-// joined another request's pass (true) or opened and ran its own (false).
-// A canceled context while waiting returns ctx.Err(); the pass itself keeps
-// running while it has other live members.
-func (b *batcher) do(ctx context.Context, lens []int) (body []byte, status, members int, joined bool, err error) {
-	sig, key := solver.Signature(lens)
+// do runs the job through the batcher. It returns the shared response body
+// and status, the number of requests the pass served, and whether this
+// caller joined another request's pass (true) or opened and ran its own
+// (false). A canceled context while waiting returns ctx.Err(); the pass
+// itself keeps running while it has other live members.
+func (b *batcher) do(ctx context.Context, job planJob) (body []byte, status, members int, joined bool, err error) {
+	sig, key := job.key()
 
 	b.mu.Lock()
-	if p, ok := b.passes[key]; ok && solver.SigsEqual(p.sig, sig) {
+	if p, ok := b.passes[key]; ok && solver.SigsEqual(sig, p.sig) &&
+		job.strategy == p.job.strategy && job.maxCtx == p.job.maxCtx {
 		p.members++
 		p.addMember(ctx)
 		b.mu.Unlock()
@@ -94,14 +125,14 @@ func (b *batcher) do(ctx context.Context, lens []int) (body []byte, status, memb
 		case <-p.done:
 			if p.status == 0 {
 				// The opener was canceled before solving; run our own pass.
-				return b.do(ctx, lens)
+				return b.do(ctx, job)
 			}
 			return p.body, p.status, p.members, true, nil
 		case <-ctx.Done():
 			return nil, 0, 0, true, ctx.Err()
 		}
 	}
-	p := &pass{done: make(chan struct{}), sig: sig, members: 1}
+	p := &pass{done: make(chan struct{}), sig: sig, job: job, members: 1}
 	p.ctx, p.cancel = context.WithCancel(context.Background())
 	p.addMember(ctx)
 	// A hash collision with a different signature overwrites the map slot;
@@ -132,7 +163,7 @@ func (b *batcher) do(ctx context.Context, lens []int) (body []byte, status, memb
 	members = p.members
 	b.mu.Unlock()
 
-	body, status = b.run(p.ctx, lens)
+	body, status = b.run(p.ctx, job)
 	p.body, p.status = body, status
 	close(p.done)
 	return body, status, members, false, nil

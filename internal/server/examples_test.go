@@ -15,12 +15,19 @@ import (
 // serving side, flexsp.NewClient on the training side. A production
 // deployment serves the same handler from cmd/flexsp-serve.
 func Example() {
-	sys := flexsp.NewSystem(flexsp.Config{
+	sys, err := flexsp.NewSystem(flexsp.Config{
 		Devices: 8,
 		Model:   flexsp.GPT7B,
 		Serve:   flexsp.ServeConfig{QueueLimit: 32},
 	})
-	ts := httptest.NewServer(sys.NewServer())
+	if err != nil {
+		panic(err)
+	}
+	srv, err := sys.NewServer()
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
 	client := flexsp.NewClient(ts.URL)

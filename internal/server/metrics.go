@@ -14,6 +14,8 @@ import (
 type MetricsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Draining      bool    `json:"draining"`
+	// Strategies lists the names POST /v2/plan accepts on this daemon.
+	Strategies []string `json:"strategies"`
 
 	// Requests counts every admitted solve/pipelined request; Solves counts
 	// the solver passes actually executed, and Coalesced the requests that

@@ -3,21 +3,27 @@
 // sequence-parallel planning is disaggregated from training and runs ahead
 // of each step as a standalone, multi-tenant component.
 //
-// The daemon wraps a solver.Solver (and optionally the joint PP×SP
-// pipeline.Planner) behind four endpoints:
+// The daemon speaks a versioned wire protocol over a solver.Solver, the
+// joint PP×SP pipeline.Planner, and any extra named strategies supplied by
+// the facade:
 //
-//	POST /v1/solve            micro-batch signatures in, placed plans out
-//	POST /v1/solve/pipelined  joint PP×SP planning
+//	POST /v2/plan             {"strategy","lengths","maxCtx","tenant"} →
+//	                          tagged plan envelope (version, strategy,
+//	                          flat | pipelined | megatron section)
+//	POST /v1/solve            v1 shim: the flexsp strategy, flat section
+//	                          only — byte-identical to the v1 protocol
+//	POST /v1/solve/pipelined  v1 shim: the pipeline strategy
 //	GET  /v1/metrics          cache/dedup counters, queue depth, p50/p99
 //	GET  /healthz             liveness (503 while draining)
 //
 // Three layers keep it standing under heavy traffic: admission control (a
 // bounded queue plus per-tenant concurrency limits, overflow answered with
-// 429), request batching (compatible requests arriving within a short
-// window coalesce into one solver pass and share one pre-encoded response),
-// and the solver's sharded PlanCache (repeated length signatures skip
-// planning entirely). Drain() plus http.Server.Shutdown give a graceful
-// SIGTERM: in-flight solves complete, new work is refused with 503.
+// 429), request batching (compatible requests — same lengths, strategy and
+// maxCtx — arriving within a short window coalesce into one solver pass and
+// share one pre-encoded response), and the solver's sharded PlanCache
+// (repeated length signatures skip planning entirely). Drain() plus
+// http.Server.Shutdown give a graceful SIGTERM: in-flight solves complete,
+// new work is refused with 503.
 package server
 
 import (
@@ -25,6 +31,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,18 +41,30 @@ import (
 	"flexsp/internal/solver"
 )
 
+// StrategyFunc produces one named strategy's tagged plan envelope for POST
+// /v2/plan. The facade registers its strategy registry here; the flexsp and
+// pipeline strategies are built in (they run on the server's own solver and
+// joint planner, shared with the v1 shims).
+type StrategyFunc func(ctx context.Context, lengths []int, maxCtx int) (PlanEnvelope, error)
+
 // Config configures a Server.
 type Config struct {
-	// Solver handles /v1/solve; required. If it has no PlanCache one is
-	// attached (sized by CacheEntries/CacheGranularity), so repeated
-	// signatures always hit.
+	// Solver handles the flexsp strategy (and the /v1/solve shim);
+	// required. If it has no PlanCache one is attached (sized by
+	// CacheEntries/CacheGranularity), so repeated signatures always hit.
 	Solver *solver.Solver
 	// CacheEntries and CacheGranularity size the plan cache attached when
 	// Solver arrives without one (defaults 1024 entries, 256-token
 	// rounding); they are ignored for a solver that already has a cache.
 	CacheEntries, CacheGranularity int
-	// Joint handles /v1/solve/pipelined; nil answers that route with 501.
+	// Joint handles the pipeline strategy (and the /v1/solve/pipelined
+	// shim); nil answers those with 501.
 	Joint *pipeline.Planner
+	// Strategies adds extra named strategies to POST /v2/plan (the facade
+	// passes its registry: deepspeed, batchada, megatron, plus any custom
+	// registrations). Entries named "flexsp" or "pipeline" are ignored —
+	// the built-ins own those names.
+	Strategies map[string]StrategyFunc
 	// QueueLimit bounds admitted requests (waiting in a batching window or
 	// solving); overflow is answered with 429. Default 64.
 	QueueLimit int
@@ -62,11 +82,13 @@ type Config struct {
 // Server is the planning daemon. It implements http.Handler; wrap it in an
 // http.Server (or httptest.Server) to serve it.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	solve *batcher
-	piped *batcher
-	start time.Time
+	cfg        Config
+	mux        *http.ServeMux
+	solve      *batcher // /v1/solve shim passes
+	piped      *batcher // /v1/solve/pipelined shim passes
+	v2         *batcher // /v2/plan passes, keyed by (strategy, maxCtx, lengths)
+	strategies map[string]StrategyFunc
+	start      time.Time
 
 	sem      chan struct{} // admission slots; len(sem) is the queue depth
 	draining atomic.Bool
@@ -77,11 +99,11 @@ type Server struct {
 	met metrics
 }
 
-// New builds a Server. It panics when cfg.Solver is nil, like the facade
-// does on invalid configuration.
-func New(cfg Config) *Server {
+// New builds a Server. A nil cfg.Solver is a configuration error and is
+// returned as one, not panicked on.
+func New(cfg Config) (*Server, error) {
 	if cfg.Solver == nil {
-		panic("server: Config.Solver is required")
+		return nil, fmt.Errorf("server: Config.Solver is required")
 	}
 	if cfg.Solver.Cache == nil {
 		cfg.Solver.Cache = solver.NewPlanCache(cfg.CacheEntries, cfg.CacheGranularity)
@@ -105,10 +127,27 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.QueueLimit),
 		tenants: make(map[string]int),
 	}
-	s.solve = newBatcher(cfg.BatchWindow, s.runSolve)
-	s.piped = newBatcher(cfg.BatchWindow, s.runPipelined)
+	s.strategies = map[string]StrategyFunc{"flexsp": s.planFlexSP}
+	if cfg.Joint != nil {
+		s.strategies["pipeline"] = s.planPipelined
+	}
+	for name, fn := range cfg.Strategies {
+		name = strings.ToLower(name)
+		if name == "" || name == "flexsp" || name == "pipeline" || fn == nil {
+			continue
+		}
+		s.strategies[name] = fn
+	}
+	s.solve = newBatcher(cfg.BatchWindow, s.runV1Solve)
+	s.piped = newBatcher(cfg.BatchWindow, s.runV1Pipelined)
+	s.v2 = newBatcher(cfg.BatchWindow, s.runV2)
+	s.mux.HandleFunc("POST /v2/plan", s.handlePlanV2)
 	s.mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
-		s.handlePlan(w, r, s.solve)
+		var req SolveRequest
+		if !decodeRequest(w, r, &req, &s.met) {
+			return
+		}
+		s.servePlan(w, r, s.solve, planJob{lens: req.Lengths, strategy: "flexsp"}, req.Tenant)
 	})
 	s.mux.HandleFunc("POST /v1/solve/pipelined", func(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.Joint == nil {
@@ -116,11 +155,25 @@ func New(cfg Config) *Server {
 			writeError(w, http.StatusNotImplemented, "pipelined planning not configured")
 			return
 		}
-		s.handlePlan(w, r, s.piped)
+		var req SolveRequest
+		if !decodeRequest(w, r, &req, &s.met) {
+			return
+		}
+		s.servePlan(w, r, s.piped, planJob{lens: req.Lengths, strategy: "pipeline"}, req.Tenant)
 	})
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	return s
+	return s, nil
+}
+
+// StrategyNames returns the names POST /v2/plan accepts, sorted.
+func (s *Server) StrategyNames() []string {
+	names := make([]string, 0, len(s.strategies))
+	for name := range s.strategies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // ServeHTTP dispatches to the daemon's routes.
@@ -148,46 +201,120 @@ func (s *Server) Draining() bool {
 // pass that joiners retry.
 const statusClientGone = 499
 
-// runSolve is the batcher's solver pass for /v1/solve: one SolveContext
-// call under the pass context (canceled once every coalesced request has
-// disconnected), encoded once, shared by every member.
-func (s *Server) runSolve(ctx context.Context, lens []int) ([]byte, int) {
-	s.met.solves.Add(1)
+// planFlexSP is the built-in flexsp strategy: one SolveContext call on the
+// server's solver, wrapped in the v2 envelope. The /v1/solve shim serves
+// exactly this envelope's flat section.
+func (s *Server) planFlexSP(ctx context.Context, lens []int, maxCtx int) (PlanEnvelope, error) {
 	res, err := s.cfg.Solver.SolveContext(ctx, lens)
-	switch {
-	case ctx.Err() != nil:
-		return encodeJSON(ErrorResponse{Error: "canceled: all requesting clients disconnected"}), statusClientGone
-	case err != nil:
-		return encodeJSON(ErrorResponse{Error: err.Error()}), http.StatusUnprocessableEntity
+	if err != nil {
+		return PlanEnvelope{}, err
 	}
-	return encodeJSON(EncodeResult(res)), http.StatusOK
+	sr := EncodeResult(res)
+	return PlanEnvelope{
+		Version:          WireVersion,
+		Strategy:         "flexsp",
+		EstTime:          sr.EstTime,
+		SolveWallSeconds: sr.SolveWallSeconds,
+		Flat:             &sr,
+	}, nil
 }
 
-// runPipelined is the solver pass for /v1/solve/pipelined. The joint
-// planner has no cancellation points, so an abandoned pass is only detected
-// once the sweep finishes.
-func (s *Server) runPipelined(ctx context.Context, lens []int) ([]byte, int) {
+// planPipelined is the built-in pipeline strategy over the joint PP×SP
+// planner; the /v1/solve/pipelined shim serves its pipelined section.
+func (s *Server) planPipelined(ctx context.Context, lens []int, maxCtx int) (PlanEnvelope, error) {
+	res, err := s.cfg.Joint.SolveContext(ctx, lens)
+	if err != nil {
+		return PlanEnvelope{}, err
+	}
+	pr := EncodePipelined(res)
+	return PlanEnvelope{
+		Version:          WireVersion,
+		Strategy:         "pipeline",
+		EstTime:          pr.EstTime,
+		SolveWallSeconds: pr.SolveWallSeconds,
+		Pipelined:        &pr,
+	}, nil
+}
+
+// runStrategy executes one strategy pass and encodes the body with the given
+// encoder (the full envelope for v2, a single section for the v1 shims).
+func (s *Server) runStrategy(ctx context.Context, job planJob, encode func(PlanEnvelope) []byte) ([]byte, int) {
 	s.met.solves.Add(1)
-	res, err := s.cfg.Joint.Solve(lens)
+	fn := s.strategies[job.strategy] // validated before admission
+	env, err := fn(ctx, job.lens, job.maxCtx)
 	switch {
 	case ctx.Err() != nil:
 		return encodeJSON(ErrorResponse{Error: "canceled: all requesting clients disconnected"}), statusClientGone
 	case err != nil:
 		return encodeJSON(ErrorResponse{Error: err.Error()}), http.StatusUnprocessableEntity
 	}
-	return encodeJSON(EncodePipelined(res)), http.StatusOK
+	return encode(env), http.StatusOK
 }
 
-// handlePlan is the shared plan route: decode, admit, batch, respond.
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, b *batcher) {
-	var req SolveRequest
+// runV1Solve is the /v1/solve shim's batcher pass: the flexsp strategy with
+// only the envelope's flat section encoded — byte-identical to the v1
+// protocol.
+func (s *Server) runV1Solve(ctx context.Context, job planJob) ([]byte, int) {
+	return s.runStrategy(ctx, job, func(env PlanEnvelope) []byte { return encodeJSON(*env.Flat) })
+}
+
+// runV1Pipelined is the /v1/solve/pipelined shim's pass.
+func (s *Server) runV1Pipelined(ctx context.Context, job planJob) ([]byte, int) {
+	return s.runStrategy(ctx, job, func(env PlanEnvelope) []byte { return encodeJSON(*env.Pipelined) })
+}
+
+// runV2 is the /v2/plan pass: the full tagged envelope.
+func (s *Server) runV2(ctx context.Context, job planJob) ([]byte, int) {
+	return s.runStrategy(ctx, job, func(env PlanEnvelope) []byte { return encodeJSON(env) })
+}
+
+// decodeRequest decodes a JSON request body with the shared size limit,
+// answering 400 on malformed input.
+func decodeRequest(w http.ResponseWriter, r *http.Request, out any, met *metrics) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, 32<<20)
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.met.errors.Add(1)
+	if err := json.NewDecoder(r.Body).Decode(out); err != nil {
+		met.errors.Add(1)
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// handlePlanV2 serves POST /v2/plan: validate the strategy name against the
+// table, then admit, batch, and respond like the v1 routes.
+func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !decodeRequest(w, r, &req, &s.met) {
 		return
 	}
-	for _, l := range req.Lengths {
+	// Strategy names are case-insensitive, like the facade registry.
+	req.Strategy = strings.ToLower(req.Strategy)
+	if req.Strategy == "" {
+		req.Strategy = "flexsp"
+	}
+	if req.MaxCtx < 0 {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("negative maxCtx %d", req.MaxCtx))
+		return
+	}
+	if _, ok := s.strategies[req.Strategy]; !ok {
+		s.met.errors.Add(1)
+		if req.Strategy == "pipeline" {
+			writeError(w, http.StatusNotImplemented, "pipelined planning not configured")
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown strategy %q (known: %s)",
+			req.Strategy, strings.Join(s.StrategyNames(), ", ")))
+		return
+	}
+	s.servePlan(w, r, s.v2,
+		planJob{lens: req.Lengths, strategy: req.Strategy, maxCtx: req.MaxCtx}, req.Tenant)
+}
+
+// servePlan is the shared plan route tail: validate lengths, admit, batch,
+// respond.
+func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, b *batcher, job planJob, tenant string) {
+	for _, l := range job.lens {
 		if l <= 0 {
 			s.met.errors.Add(1)
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("non-positive sequence length %d", l))
@@ -195,7 +322,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, b *batcher) 
 		}
 	}
 
-	release, status, msg := s.admit(req.Tenant)
+	release, status, msg := s.admit(tenant)
 	if status != 0 {
 		writeError(w, status, msg)
 		return
@@ -204,7 +331,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, b *batcher) 
 	s.met.requests.Add(1)
 
 	admitted := time.Now()
-	body, code, members, joined, err := b.do(r.Context(), req.Lengths)
+	body, code, members, joined, err := b.do(r.Context(), job)
 	if err != nil {
 		// The client went away; nothing useful can be written.
 		s.met.errors.Add(1)
@@ -266,6 +393,7 @@ func (s *Server) Metrics() MetricsResponse {
 	return MetricsResponse{
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
+		Strategies:       s.StrategyNames(),
 		Requests:         s.met.requests.Load(),
 		Solves:           s.met.solves.Load(),
 		Coalesced:        s.met.coalesced.Load(),

@@ -37,7 +37,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Joint == nil {
 		cfg.Joint = pipeline.NewPlanner(testCoeffs())
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -307,7 +310,7 @@ func TestBatchWindowRace(t *testing.T) {
 // solver pass stops instead of burning workers on an unread response.
 func TestPassCanceledWhenClientsGone(t *testing.T) {
 	release := make(chan struct{})
-	b := newBatcher(0, func(ctx context.Context, lens []int) ([]byte, int) {
+	b := newBatcher(0, func(ctx context.Context, job planJob) ([]byte, int) {
 		// Stand-in for a long solve with cancellation points: block until
 		// the pass context is canceled.
 		select {
@@ -322,7 +325,7 @@ func TestPassCanceledWhenClientsGone(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 		cancel() // the only client disconnects mid-solve
 	}()
-	body, status, _, _, err := b.do(ctx, testBatch)
+	body, status, _, _, err := b.do(ctx, planJob{lens: testBatch})
 	if err != nil {
 		t.Fatalf("opener returned early: %v", err)
 	}
@@ -378,7 +381,10 @@ func TestPipelined(t *testing.T) {
 
 // TestPipelinedUnconfigured pins the 501 on a solve-only daemon.
 func TestPipelinedUnconfigured(t *testing.T) {
-	s := New(Config{Solver: testSolver()})
+	s, err := New(Config{Solver: testSolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 	body, _ := json.Marshal(SolveRequest{Lengths: testBatch})

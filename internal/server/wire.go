@@ -7,6 +7,9 @@ import (
 	"flexsp/internal/solver"
 )
 
+// WireVersion is the protocol version tagged into every /v2 plan envelope.
+const WireVersion = 2
+
 // SolveRequest is the body of POST /v1/solve and POST /v1/solve/pipelined:
 // the sequence lengths of one global data batch, plus an optional tenant
 // label the server's per-tenant admission control keys on (an empty tenant
@@ -14,6 +17,64 @@ import (
 type SolveRequest struct {
 	Lengths []int  `json:"lengths"`
 	Tenant  string `json:"tenant,omitempty"`
+}
+
+// PlanRequest is the body of POST /v2/plan: one batch of sequence lengths
+// plus the named strategy to plan it with. An empty strategy defaults to
+// "flexsp"; MaxCtx sizes the static baselines (deepspeed, megatron) and is
+// ignored by the adaptive strategies; Tenant keys admission control like the
+// v1 endpoints.
+type PlanRequest struct {
+	Strategy string `json:"strategy,omitempty"`
+	Lengths  []int  `json:"lengths"`
+	MaxCtx   int    `json:"maxCtx,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
+}
+
+// MegatronJSON is the megatron strategy's envelope section: the winning
+// (TP, CP, PP) grid point and its analytic cost (there are no executable
+// micro-plans for this baseline).
+type MegatronJSON struct {
+	TP        int     `json:"tp"`
+	CP        int     `json:"cp"`
+	PP        int     `json:"pp"`
+	Recompute string  `json:"recompute"`
+	Time      float64 `json:"time"`
+	Comm      float64 `json:"comm"`
+	Rounds    int     `json:"rounds"`
+}
+
+// PlanEnvelope is the body of a successful POST /v2/plan: a version- and
+// strategy-tagged union. Exactly one of Flat (flexsp and the homogeneous
+// baselines), Pipelined (the joint PP×SP strategy) or Megatron (the analytic
+// grid baseline) is set; the flat and pipelined sections reuse the v1 wire
+// types byte-for-byte, which is what lets /v1/solve and /v1/solve/pipelined
+// stay as thin shims over the same encoding.
+type PlanEnvelope struct {
+	Version          int                `json:"version"`
+	Strategy         string             `json:"strategy"`
+	EstTime          float64            `json:"estTime"`
+	SolveWallSeconds float64            `json:"solveWallSeconds"`
+	Flat             *SolveResponse     `json:"flat,omitempty"`
+	Pipelined        *PipelinedResponse `json:"pipelined,omitempty"`
+	Megatron         *MegatronJSON      `json:"megatron,omitempty"`
+}
+
+// Plans decodes the envelope's executable micro-plans: the flat plans when
+// present, the per-stage plans flattened micro-batch-major for a pipelined
+// envelope, and nil for analytic strategies (megatron).
+func (e PlanEnvelope) Plans() []planner.MicroPlan {
+	switch {
+	case e.Flat != nil:
+		return DecodePlans(e.Flat.Micro)
+	case e.Pipelined != nil:
+		var out []planner.MicroPlan
+		for _, stages := range e.Pipelined.Plans {
+			out = append(out, DecodePlans(stages)...)
+		}
+		return out
+	}
+	return nil
 }
 
 // GroupJSON is one SP group on the wire. Start/Size carry the placed device
