@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 
+	"flexsp/internal/obs"
 	"flexsp/internal/server"
 )
 
@@ -65,6 +66,14 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 		return fmt.Errorf("flexsp: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the request ID end to end: reuse the one already on the
+	// context (e.g. minted by an outer handler), else mint a fresh one. The
+	// daemon echoes it back and tags its logs and trace with it.
+	rid := obs.RequestID(ctx)
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	req.Header.Set("X-Flexsp-Request-Id", rid)
 	return c.do(req, out)
 }
 

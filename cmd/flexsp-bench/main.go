@@ -28,7 +28,8 @@
 // / BENCH_serve.json, see -benchjson, -solverjson and -servejson) so perf can
 // be tracked across commits. The serve experiment starts an in-process daemon
 // by default; -serveaddr points it at a running flexsp-serve instead.
-// -cpuprofile writes a pprof CPU profile of the run.
+// -cpuprofile writes a pprof CPU profile of the run; -memprofile writes a
+// heap profile at exit.
 package main
 
 import (
@@ -36,11 +37,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"time"
 
 	"flexsp/internal/cliutil"
 	"flexsp/internal/experiments"
+	"flexsp/internal/obs"
 )
 
 func main() {
@@ -60,21 +61,28 @@ func run() int {
 	serveJSON := flag.String("servejson", "BENCH_serve.json", "path for the serve experiment's JSON result (empty disables)")
 	serveAddr := flag.String("serveaddr", "", "run the serve bench against this flexsp-serve URL (e.g. http://127.0.0.1:8080) instead of an in-process daemon")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = usage
 	flag.Parse()
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		stop, err := obs.StartCPUProfile(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "flexsp-bench: -cpuprofile:", err)
 			return 1
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "flexsp-bench: -cpuprofile:", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "flexsp-bench: -cpuprofile:", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "flexsp-bench: -memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Default()
@@ -200,7 +208,7 @@ func writeBenchJSON(path string, r interface{}) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] [-cluster SPEC] [-serveaddr URL] [-cpuprofile FILE] <experiment>
+	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] [-cluster SPEC] [-serveaddr URL] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 
 experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous solver serve all`)
 	flag.PrintDefaults()

@@ -1,0 +1,53 @@
+// Command flexsp-promcheck validates a Prometheus text exposition read from
+// stdin — CI pipes a flexsp-serve GET /metrics scrape through it. It fails
+// (exit 1) when the text does not parse as version 0.0.4 exposition format
+// or when a required series is missing, and prints a one-line summary of
+// what it saw.
+//
+//	curl -s localhost:8080/metrics | flexsp-promcheck \
+//	    -require flexsp_requests_total,flexsp_request_latency_seconds
+//
+// -require takes a comma-separated list of metric family names that must be
+// present with at least one sample.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flexsp/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+
+	fams, err := obs.ParsePrometheus(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexsp-promcheck: invalid exposition:", err)
+		os.Exit(1)
+	}
+	samples := 0
+	byName := map[string]obs.PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+		samples += len(f.Samples)
+	}
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if f, ok := byName[name]; !ok || len(f.Samples) == 0 {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "flexsp-promcheck: missing required series: %s\n", strings.Join(missing, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("flexsp-promcheck: %d families, %d samples ok\n", len(fams), samples)
+}

@@ -13,16 +13,37 @@ import (
 	"os"
 	"sort"
 
+	"flexsp/internal/obs"
 	"flexsp/internal/report"
 	"flexsp/internal/trace"
 )
 
 func main() {
 	warmup := flag.Int("warmup", 0, "iterations excluded from the summary")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: flexsp-report [-warmup N] <trace.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: flexsp-report [-warmup N] [-cpuprofile FILE] [-memprofile FILE] <trace.jsonl>")
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "flexsp-report: -cpuprofile:", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "flexsp-report: -memprofile:", err)
+			}
+		}()
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {

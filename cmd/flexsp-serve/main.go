@@ -14,6 +14,9 @@
 //	POST /v1/solve            v1 shim (flexsp strategy, flat body)
 //	POST /v1/solve/pipelined  v1 shim (pipeline strategy)
 //	GET  /v1/metrics          cache/dedup counters, queue depth, p50/p99
+//	GET  /metrics             the same counters as Prometheus text
+//	GET  /v2/trace            recent request trace IDs
+//	GET  /v2/trace/{id}       one request's Chrome-trace JSON
 //	GET  /healthz             liveness (503 while draining)
 //
 // Admission control answers overflow with 429: -queue bounds admitted
@@ -22,6 +25,11 @@
 // coalesce with. On SIGTERM/SIGINT the daemon drains gracefully: /healthz
 // flips to 503, new plan requests are refused, and in-flight solves finish
 // (up to -drain-timeout) before exit.
+//
+// Observability: -log-level selects the structured-log threshold (requests
+// log at debug with their request IDs), -trace-ring sizes the /v2/trace
+// ring, and -pprof-addr serves net/http/pprof on a separate listener kept
+// off the public planning port.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +48,7 @@ import (
 
 	"flexsp"
 	"flexsp/internal/cliutil"
+	"flexsp/internal/obs"
 )
 
 func main() {
@@ -58,7 +68,17 @@ func run() int {
 	cacheEntries := flag.Int("cache", 4096, "plan cache entries")
 	cacheGranularity := flag.Int("granularity", 256, "plan cache rounding granularity, tokens")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
+	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
+	traceRing := flag.Int("trace-ring", 0, "completed request traces kept for GET /v2/trace/{id} (0 = default 64, negative disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "flexsp-serve: invalid -log-level:", err)
+		return 2
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	plAlgo, err := cliutil.ParsePlanner(*plannerName)
 	if err != nil {
@@ -87,6 +107,8 @@ func run() int {
 			BatchWindow:      *batchWindow,
 			CacheEntries:     *cacheEntries,
 			CacheGranularity: *cacheGranularity,
+			TraceEntries:     *traceRing,
+			Logger:           logger,
 		},
 	})
 	if err != nil {
@@ -99,6 +121,19 @@ func run() int {
 		return 2
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	if *pprofAddr != "" {
+		// pprof runs on its own listener so profiling stays reachable under
+		// load and is never exposed on the public planning port.
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: obs.PprofMux()}
+		go func() {
+			log.Printf("flexsp-serve: pprof on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("flexsp-serve: pprof: %v", err)
+			}
+		}()
+		defer pprofSrv.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

@@ -15,6 +15,12 @@
 //
 //	{"version": 2, "strategy": "flexsp", "estTime": 7.31,
 //	 "flat": {"m": 2, "micro": [{"time": 3.6, "groups": [...]}, ...]}}
+//
+// -explain attaches the plan's provenance (per-group cost terms, rejected
+// alternatives) to the envelope and renders it on stderr; -trace FILE writes
+// a Chrome-trace JSON of the whole solve — plan dispatch, solver trials,
+// micro-batch planning, branch-and-bound and LP spans — loadable in
+// chrome://tracing or Perfetto.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"flexsp"
 	"flexsp/internal/cliutil"
+	"flexsp/internal/obs"
 )
 
 type input struct {
@@ -42,6 +49,8 @@ type input struct {
 
 func main() {
 	inPath := flag.String("in", "-", "input JSON file ('-' = stdin)")
+	explain := flag.Bool("explain", false, "attach plan provenance to the envelope and render it on stderr")
+	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of the solve to this file")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -89,17 +98,46 @@ func main() {
 		fatal(err)
 	}
 
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *tracePath != "" {
+		ctx, tr = obs.NewTrace(ctx, "flexsp-solve")
+	}
 	start := time.Now()
-	plan, err := sys.Plan(context.Background(), in.Lengths, flexsp.PlanOptions{
+	plan, err := sys.Plan(ctx, in.Lengths, flexsp.PlanOptions{
 		Strategy: in.Strategy, MaxCtx: maxCtx})
+	if tr != nil {
+		tr.End()
+		if werr := writeTrace(*tracePath, tr); werr != nil {
+			fatal(werr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
+	env := flexsp.EncodePlan(plan, time.Since(start))
+	if *explain {
+		env.Explain = plan.Explain()
+		fmt.Fprint(os.Stderr, env.Explain.Render())
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(flexsp.EncodePlan(plan, time.Since(start))); err != nil {
+	if err := enc.Encode(env); err != nil {
 		fatal(err)
 	}
+}
+
+// writeTrace exports the finished trace as Chrome trace_event JSON.
+func writeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

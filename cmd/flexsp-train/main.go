@@ -10,6 +10,10 @@
 // sweeps PP ∈ {1,2,4,8}, -pp N pins the pipeline degree. -planner selects
 // the per-micro-batch algorithm (enum, milp, greedy).
 //
+// -chrome-trace FILE writes a Chrome-trace JSON of every concurrent solve
+// (loadable in Perfetto); -cpuprofile / -memprofile write pprof profiles of
+// the run.
+//
 // With -cluster mixed:32xA100,32xH100 the run targets a heterogeneous fleet:
 // the flexsp and pipeline strategies plan placement-aware (groups and stages
 // know their device classes), while deepspeed/batchada plan against the
@@ -31,6 +35,7 @@ import (
 
 	"flexsp"
 	"flexsp/internal/cliutil"
+	"flexsp/internal/obs"
 	"flexsp/internal/report"
 	"flexsp/internal/trace"
 	"flexsp/internal/workload"
@@ -52,7 +57,29 @@ func main() {
 	seed := flag.Int64("seed", 42, "sampling seed")
 	tracePath := flag.String("trace", "", "write per-iteration JSONL telemetry to this file")
 	warmup := flag.Int("warmup", 0, "iterations excluded from the summary")
+	chromeTrace := flag.String("chrome-trace", "", "write a Chrome-trace JSON of the planning spans to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "flexsp-train: -cpuprofile:", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "flexsp-train: -memprofile:", err)
+			}
+		}()
+	}
 
 	maxCtx, err := cliutil.ParseTokens(*maxCtxStr)
 	if err != nil {
@@ -139,6 +166,10 @@ func main() {
 	// order — the same disaggregation the solver service provides, for
 	// every strategy uniformly.
 	ctx := context.Background()
+	var spanTrace *obs.Trace
+	if *chromeTrace != "" {
+		ctx, spanTrace = obs.NewTrace(ctx, "flexsp-train")
+	}
 	type planned struct {
 		plan flexsp.Plan
 		wall time.Duration
@@ -213,6 +244,13 @@ func main() {
 		totalSolve += pr.wall.Seconds()
 	}
 
+	if spanTrace != nil {
+		spanTrace.End()
+		if err := writeChromeTrace(*chromeTrace, spanTrace); err != nil {
+			fatal(err)
+		}
+	}
+
 	fmt.Println(t.String())
 	fmt.Printf("mean iteration: %s   mean solve: %s (overlapped by prefetching)\n",
 		report.Secs(totalExec/float64(*iters)), report.Secs(totalSolve/float64(*iters)))
@@ -221,6 +259,20 @@ func main() {
 			sum.Warmup, sum.MeanExecSeconds, 100*sum.AllToAllShare,
 			sum.TokensPerSec, 100*sum.EstimateError, sum.SolveP95)
 	}
+}
+
+// writeChromeTrace exports the finished span trace as Chrome trace_event
+// JSON.
+func writeChromeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -30,6 +30,7 @@ package flexsp
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"flexsp/internal/baselines"
@@ -134,6 +135,13 @@ type ServeConfig struct {
 	// entries, 256-token rounding); a cache already on the solver is kept
 	// as-is.
 	CacheEntries, CacheGranularity int
+	// TraceEntries bounds the ring of completed request traces behind the
+	// daemon's GET /v2/trace/{id} (0 = default 64; negative disables
+	// per-request tracing).
+	TraceEntries int
+	// Logger receives the daemon's structured logs (requests at Debug,
+	// lifecycle at Info); nil discards.
+	Logger *slog.Logger
 }
 
 // PipelineConfig configures hybrid pipeline-parallel × flexible-SP planning.
@@ -377,6 +385,8 @@ func (s *System) NewServer() (*server.Server, error) {
 		BatchWindow:      s.serve.BatchWindow,
 		CacheEntries:     s.serve.CacheEntries,
 		CacheGranularity: s.serve.CacheGranularity,
+		TraceEntries:     s.serve.TraceEntries,
+		Logger:           s.serve.Logger,
 	})
 }
 
@@ -390,13 +400,17 @@ func (s *System) serverStrategies() map[string]server.StrategyFunc {
 			continue
 		}
 		name := name
-		out[name] = func(ctx context.Context, lengths []int, maxCtx int) (server.PlanEnvelope, error) {
+		out[name] = func(ctx context.Context, spec server.PlanSpec) (server.PlanEnvelope, error) {
 			start := time.Now()
-			p, err := s.Plan(ctx, lengths, PlanOptions{Strategy: name, MaxCtx: maxCtx})
+			p, err := s.Plan(ctx, spec.Lengths, PlanOptions{Strategy: name, MaxCtx: spec.MaxCtx})
 			if err != nil {
 				return server.PlanEnvelope{}, err
 			}
-			return EncodePlan(p, time.Since(start)), nil
+			env := EncodePlan(p, time.Since(start))
+			if spec.Explain {
+				env.Explain = p.Explain()
+			}
+			return env, nil
 		}
 	}
 	return out

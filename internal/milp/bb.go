@@ -2,10 +2,14 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"flexsp/internal/obs"
 )
 
 // Options controls Solve.
@@ -100,6 +104,59 @@ type bbShared struct {
 
 	maxNodes int
 	deadline time.Time
+
+	// ctx cancels the search at node granularity (checked where the time
+	// budget is); span, when tracing, collects sampled per-LP child spans.
+	ctx  context.Context
+	span *obs.Span
+
+	nWarm      atomic.Int64 // dual-simplex warm re-solves
+	nCold      atomic.Int64 // two-phase cold solves
+	nIncumbent atomic.Int64 // accepted incumbent improvements
+	lpSpans    atomic.Int64 // sampled LP spans emitted so far
+}
+
+// lpSpanSample caps per-solve LP child spans so traces stay loadable: the
+// first spans show the warm/cold pattern, the aggregate counters the rest.
+const lpSpanSample = 32
+
+// canceled reports whether the caller's context has been canceled.
+func (sh *bbShared) canceled() bool {
+	if sh.ctx == nil {
+		return false
+	}
+	select {
+	case <-sh.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// lp runs one LP solve (warm dual-simplex re-solve or cold two-phase),
+// counting it and emitting a sampled trace span.
+func (sh *bbShared) lp(ws *lpWorkspace, warm bool, lb, ub []float64) (lpStatus, []float64, float64) {
+	var sp *obs.Span
+	if sh.span != nil && sh.lpSpans.Add(1) <= lpSpanSample {
+		sp = sh.span.StartChild("milp.lp")
+		if warm {
+			sp.SetAttr("kind", "warm")
+		} else {
+			sp.SetAttr("kind", "cold")
+		}
+	}
+	var st lpStatus
+	var x []float64
+	var obj float64
+	if warm {
+		st, x, obj = ws.resolve(sh.m, lb, ub)
+		sh.nWarm.Add(1)
+	} else {
+		st, x, obj = ws.solveCold(sh.m, lb, ub)
+		sh.nCold.Add(1)
+	}
+	sp.End()
+	return st, x, obj
 }
 
 // globalBound is the best proven lower bound: min over open and in-flight
@@ -138,6 +195,7 @@ func (sh *bbShared) tryIncumbent(x []float64, obj float64) {
 		sh.bestObj = obj
 		sh.bestX = append(sh.bestX[:0], x...)
 		sh.haveInc = true
+		sh.nIncumbent.Add(1)
 		sh.cond.Broadcast()
 	}
 	sh.mu.Unlock()
@@ -174,6 +232,32 @@ func chooseBranchVar(m *Model, x []float64) int {
 // shared open list. A rounding heuristic runs at every node, the incumbent is
 // shared across workers, and the options' time and node budgets are honoured.
 func Solve(m *Model, opts Options) Solution {
+	return SolveContext(context.Background(), m, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation and tracing. The
+// context is checked at node granularity — a cancellation stops the search as
+// if the time budget expired, returning the best incumbent so far. When a
+// trace collector is installed on the context (obs.NewTrace), the solve
+// records a "milp.bb" span with node/LP/incumbent counters and the first few
+// LP re-solves as sampled child spans.
+func SolveContext(ctx context.Context, m *Model, opts Options) Solution {
+	_, span := obs.Start(ctx, "milp.bb")
+	sol := solveContext(ctx, span, m, opts)
+	span.SetAttr("status", sol.Status.String())
+	span.SetAttr("nodes", sol.Nodes)
+	span.SetAttr("lp_warm", sol.LPWarm)
+	span.SetAttr("lp_cold", sol.LPCold)
+	span.SetAttr("incumbents", sol.Incumbents)
+	if sol.Status == StatusOptimal || sol.Status == StatusFeasible {
+		span.SetAttr("obj", sol.Obj)
+		span.SetAttr("bound", sol.Bound)
+	}
+	span.End()
+	return sol
+}
+
+func solveContext(ctx context.Context, span *obs.Span, m *Model, opts Options) Solution {
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
@@ -194,6 +278,7 @@ func Solve(m *Model, opts Options) Solution {
 	// unbounded, stalled) map directly onto the solution status.
 	ws := newWorkspace(m)
 	st, x, obj := ws.solveCold(m, nil, nil)
+	best.LPCold = 1
 	switch st {
 	case lpInfeasible:
 		if best.Status == StatusFeasible {
@@ -202,14 +287,14 @@ func Solve(m *Model, opts Options) Solution {
 			best.Status = StatusOptimal
 			return best
 		}
-		return Solution{Status: StatusInfeasible}
+		return Solution{Status: StatusInfeasible, LPCold: 1}
 	case lpUnbounded:
-		return Solution{Status: StatusUnbounded}
+		return Solution{Status: StatusUnbounded, LPCold: 1}
 	case lpIterLimit:
 		if best.Status == StatusFeasible {
 			return best
 		}
-		return Solution{Status: StatusLimit}
+		return Solution{Status: StatusLimit, LPCold: 1}
 	}
 	best.Bound = obj
 
@@ -222,6 +307,8 @@ func Solve(m *Model, opts Options) Solution {
 		maxNodes:    maxNodes,
 		deadline:    deadline,
 		workerBound: make([]float64, workers),
+		ctx:         ctx,
+		span:        span,
 	}
 	sh.cond = sync.NewCond(&sh.mu)
 	if sh.haveInc {
@@ -284,6 +371,9 @@ func Solve(m *Model, opts Options) Solution {
 	exhausted := len(sh.open) == 0 && sh.inflight == 0 && !sh.stopped
 	best.Nodes = sh.nodes
 	sh.mu.Unlock()
+	best.LPWarm = int(sh.nWarm.Load())
+	best.LPCold += int(sh.nCold.Load())
+	best.Incumbents = int(sh.nIncumbent.Load())
 
 	if math.IsInf(bound, 1) {
 		bound = best.Obj
@@ -314,7 +404,7 @@ func (sh *bbShared) runWorker(w int, ws *lpWorkspace) {
 			sh.mu.Unlock()
 			return
 		}
-		if sh.nodes >= sh.maxNodes ||
+		if sh.nodes >= sh.maxNodes || sh.canceled() ||
 			(!sh.deadline.IsZero() && time.Now().After(sh.deadline)) {
 			sh.stopped = true
 			sh.cond.Broadcast()
@@ -339,7 +429,7 @@ func (sh *bbShared) runWorker(w int, ws *lpWorkspace) {
 		sh.nodes++
 		sh.mu.Unlock()
 
-		st, x, obj := ws.solveCold(sh.m, n.lb, n.ub)
+		st, x, obj := sh.lp(ws, false, n.lb, n.ub)
 		sh.dive(w, ws, n, st, x, obj)
 
 		sh.mu.Lock()
@@ -408,7 +498,7 @@ func (sh *bbShared) dive(w int, ws *lpWorkspace, n *bbNode, st lpStatus, x []flo
 		sh.seq++
 		heap.Push(&sh.open, sib)
 		sh.cond.Broadcast()
-		if sh.stopped || sh.nodes >= sh.maxNodes ||
+		if sh.stopped || sh.nodes >= sh.maxNodes || sh.canceled() ||
 			(!sh.deadline.IsZero() && time.Now().After(sh.deadline)) {
 			sh.stopped = true
 			sh.cond.Broadcast()
@@ -421,11 +511,11 @@ func (sh *bbShared) dive(w int, ws *lpWorkspace, n *bbNode, st lpStatus, x []flo
 		// Warm re-solve from the basis still loaded in the workspace; cold
 		// fallback keeps the node exact when the dual simplex stalls.
 		if sh.opts.DisableWarmStart {
-			st, x, obj = ws.solveCold(sh.m, n.lb, n.ub)
+			st, x, obj = sh.lp(ws, false, n.lb, n.ub)
 		} else {
-			st, x, obj = ws.resolve(sh.m, n.lb, n.ub)
+			st, x, obj = sh.lp(ws, true, n.lb, n.ub)
 			if st == lpIterLimit {
-				st, x, obj = ws.solveCold(sh.m, n.lb, n.ub)
+				st, x, obj = sh.lp(ws, false, n.lb, n.ub)
 			}
 		}
 	}

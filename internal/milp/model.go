@@ -211,4 +211,10 @@ type Solution struct {
 	Bound float64
 	// Nodes is the number of branch-and-bound nodes processed.
 	Nodes int
+	// LPWarm and LPCold count LP solves by kind: warm dual-simplex re-solves
+	// from a parent basis versus cold two-phase solves (including the root).
+	LPWarm int
+	LPCold int
+	// Incumbents counts accepted incumbent improvements during the search.
+	Incumbents int
 }

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one trace_event record in the Chrome/Perfetto JSON format.
+// Timestamps and durations are microseconds; ph "X" is a complete event.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object chrome://tracing and Perfetto load.
+type chromeFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"otherData,omitempty"`
+}
+
+// flatSpan is a span flattened for export.
+type flatSpan struct {
+	ts    float64 // µs
+	dur   float64 // µs
+	ended bool
+	attrs []Attr
+}
+
+// WriteChrome exports the trace as Chrome trace_event JSON, loadable in
+// chrome://tracing and Perfetto. The export is deterministic for a fixed
+// clock: spans are visited depth-first in start order (creation order breaks
+// ties), and overlapping siblings are spread across lanes (tid) greedily — a
+// child stays on its parent's lane when the lane is free at its start time,
+// otherwise it takes the lowest free lane. Unfinished spans are exported with
+// their duration-so-far and an "unfinished" arg.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	now := t.clock()
+	var events []chromeEvent
+	// busyUntil[lane] is the time (µs) at which the lane frees up.
+	var busyUntil []float64
+
+	var walk func(s *Span, parentLane int)
+	walk = func(s *Span, parentLane int) {
+		dur, ended, attrs, children := s.snapshot(now)
+		fs := flatSpan{
+			ts:    float64(s.start.Nanoseconds()) / 1e3,
+			dur:   float64(dur.Nanoseconds()) / 1e3,
+			ended: ended,
+			attrs: attrs,
+		}
+		// Greedy lane assignment: prefer the parent's lane, else the first
+		// lane free at fs.ts, else a fresh lane.
+		lane := -1
+		if parentLane >= 0 && busyUntil[parentLane] <= fs.ts {
+			lane = parentLane
+		} else {
+			for i := range busyUntil {
+				if busyUntil[i] <= fs.ts {
+					lane = i
+					break
+				}
+			}
+			if lane < 0 {
+				busyUntil = append(busyUntil, 0)
+				lane = len(busyUntil) - 1
+			}
+		}
+		busyUntil[lane] = fs.ts + fs.dur
+		ev := chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			Ts:   fs.ts,
+			Dur:  fs.dur,
+			Pid:  1,
+			Tid:  lane + 1,
+		}
+		if len(attrs) > 0 || !ended {
+			ev.Args = make(map[string]any, len(attrs)+1)
+			for _, a := range attrs {
+				ev.Args[a.Key] = a.Value
+			}
+			if !ended {
+				ev.Args["unfinished"] = true
+			}
+		}
+		events = append(events, ev)
+		// Visit children in start order; creation order (seq) breaks ties so
+		// the export is stable even when spans share a timestamp.
+		sort.SliceStable(children, func(i, j int) bool {
+			if children[i].start != children[j].start {
+				return children[i].start < children[j].start
+			}
+			return children[i].seq < children[j].seq
+		})
+		for _, c := range children {
+			walk(c, lane)
+		}
+	}
+	walk(t.root, -1)
+
+	file := chromeFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]any{"traceId": t.id},
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(file); err != nil {
+		return fmt.Errorf("obs: writing chrome trace: %w", err)
+	}
+	return nil
+}

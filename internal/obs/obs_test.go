@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestTrace builds a trace with a manually advanced clock so exports are
+// deterministic.
+func newTestTrace(name string) (context.Context, *Trace, *time.Duration) {
+	ctx, tr := NewTrace(context.Background(), name)
+	now := new(time.Duration)
+	tr.now = func() time.Duration { return *now }
+	// Root was stamped with the real clock before the swap; reset it.
+	tr.root.start = 0
+	return ctx, tr, now
+}
+
+func TestStartWithoutTraceIsNil(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "noop")
+	if sp != nil {
+		t.Fatalf("expected nil span without a collector, got %v", sp)
+	}
+	if ctx2 != ctx {
+		t.Fatalf("expected unchanged context without a collector")
+	}
+	// All nil-span methods must be safe no-ops.
+	sp.SetAttr("k", 1)
+	sp.SetError(context.Canceled)
+	sp.End()
+	if c := sp.StartChild("child"); c != nil {
+		t.Fatalf("nil span StartChild should return nil, got %v", c)
+	}
+	if sp.Name() != "" {
+		t.Fatalf("nil span name should be empty")
+	}
+	if Enabled(ctx) {
+		t.Fatalf("Enabled should be false without a collector")
+	}
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	ctx, tr, now := newTestTrace("root")
+	*now = 1 * time.Millisecond
+	ctx1, a := Start(ctx, "a")
+	a.SetAttr("k", "v1")
+	a.SetAttr("k", "v2") // replace, not append
+	a.SetAttr("n", 3)
+	*now = 2 * time.Millisecond
+	_, b := Start(ctx1, "b")
+	*now = 3 * time.Millisecond
+	b.End()
+	a.End()
+	tr.End()
+
+	if got := len(tr.Root().children); got != 1 {
+		t.Fatalf("root children = %d, want 1", got)
+	}
+	_, _, attrs, kids := a.snapshot(*now)
+	if len(attrs) != 2 || attrs[0].Value != "v2" {
+		t.Fatalf("attrs = %v, want k replaced to v2 and n", attrs)
+	}
+	if len(kids) != 1 || kids[0].Name() != "b" {
+		t.Fatalf("a children = %v, want [b]", kids)
+	}
+	dur, ended, _, _ := b.snapshot(*now)
+	if !ended || dur != 1*time.Millisecond {
+		t.Fatalf("b dur = %v ended = %v, want 1ms ended", dur, ended)
+	}
+}
+
+// Ending a span after its context was canceled must work: spans track wall
+// time, not context lifetime. This is the daemon's client-gone path.
+func TestCanceledContextMidSpan(t *testing.T) {
+	ctx, tr, now := newTestTrace("root")
+	cctx, cancel := context.WithCancel(ctx)
+	_, sp := Start(cctx, "solve")
+	*now = 5 * time.Millisecond
+	cancel() // client goes away mid-solve
+	sp.SetAttr("canceled", true)
+	sp.SetError(cctx.Err())
+	*now = 7 * time.Millisecond
+	sp.End()
+	tr.End()
+
+	dur, ended, attrs, _ := sp.snapshot(*now)
+	if !ended || dur != 7*time.Millisecond {
+		t.Fatalf("span after cancel: dur=%v ended=%v, want 7ms ended", dur, ended)
+	}
+	found := false
+	for _, a := range attrs {
+		if a.Key == "error" && strings.Contains(a.Value.(string), "canceled") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected error attr recording cancellation, got %v", attrs)
+	}
+	// End is idempotent; a second End after more clock must not extend.
+	*now = 9 * time.Millisecond
+	sp.End()
+	if d, _, _, _ := sp.snapshot(*now); d != 7*time.Millisecond {
+		t.Fatalf("second End extended duration to %v", d)
+	}
+}
+
+// Nested spans attached from many goroutines — the parallel branch-and-bound
+// pattern: one parent span, workers adding LP children concurrently.
+func TestNestedSpansAcrossGoroutines(t *testing.T) {
+	ctx, tr, _ := newTestTrace("root")
+	_, parent := Start(ctx, "milp.bb")
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c := parent.StartChild("milp.lp")
+				c.SetAttr("kind", "warm")
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	parent.End()
+	tr.End()
+	_, _, _, kids := parent.snapshot(0)
+	if len(kids) != workers*perWorker {
+		t.Fatalf("children = %d, want %d", len(kids), workers*perWorker)
+	}
+	// The export must also hold up under a concurrent tree.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+}
+
+// Two exports of the same finished trace must be byte-identical, and sibling
+// ordering must follow (start, creation) order — the golden-comparison
+// property the CI trace artifact relies on.
+func TestChromeExportDeterminism(t *testing.T) {
+	ctx, tr, now := newTestTrace("plan")
+	// Two siblings created at the same timestamp: creation order breaks the tie.
+	ctx1, s1 := Start(ctx, "trial-2")
+	_, s2 := Start(ctx, "trial-1")
+	*now = 2 * time.Millisecond
+	_, lp := Start(ctx1, "lp")
+	*now = 3 * time.Millisecond
+	lp.End()
+	s1.End()
+	*now = 4 * time.Millisecond
+	s2.End()
+	tr.End()
+
+	var a, b bytes.Buffer
+	if err := tr.WriteChrome(&a); err != nil {
+		t.Fatalf("export 1: %v", err)
+	}
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatalf("export 2: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("exports differ:\n%s\n----\n%s", a.String(), b.String())
+	}
+
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var names []string
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has ph %q, want X", ev.Name, ev.Ph)
+		}
+		names = append(names, ev.Name)
+	}
+	want := []string{"plan", "trial-2", "lp", "trial-1"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("event order = %v, want %v", names, want)
+	}
+	// Overlapping siblings must land on different lanes.
+	if file.TraceEvents[1].Tid == file.TraceEvents[3].Tid {
+		t.Fatalf("overlapping siblings share lane %d", file.TraceEvents[1].Tid)
+	}
+}
+
+func TestChromeExportUnfinishedSpan(t *testing.T) {
+	ctx, tr, now := newTestTrace("root")
+	_, sp := Start(ctx, "hung")
+	_ = sp
+	*now = 10 * time.Millisecond
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"unfinished":true`) {
+		t.Fatalf("unfinished span not flagged: %s", buf.String())
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Fatalf("empty context should have no request ID")
+	}
+	ctx = WithRequestID(ctx, "r-1")
+	if got := RequestID(ctx); got != "r-1" {
+		t.Fatalf("RequestID = %q, want r-1", got)
+	}
+	if WithRequestID(ctx, "") != ctx {
+		t.Fatalf("empty id should not wrap the context")
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || a == "" {
+		t.Fatalf("NewRequestID not unique: %q %q", a, b)
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
+)
+
+// StartCPUProfile opens path and starts CPU profiling into it, returning a
+// stop function that finishes the profile and closes the file. It is the
+// shared helper behind every CLI's -cpuprofile flag.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating cpu profile: %w", err)
+	}
+	if err := runtimepprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+	}
+	return func() error {
+		runtimepprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("obs: closing cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeapProfile runs a GC (so the profile reflects live objects, per the
+// runtime/pprof recommendation) and writes the heap profile to path. It is
+// the shared helper behind every CLI's -memprofile flag.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: creating heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := runtimepprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing heap profile: %w", err)
+	}
+	return f.Close()
+}
+
+// PprofMux returns a mux serving the standard net/http/pprof handlers under
+// /debug/pprof/. flexsp-serve exposes it on a dedicated -pprof-addr listener
+// so profiling never shares a port with the planning API.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

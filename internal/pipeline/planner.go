@@ -9,6 +9,7 @@ import (
 
 	"flexsp/internal/blaster"
 	"flexsp/internal/costmodel"
+	"flexsp/internal/obs"
 	"flexsp/internal/planner"
 )
 
@@ -114,6 +115,9 @@ func (jp *Planner) Solve(batch []int) (Result, error) {
 // ctx.Err(), never ErrUnsolvable.
 func (jp *Planner) SolveContext(ctx context.Context, batch []int) (Result, error) {
 	start := time.Now()
+	ctx, span := obs.Start(ctx, "pipeline.solve")
+	defer span.End()
+	span.SetAttr("seqs", len(batch))
 	degrees := jp.Degrees
 	if len(degrees) == 0 {
 		degrees = DefaultDegrees
@@ -162,12 +166,16 @@ func (jp *Planner) SolveContext(ctx context.Context, batch []int) (Result, error
 		}
 	}
 	if err := ctx.Err(); err != nil {
+		span.SetError(err)
 		return Result{}, err
 	}
 	if math.IsInf(res.Time, 1) {
+		span.SetError(ErrUnsolvable)
 		return Result{Candidates: res.Candidates}, ErrUnsolvable
 	}
 	res.SolveWall = time.Since(start)
+	span.SetAttr("pp", res.Pipe.PP)
+	span.SetAttr("est_time", res.Time)
 	return res, nil
 }
 
@@ -181,6 +189,18 @@ type outcome struct {
 
 // solveDegree runs the micro-batch-count search at one PP degree.
 func (jp *Planner) solveDegree(ctx context.Context, batch []int, pp int) (o outcome) {
+	ctx, span := obs.Start(ctx, "pipeline.degree")
+	defer span.End()
+	span.SetAttr("pp", pp)
+	defer func() {
+		span.SetAttr("feasible", o.cand.Feasible)
+		if o.cand.Feasible {
+			span.SetAttr("m", o.cand.M)
+			span.SetAttr("est_time", o.cand.Time)
+		} else if o.cand.Note != "" {
+			span.SetAttr("note", o.cand.Note)
+		}
+	}()
 	o.cand = Candidate{PP: pp}
 
 	// M_min: smallest m whose in-flight-aware stage capacity admits the

@@ -1,8 +1,11 @@
 package planner
 
 import (
+	"context"
 	"math"
 	"sort"
+
+	"flexsp/internal/obs"
 )
 
 // enumLimit is the device count up to which we exhaustively enumerate group
@@ -11,11 +14,14 @@ import (
 const enumLimit = 64
 
 // planEnum is the default solver: enumerate (or search) degree multisets,
-// place items with LPT, refine the most promising configurations.
-func (pl *Planner) planEnum(lens []int) (MicroPlan, error) {
+// place items with LPT, refine the most promising configurations. The
+// context is used only for span annotation (candidate/refine counts); the
+// search itself is fast enough not to need cancellation points.
+func (pl *Planner) planEnum(ctx context.Context, lens []int) (MicroPlan, error) {
 	if len(lens) == 0 {
 		return MicroPlan{}, nil
 	}
+	span := obs.FromContext(ctx)
 	c := pl.Coeffs
 	n := c.Topo.NumDevices()
 
@@ -72,6 +78,7 @@ func (pl *Planner) planEnum(lens []int) (MicroPlan, error) {
 			tryConfig(cfg)
 		}
 	}
+	span.SetAttr("candidates", len(cands))
 	if len(cands) == 0 {
 		return MicroPlan{}, ErrInfeasible
 	}
@@ -89,6 +96,7 @@ func (pl *Planner) planEnum(lens []int) (MicroPlan, error) {
 			refineSet = append(refineSet, cd)
 		}
 	}
+	span.SetAttr("refined", len(refineSet))
 	best := MicroPlan{Time: math.Inf(1)}
 	gtMemo := newGroupTimeMemo()
 	for _, cd := range refineSet {

@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"flexsp/internal/cluster"
 	"flexsp/internal/costmodel"
 	"flexsp/internal/milp"
+	"flexsp/internal/obs"
 )
 
 // This file holds the heterogeneous-fleet strategies: the planner decides
@@ -49,10 +51,11 @@ func rangesKey(ranges []cluster.DeviceRange) string {
 // multiset is placed under each bias, assigned with cost-aware LPT against
 // the per-range coefficients, and the best configurations are refined with
 // the move/swap local search.
-func (pl *Planner) planPlacedEnum(lens []int) (MicroPlan, error) {
+func (pl *Planner) planPlacedEnum(ctx context.Context, lens []int) (MicroPlan, error) {
 	if len(lens) == 0 {
 		return MicroPlan{}, nil
 	}
+	span := obs.FromContext(ctx)
 	h := *pl.Hetero
 	n := h.Mixed.NumDevices()
 
@@ -123,6 +126,7 @@ func (pl *Planner) planPlacedEnum(lens []int) (MicroPlan, error) {
 			tryConfig(cfg)
 		}
 	}
+	span.SetAttr("candidates", len(cands))
 	if len(cands) == 0 {
 		return MicroPlan{}, ErrInfeasible
 	}
@@ -137,6 +141,7 @@ func (pl *Planner) planPlacedEnum(lens []int) (MicroPlan, error) {
 			refineSet = append(refineSet, cd)
 		}
 	}
+	span.SetAttr("refined", len(refineSet))
 	best := MicroPlan{Time: math.Inf(1)}
 	gtMemo := newGroupTimeMemo()
 	for _, cd := range refineSet {
@@ -217,7 +222,7 @@ func (pl *Planner) placeObliviously(p MicroPlan) (MicroPlan, error) {
 // per-device packing constraints (aligned power-of-two slots overlap only by
 // containment, so each device's chain of ≤ log N slots gets one constraint).
 // Warm-started by the placed enumerative plan.
-func (pl *Planner) planPlacedMILP(lens []int) (MicroPlan, error) {
+func (pl *Planner) planPlacedMILP(ctx context.Context, lens []int) (MicroPlan, error) {
 	if len(lens) == 0 {
 		return MicroPlan{}, nil
 	}
@@ -314,7 +319,7 @@ func (pl *Planner) planPlacedMILP(lens []int) (MicroPlan, error) {
 	var incumbent []float64
 	var warmPlan MicroPlan
 	haveWarm := false
-	if warm, err := pl.planPlacedEnum(lens); err == nil {
+	if warm, err := pl.planPlacedEnum(ctx, lens); err == nil {
 		warmPlan, haveWarm = warm, true
 		x := make([]float64, m.NumVars())
 		bucketOf := func(l int) int {
@@ -363,7 +368,7 @@ func (pl *Planner) planPlacedMILP(lens []int) (MicroPlan, error) {
 	if limit <= 0 {
 		limit = 10 * time.Second
 	}
-	sol := milp.Solve(m, milp.Options{
+	sol := milp.SolveContext(ctx, m, milp.Options{
 		TimeLimit: limit, Incumbent: incumbent, Gap: 0.02, Workers: pl.MILPWorkers,
 	})
 	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {

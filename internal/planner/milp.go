@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -12,7 +13,7 @@ import (
 // the internal branch-and-bound solver. The search is warm-started with the
 // enumerative plan, so under a time budget the result is never worse than
 // StrategyEnum's.
-func (pl *Planner) planMILP(lens []int) (MicroPlan, error) {
+func (pl *Planner) planMILP(ctx context.Context, lens []int) (MicroPlan, error) {
 	if len(lens) == 0 {
 		return MicroPlan{}, nil
 	}
@@ -141,7 +142,7 @@ func (pl *Planner) planMILP(lens []int) (MicroPlan, error) {
 	var incumbent []float64
 	var warmPlan MicroPlan
 	haveWarm := false
-	if warm, err := pl.planEnum(lens); err == nil {
+	if warm, err := pl.planEnum(ctx, lens); err == nil {
 		warmPlan, haveWarm = warm, true
 		incumbent = pl.encodeIncumbent(m.NumVars(), cVar, mVar, aVar, vgroups, buckets, warm)
 		if incumbent != nil && !m.Feasible(incumbent) {
@@ -155,7 +156,7 @@ func (pl *Planner) planMILP(lens []int) (MicroPlan, error) {
 	}
 	// A small relative gap matches practice: the paper accepts SCIP's first
 	// good solution within its 5–15s window rather than a proven optimum.
-	sol := milp.Solve(m, milp.Options{
+	sol := milp.SolveContext(ctx, m, milp.Options{
 		TimeLimit: limit, Incumbent: incumbent, Gap: 0.02, Workers: pl.MILPWorkers,
 	})
 	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {

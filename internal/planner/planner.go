@@ -1,10 +1,12 @@
 package planner
 
 import (
+	"context"
 	"time"
 
 	"flexsp/internal/bucket"
 	"flexsp/internal/costmodel"
+	"flexsp/internal/obs"
 )
 
 // Planner solves the per-micro-batch parallelism problem.
@@ -85,23 +87,51 @@ func (pl *Planner) TokenCapacity() int {
 // estimate of the makespan. On a heterogeneous fleet the plan's groups also
 // carry their device ranges.
 func (pl *Planner) Plan(lens []int) (MicroPlan, error) {
+	return pl.PlanContext(context.Background(), lens)
+}
+
+// PlanContext is Plan with tracing and (for StrategyMILP) cooperative
+// cancellation. When a trace collector is installed it records a
+// "planner.plan" span whose attrs carry the strategy, the candidate and
+// refinement counts of the enumerative search, and the resulting makespan;
+// the MILP strategies nest the branch-and-bound span beneath it.
+func (pl *Planner) PlanContext(ctx context.Context, lens []int) (MicroPlan, error) {
+	ctx, span := obs.Start(ctx, "planner.plan")
+	defer span.End()
+	span.SetAttr("strategy", pl.Strategy.String())
+	span.SetAttr("seqs", len(lens))
+	if pl.Hetero != nil {
+		span.SetAttr("placed", true)
+	}
+	mp, err := pl.planDispatch(ctx, lens)
+	if err != nil {
+		span.SetError(err)
+	} else {
+		span.SetAttr("est_time", mp.Time)
+		span.SetAttr("groups", len(mp.Groups))
+	}
+	return mp, err
+}
+
+// planDispatch routes to the strategy implementation.
+func (pl *Planner) planDispatch(ctx context.Context, lens []int) (MicroPlan, error) {
 	if pl.Hetero != nil {
 		switch pl.Strategy {
 		case StrategyMILP:
-			return pl.planPlacedMILP(lens)
+			return pl.planPlacedMILP(ctx, lens)
 		case StrategyGreedy:
 			return pl.planPlacedGreedy(lens)
 		default:
-			return pl.planPlacedEnum(lens)
+			return pl.planPlacedEnum(ctx, lens)
 		}
 	}
 	switch pl.Strategy {
 	case StrategyMILP:
-		return pl.planMILP(lens)
+		return pl.planMILP(ctx, lens)
 	case StrategyGreedy:
 		return pl.planGreedy(lens)
 	default:
-		return pl.planEnum(lens)
+		return pl.planEnum(ctx, lens)
 	}
 }
 

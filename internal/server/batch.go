@@ -19,13 +19,16 @@ type planJob struct {
 	lens     []int
 	strategy string
 	maxCtx   int
+	// explain asks the pass to attach provenance; it is a pass coordinate
+	// because the encoded response differs.
+	explain bool
 }
 
 // key returns the pass key and the canonical sorted length signature: the
-// solver's multiset FNV-1a key folded with the strategy name and maxCtx, so
-// two jobs share a pass only when every coordinate matches (the signature
-// and the job fields are re-compared on join — hash collisions fall back to
-// independent passes, never shared plans).
+// solver's multiset FNV-1a key folded with the strategy name, maxCtx and the
+// explain flag, so two jobs share a pass only when every coordinate matches
+// (the signature and the job fields are re-compared on join — hash
+// collisions fall back to independent passes, never shared plans).
 func (j planJob) key() ([]int32, uint64) {
 	sig, key := solver.Signature(j.lens)
 	h := fnv.New64a()
@@ -36,6 +39,9 @@ func (j planJob) key() ([]int32, uint64) {
 	h.Write(buf[:])
 	h.Write([]byte(j.strategy))
 	h.Write([]byte(strconv.Itoa(j.maxCtx)))
+	if j.explain {
+		h.Write([]byte("+explain"))
+	}
 	return sig, h.Sum64()
 }
 
@@ -117,7 +123,8 @@ func (b *batcher) do(ctx context.Context, job planJob) (body []byte, status, mem
 
 	b.mu.Lock()
 	if p, ok := b.passes[key]; ok && solver.SigsEqual(sig, p.sig) &&
-		job.strategy == p.job.strategy && job.maxCtx == p.job.maxCtx {
+		job.strategy == p.job.strategy && job.maxCtx == p.job.maxCtx &&
+		job.explain == p.job.explain {
 		p.members++
 		p.addMember(ctx)
 		b.mu.Unlock()
@@ -133,7 +140,10 @@ func (b *batcher) do(ctx context.Context, job planJob) (body []byte, status, mem
 		}
 	}
 	p := &pass{done: make(chan struct{}), sig: sig, job: job, members: 1}
-	p.ctx, p.cancel = context.WithCancel(context.Background())
+	// The pass context carries the opener's values (trace span, request ID)
+	// but not its cancellation: the pass lives until the LAST member
+	// disconnects, tracked by addMember, not until the opener does.
+	p.ctx, p.cancel = context.WithCancel(context.WithoutCancel(ctx))
 	p.addMember(ctx)
 	// A hash collision with a different signature overwrites the map slot;
 	// the displaced pass still completes (members hold the *pass directly).

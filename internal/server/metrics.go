@@ -3,14 +3,16 @@ package server
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 
+	"flexsp/internal/obs"
 	"flexsp/internal/solver"
 )
 
 // MetricsResponse is the body of GET /v1/metrics: the daemon's request
 // counters, queue state, solve-latency percentiles, and the shared plan
-// cache and solver snapshots.
+// cache and solver snapshots. The same counters back the Prometheus text
+// exposition at GET /metrics; this JSON shape is pinned by a golden test and
+// stays byte-compatible across releases.
 type MetricsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Draining      bool    `json:"draining"`
@@ -49,16 +51,40 @@ type MetricsResponse struct {
 	Solver solver.SolverMetrics `json:"solver"`
 }
 
-// metrics aggregates the daemon's atomic counters and the latency window.
+// metrics aggregates the daemon's request counters — registered in the
+// server's obs.Registry, so /v1/metrics (JSON) and /metrics (Prometheus
+// text) read the same instruments — plus the latency instruments: a
+// fixed-bucket histogram for Prometheus and a sliding window for the JSON
+// p50/p99.
 type metrics struct {
-	requests    atomic.Int64
-	solves      atomic.Int64
-	coalesced   atomic.Int64
-	rejected    atomic.Int64
-	unavailable atomic.Int64
-	errors      atomic.Int64
+	requests    *obs.Counter
+	solves      *obs.Counter
+	coalesced   *obs.Counter
+	rejected    *obs.Counter
+	unavailable *obs.Counter
+	errors      *obs.Counter
 
-	lat latencyWindow
+	latency *obs.Histogram
+	lat     latencyWindow
+}
+
+// newMetrics registers the request counters and latency histogram.
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		requests:    reg.Counter("flexsp_requests_total", "Admitted plan requests."),
+		solves:      reg.Counter("flexsp_solves_total", "Solver passes executed."),
+		coalesced:   reg.Counter("flexsp_coalesced_total", "Requests served by joining another request's batching pass."),
+		rejected:    reg.Counter("flexsp_rejected_total", "Requests refused with 429 (queue or tenant overflow)."),
+		unavailable: reg.Counter("flexsp_unavailable_total", "Requests refused with 503 while draining."),
+		errors:      reg.Counter("flexsp_errors_total", "Failed requests (decode, validation, or solver failure)."),
+		latency:     reg.Histogram("flexsp_request_latency_seconds", "Request latency from admission to response.", obs.DefBuckets),
+	}
+}
+
+// observeLatency feeds both latency instruments.
+func (m *metrics) observeLatency(seconds float64) {
+	m.lat.observe(seconds)
+	m.latency.Observe(seconds)
 }
 
 // latencyWindow keeps the last windowSize request latencies (seconds) in a

@@ -7,29 +7,40 @@
 // joint PP×SP pipeline.Planner, and any extra named strategies supplied by
 // the facade:
 //
-//	POST /v2/plan             {"strategy","lengths","maxCtx","tenant"} →
-//	                          tagged plan envelope (version, strategy,
-//	                          flat | pipelined | megatron section)
+//	POST /v2/plan             {"strategy","lengths","maxCtx","tenant",
+//	                          "explain"} → tagged plan envelope (version,
+//	                          strategy, flat | pipelined | megatron section,
+//	                          optional provenance)
 //	POST /v1/solve            v1 shim: the flexsp strategy, flat section
 //	                          only — byte-identical to the v1 protocol
 //	POST /v1/solve/pipelined  v1 shim: the pipeline strategy
 //	GET  /v1/metrics          cache/dedup counters, queue depth, p50/p99
+//	GET  /metrics             the same counters as Prometheus text
+//	GET  /v2/trace            recent request trace IDs, newest first
+//	GET  /v2/trace/{id}       one request's Chrome-trace JSON export
 //	GET  /healthz             liveness (503 while draining)
 //
 // Three layers keep it standing under heavy traffic: admission control (a
 // bounded queue plus per-tenant concurrency limits, overflow answered with
-// 429), request batching (compatible requests — same lengths, strategy and
-// maxCtx — arriving within a short window coalesce into one solver pass and
-// share one pre-encoded response), and the solver's sharded PlanCache
-// (repeated length signatures skip planning entirely). Drain() plus
-// http.Server.Shutdown give a graceful SIGTERM: in-flight solves complete,
-// new work is refused with 503.
+// 429), request batching (compatible requests — same lengths, strategy,
+// maxCtx and explain flag — arriving within a short window coalesce into one
+// solver pass and share one pre-encoded response), and the solver's sharded
+// PlanCache (repeated length signatures skip planning entirely). Drain()
+// plus http.Server.Shutdown give a graceful SIGTERM: in-flight solves
+// complete, new work is refused with 503.
+//
+// Every request is traced end to end: the handler opens an obs trace whose
+// spans cover the batching pass, the solver trials and micro-batch plans,
+// and the branch-and-bound search; completed traces land in a bounded ring
+// served by GET /v2/trace/{id}, and the trace and request IDs echo back in
+// the X-Flexsp-Trace-Id and X-Flexsp-Request-Id response headers.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -37,15 +48,28 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flexsp/internal/obs"
 	"flexsp/internal/pipeline"
 	"flexsp/internal/solver"
 )
+
+// PlanSpec is what one strategy invocation is asked to plan: the batch, the
+// baseline sizing knob, and whether to attach provenance to the envelope.
+type PlanSpec struct {
+	// Lengths is the batch's sequence lengths.
+	Lengths []int
+	// MaxCtx sizes the static baselines (deepspeed, megatron); adaptive
+	// strategies ignore it.
+	MaxCtx int
+	// Explain asks the strategy to attach ExplainJSON provenance.
+	Explain bool
+}
 
 // StrategyFunc produces one named strategy's tagged plan envelope for POST
 // /v2/plan. The facade registers its strategy registry here; the flexsp and
 // pipeline strategies are built in (they run on the server's own solver and
 // joint planner, shared with the v1 shims).
-type StrategyFunc func(ctx context.Context, lengths []int, maxCtx int) (PlanEnvelope, error)
+type StrategyFunc func(ctx context.Context, spec PlanSpec) (PlanEnvelope, error)
 
 // Config configures a Server.
 type Config struct {
@@ -77,6 +101,13 @@ type Config struct {
 	// (no added latency, but only requests overlapping an in-flight solve
 	// coalesce).
 	BatchWindow time.Duration
+	// TraceEntries bounds the ring of completed request traces behind
+	// GET /v2/trace/{id}. Zero takes the default 64; negative disables
+	// per-request tracing entirely.
+	TraceEntries int
+	// Logger receives structured request and lifecycle logs (requests at
+	// Debug, drain at Info). Nil discards.
+	Logger *slog.Logger
 }
 
 // Server is the planning daemon. It implements http.Handler; wrap it in an
@@ -86,9 +117,10 @@ type Server struct {
 	mux        *http.ServeMux
 	solve      *batcher // /v1/solve shim passes
 	piped      *batcher // /v1/solve/pipelined shim passes
-	v2         *batcher // /v2/plan passes, keyed by (strategy, maxCtx, lengths)
+	v2         *batcher // /v2/plan passes, keyed by (strategy, maxCtx, explain, lengths)
 	strategies map[string]StrategyFunc
 	start      time.Time
+	logger     *slog.Logger
 
 	sem      chan struct{} // admission slots; len(sem) is the queue depth
 	draining atomic.Bool
@@ -96,7 +128,10 @@ type Server struct {
 	tenantMu sync.Mutex
 	tenants  map[string]int
 
-	met metrics
+	met    metrics
+	reg    *obs.Registry
+	traces *traceRing
+	traced *obs.Counter
 }
 
 // New builds a Server. A nil cfg.Solver is a configuration error and is
@@ -120,13 +155,28 @@ func New(cfg Config) (*Server, error) {
 	case cfg.BatchWindow < 0:
 		cfg.BatchWindow = 0
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		logger:  logger,
 		sem:     make(chan struct{}, cfg.QueueLimit),
 		tenants: make(map[string]int),
+		met:     newMetrics(reg),
+		reg:     reg,
 	}
+	switch {
+	case cfg.TraceEntries == 0:
+		s.traces = newTraceRing(64)
+	case cfg.TraceEntries > 0:
+		s.traces = newTraceRing(cfg.TraceEntries)
+	}
+	s.registerGauges()
 	s.strategies = map[string]StrategyFunc{"flexsp": s.planFlexSP}
 	if cfg.Joint != nil {
 		s.strategies["pipeline"] = s.planPipelined
@@ -162,9 +212,54 @@ func New(cfg Config) (*Server, error) {
 		s.servePlan(w, r, s.piped, planJob{lens: req.Lengths, strategy: "pipeline"}, req.Tenant)
 	})
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	s.mux.HandleFunc("GET /v2/trace", s.handleTraceList)
+	s.mux.HandleFunc("GET /v2/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s, nil
 }
+
+// registerGauges wires the derived series — uptime, queue state, plan-cache
+// and solver counters — into the Prometheus registry as read-on-scrape
+// functions, so the hot path pays nothing for them.
+func (s *Server) registerGauges() {
+	s.reg.GaugeFunc("flexsp_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc("flexsp_draining", "1 while draining, else 0.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	s.reg.GaugeFunc("flexsp_queue_depth", "Requests currently admitted (batching window or solving).",
+		func() float64 { return float64(len(s.sem)) })
+	s.reg.GaugeFunc("flexsp_queue_limit", "Admission queue bound.",
+		func() float64 { return float64(s.cfg.QueueLimit) })
+	s.reg.CounterFunc("flexsp_plan_cache_hits_total", "Plan cache hits.",
+		func() float64 { return float64(s.cfg.Solver.Cache.Metrics().Hits) })
+	s.reg.CounterFunc("flexsp_plan_cache_misses_total", "Plan cache misses.",
+		func() float64 { return float64(s.cfg.Solver.Cache.Metrics().Misses) })
+	s.reg.CounterFunc("flexsp_plan_cache_dedups_total", "In-flight plan deduplications.",
+		func() float64 { return float64(s.cfg.Solver.Cache.Metrics().Dedups) })
+	s.reg.CounterFunc("flexsp_plan_cache_evictions_total", "Plan cache evictions.",
+		func() float64 { return float64(s.cfg.Solver.Cache.Metrics().Evictions) })
+	s.reg.GaugeFunc("flexsp_plan_cache_entries", "Plans currently cached.",
+		func() float64 { return float64(s.cfg.Solver.Cache.Len()) })
+	s.reg.CounterFunc("flexsp_solver_solves_total", "Completed solver calls.",
+		func() float64 { return float64(s.cfg.Solver.Metrics().Solves) })
+	s.reg.CounterFunc("flexsp_solver_canceled_total", "Solver calls canceled by context.",
+		func() float64 { return float64(s.cfg.Solver.Metrics().Canceled) })
+	s.reg.CounterFunc("flexsp_solver_planned_total", "Micro-batches that reached the planner.",
+		func() float64 { return float64(s.cfg.Solver.Metrics().Planned) })
+	s.reg.CounterFunc("flexsp_solver_deduped_total", "Micro-batches served by in-flight dedup.",
+		func() float64 { return float64(s.cfg.Solver.Metrics().Deduped) })
+	s.traced = s.reg.Counter("flexsp_traces_recorded_total", "Request traces recorded in the ring.")
+}
+
+// Registry exposes the daemon's metric registry so embedders (and the
+// flexsp-serve binary) can add their own series to GET /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // StrategyNames returns the names POST /v2/plan accepts, sorted.
 func (s *Server) StrategyNames() []string {
@@ -187,7 +282,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // http.Server.Shutdown, which waits for in-flight handlers, for a graceful
 // SIGTERM.
 func (s *Server) Drain() {
-	s.draining.Store(true)
+	if s.draining.CompareAndSwap(false, true) {
+		s.logger.Info("draining: refusing new plan requests")
+	}
 }
 
 // Draining reports whether Drain has been called.
@@ -204,50 +301,65 @@ const statusClientGone = 499
 // planFlexSP is the built-in flexsp strategy: one SolveContext call on the
 // server's solver, wrapped in the v2 envelope. The /v1/solve shim serves
 // exactly this envelope's flat section.
-func (s *Server) planFlexSP(ctx context.Context, lens []int, maxCtx int) (PlanEnvelope, error) {
-	res, err := s.cfg.Solver.SolveContext(ctx, lens)
+func (s *Server) planFlexSP(ctx context.Context, spec PlanSpec) (PlanEnvelope, error) {
+	res, err := s.cfg.Solver.SolveContext(ctx, spec.Lengths)
 	if err != nil {
 		return PlanEnvelope{}, err
 	}
 	sr := EncodeResult(res)
-	return PlanEnvelope{
+	env := PlanEnvelope{
 		Version:          WireVersion,
 		Strategy:         "flexsp",
 		EstTime:          sr.EstTime,
 		SolveWallSeconds: sr.SolveWallSeconds,
 		Flat:             &sr,
-	}, nil
+	}
+	if spec.Explain {
+		env.Explain = ExplainFlat(s.cfg.Solver.Planner, res, "flexsp")
+	}
+	return env, nil
 }
 
 // planPipelined is the built-in pipeline strategy over the joint PP×SP
 // planner; the /v1/solve/pipelined shim serves its pipelined section.
-func (s *Server) planPipelined(ctx context.Context, lens []int, maxCtx int) (PlanEnvelope, error) {
-	res, err := s.cfg.Joint.SolveContext(ctx, lens)
+func (s *Server) planPipelined(ctx context.Context, spec PlanSpec) (PlanEnvelope, error) {
+	res, err := s.cfg.Joint.SolveContext(ctx, spec.Lengths)
 	if err != nil {
 		return PlanEnvelope{}, err
 	}
 	pr := EncodePipelined(res)
-	return PlanEnvelope{
+	env := PlanEnvelope{
 		Version:          WireVersion,
 		Strategy:         "pipeline",
 		EstTime:          pr.EstTime,
 		SolveWallSeconds: pr.SolveWallSeconds,
 		Pipelined:        &pr,
-	}, nil
+	}
+	if spec.Explain {
+		env.Explain = ExplainPipelined(s.cfg.Solver.Planner, res)
+	}
+	return env, nil
 }
 
 // runStrategy executes one strategy pass and encodes the body with the given
 // encoder (the full envelope for v2, a single section for the v1 shims).
 func (s *Server) runStrategy(ctx context.Context, job planJob, encode func(PlanEnvelope) []byte) ([]byte, int) {
 	s.met.solves.Add(1)
+	ctx, span := obs.Start(ctx, "server.pass")
+	defer span.End()
+	span.SetAttr("strategy", job.strategy)
+	span.SetAttr("seqs", len(job.lens))
 	fn := s.strategies[job.strategy] // validated before admission
-	env, err := fn(ctx, job.lens, job.maxCtx)
+	env, err := fn(ctx, PlanSpec{Lengths: job.lens, MaxCtx: job.maxCtx, Explain: job.explain})
 	switch {
 	case ctx.Err() != nil:
+		span.SetError(ctx.Err())
 		return encodeJSON(ErrorResponse{Error: "canceled: all requesting clients disconnected"}), statusClientGone
 	case err != nil:
+		span.SetError(err)
 		return encodeJSON(ErrorResponse{Error: err.Error()}), http.StatusUnprocessableEntity
 	}
+	span.SetAttr("est_time", env.EstTime)
 	return encode(env), http.StatusOK
 }
 
@@ -308,11 +420,15 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.servePlan(w, r, s.v2,
-		planJob{lens: req.Lengths, strategy: req.Strategy, maxCtx: req.MaxCtx}, req.Tenant)
+		planJob{lens: req.Lengths, strategy: req.Strategy, maxCtx: req.MaxCtx, explain: req.Explain},
+		req.Tenant)
 }
 
-// servePlan is the shared plan route tail: validate lengths, admit, batch,
-// respond.
+// servePlan is the shared plan route tail: validate lengths, admit, open the
+// request trace, batch, respond. The request ID (client-supplied
+// X-Flexsp-Request-Id or freshly minted) and the trace ID echo back as
+// response headers; the completed trace lands in the ring behind
+// GET /v2/trace/{id}.
 func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, b *batcher, job planJob, tenant string) {
 	for _, l := range job.lens {
 		if l <= 0 {
@@ -330,11 +446,55 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, b *batcher, j
 	defer release()
 	s.met.requests.Add(1)
 
+	ctx := r.Context()
+	rid := r.Header.Get("X-Flexsp-Request-Id")
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	ctx = obs.WithRequestID(ctx, rid)
+	w.Header().Set("X-Flexsp-Request-Id", rid)
+
+	var tr *obs.Trace
+	if s.traces != nil {
+		ctx, tr = obs.NewTrace(ctx, "server.request")
+		root := tr.Root()
+		root.SetAttr("strategy", job.strategy)
+		root.SetAttr("seqs", len(job.lens))
+		root.SetAttr("request_id", rid)
+		if tenant != "" {
+			root.SetAttr("tenant", tenant)
+		}
+		w.Header().Set("X-Flexsp-Trace-Id", tr.ID())
+	}
+
 	admitted := time.Now()
-	body, code, members, joined, err := b.do(r.Context(), job)
+	body, code, members, joined, err := b.do(ctx, job)
+	elapsed := time.Since(admitted)
+	finish := func(code int) {
+		if tr != nil {
+			root := tr.Root()
+			root.SetAttr("status", code)
+			root.SetAttr("pass_members", members)
+			if joined {
+				root.SetAttr("coalesced", true)
+			}
+			tr.End()
+			s.traces.add(tr)
+			s.traced.Inc()
+		}
+		s.logger.Debug("plan request",
+			"request_id", rid,
+			"strategy", job.strategy,
+			"seqs", len(job.lens),
+			"tenant", tenant,
+			"status", code,
+			"coalesced", joined,
+			"latency", elapsed)
+	}
 	if err != nil {
 		// The client went away; nothing useful can be written.
 		s.met.errors.Add(1)
+		finish(statusClientGone)
 		return
 	}
 	if joined {
@@ -345,7 +505,8 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, b *batcher, j
 		// pass sees the failure.
 		s.met.errors.Add(1)
 	}
-	s.met.lat.observe(time.Since(admitted).Seconds())
+	s.met.observeLatency(elapsed.Seconds())
+	finish(code)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Flexsp-Pass-Size", fmt.Sprint(members))
 	w.WriteHeader(code)
@@ -386,7 +547,10 @@ func (s *Server) admit(tenant string) (release func(), status int, msg string) {
 	}, 0, ""
 }
 
-// Metrics returns the daemon's counter snapshot (the /v1/metrics body).
+// Metrics returns the daemon's counter snapshot (the /v1/metrics body). The
+// cache and solver sections are stabilized snapshots (each re-reads until two
+// consecutive reads agree), so the response is point-in-time consistent
+// against concurrent solves.
 func (s *Server) Metrics() MetricsResponse {
 	p50, p99 := s.met.lat.percentiles()
 	cache := s.cfg.Solver.Cache.Metrics()
@@ -394,12 +558,12 @@ func (s *Server) Metrics() MetricsResponse {
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
 		Strategies:       s.StrategyNames(),
-		Requests:         s.met.requests.Load(),
-		Solves:           s.met.solves.Load(),
-		Coalesced:        s.met.coalesced.Load(),
-		Rejected:         s.met.rejected.Load(),
-		Unavailable:      s.met.unavailable.Load(),
-		Errors:           s.met.errors.Load(),
+		Requests:         s.met.requests.Value(),
+		Solves:           s.met.solves.Value(),
+		Coalesced:        s.met.coalesced.Value(),
+		Rejected:         s.met.rejected.Value(),
+		Unavailable:      s.met.unavailable.Value(),
+		Errors:           s.met.errors.Value(),
 		QueueDepth:       int64(len(s.sem)),
 		QueueLimit:       s.cfg.QueueLimit,
 		LatencyP50Millis: 1e3 * p50,
@@ -413,6 +577,44 @@ func (s *Server) Metrics() MetricsResponse {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(encodeJSON(s.Metrics()))
+}
+
+// handlePrometheus serves the same counters as Prometheus text exposition.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// handleTraceList serves the ring's trace IDs, newest first.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusNotImplemented, "request tracing disabled")
+		return
+	}
+	ids := s.traces.list()
+	if ids == nil {
+		ids = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(encodeJSON(struct {
+		Traces []string `json:"traces"`
+	}{Traces: ids}))
+}
+
+// handleTrace serves one completed request's Chrome-trace JSON, loadable in
+// chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusNotImplemented, "request tracing disabled")
+		return
+	}
+	body, ok := s.traces.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace not found (the ring keeps recent requests only)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

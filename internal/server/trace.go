@@ -1,0 +1,71 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+
+	"flexsp/internal/obs"
+)
+
+// traceRing keeps the Chrome-trace exports of the most recent completed
+// requests, keyed by trace ID, for GET /v2/trace/{id}. Exports happen once at
+// request completion (off the solve hot path); the ring evicts oldest-first.
+type traceRing struct {
+	mu   sync.Mutex
+	max  int
+	ids  []string // insertion order, oldest first
+	byID map[string][]byte
+}
+
+func newTraceRing(max int) *traceRing {
+	return &traceRing{max: max, byID: make(map[string][]byte)}
+}
+
+// add exports the finished trace and stores it, evicting the oldest entry
+// when full.
+func (r *traceRing) add(t *obs.Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := t.WriteChrome(&buf); err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[t.ID()]; ok {
+		r.byID[t.ID()] = buf.Bytes()
+		return
+	}
+	r.ids = append(r.ids, t.ID())
+	r.byID[t.ID()] = buf.Bytes()
+	for len(r.ids) > r.max {
+		delete(r.byID, r.ids[0])
+		r.ids = r.ids[1:]
+	}
+}
+
+// get returns a stored trace export.
+func (r *traceRing) get(id string) ([]byte, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	body, ok := r.byID[id]
+	return body, ok
+}
+
+// list returns the stored trace IDs, newest first.
+func (r *traceRing) list() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.ids))
+	for i := len(r.ids) - 1; i >= 0; i-- {
+		out = append(out, r.ids[i])
+	}
+	return out
+}

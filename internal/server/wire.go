@@ -23,12 +23,13 @@ type SolveRequest struct {
 // plus the named strategy to plan it with. An empty strategy defaults to
 // "flexsp"; MaxCtx sizes the static baselines (deepspeed, megatron) and is
 // ignored by the adaptive strategies; Tenant keys admission control like the
-// v1 endpoints.
+// v1 endpoints; Explain asks for the envelope's provenance attachment.
 type PlanRequest struct {
 	Strategy string `json:"strategy,omitempty"`
 	Lengths  []int  `json:"lengths"`
 	MaxCtx   int    `json:"maxCtx,omitempty"`
 	Tenant   string `json:"tenant,omitempty"`
+	Explain  bool   `json:"explain,omitempty"`
 }
 
 // MegatronJSON is the megatron strategy's envelope section: the winning
@@ -58,6 +59,9 @@ type PlanEnvelope struct {
 	Flat             *SolveResponse     `json:"flat,omitempty"`
 	Pipelined        *PipelinedResponse `json:"pipelined,omitempty"`
 	Megatron         *MegatronJSON      `json:"megatron,omitempty"`
+	// Explain is the plan's provenance, attached when the request set
+	// "explain": true.
+	Explain *ExplainJSON `json:"explain,omitempty"`
 }
 
 // Plans decodes the envelope's executable micro-plans: the flat plans when

@@ -299,15 +299,28 @@ func (cs CacheStats) HitRate() float64 {
 	return float64(cs.Hits) / float64(cs.Hits+cs.Misses)
 }
 
-// Metrics returns the full counter snapshot.
+// Metrics returns the full counter snapshot. The counters are individually
+// atomic; the snapshot is re-read until two consecutive reads agree (bounded)
+// so it is point-in-time consistent against concurrent cache traffic.
 func (pc *PlanCache) Metrics() CacheStats {
-	return CacheStats{
-		Hits:      pc.hits.Load(),
-		Misses:    pc.misses.Load(),
-		Dedups:    pc.dedups.Load(),
-		Evictions: pc.evictions.Load(),
-		Entries:   pc.Len(),
+	read := func() CacheStats {
+		return CacheStats{
+			Hits:      pc.hits.Load(),
+			Misses:    pc.misses.Load(),
+			Dedups:    pc.dedups.Load(),
+			Evictions: pc.evictions.Load(),
+			Entries:   pc.Len(),
+		}
 	}
+	prev := read()
+	for i := 0; i < 3; i++ {
+		cur := read()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
 }
 
 // Len returns the number of cached entries.

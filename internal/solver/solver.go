@@ -26,6 +26,7 @@ import (
 	"flexsp/internal/blaster"
 	"flexsp/internal/cluster"
 	"flexsp/internal/costmodel"
+	"flexsp/internal/obs"
 	"flexsp/internal/planner"
 )
 
@@ -81,14 +82,28 @@ type SolverMetrics struct {
 	Deduped int64 `json:"deduped"`
 }
 
-// Metrics returns the solver's counter snapshot.
+// Metrics returns the solver's counter snapshot. The fields are individually
+// atomic; to make the snapshot point-in-time consistent against concurrent
+// solves it is re-read until two consecutive reads agree (bounded, since a
+// hot solver may never quiesce — the final read is then the freshest view).
 func (s *Solver) Metrics() SolverMetrics {
-	return SolverMetrics{
-		Solves:   s.stats.solves.Load(),
-		Canceled: s.stats.canceled.Load(),
-		Planned:  s.stats.planned.Load(),
-		Deduped:  s.stats.deduped.Load(),
+	read := func() SolverMetrics {
+		return SolverMetrics{
+			Solves:   s.stats.solves.Load(),
+			Canceled: s.stats.canceled.Load(),
+			Planned:  s.stats.planned.Load(),
+			Deduped:  s.stats.deduped.Load(),
+		}
 	}
+	prev := read()
+	for i := 0; i < 3; i++ {
+		cur := read()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
 }
 
 // New returns a Solver with the paper's defaults.
@@ -134,6 +149,21 @@ type Result struct {
 	MMin int
 	// SolveWall is the wall-clock time the solve took.
 	SolveWall time.Duration
+	// Trials summarizes every explored micro-batch count — the rejected
+	// alternatives behind the chosen M — for plan provenance (Explain).
+	Trials []TrialSummary
+}
+
+// TrialSummary records one explored micro-batch count of Alg. 1.
+type TrialSummary struct {
+	// M is the micro-batch count tried.
+	M int `json:"m"`
+	// Time is the trial's total estimated time (0 when infeasible).
+	Time float64 `json:"time"`
+	// Feasible reports whether every micro-batch found a plan.
+	Feasible bool `json:"feasible"`
+	// Note carries the failure reason for infeasible trials.
+	Note string `json:"note,omitempty"`
 }
 
 // ErrUnsolvable is returned when no explored micro-batch count yields a
@@ -247,12 +277,17 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 // micro-batch plan. A canceled call returns ctx.Err(), never ErrUnsolvable.
 func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) {
 	start := time.Now()
+	ctx, span := obs.Start(ctx, "solver.solve")
+	defer span.End()
+	span.SetAttr("seqs", len(batch))
 	trials := s.Trials
 	if trials <= 0 {
 		trials = blaster.DefaultTrials
 	}
 	mmin := blaster.MinMicroBatches(batch, s.Planner.TokenCapacity())
+	span.SetAttr("m_min", mmin)
 	if mmin == 0 && len(batch) > 0 {
+		span.SetError(ErrUnsolvable)
 		return Result{}, ErrUnsolvable
 	}
 	if mmin == 0 {
@@ -277,8 +312,13 @@ func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) 
 		if err := ctx.Err(); err != nil {
 			return trial{err: err}
 		}
+		tctx, tspan := obs.Start(ctx, "solver.trial")
+		defer tspan.End()
+		tspan.SetAttr("m", m)
 		if m > len(batch) {
-			return trial{err: fmt.Errorf("solver: m %d exceeds batch size", m)}
+			err := fmt.Errorf("solver: m %d exceeds batch size", m)
+			tspan.SetError(err)
+			return trial{err: err}
 		}
 		var micro [][]int
 		var err error
@@ -288,6 +328,7 @@ func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) 
 			micro, err = blaster.BlastUnsorted(batch, m)
 		}
 		if err != nil {
+			tspan.SetError(err)
 			return trial{err: err}
 		}
 		plans := make([]planner.MicroPlan, len(micro))
@@ -296,15 +337,17 @@ func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) 
 			if errs[i] = ctx.Err(); errs[i] != nil {
 				return
 			}
-			plans[i], errs[i] = s.planOne(flights, micro[i])
+			plans[i], errs[i] = s.planOne(tctx, flights, micro[i])
 		})
 		total := s.Overhead * float64(len(plans))
 		for i := range plans {
 			if errs[i] != nil {
+				tspan.SetError(errs[i])
 				return trial{err: errs[i]}
 			}
 			total += plans[i].Time
 		}
+		tspan.SetAttr("est_time", total)
 		return trial{plans: plans, time: total, m: m}
 	}
 
@@ -326,7 +369,16 @@ func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) 
 	}
 
 	best := Result{Time: math.Inf(1), MMin: mmin}
-	for _, tr := range trialsOut {
+	summarize := func(tr trial, m int) {
+		ts := TrialSummary{M: m, Feasible: tr.err == nil, Time: tr.time}
+		if tr.err != nil {
+			ts.Time = 0
+			ts.Note = tr.err.Error()
+		}
+		best.Trials = append(best.Trials, ts)
+	}
+	for ti, tr := range trialsOut {
+		summarize(tr, mmin+ti)
 		if tr.err != nil {
 			continue
 		}
@@ -342,6 +394,7 @@ func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) 
 		// and parallel planning).
 		for m := mmin + trials; m <= len(batch); m += trials {
 			tr := runTrial(m)
+			summarize(tr, m)
 			if tr.err != nil {
 				continue
 			}
@@ -351,13 +404,17 @@ func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) 
 	}
 	if err := ctx.Err(); err != nil {
 		s.stats.canceled.Add(1)
+		span.SetError(err)
 		return Result{}, err
 	}
 	if math.IsInf(best.Time, 1) {
+		span.SetError(ErrUnsolvable)
 		return Result{}, ErrUnsolvable
 	}
 	best.SolveWall = time.Since(start)
 	s.stats.solves.Add(1)
+	span.SetAttr("m", best.M)
+	span.SetAttr("est_time", best.Time)
 	return best, nil
 }
 
@@ -366,10 +423,14 @@ func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) 
 // signatures are planned once (singleflight, so the trials for M and M+1
 // never plan the same bucketed batch twice), and everything else goes to
 // the planner.
-func (s *Solver) planOne(flights *flightGroup, lens []int) (planner.MicroPlan, error) {
+func (s *Solver) planOne(ctx context.Context, flights *flightGroup, lens []int) (planner.MicroPlan, error) {
+	ctx, span := obs.Start(ctx, "solver.micro")
+	defer span.End()
+	span.SetAttr("seqs", len(lens))
 	if s.Cache != nil {
 		sig, key := s.Cache.signature(lens)
 		if p, ok := s.Cache.getWithSig(s.cacheCost(), lens, sig, key); ok {
+			span.SetAttr("tier", "cache-hit")
 			return p, nil
 		}
 		// Singleflight on the cache's rounded signature: the leader plans
@@ -380,14 +441,17 @@ func (s *Solver) planOne(flights *flightGroup, lens []int) (planner.MicroPlan, e
 			if p, ok := s.Cache.getWithSig(s.cacheCost(), lens, sig, key); ok {
 				s.Cache.noteDedup()
 				s.stats.deduped.Add(1)
+				span.SetAttr("tier", "dedup")
 				return p, nil
 			}
 			// Leader failed or the retarget was rejected; plan independently.
 			s.stats.planned.Add(1)
-			return s.Planner.Plan(lens)
+			span.SetAttr("tier", "planned")
+			return s.Planner.PlanContext(ctx, lens)
 		}
 		s.stats.planned.Add(1)
-		p, err := s.Planner.Plan(lens)
+		span.SetAttr("tier", "planned")
+		p, err := s.Planner.PlanContext(ctx, lens)
 		if err == nil {
 			s.Cache.Put(lens, p)
 		}
@@ -402,13 +466,16 @@ func (s *Solver) planOne(flights *flightGroup, lens []int) (planner.MicroPlan, e
 		<-f.done
 		if f.err == nil {
 			s.stats.deduped.Add(1)
+			span.SetAttr("tier", "dedup")
 			return f.plan, nil
 		}
 		s.stats.planned.Add(1)
-		return s.Planner.Plan(lens)
+		span.SetAttr("tier", "planned")
+		return s.Planner.PlanContext(ctx, lens)
 	}
 	s.stats.planned.Add(1)
-	p, err := s.Planner.Plan(lens)
+	span.SetAttr("tier", "planned")
+	p, err := s.Planner.PlanContext(ctx, lens)
 	flights.finish(key, f, p, err)
 	return p, err
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"flexsp/internal/baselines"
+	"flexsp/internal/obs"
 	"flexsp/internal/pipeline"
 	"flexsp/internal/planner"
 	"flexsp/internal/server"
@@ -114,10 +115,19 @@ type Plan interface {
 	// Describe returns a short human-readable label of the chosen layout
 	// (e.g. "⟨32,8×4⟩", "PP=2 ⟨16×4⟩", "TP=8 CP=2 PP=1").
 	Describe() string
+	// Explain returns the plan's provenance: the per-group cost-term
+	// breakdown under the cost model and the alternatives the solver
+	// rejected (micro-batch-count trials, swept PP degrees). Render it with
+	// PlanExplain.Render or embed it in the wire envelope.
+	Explain() *PlanExplain
 	// Execute replays the plan on the simulated cluster, reusing the
 	// system's communicator pool (hot switching).
 	Execute(ctx context.Context) (ExecResult, error)
 }
+
+// PlanExplain is a plan's provenance attachment, shared with the daemon's
+// wire protocol (the "explain" section of a v2 envelope).
+type PlanExplain = server.ExplainJSON
 
 // StrategyFunc plans one batch for a System under a named strategy; register
 // implementations with RegisterStrategy.
@@ -190,7 +200,17 @@ func (s *System) Plan(ctx context.Context, batch []int, opts PlanOptions) (Plan,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return fn(ctx, s, batch, opts)
+	ctx, span := obs.Start(ctx, "system.plan")
+	defer span.End()
+	span.SetAttr("strategy", name)
+	span.SetAttr("seqs", len(batch))
+	p, err := fn(ctx, s, batch, opts)
+	if err != nil {
+		span.SetError(err)
+	} else {
+		span.SetAttr("est_time", p.EstTime())
+	}
+	return p, err
 }
 
 // effectiveMaxCtx resolves the static baselines' context bound: the explicit
@@ -297,6 +317,10 @@ func (p *flatPlan) Describe() string {
 	return degreesString(p.res.Plans[0].Degrees())
 }
 
+func (p *flatPlan) Explain() *PlanExplain {
+	return server.ExplainFlat(p.sys.Planner, p.res, p.name)
+}
+
 func (p *flatPlan) Execute(ctx context.Context) (ExecResult, error) {
 	if err := ctx.Err(); err != nil {
 		return ExecResult{}, err
@@ -337,6 +361,10 @@ func (p *pipePlan) Describe() string {
 	return label
 }
 
+func (p *pipePlan) Explain() *PlanExplain {
+	return server.ExplainPipelined(p.sys.Planner, p.res)
+}
+
 func (p *pipePlan) Execute(ctx context.Context) (ExecResult, error) {
 	if err := ctx.Err(); err != nil {
 		return ExecResult{}, err
@@ -369,6 +397,19 @@ func (p *megatronPlan) MicroBatches() int { return p.res.Rounds }
 func (p *megatronPlan) Describe() string {
 	s := p.res.Strategy
 	return fmt.Sprintf("TP=%d CP=%d PP=%d", s.TP, s.CP, s.PP)
+}
+
+func (p *megatronPlan) Explain() *PlanExplain {
+	s := p.res.Strategy
+	return server.ExplainMegatron(server.MegatronJSON{
+		TP:        s.TP,
+		CP:        s.CP,
+		PP:        s.PP,
+		Recompute: p.res.Recompute.String(),
+		Time:      p.res.Time,
+		Comm:      p.res.Comm,
+		Rounds:    p.res.Rounds,
+	})
 }
 
 func (p *megatronPlan) Execute(ctx context.Context) (ExecResult, error) {
