@@ -150,6 +150,56 @@ func (c *Client) SolvePipelined(ctx context.Context, lengths []int) (server.Pipe
 	return out, err
 }
 
+// Stream opens a streaming planning session on the daemon (POST
+// /v2/stream/open): sequence lengths are appended as they arrive and the
+// daemon speculatively solves partial batches in the background, so Close
+// returns a plan almost immediately after the last arrival. This is the
+// remote counterpart of System.PlanStream.
+func (c *Client) Stream(ctx context.Context, opts StreamOptions) (*ClientStream, error) {
+	req := server.StreamOpenRequest{
+		Tenant:     c.Tenant,
+		Expect:     opts.Expect,
+		Watermarks: opts.Watermarks,
+	}
+	if opts.NoSpeculate {
+		speculate := false
+		req.Speculate = &speculate
+	}
+	var out server.StreamOpenResponse
+	if err := c.post(ctx, "/v2/stream/open", req, &out); err != nil {
+		return nil, err
+	}
+	return &ClientStream{c: c, id: out.Session}, nil
+}
+
+// ClientStream is an open streaming session on the daemon. Methods are safe
+// for concurrent use; the daemon serializes appends into one batch.
+type ClientStream struct {
+	c  *Client
+	id string
+}
+
+// ID is the daemon-assigned session identifier.
+func (s *ClientStream) ID() string { return s.id }
+
+// Append sends sequence lengths to the session (POST /v2/stream/{id}/append)
+// and returns the total accumulated on the daemon so far.
+func (s *ClientStream) Append(ctx context.Context, lengths []int) (int, error) {
+	var out server.StreamAppendResponse
+	err := s.c.post(ctx, "/v2/stream/"+s.id+"/append", server.StreamAppendRequest{Lengths: lengths}, &out)
+	return out.Total, err
+}
+
+// Close seals the session (POST /v2/stream/{id}/close) and returns the plan
+// envelope; env.SolveWallSeconds is the close-to-plan latency and env.Stream
+// the session's speculation stats. The session is gone afterwards — a second
+// Close returns a 404 StatusError.
+func (s *ClientStream) Close(ctx context.Context) (server.PlanEnvelope, error) {
+	var out server.PlanEnvelope
+	err := s.c.post(ctx, "/v2/stream/"+s.id+"/close", server.StreamCloseRequest{}, &out)
+	return out, err
+}
+
 // Metrics fetches GET /v1/metrics.
 func (c *Client) Metrics(ctx context.Context) (server.MetricsResponse, error) {
 	var out server.MetricsResponse

@@ -18,16 +18,18 @@
 //	flexsp-bench heterogeneous # mixed A100/H100 fleet: placement-aware vs class-oblivious
 //	flexsp-bench solver        # solver hot path: Alg. 1 wall, planner wall per strategy, cache stats
 //	flexsp-bench serve         # flexsp-serve load bench: concurrent clients, throughput, tail latency
+//	flexsp-bench stream        # streaming ingestion: plan-after-close latency, speculative vs cold
 //	flexsp-bench all           # everything above
 //
 // Flags: -quick shrinks batch sizes/iterations, -seed, -iters and -devices
 // override the experiment configuration; -cluster (e.g.
 // "mixed:32xA100,32xH100") picks the heterogeneous experiment's fleet. The
-// heterogeneous, solver and serve experiments also write their results as
-// machine-readable JSON (default BENCH_heterogeneous.json / BENCH_solver.json
-// / BENCH_serve.json, see -benchjson, -solverjson and -servejson) so perf can
-// be tracked across commits. The serve experiment starts an in-process daemon
-// by default; -serveaddr points it at a running flexsp-serve instead.
+// heterogeneous, solver, serve and stream experiments also write their
+// results as machine-readable JSON (default BENCH_heterogeneous.json /
+// BENCH_solver.json / BENCH_serve.json / BENCH_stream.json, see -benchjson,
+// -solverjson, -servejson and -streamjson) so perf can be tracked across
+// commits. The serve experiment starts an in-process daemon by default;
+// -serveaddr points it at a running flexsp-serve instead.
 // -cpuprofile writes a pprof CPU profile of the run; -memprofile writes a
 // heap profile at exit.
 package main
@@ -59,6 +61,7 @@ func run() int {
 	benchJSON := flag.String("benchjson", "BENCH_heterogeneous.json", "path for the heterogeneous experiment's JSON result (empty disables)")
 	solverJSON := flag.String("solverjson", "BENCH_solver.json", "path for the solver experiment's JSON result (empty disables)")
 	serveJSON := flag.String("servejson", "BENCH_serve.json", "path for the serve experiment's JSON result (empty disables)")
+	streamJSON := flag.String("streamjson", "BENCH_stream.json", "path for the stream experiment's JSON result (empty disables)")
 	serveAddr := flag.String("serveaddr", "", "run the serve bench against this flexsp-serve URL (e.g. http://127.0.0.1:8080) instead of an in-process daemon")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -169,10 +172,22 @@ func run() int {
 			}
 			return r.Render()
 		},
+		"stream": func(c experiments.Config) string {
+			r := experiments.StreamBench(c)
+			if *streamJSON != "" {
+				if err := writeBenchJSON(*streamJSON, r); err != nil {
+					fmt.Fprintln(os.Stderr, "flexsp-bench:", err)
+					failed = true
+					return r.Render()
+				}
+				fmt.Printf("[wrote %s]\n", *streamJSON)
+			}
+			return r.Render()
+		},
 	}
 	order := []string{"table5", "table1", "fig1", "fig2", "fig4", "table3fig5",
 		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE", "pipeline",
-		"heterogeneous", "solver", "serve"}
+		"heterogeneous", "solver", "serve", "stream"}
 
 	run := func(name string) {
 		start := time.Now()
@@ -210,6 +225,6 @@ func writeBenchJSON(path string, r interface{}) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] [-cluster SPEC] [-serveaddr URL] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 
-experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous solver serve all`)
+experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous solver serve stream all`)
 	flag.PrintDefaults()
 }

@@ -11,6 +11,11 @@
 //	POST /v2/plan             {"strategy","lengths","maxCtx","tenant"} →
 //	                          tagged plan envelope; strategies: flexsp,
 //	                          pipeline, deepspeed, batchada, megatron
+//	POST /v2/stream/open      open a streaming session: sequences arrive
+//	                          incrementally, speculative solves run behind
+//	                          them (see -stream-limit, -stream-timeout)
+//	POST /v2/stream/{id}/append  add lengths to a session
+//	POST /v2/stream/{id}/close   seal the batch → plan envelope + stream stats
 //	POST /v1/solve            v1 shim (flexsp strategy, flat body)
 //	POST /v1/solve/pipelined  v1 shim (pipeline strategy)
 //	GET  /v1/metrics          cache/dedup counters, queue depth, p50/p99
@@ -67,6 +72,8 @@ func run() int {
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for identical requests (negative disables)")
 	cacheEntries := flag.Int("cache", 4096, "plan cache entries")
 	cacheGranularity := flag.Int("granularity", 256, "plan cache rounding granularity, tokens")
+	streamLimit := flag.Int("stream-limit", 64, "max concurrently open streaming sessions before 429")
+	streamTimeout := flag.Duration("stream-timeout", time.Minute, "reap streaming sessions idle this long (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
 	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
 	traceRing := flag.Int("trace-ring", 0, "completed request traces kept for GET /v2/trace/{id} (0 = default 64, negative disables)")
@@ -108,6 +115,8 @@ func run() int {
 			CacheEntries:     *cacheEntries,
 			CacheGranularity: *cacheGranularity,
 			TraceEntries:     *traceRing,
+			StreamLimit:      *streamLimit,
+			StreamTimeout:    *streamTimeout,
 			Logger:           logger,
 		},
 	})

@@ -82,6 +82,32 @@ func Example_pipelined() {
 	// Output: true true true
 }
 
+// Example_streaming is the README streaming quickstart: sequences arrive
+// incrementally, the solver speculates on partial batches in the
+// background, and Close returns a plan byte-identical to the one-shot path.
+func Example_streaming() {
+	sys := flexsp.MustNewSystem(flexsp.Config{Devices: 64, Model: flexsp.GPT7B})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	batch := flexsp.CommonCrawl().Batch(rng, 128, 192<<10)
+
+	st, err := sys.PlanStream(flexsp.StreamOptions{Expect: len(batch)})
+	if err != nil {
+		panic(err)
+	}
+	for _, l := range batch { // sequences arrive one at a time
+		if _, err := st.Append(l); err != nil {
+			panic(err)
+		}
+	}
+	plan, err := st.Close(ctx) // warm-started from the speculative incumbent
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.Strategy(), len(plan.MicroPlans()) > 0)
+	// Output: flexsp true
+}
+
 // Example_mixedCluster is the README mixed-cluster snippet: a heterogeneous
 // fleet by spec, placement-aware planning, per-range costing on execution.
 func Example_mixedCluster() {

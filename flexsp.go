@@ -139,6 +139,15 @@ type ServeConfig struct {
 	// daemon's GET /v2/trace/{id} (0 = default 64; negative disables
 	// per-request tracing).
 	TraceEntries int
+	// StreamLimit bounds concurrently open streaming sessions (default 64);
+	// overflow opens get 429.
+	StreamLimit int
+	// StreamTimeout reaps streaming sessions idle for this long (default
+	// 60s; negative disables the idle timeout).
+	StreamTimeout time.Duration
+	// StreamWatermarks overrides the default speculation watermarks
+	// (25/50/75/90%) for streams opened without their own.
+	StreamWatermarks []float64
 	// Logger receives the daemon's structured logs (requests at Debug,
 	// lifecycle at Info); nil discards.
 	Logger *slog.Logger
@@ -386,6 +395,9 @@ func (s *System) NewServer() (*server.Server, error) {
 		CacheEntries:     s.serve.CacheEntries,
 		CacheGranularity: s.serve.CacheGranularity,
 		TraceEntries:     s.serve.TraceEntries,
+		StreamLimit:      s.serve.StreamLimit,
+		StreamTimeout:    s.serve.StreamTimeout,
+		StreamWatermarks: s.serve.StreamWatermarks,
 		Logger:           s.serve.Logger,
 	})
 }

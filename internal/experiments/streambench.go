@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"flexsp/internal/costmodel"
+	"flexsp/internal/pipeline"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/server"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// StreamBenchResult is the machine-readable streaming benchmark
+// (`flexsp-bench stream` writes it as BENCH_stream.json): sequences of a
+// batch arrive over an ingestion window paced by the cold solve latency, the
+// daemon speculatively solves partial batches behind the arrivals, and the
+// measured figure is the plan-after-close latency — the time a trainer
+// actually waits once its batch is complete. Each scenario crosses a corpus
+// (including the adversarial bimodal and RLHF-rollout mixes) with an arrival
+// order (shuffled, or sorted-ascending worst case).
+type StreamBenchResult struct {
+	Devices    int   `json:"devices"`
+	BatchSize  int   `json:"batch_size"`
+	Iterations int   `json:"iterations"`
+	Seed       int64 `json:"seed"`
+
+	Scenarios []StreamScenario `json:"scenarios"`
+
+	// ColdP50Millis is the p50 one-shot /v2/plan latency across all
+	// scenarios. PacedP50Millis is the p50 plan-after-close latency in the
+	// paced scenario: arrivals spread over ~1.5× the cold latency and the
+	// close request lagging the last arrival by ~1× the cold latency (the
+	// dispatch gap between data-ready and plan-needed that speculation
+	// amortizes the solve behind). TightP50Millis is the worst case — all
+	// appends back to back and close issued immediately, so only
+	// watermark-prefix warm hits can beat a cold solve.
+	ColdP50Millis  float64 `json:"cold_p50_millis"`
+	PacedP50Millis float64 `json:"paced_p50_millis"`
+	TightP50Millis float64 `json:"tight_p50_millis"`
+	// SpeedupP50 is ColdP50Millis / PacedP50Millis — the tentpole claim is
+	// ≥ 5× on the quick workload.
+	SpeedupP50 float64 `json:"speedup_p50"`
+
+	// Speculations/Skipped/Superseded/Reused aggregate the stream daemon's
+	// speculation counters over the whole run.
+	Speculations int64 `json:"speculations"`
+	Skipped      int64 `json:"skipped"`
+	Superseded   int64 `json:"superseded"`
+	Reused       int64 `json:"reused"`
+
+	// IdenticalDisabled reports the correctness gate: with speculation
+	// disabled, a streamed batch's plan section is byte-identical to the
+	// one-shot /v2/plan of the same lengths on a fresh daemon.
+	IdenticalDisabled bool `json:"identical_disabled"`
+
+	// Server is the stream daemon's /v1/metrics snapshot after the run.
+	Server server.MetricsResponse `json:"server"`
+}
+
+// StreamScenario is one corpus × arrival-order cell.
+type StreamScenario struct {
+	Dataset string `json:"dataset"`
+	Order   string `json:"order"`
+
+	ColdP50Millis  float64 `json:"cold_p50_millis"`
+	PacedP50Millis float64 `json:"paced_p50_millis"`
+	TightP50Millis float64 `json:"tight_p50_millis"`
+	SpeedupP50     float64 `json:"speedup_p50"`
+}
+
+// streamBenchChunks is how many appends the ingestion window is split into.
+const streamBenchChunks = 16
+
+// StreamBench runs the streaming benchmark against two in-process daemons —
+// one taking streams, one taking cold one-shot plans — so the stream
+// daemon's warm cache never flatters the cold baseline.
+func StreamBench(cfg Config) StreamBenchResult {
+	const maxCtx = 192 << 10
+	res := StreamBenchResult{
+		Devices:    cfg.Devices,
+		BatchSize:  cfg.BatchSize,
+		Iterations: cfg.Iterations,
+		Seed:       cfg.Seed,
+	}
+
+	streamAddr, closeStream := streamBenchDaemon(cfg)
+	defer closeStream()
+	coldAddr, closeCold := streamBenchDaemon(cfg)
+	defer closeCold()
+
+	datasets := []workload.Dataset{workload.CommonCrawl(), workload.Bimodal(), workload.RLHFRollout()}
+	orders := []workload.ArrivalOrder{workload.OrderShuffled, workload.OrderAscending}
+
+	var allCold, allPaced, allTight []float64
+	rng := cfg.rng(911)
+	for _, d := range datasets {
+		for _, order := range orders {
+			sc := StreamScenario{Dataset: d.Name, Order: string(order)}
+			var cold, paced, tight []float64
+			for it := 0; it < cfg.Iterations; it++ {
+				// Each variant streams a distinct batch, so one variant's
+				// close (which publishes its plans to the daemon's shared
+				// cache) never flatters another variant of the same lengths.
+				coldSec := coldPlanOnce(coldAddr, d.Batch(rng, cfg.BatchSize, maxCtx))
+				cold = append(cold, coldSec)
+				pacedArr := workload.Arrival(d.Batch(rng, cfg.BatchSize, maxCtx), order, rng)
+				tightArr := workload.Arrival(d.Batch(rng, cfg.BatchSize, maxCtx), order, rng)
+				// Paced: ingestion spread over 1.5× the cold latency, close
+				// lagging the last arrival by 1× — the speculative final
+				// solve overlaps the lag instead of serializing after it.
+				paced = append(paced, streamOnce(streamAddr, pacedArr, 1.5*coldSec, coldSec))
+				// Tight worst case: back-to-back appends, immediate close.
+				tight = append(tight, streamOnce(streamAddr, tightArr, 0, 0))
+			}
+			sc.ColdP50Millis = 1e3 * median(cold)
+			sc.PacedP50Millis = 1e3 * median(paced)
+			sc.TightP50Millis = 1e3 * median(tight)
+			if sc.PacedP50Millis > 0 {
+				sc.SpeedupP50 = sc.ColdP50Millis / sc.PacedP50Millis
+			}
+			res.Scenarios = append(res.Scenarios, sc)
+			allCold = append(allCold, cold...)
+			allPaced = append(allPaced, paced...)
+			allTight = append(allTight, tight...)
+		}
+	}
+
+	res.ColdP50Millis = 1e3 * median(allCold)
+	res.PacedP50Millis = 1e3 * median(allPaced)
+	res.TightP50Millis = 1e3 * median(allTight)
+	if res.PacedP50Millis > 0 {
+		res.SpeedupP50 = res.ColdP50Millis / res.PacedP50Millis
+	}
+
+	if m, err := fetchMetrics(streamAddr); err == nil {
+		res.Server = m
+		res.Speculations = m.Stream.Speculations
+		res.Skipped = m.Stream.Skipped
+		res.Superseded = m.Stream.Superseded
+		res.Reused = m.Stream.Reused
+	}
+
+	res.IdenticalDisabled = streamIdentityCheck(cfg)
+	return res
+}
+
+// streamBenchDaemon starts an in-process daemon on a loopback listener,
+// configured like the serving benchmark's solver.
+func streamBenchDaemon(cfg Config) (addr string, shutdown func()) {
+	c := cfg.coeffs(costmodel.GPT7B)
+	sv := solver.New(planner.New(c))
+	sv.Cache = solver.NewPlanCache(4096, 256)
+	srv, err := server.New(server.Config{
+		Solver:      sv,
+		Joint:       pipeline.NewPlanner(c),
+		QueueLimit:  256,
+		TenantLimit: 256,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("stream bench: %v", err))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("stream bench: %v", err))
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { httpSrv.Close() }
+}
+
+// coldPlanOnce measures one one-shot POST /v2/plan, in seconds.
+func coldPlanOnce(addr string, lens []int) float64 {
+	t0 := time.Now()
+	var env server.PlanEnvelope
+	if err := postJSON(addr+"/v2/plan", server.PlanRequest{Lengths: lens, Tenant: "bench"}, &env); err != nil {
+		panic(fmt.Sprintf("stream bench: cold plan: %v", err))
+	}
+	return time.Since(t0).Seconds()
+}
+
+// streamOnce replays one batch through a streaming session — appends split
+// into streamBenchChunks chunks spread over window seconds, then the close
+// issued closeLag seconds after the last append — and returns the
+// plan-after-close latency in seconds (the time the close call blocks).
+func streamOnce(addr string, arrivals []int, window, closeLag float64) float64 {
+	var open server.StreamOpenResponse
+	err := postJSON(addr+"/v2/stream/open", server.StreamOpenRequest{Tenant: "bench", Expect: len(arrivals)}, &open)
+	if err != nil {
+		panic(fmt.Sprintf("stream bench: open: %v", err))
+	}
+	chunk := (len(arrivals) + streamBenchChunks - 1) / streamBenchChunks
+	if chunk == 0 {
+		chunk = 1
+	}
+	pause := time.Duration(window / streamBenchChunks * float64(time.Second))
+	for i := 0; i < len(arrivals); i += chunk {
+		end := i + chunk
+		if end > len(arrivals) {
+			end = len(arrivals)
+		}
+		var ap server.StreamAppendResponse
+		if err := postJSON(addr+"/v2/stream/"+open.Session+"/append", server.StreamAppendRequest{Lengths: arrivals[i:end]}, &ap); err != nil {
+			panic(fmt.Sprintf("stream bench: append: %v", err))
+		}
+		if pause > 0 && end < len(arrivals) {
+			time.Sleep(pause)
+		}
+	}
+	if closeLag > 0 {
+		time.Sleep(time.Duration(closeLag * float64(time.Second)))
+	}
+	t0 := time.Now()
+	var env server.PlanEnvelope
+	if err := postJSON(addr+"/v2/stream/"+open.Session+"/close", server.StreamCloseRequest{}, &env); err != nil {
+		panic(fmt.Sprintf("stream bench: close: %v", err))
+	}
+	return time.Since(t0).Seconds()
+}
+
+// streamIdentityCheck verifies the correctness gate on fresh daemons: a
+// speculation-disabled stream and a one-shot plan of the same lengths return
+// byte-identical plan sections (solve wall time zeroed — it is the one
+// legitimately nondeterministic field).
+func streamIdentityCheck(cfg Config) bool {
+	streamAddr, closeStream := streamBenchDaemon(cfg)
+	defer closeStream()
+	coldAddr, closeCold := streamBenchDaemon(cfg)
+	defer closeCold()
+
+	const maxCtx = 192 << 10
+	batch := workload.CommonCrawl().Batch(cfg.rng(917), cfg.BatchSize, maxCtx)
+
+	speculate := false
+	var open server.StreamOpenResponse
+	err := postJSON(streamAddr+"/v2/stream/open", server.StreamOpenRequest{Tenant: "bench", Speculate: &speculate}, &open)
+	if err != nil {
+		panic(fmt.Sprintf("stream bench: identity open: %v", err))
+	}
+	var ap server.StreamAppendResponse
+	if err := postJSON(streamAddr+"/v2/stream/"+open.Session+"/append", server.StreamAppendRequest{Lengths: batch}, &ap); err != nil {
+		panic(fmt.Sprintf("stream bench: identity append: %v", err))
+	}
+	var streamed, cold server.PlanEnvelope
+	if err := postJSON(streamAddr+"/v2/stream/"+open.Session+"/close", server.StreamCloseRequest{}, &streamed); err != nil {
+		panic(fmt.Sprintf("stream bench: identity close: %v", err))
+	}
+	if err := postJSON(coldAddr+"/v2/plan", server.PlanRequest{Lengths: batch, Tenant: "bench"}, &cold); err != nil {
+		panic(fmt.Sprintf("stream bench: identity plan: %v", err))
+	}
+	if streamed.Flat == nil || cold.Flat == nil {
+		return false
+	}
+	return flatBytes(*streamed.Flat) == flatBytes(*cold.Flat)
+}
+
+// flatBytes renders a flat plan section with the wall time zeroed.
+func flatBytes(f server.SolveResponse) string {
+	f.SolveWallSeconds = 0
+	b, err := json.Marshal(f)
+	if err != nil {
+		panic(fmt.Sprintf("stream bench: %v", err))
+	}
+	return string(b)
+}
+
+// postJSON posts a JSON body and decodes a 2xx JSON response into out.
+func postJSON(url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// median returns the p50 of an unsorted sample, zero when empty.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// Render formats the result as a table.
+func (r StreamBenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Streaming ingestion (%d GPUs, batch %d, %d chunks/stream, %d iterations)\n",
+		r.Devices, r.BatchSize, streamBenchChunks, r.Iterations)
+	tbl := report.NewTable("", "dataset", "order", "cold p50", "paced close p50", "tight close p50", "speedup")
+	for _, sc := range r.Scenarios {
+		tbl.Add(sc.Dataset, sc.Order,
+			fmt.Sprintf("%.1fms", sc.ColdP50Millis),
+			fmt.Sprintf("%.2fms", sc.PacedP50Millis),
+			fmt.Sprintf("%.2fms", sc.TightP50Millis),
+			fmt.Sprintf("%.1f×", sc.SpeedupP50))
+	}
+	b.WriteString(tbl.String())
+	fmt.Fprintf(&b, "overall: cold p50 %.1fms, paced close p50 %.2fms (%.1f× faster), tight close p50 %.2fms\n",
+		r.ColdP50Millis, r.PacedP50Millis, r.SpeedupP50, r.TightP50Millis)
+	fmt.Fprintf(&b, "speculation: %d launched, %d skipped (cache-covered), %d superseded, %d closes reused\n",
+		r.Speculations, r.Skipped, r.Superseded, r.Reused)
+	fmt.Fprintf(&b, "disabled-speculation plan identical to one-shot: %v\n", r.IdenticalDisabled)
+	return b.String()
+}

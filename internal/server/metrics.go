@@ -49,6 +49,26 @@ type MetricsResponse struct {
 	CacheHitRate float64           `json:"cache_hit_rate"`
 	// Solver counts whole Solve calls and planner invocations.
 	Solver solver.SolverMetrics `json:"solver"`
+	// Stream summarizes streaming-session activity (POST /v2/stream/*).
+	Stream StreamMetrics `json:"stream"`
+}
+
+// StreamMetrics is the /v1/metrics streaming section: session lifecycle
+// counts plus the speculation counters aggregated across all sessions.
+type StreamMetrics struct {
+	// Opened counts sessions ever opened; Open is the number currently
+	// registered; Expired counts sessions reaped by the idle timeout.
+	Opened  int64 `json:"opened"`
+	Open    int   `json:"open"`
+	Expired int64 `json:"expired"`
+	// Speculations counts speculative solves launched, Skipped those
+	// avoided because the plan cache already covered the partial batch,
+	// Superseded those canceled by newer arrivals, and Reused the closes
+	// served from a speculative result instead of a fresh solve.
+	Speculations int64 `json:"speculations"`
+	Skipped      int64 `json:"speculations_skipped"`
+	Superseded   int64 `json:"superseded"`
+	Reused       int64 `json:"reused"`
 }
 
 // metrics aggregates the daemon's request counters — registered in the
@@ -64,8 +84,16 @@ type metrics struct {
 	unavailable *obs.Counter
 	errors      *obs.Counter
 
-	latency *obs.Histogram
-	lat     latencyWindow
+	streamOpened   *obs.Counter
+	streamExpired  *obs.Counter
+	specSolves     *obs.Counter
+	specSkipped    *obs.Counter
+	specSuperseded *obs.Counter
+	streamReused   *obs.Counter
+
+	latency        *obs.Histogram
+	planAfterClose *obs.Histogram
+	lat            latencyWindow
 }
 
 // newMetrics registers the request counters and latency histogram.
@@ -77,7 +105,16 @@ func newMetrics(reg *obs.Registry) metrics {
 		rejected:    reg.Counter("flexsp_rejected_total", "Requests refused with 429 (queue or tenant overflow)."),
 		unavailable: reg.Counter("flexsp_unavailable_total", "Requests refused with 503 while draining."),
 		errors:      reg.Counter("flexsp_errors_total", "Failed requests (decode, validation, or solver failure)."),
-		latency:     reg.Histogram("flexsp_request_latency_seconds", "Request latency from admission to response.", obs.DefBuckets),
+
+		streamOpened:   reg.Counter("flexsp_stream_sessions_total", "Streaming sessions opened."),
+		streamExpired:  reg.Counter("flexsp_stream_expired_total", "Streaming sessions reaped by the idle timeout."),
+		specSolves:     reg.Counter("flexsp_speculative_solves_total", "Speculative solves launched by streaming sessions."),
+		specSkipped:    reg.Counter("flexsp_speculative_skipped_total", "Speculative solves skipped because the plan cache covered the partial batch."),
+		specSuperseded: reg.Counter("flexsp_speculative_superseded_total", "Speculative solves canceled by newer arrivals."),
+		streamReused:   reg.Counter("flexsp_stream_reused_total", "Stream closes served from a speculative result."),
+
+		latency:        reg.Histogram("flexsp_request_latency_seconds", "Request latency from admission to response.", obs.DefBuckets),
+		planAfterClose: reg.Histogram("flexsp_plan_after_close_seconds", "Time from stream close to plan response.", obs.DefBuckets),
 	}
 }
 

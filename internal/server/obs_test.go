@@ -41,7 +41,9 @@ func TestMetricsJSONGolden(t *testing.T) {
 		LatencyP99Millis: 20.25,
 		Cache:            solver.CacheStats{Hits: 30, Misses: 10, Dedups: 4, Evictions: 1, Entries: 9},
 		CacheHitRate:     0.75,
-		Solver:           solver.SolverMetrics{Solves: 40, Canceled: 1, Planned: 80, Deduped: 6},
+		Solver:           solver.SolverMetrics{Solves: 40, Canceled: 1, Planned: 80, Deduped: 6, Skipped: 3},
+		Stream: StreamMetrics{Opened: 7, Open: 2, Expired: 1, Speculations: 12,
+			Skipped: 3, Superseded: 4, Reused: 5},
 	}
 	got, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {

@@ -14,6 +14,13 @@
 //	POST /v1/solve            v1 shim: the flexsp strategy, flat section
 //	                          only — byte-identical to the v1 protocol
 //	POST /v1/solve/pipelined  v1 shim: the pipeline strategy
+//	POST /v2/stream/open      open a streaming session → {"session", ...};
+//	                          sequences append incrementally and watermark
+//	                          crossings launch speculative background solves
+//	POST /v2/stream/{id}/append  {"lengths"} → running total
+//	POST /v2/stream/{id}/close   seal the session → plan envelope, the final
+//	                          solve warm-started from (or replaced by) the
+//	                          speculative incumbent
 //	GET  /v1/metrics          cache/dedup counters, queue depth, p50/p99
 //	GET  /metrics             the same counters as Prometheus text
 //	GET  /v2/trace            recent request trace IDs, newest first
@@ -105,6 +112,18 @@ type Config struct {
 	// GET /v2/trace/{id}. Zero takes the default 64; negative disables
 	// per-request tracing entirely.
 	TraceEntries int
+	// StreamLimit bounds concurrently open streaming sessions; opens beyond
+	// it are refused with 429. Default 64.
+	StreamLimit int
+	// StreamTimeout reaps a streaming session idle (no append or close)
+	// for this long. Zero takes the 60s default; negative disables the
+	// idle timeout.
+	StreamTimeout time.Duration
+	// StreamWatermarks are the default batch-fill fractions at which
+	// sessions opened with an expect hint launch speculative solves; empty
+	// takes solver.DefaultWatermarks. Per-session watermarks in the open
+	// request override them.
+	StreamWatermarks []float64
 	// Logger receives structured request and lifecycle logs (requests at
 	// Debug, drain at Info). Nil discards.
 	Logger *slog.Logger
@@ -127,6 +146,9 @@ type Server struct {
 
 	tenantMu sync.Mutex
 	tenants  map[string]int
+
+	streamMu sync.Mutex
+	streams  map[string]*streamSession
 
 	met    metrics
 	reg    *obs.Registry
@@ -155,6 +177,15 @@ func New(cfg Config) (*Server, error) {
 	case cfg.BatchWindow < 0:
 		cfg.BatchWindow = 0
 	}
+	if cfg.StreamLimit <= 0 {
+		cfg.StreamLimit = 64
+	}
+	switch {
+	case cfg.StreamTimeout == 0:
+		cfg.StreamTimeout = 60 * time.Second
+	case cfg.StreamTimeout < 0:
+		cfg.StreamTimeout = 0
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
@@ -167,6 +198,7 @@ func New(cfg Config) (*Server, error) {
 		logger:  logger,
 		sem:     make(chan struct{}, cfg.QueueLimit),
 		tenants: make(map[string]int),
+		streams: make(map[string]*streamSession),
 		met:     newMetrics(reg),
 		reg:     reg,
 	}
@@ -211,6 +243,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.servePlan(w, r, s.piped, planJob{lens: req.Lengths, strategy: "pipeline"}, req.Tenant)
 	})
+	s.mux.HandleFunc("POST /v2/stream/open", s.handleStreamOpen)
+	s.mux.HandleFunc("POST /v2/stream/{id}/append", s.handleStreamAppend)
+	s.mux.HandleFunc("POST /v2/stream/{id}/close", s.handleStreamClose)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	s.mux.HandleFunc("GET /v2/trace", s.handleTraceList)
@@ -254,6 +289,14 @@ func (s *Server) registerGauges() {
 		func() float64 { return float64(s.cfg.Solver.Metrics().Planned) })
 	s.reg.CounterFunc("flexsp_solver_deduped_total", "Micro-batches served by in-flight dedup.",
 		func() float64 { return float64(s.cfg.Solver.Metrics().Deduped) })
+	s.reg.CounterFunc("flexsp_solver_skipped_total", "Speculative solves skipped by the cache probe.",
+		func() float64 { return float64(s.cfg.Solver.Metrics().Skipped) })
+	s.reg.GaugeFunc("flexsp_stream_sessions", "Streaming sessions currently open.",
+		func() float64 {
+			s.streamMu.Lock()
+			defer s.streamMu.Unlock()
+			return float64(len(s.streams))
+		})
 	s.traced = s.reg.Counter("flexsp_traces_recorded_total", "Request traces recorded in the ring.")
 }
 
@@ -517,7 +560,15 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, b *batcher, j
 // admitted and release must be called; otherwise status/msg describe the
 // refusal.
 func (s *Server) admit(tenant string) (release func(), status int, msg string) {
-	if s.draining.Load() {
+	return s.admitAs(tenant, false)
+}
+
+// admitAs is admit with a drain bypass: a stream close finishing a session
+// that was admitted before Drain may pass allowDrain (the daemon would
+// otherwise strand every open session's final solve on SIGTERM). Queue and
+// tenant limits still apply.
+func (s *Server) admitAs(tenant string, allowDrain bool) (release func(), status int, msg string) {
+	if !allowDrain && s.draining.Load() {
 		s.met.unavailable.Add(1)
 		return nil, http.StatusServiceUnavailable, "server is draining"
 	}
@@ -571,6 +622,7 @@ func (s *Server) Metrics() MetricsResponse {
 		Cache:            cache,
 		CacheHitRate:     cache.HitRate(),
 		Solver:           s.cfg.Solver.Metrics(),
+		Stream:           s.streamMetrics(),
 	}
 }
 

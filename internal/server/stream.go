@@ -1,0 +1,388 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"flexsp/internal/obs"
+	"flexsp/internal/solver"
+)
+
+// This file is the daemon's streaming ingestion surface: sequences arrive
+// incrementally over POST /v2/stream/{open,append,close} and the underlying
+// solver.Stream speculatively solves partial batches in the background, so
+// the close-time solve is warm (or already done). Sessions are admitted at
+// open against the StreamLimit, reaped by an idle timeout, and their final
+// close passes the regular queue/tenant admission — but bypasses the drain
+// refusal, so SIGTERM does not strand a session's last solve.
+
+// StreamOpenRequest is the body of POST /v2/stream/open (an empty body is a
+// valid default session).
+type StreamOpenRequest struct {
+	// Tenant labels the session for close-time admission control, like the
+	// plan endpoints.
+	Tenant string `json:"tenant,omitempty"`
+	// Expect is the anticipated sequence count: speculation fires as the
+	// batch crosses the watermark fractions of it. Zero leaves speculation
+	// growth-triggered.
+	Expect int `json:"expect,omitempty"`
+	// Watermarks override the daemon's watermark policy for this session
+	// (fractions in (0, 1]).
+	Watermarks []float64 `json:"watermarks,omitempty"`
+	// Speculate turns background speculation off when explicitly false;
+	// omitted means on. Disabled sessions solve cold at close,
+	// byte-identical to POST /v2/plan on the same lengths.
+	Speculate *bool `json:"speculate,omitempty"`
+}
+
+// StreamOpenResponse is the body of a successful open.
+type StreamOpenResponse struct {
+	// Session is the identifier the append/close routes key on.
+	Session string `json:"session"`
+	// Expect and Watermarks echo the session's effective speculation
+	// policy; Speculation reports whether it is enabled.
+	Expect      int       `json:"expect,omitempty"`
+	Watermarks  []float64 `json:"watermarks,omitempty"`
+	Speculation bool      `json:"speculation"`
+}
+
+// StreamAppendRequest is the body of POST /v2/stream/{id}/append.
+type StreamAppendRequest struct {
+	Lengths []int `json:"lengths"`
+}
+
+// StreamAppendResponse is the body of a successful append.
+type StreamAppendResponse struct {
+	// Accepted is the number of lengths this append added; Total the
+	// session's running sequence count.
+	Accepted int `json:"accepted"`
+	Total    int `json:"total"`
+}
+
+// StreamCloseRequest is the body of POST /v2/stream/{id}/close (an empty
+// body closes without provenance).
+type StreamCloseRequest struct {
+	// Explain asks for the envelope's provenance attachment, like
+	// POST /v2/plan.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// StreamStatsJSON is the close envelope's speculation summary.
+type StreamStatsJSON struct {
+	// Appended is the session's total sequence count.
+	Appended int `json:"appended"`
+	// Speculations counts speculative solves launched, Skipped those
+	// avoided by the cache probe, and Superseded those canceled by newer
+	// arrivals.
+	Speculations int64 `json:"speculations"`
+	Skipped      int64 `json:"skipped"`
+	Superseded   int64 `json:"superseded"`
+	// Reused reports that the close was served from a speculative result
+	// without a fresh solve; WarmHits counts micro-batches the session's
+	// warm store satisfied.
+	Reused   bool  `json:"reused"`
+	WarmHits int64 `json:"warmHits"`
+}
+
+// streamSession is one registered streaming session: the solver-level
+// stream plus the bookkeeping the daemon needs to reap and close it. The
+// timer field is guarded by Server.streamMu.
+type streamSession struct {
+	id     string
+	tenant string
+	st     *solver.Stream
+	timer  *time.Timer
+}
+
+// decodeOptional is decodeRequest for routes where an empty body is a valid
+// request (stream open and close).
+func decodeOptional(w http.ResponseWriter, r *http.Request, out any, met *metrics) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 32<<20)
+	if err := json.NewDecoder(r.Body).Decode(out); err != nil && err != io.EOF {
+		met.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// handleStreamOpen serves POST /v2/stream/open: register a session and start
+// its idle timer. Opens are refused while draining (a new session could not
+// be closed before shutdown finishes draining the queue) and beyond
+// StreamLimit.
+func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
+	var req StreamOpenRequest
+	if !decodeOptional(w, r, &req, &s.met) {
+		return
+	}
+	if s.draining.Load() {
+		s.met.unavailable.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if req.Expect < 0 {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("negative expect %d", req.Expect))
+		return
+	}
+	for _, wm := range req.Watermarks {
+		if wm <= 0 || wm > 1 {
+			s.met.errors.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("watermark %v outside (0, 1]", wm))
+			return
+		}
+	}
+	cfg := solver.StreamConfig{
+		Expect:     req.Expect,
+		Watermarks: req.Watermarks,
+		Disabled:   req.Speculate != nil && !*req.Speculate,
+		Observe:    s.observeStream,
+	}
+	if len(cfg.Watermarks) == 0 {
+		cfg.Watermarks = s.cfg.StreamWatermarks
+	}
+	id := obs.NewRequestID()
+	sess := &streamSession{id: id, tenant: req.Tenant, st: solver.NewStream(s.cfg.Solver, cfg)}
+
+	s.streamMu.Lock()
+	if len(s.streams) >= s.cfg.StreamLimit {
+		s.streamMu.Unlock()
+		sess.st.Cancel()
+		s.met.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "stream session limit")
+		return
+	}
+	s.streams[id] = sess
+	if s.cfg.StreamTimeout > 0 {
+		sess.timer = time.AfterFunc(s.cfg.StreamTimeout, func() { s.expireStream(id, sess) })
+	}
+	s.streamMu.Unlock()
+
+	s.met.streamOpened.Add(1)
+	s.logger.Debug("stream opened", "session", id, "tenant", req.Tenant, "expect", req.Expect)
+	w.Header().Set("X-Flexsp-Request-Id", id)
+	w.Header().Set("Content-Type", "application/json")
+	wms := cfg.Watermarks
+	if len(wms) == 0 && !cfg.Disabled {
+		wms = solver.DefaultWatermarks
+	}
+	w.Write(encodeJSON(StreamOpenResponse{
+		Session:     id,
+		Expect:      req.Expect,
+		Watermarks:  wms,
+		Speculation: !cfg.Disabled,
+	}))
+}
+
+// touchStream looks a session up and resets its idle timer.
+func (s *Server) touchStream(id string) (*streamSession, bool) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	sess, ok := s.streams[id]
+	if ok && sess.timer != nil {
+		sess.timer.Reset(s.cfg.StreamTimeout)
+	}
+	return sess, ok
+}
+
+// takeStream removes a session from the registry and stops its idle timer;
+// the caller owns its lifecycle afterwards.
+func (s *Server) takeStream(id string) (*streamSession, bool) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	sess, ok := s.streams[id]
+	if !ok {
+		return nil, false
+	}
+	delete(s.streams, id)
+	if sess.timer != nil {
+		sess.timer.Stop()
+	}
+	return sess, true
+}
+
+// restoreStream re-registers a session whose close was refused by admission
+// control, restarting its idle timer so the client can retry.
+func (s *Server) restoreStream(sess *streamSession) {
+	s.streamMu.Lock()
+	s.streams[sess.id] = sess
+	if s.cfg.StreamTimeout > 0 {
+		sess.timer = time.AfterFunc(s.cfg.StreamTimeout, func() { s.expireStream(sess.id, sess) })
+	}
+	s.streamMu.Unlock()
+}
+
+// expireStream reaps an idle session. The identity check keeps a stale
+// timer (racing a close that already took the session, or a re-register
+// after a refused close) from canceling a live one.
+func (s *Server) expireStream(id string, sess *streamSession) {
+	s.streamMu.Lock()
+	cur, ok := s.streams[id]
+	if !ok || cur != sess {
+		s.streamMu.Unlock()
+		return
+	}
+	delete(s.streams, id)
+	s.streamMu.Unlock()
+	sess.st.Cancel()
+	s.met.streamExpired.Add(1)
+	s.logger.Info("stream expired", "session", id, "tenant", sess.tenant, "appended", sess.st.Len())
+}
+
+// handleStreamAppend serves POST /v2/stream/{id}/append.
+func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
+	var req StreamAppendRequest
+	if !decodeRequest(w, r, &req, &s.met) {
+		return
+	}
+	for _, l := range req.Lengths {
+		if l <= 0 {
+			s.met.errors.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("non-positive sequence length %d", l))
+			return
+		}
+	}
+	id := r.PathValue("id")
+	sess, ok := s.touchStream(id)
+	if !ok {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusNotFound, "unknown stream session (closed, expired, or never opened)")
+		return
+	}
+	total, err := sess.st.Append(req.Lengths...)
+	if err != nil {
+		// The session raced its own close or expiry between lookup and
+		// append; the registry entry (if any) is on its way out.
+		s.met.errors.Add(1)
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(encodeJSON(StreamAppendResponse{Accepted: len(req.Lengths), Total: total}))
+}
+
+// handleStreamClose serves POST /v2/stream/{id}/close: seal the session and
+// return the final plan envelope, warm-started from (or served by) the
+// speculative incumbent. The solve passes normal queue/tenant admission but
+// bypasses the drain refusal — the session was admitted at open, and drain
+// must let it finish.
+func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request) {
+	var req StreamCloseRequest
+	if !decodeOptional(w, r, &req, &s.met) {
+		return
+	}
+	id := r.PathValue("id")
+	sess, ok := s.takeStream(id)
+	if !ok {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusNotFound, "unknown stream session (closed, expired, or never opened)")
+		return
+	}
+	release, status, msg := s.admitAs(sess.tenant, true)
+	if status != 0 {
+		// Refused by queue or tenant limits: hand the session back so the
+		// client can retry the close.
+		s.restoreStream(sess)
+		writeError(w, status, msg)
+		return
+	}
+	defer release()
+	s.met.requests.Add(1)
+
+	ctx := r.Context()
+	rid := r.Header.Get("X-Flexsp-Request-Id")
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	ctx = obs.WithRequestID(ctx, rid)
+	w.Header().Set("X-Flexsp-Request-Id", rid)
+
+	ctx, span := obs.Start(ctx, "server.stream_close")
+	span.SetAttr("session", id)
+	span.SetAttr("seqs", sess.st.Len())
+	closeStart := time.Now()
+	res, err := sess.st.Close(ctx)
+	wall := time.Since(closeStart)
+	stats := sess.st.Stats()
+	span.SetAttr("reused", stats.Reused)
+	if err != nil {
+		span.SetError(err)
+	}
+	span.End()
+	s.logger.Debug("stream closed",
+		"session", id,
+		"tenant", sess.tenant,
+		"seqs", stats.Appended,
+		"reused", stats.Reused,
+		"latency", wall,
+		"err", err)
+	if err != nil {
+		s.met.errors.Add(1)
+		if ctx.Err() != nil {
+			writeError(w, statusClientGone, "canceled: client disconnected during close")
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.met.planAfterClose.Observe(wall.Seconds())
+	s.met.observeLatency(wall.Seconds())
+
+	sr := EncodeResult(res)
+	env := PlanEnvelope{
+		Version:  WireVersion,
+		Strategy: "flexsp",
+		EstTime:  sr.EstTime,
+		// The envelope's top-level wall is the plan-after-close latency —
+		// what the streaming mode optimizes; the flat section keeps the
+		// underlying solve's own wall.
+		SolveWallSeconds: wall.Seconds(),
+		Flat:             &sr,
+		Stream: &StreamStatsJSON{
+			Appended:     stats.Appended,
+			Speculations: stats.Speculations,
+			Skipped:      stats.Skipped,
+			Superseded:   stats.Superseded,
+			Reused:       stats.Reused,
+			WarmHits:     stats.WarmHits,
+		},
+	}
+	if req.Explain {
+		env.Explain = ExplainFlat(s.cfg.Solver.Planner, res, "flexsp")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(encodeJSON(env))
+}
+
+// observeStream fans solver stream events into the Prometheus counters.
+func (s *Server) observeStream(ev string) {
+	switch ev {
+	case solver.StreamEventSpeculate:
+		s.met.specSolves.Add(1)
+	case solver.StreamEventSkip:
+		s.met.specSkipped.Add(1)
+	case solver.StreamEventSupersede:
+		s.met.specSuperseded.Add(1)
+	case solver.StreamEventReuse:
+		s.met.streamReused.Add(1)
+	}
+}
+
+// streamMetrics builds the /v1/metrics streaming section.
+func (s *Server) streamMetrics() StreamMetrics {
+	s.streamMu.Lock()
+	open := len(s.streams)
+	s.streamMu.Unlock()
+	return StreamMetrics{
+		Opened:       s.met.streamOpened.Value(),
+		Open:         open,
+		Expired:      s.met.streamExpired.Value(),
+		Speculations: s.met.specSolves.Value(),
+		Skipped:      s.met.specSkipped.Value(),
+		Superseded:   s.met.specSuperseded.Value(),
+		Reused:       s.met.streamReused.Value(),
+	}
+}

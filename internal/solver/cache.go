@@ -116,6 +116,18 @@ func roundedSig(lens []int, granularity int) ([]int32, uint64) {
 	return sig, h
 }
 
+// sigHash hashes an already-canonical (sorted) signature with the same
+// FNV-1a construction as roundedSig — used when a signature arrives
+// pre-built, e.g. an imported incumbent's warm store.
+func sigHash(sig []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, r := range sig {
+		h ^= uint64(uint32(r))
+		h *= 1099511628211
+	}
+	return h
+}
+
 func (pc *PlanCache) shard(key uint64) *cacheShard {
 	return &pc.shards[key%uint64(len(pc.shards))]
 }
@@ -271,6 +283,19 @@ func (pc *PlanCache) Put(lens []int, p planner.MicroPlan) {
 	if evicted {
 		pc.evictions.Add(1)
 	}
+}
+
+// Contains reports whether the cache holds an entry for the micro-batch's
+// signature. Unlike Get it is a pure probe: no LRU reordering, no retarget,
+// and no hit/miss counting — streaming sessions use it to decide whether a
+// speculative solve would only re-derive cached plans (Solver.CacheCovers).
+func (pc *PlanCache) Contains(lens []int) bool {
+	sig, key := pc.signature(lens)
+	sh := pc.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[key]
+	return ok && SigsEqual(el.Value.(*cacheEntry).sig, sig)
 }
 
 // noteDedup records one in-flight deduplication (a plan shared between

@@ -62,6 +62,7 @@ type solverStats struct {
 	canceled atomic.Int64
 	planned  atomic.Int64
 	deduped  atomic.Int64
+	skipped  atomic.Int64
 }
 
 // SolverMetrics is a point-in-time snapshot of a Solver's counters. Unlike
@@ -80,6 +81,10 @@ type SolverMetrics struct {
 	// Deduped is the number of micro-batches served by waiting on another
 	// in-flight plan of the same signature instead of planning.
 	Deduped int64 `json:"deduped"`
+	// Skipped is the number of speculative solves a streaming session
+	// avoided because the plan cache already covered the partial batch
+	// (see Solver.CacheCovers).
+	Skipped int64 `json:"skipped"`
 }
 
 // Metrics returns the solver's counter snapshot. The fields are individually
@@ -93,6 +98,7 @@ func (s *Solver) Metrics() SolverMetrics {
 			Canceled: s.stats.canceled.Load(),
 			Planned:  s.stats.planned.Load(),
 			Deduped:  s.stats.deduped.Load(),
+			Skipped:  s.stats.skipped.Load(),
 		}
 	}
 	prev := read()
@@ -276,6 +282,13 @@ func (s *Solver) Solve(batch []int) (Result, error) {
 // away, a draining server) stops consuming planner workers within one
 // micro-batch plan. A canceled call returns ctx.Err(), never ErrUnsolvable.
 func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) {
+	return s.solve(ctx, batch, nil)
+}
+
+// solve is the Alg. 1 body behind SolveContext and SolveWarm. A non-nil warm
+// state threads a streaming session's exact-signature micro-plan memo
+// through planOne (see stream.go); nil is the plain cold path.
+func (s *Solver) solve(ctx context.Context, batch []int, warm *warmState) (Result, error) {
 	start := time.Now()
 	ctx, span := obs.Start(ctx, "solver.solve")
 	defer span.End()
@@ -337,7 +350,7 @@ func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) 
 			if errs[i] = ctx.Err(); errs[i] != nil {
 				return
 			}
-			plans[i], errs[i] = s.planOne(tctx, flights, micro[i])
+			plans[i], errs[i] = s.planOne(tctx, flights, micro[i], warm)
 		})
 		total := s.Overhead * float64(len(plans))
 		for i := range plans {
@@ -418,20 +431,44 @@ func (s *Solver) SolveContext(ctx context.Context, batch []int) (Result, error) 
 	return best, nil
 }
 
-// planOne plans one micro-batch through the cache and the in-flight
-// deduplication: cache hits return retargeted plans, concurrent identical
+// planOne plans one micro-batch through the warm store, the cache and the
+// in-flight deduplication: a streaming session's warm store returns memoized
+// plans verbatim, cache hits return retargeted plans, concurrent identical
 // signatures are planned once (singleflight, so the trials for M and M+1
 // never plan the same bucketed batch twice), and everything else goes to
-// the planner.
-func (s *Solver) planOne(ctx context.Context, flights *flightGroup, lens []int) (planner.MicroPlan, error) {
+// the planner. Every successful outcome is recorded back into a non-nil
+// warm state, and speculative solves withhold their plans from the shared
+// cache (see stream.go for why both matter for byte-identity).
+func (s *Solver) planOne(ctx context.Context, flights *flightGroup, lens []int, warm *warmState) (planner.MicroPlan, error) {
 	ctx, span := obs.Start(ctx, "solver.micro")
 	defer span.End()
 	span.SetAttr("seqs", len(lens))
+	var wsig []int32
+	var wkey uint64
+	if warm != nil {
+		wsig, wkey = Signature(lens)
+		if p, ok := warm.hit(wsig, wkey); ok {
+			// The memoized plan is exactly what this solve's cold path
+			// produced for this signature; a final (non-speculative) solve
+			// also publishes it, so the cache ends up in the cold state.
+			if s.Cache != nil && !warm.speculative {
+				s.Cache.Put(lens, p)
+			}
+			span.SetAttr("tier", "warm")
+			return p, nil
+		}
+	}
+	record := func(p planner.MicroPlan, err error) (planner.MicroPlan, error) {
+		if warm != nil && err == nil {
+			warm.record(wsig, wkey, p)
+		}
+		return p, err
+	}
 	if s.Cache != nil {
 		sig, key := s.Cache.signature(lens)
 		if p, ok := s.Cache.getWithSig(s.cacheCost(), lens, sig, key); ok {
 			span.SetAttr("tier", "cache-hit")
-			return p, nil
+			return record(p, nil)
 		}
 		// Singleflight on the cache's rounded signature: the leader plans
 		// and fills the cache, waiters re-read it and retarget.
@@ -442,21 +479,22 @@ func (s *Solver) planOne(ctx context.Context, flights *flightGroup, lens []int) 
 				s.Cache.noteDedup()
 				s.stats.deduped.Add(1)
 				span.SetAttr("tier", "dedup")
-				return p, nil
+				return record(p, nil)
 			}
-			// Leader failed or the retarget was rejected; plan independently.
+			// Leader failed (or withheld its plan speculatively) or the
+			// retarget was rejected; plan independently.
 			s.stats.planned.Add(1)
 			span.SetAttr("tier", "planned")
-			return s.Planner.PlanContext(ctx, lens)
+			return record(s.Planner.PlanContext(ctx, lens))
 		}
 		s.stats.planned.Add(1)
 		span.SetAttr("tier", "planned")
 		p, err := s.Planner.PlanContext(ctx, lens)
-		if err == nil {
+		if err == nil && (warm == nil || !warm.speculative) {
 			s.Cache.Put(lens, p)
 		}
 		flights.finish(key, f, p, err)
-		return p, err
+		return record(p, err)
 	}
 	// No cache: deduplicate exact length multisets in flight and share the
 	// identical plan.
@@ -467,15 +505,15 @@ func (s *Solver) planOne(ctx context.Context, flights *flightGroup, lens []int) 
 		if f.err == nil {
 			s.stats.deduped.Add(1)
 			span.SetAttr("tier", "dedup")
-			return f.plan, nil
+			return record(f.plan, nil)
 		}
 		s.stats.planned.Add(1)
 		span.SetAttr("tier", "planned")
-		return s.Planner.PlanContext(ctx, lens)
+		return record(s.Planner.PlanContext(ctx, lens))
 	}
 	s.stats.planned.Add(1)
 	span.SetAttr("tier", "planned")
 	p, err := s.Planner.PlanContext(ctx, lens)
 	flights.finish(key, f, p, err)
-	return p, err
+	return record(p, err)
 }

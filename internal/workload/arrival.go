@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Adversarial arrival distributions for the streaming planner. The standard
+// corpora (GitHub, CommonCrawl, Wikipedia) are uni-modal long tails; the
+// streaming benchmark additionally stresses speculation with shapes whose
+// prefixes look least like the final batch.
+
+// Bimodal is a two-cluster corpus — short chat-style turns plus a distinct
+// long-document mode — with almost no mass between the clusters. A random
+// prefix can over- or under-represent either mode, so speculative solves on
+// partial batches commit to the wrong micro-batch shape more often than on
+// uni-modal corpora.
+func Bimodal() Dataset {
+	return Dataset{
+		Name: "Bimodal",
+		Mix: []Component{
+			{Weight: 0.70, Mu: math.Log(2000), Sigma: 0.45},
+			{Weight: 0.30, Mu: math.Log(65000), Sigma: 0.35},
+		},
+		MinLen: 32,
+		MaxLen: 1 << 20,
+	}
+}
+
+// RLHFRollout models rollout generation in an RLHF loop: a dominant mode of
+// short completions, a mid tail of longer reasoning traces, and a rare mode
+// of runaway maximum-length generations. The rare long mode means the
+// batch's critical path often arrives only near the end of the stream —
+// late arrivals that invalidate every earlier incumbent.
+func RLHFRollout() Dataset {
+	return Dataset{
+		Name: "RLHFRollout",
+		Mix: []Component{
+			{Weight: 0.80, Mu: math.Log(600), Sigma: 0.50},
+			{Weight: 0.17, Mu: math.Log(8000), Sigma: 0.90},
+			{Weight: 0.03, Mu: math.Log(120000), Sigma: 0.60},
+		},
+		MinLen: 32,
+		MaxLen: 1 << 20,
+	}
+}
+
+// ArrivalOrder is the order sequences of a batch arrive on a stream.
+type ArrivalOrder string
+
+const (
+	// OrderShuffled is a uniform random permutation — the realistic case of
+	// sequences landing as independent producers finish them.
+	OrderShuffled ArrivalOrder = "shuffled"
+	// OrderAscending delivers shortest-first. This is the worst case for
+	// speculation: every prefix under-represents the tail, so each longer
+	// arrival shifts the optimal micro-batch partition and the incumbent
+	// built so far keeps going stale.
+	OrderAscending ArrivalOrder = "ascending"
+	// OrderDescending delivers longest-first: prefixes contain the critical
+	// path early, the friendliest case for speculation.
+	OrderDescending ArrivalOrder = "descending"
+)
+
+// ArrivalOrders lists the benchmark orders, realistic first.
+func ArrivalOrders() []ArrivalOrder {
+	return []ArrivalOrder{OrderShuffled, OrderAscending, OrderDescending}
+}
+
+// Arrival returns a copy of lens in the given arrival order; rng is used
+// only by OrderShuffled. The input is never mutated.
+func Arrival(lens []int, order ArrivalOrder, rng *rand.Rand) []int {
+	out := make([]int, len(lens))
+	copy(out, lens)
+	switch order {
+	case OrderAscending:
+		sort.Ints(out)
+	case OrderDescending:
+		sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	default:
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	}
+	return out
+}

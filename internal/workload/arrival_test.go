@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAdversarialDatasetsValidate(t *testing.T) {
+	for _, d := range []Dataset{Bimodal(), RLHFRollout()} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+// TestBimodalHasTwoModes checks the defining property: substantial mass on
+// both sides of the inter-cluster gap, near-nothing inside it.
+func TestBimodalHasTwoModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Bimodal()
+	const n = 20000
+	short, gap, long := 0, 0, 0
+	for i := 0; i < n; i++ {
+		switch l := d.Sample(rng); {
+		case l <= 8<<10:
+			short++
+		case l <= 32<<10:
+			gap++
+		default:
+			long++
+		}
+	}
+	if f := float64(short) / n; f < 0.55 || f > 0.85 {
+		t.Errorf("short-mode fraction %.3f, want ~0.70", f)
+	}
+	if f := float64(long) / n; f < 0.15 {
+		t.Errorf("long-mode fraction %.3f, want ≥ 0.15", f)
+	}
+	if f := float64(gap) / n; f > 0.15 {
+		t.Errorf("inter-mode gap fraction %.3f, want sparse", f)
+	}
+}
+
+// TestRLHFRolloutLongTail checks that the rollout mix is dominated by short
+// completions but keeps a rare very-long mode.
+func TestRLHFRolloutLongTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := RLHFRollout()
+	const n = 20000
+	if f := d.FractionBelow(rng, 4<<10, n); f < 0.70 {
+		t.Errorf("fraction below 4K = %.3f, want ≥ 0.70", f)
+	}
+	if f := 1 - d.FractionBelow(rng, 64<<10, n); f < 0.005 || f > 0.10 {
+		t.Errorf("fraction above 64K = %.4f, want a rare but present mode", f)
+	}
+}
+
+func TestArrivalOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lens := CommonCrawl().SampleN(rng, 256)
+	orig := append([]int(nil), lens...)
+
+	for _, order := range ArrivalOrders() {
+		got := Arrival(lens, order, rand.New(rand.NewSource(3)))
+		if len(got) != len(lens) {
+			t.Fatalf("%s: length %d, want %d", order, len(got), len(lens))
+		}
+		// Same multiset regardless of order.
+		a, b := append([]int(nil), got...), append([]int(nil), lens...)
+		sort.Ints(a)
+		sort.Ints(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: multiset changed at %d: %d != %d", order, i, a[i], b[i])
+			}
+		}
+	}
+	for i := range lens {
+		if lens[i] != orig[i] {
+			t.Fatal("Arrival mutated its input")
+		}
+	}
+
+	asc := Arrival(lens, OrderAscending, nil)
+	if !sort.IntsAreSorted(asc) {
+		t.Error("ascending order not sorted")
+	}
+	desc := Arrival(lens, OrderDescending, nil)
+	if !sort.IsSorted(sort.Reverse(sort.IntSlice(desc))) {
+		t.Error("descending order not sorted")
+	}
+	s1 := Arrival(lens, OrderShuffled, rand.New(rand.NewSource(3)))
+	s2 := Arrival(lens, OrderShuffled, rand.New(rand.NewSource(3)))
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("shuffled order not deterministic for a fixed seed")
+		}
+	}
+}
