@@ -4,10 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
+	"time"
 
+	"flexsp/internal/cluster"
 	"flexsp/internal/obs"
 	"flexsp/internal/server"
 )
@@ -23,6 +28,59 @@ type Client struct {
 	Tenant string
 	// HTTPClient overrides http.DefaultClient when non-nil.
 	HTTPClient *http.Client
+	// Retry opts this client into automatic retries: 429 refusals (the
+	// daemon's admission control asks the client to come back) retry on
+	// every method, and transport errors (connection reset, refused) retry
+	// only on idempotent requests — plan, solve, metrics, health, and
+	// stream open, never stream append/close, which may have reached the
+	// daemon. Nil (the default) never retries.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy shapes Client retries: capped exponential backoff with full
+// jitter, bounded by both an attempt count and a total-sleep budget. The
+// zero value of any field takes its default.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries including the first (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the backoff (default 50ms); each retry doubles it up
+	// to MaxDelay (default 2s), sleeping a uniformly jittered duration in
+	// [delay/2, delay].
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Budget caps the total time spent sleeping between retries (default
+	// 5s); when the next jittered delay would exceed it, the last error is
+	// returned instead.
+	Budget time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 5 * time.Second
+	}
+	return p
+}
+
+// retryable classifies an error from do: 429 means the daemon refused
+// admission without processing anything, safe to retry on any method;
+// transport errors are safe only when the request is idempotent (the daemon
+// may or may not have seen it).
+func retryable(err error, idempotent bool) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status == http.StatusTooManyRequests
+	}
+	var ue *url.Error
+	return errors.As(err, &ue) && idempotent
 }
 
 // NewClient returns a Client for the daemon at baseURL.
@@ -55,34 +113,91 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// post sends a JSON body and decodes the response into out.
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
+// post sends a JSON body and decodes the response into out; idempotent
+// widens the retry policy to transport errors.
+func (c *Client) post(ctx context.Context, path string, in, out any, idempotent bool) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("flexsp: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("flexsp: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
 	// Propagate the request ID end to end: reuse the one already on the
 	// context (e.g. minted by an outer handler), else mint a fresh one. The
-	// daemon echoes it back and tags its logs and trace with it.
+	// daemon echoes it back and tags its logs and trace with it. Retries
+	// reuse the same ID, so the daemon sees them as one logical request.
 	rid := obs.RequestID(ctx)
 	if rid == "" {
 		rid = obs.NewRequestID()
 	}
-	req.Header.Set("X-Flexsp-Request-Id", rid)
-	return c.do(req, out)
+	mk := func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("flexsp: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Flexsp-Request-Id", rid)
+		return req, nil
+	}
+	return c.doRetry(ctx, mk, out, idempotent)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
-	if err != nil {
-		return fmt.Errorf("flexsp: %w", err)
+	mk := func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return nil, fmt.Errorf("flexsp: %w", err)
+		}
+		return req, nil
 	}
-	return c.do(req, out)
+	return c.doRetry(ctx, mk, out, true)
+}
+
+// doRetry runs the request through the client's retry policy; with no
+// policy it is a single do.
+func (c *Client) doRetry(ctx context.Context, mk func() (*http.Request, error), out any, idempotent bool) error {
+	if c.Retry == nil {
+		req, err := mk()
+		if err != nil {
+			return err
+		}
+		return c.do(req, out)
+	}
+	p := c.Retry.withDefaults()
+	delay := p.BaseDelay
+	var slept time.Duration
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter in [delay/2, delay]: concurrent clients refused
+			// by the same overloaded daemon must not retry in lockstep.
+			d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+			if d > p.Budget-slept {
+				return lastErr
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return lastErr
+			case <-t.C:
+			}
+			slept += d
+			if delay *= 2; delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		req, err := mk()
+		if err != nil {
+			return err
+		}
+		if err = c.do(req, out); err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err, idempotent) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
 }
 
 func (c *Client) do(req *http.Request, out any) error {
@@ -123,7 +238,7 @@ func (c *Client) Plan(ctx context.Context, req PlanRequest) (server.PlanEnvelope
 		req.Tenant = c.Tenant
 	}
 	var out server.PlanEnvelope
-	err := c.post(ctx, "/v2/plan", req, &out)
+	err := c.post(ctx, "/v2/plan", req, &out, true)
 	return out, err
 }
 
@@ -135,7 +250,7 @@ func (c *Client) Plan(ctx context.Context, req PlanRequest) (server.PlanEnvelope
 // client.
 func (c *Client) Solve(ctx context.Context, lengths []int) (server.SolveResponse, error) {
 	var out server.SolveResponse
-	err := c.post(ctx, "/v1/solve", server.SolveRequest{Lengths: lengths, Tenant: c.Tenant}, &out)
+	err := c.post(ctx, "/v1/solve", server.SolveRequest{Lengths: lengths, Tenant: c.Tenant}, &out, true)
 	return out, err
 }
 
@@ -146,7 +261,7 @@ func (c *Client) Solve(ctx context.Context, lengths []int) (server.SolveResponse
 // the v1 shim client.
 func (c *Client) SolvePipelined(ctx context.Context, lengths []int) (server.PipelinedResponse, error) {
 	var out server.PipelinedResponse
-	err := c.post(ctx, "/v1/solve/pipelined", server.SolveRequest{Lengths: lengths, Tenant: c.Tenant}, &out)
+	err := c.post(ctx, "/v1/solve/pipelined", server.SolveRequest{Lengths: lengths, Tenant: c.Tenant}, &out, true)
 	return out, err
 }
 
@@ -166,7 +281,7 @@ func (c *Client) Stream(ctx context.Context, opts StreamOptions) (*ClientStream,
 		req.Speculate = &speculate
 	}
 	var out server.StreamOpenResponse
-	if err := c.post(ctx, "/v2/stream/open", req, &out); err != nil {
+	if err := c.post(ctx, "/v2/stream/open", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &ClientStream{c: c, id: out.Session}, nil
@@ -186,7 +301,7 @@ func (s *ClientStream) ID() string { return s.id }
 // and returns the total accumulated on the daemon so far.
 func (s *ClientStream) Append(ctx context.Context, lengths []int) (int, error) {
 	var out server.StreamAppendResponse
-	err := s.c.post(ctx, "/v2/stream/"+s.id+"/append", server.StreamAppendRequest{Lengths: lengths}, &out)
+	err := s.c.post(ctx, "/v2/stream/"+s.id+"/append", server.StreamAppendRequest{Lengths: lengths}, &out, false)
 	return out.Total, err
 }
 
@@ -196,7 +311,29 @@ func (s *ClientStream) Append(ctx context.Context, lengths []int) (int, error) {
 // Close returns a 404 StatusError.
 func (s *ClientStream) Close(ctx context.Context) (server.PlanEnvelope, error) {
 	var out server.PlanEnvelope
-	err := s.c.post(ctx, "/v2/stream/"+s.id+"/close", server.StreamCloseRequest{}, &out)
+	err := s.c.post(ctx, "/v2/stream/"+s.id+"/close", server.StreamCloseRequest{}, &out, false)
+	return out, err
+}
+
+// TopologyEvent is one live-topology change (node loss, straggler, rejoin),
+// re-exported from the cluster package for Client.ApplyTopology.
+type TopologyEvent = cluster.Event
+
+// Topology fetches the elastic daemon's live-fleet summary
+// (GET /v2/topology); a static daemon returns a 501 StatusError.
+func (c *Client) Topology(ctx context.Context) (server.TopologyResponse, error) {
+	var out server.TopologyResponse
+	err := c.get(ctx, "/v2/topology", &out)
+	return out, err
+}
+
+// ApplyTopology posts a batch of topology events (POST /v2/topology),
+// applied atomically, and returns the updated fleet summary. Events are not
+// idempotent (a rejoin re-applied would double), so the retry policy covers
+// only 429 refusals, never transport errors.
+func (c *Client) ApplyTopology(ctx context.Context, events ...TopologyEvent) (server.TopologyResponse, error) {
+	var out server.TopologyResponse
+	err := c.post(ctx, "/v2/topology", server.TopologyRequest{Events: events}, &out, false)
 	return out, err
 }
 

@@ -1,0 +1,173 @@
+package flexsp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flexsp/internal/server"
+)
+
+// fastRetry is a policy with test-scale delays.
+func fastRetry() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Budget: time.Second}
+}
+
+// flakyHandler refuses the first fail requests with 429, then serves a
+// minimal plan envelope.
+func flakyHandler(fail int32) (http.HandlerFunc, *int32) {
+	var calls int32
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt32(&calls, 1)
+		if n <= fail {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "queue full"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.PlanEnvelope{Version: server.WireVersion, Strategy: "flexsp"})
+	}, &calls
+}
+
+func TestClientRetries429(t *testing.T) {
+	h, calls := flakyHandler(2)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = fastRetry()
+	env, err := c.Plan(context.Background(), PlanRequest{Lengths: []int{1024}})
+	if err != nil {
+		t.Fatalf("Plan with retries: %v", err)
+	}
+	if env.Strategy != "flexsp" {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two 429s + success)", got)
+	}
+}
+
+func TestClientNoPolicyNoRetry(t *testing.T) {
+	h, calls := flakyHandler(1)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	_, err := c.Plan(context.Background(), PlanRequest{Lengths: []int{1024}})
+	var se *StatusError
+	if !errors.As(err, &se) || !se.Overloaded() {
+		t.Fatalf("err = %v, want overloaded StatusError", err)
+	}
+	if got := atomic.LoadInt32(calls); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no policy, no retry)", got)
+	}
+}
+
+func TestClientRetriesConnectionReset(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			// Kill the connection mid-response: the client sees a transport
+			// error, not a status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("response writer cannot hijack")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		json.NewEncoder(w).Encode(server.PlanEnvelope{Version: server.WireVersion, Strategy: "flexsp"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = fastRetry()
+	if _, err := c.Plan(context.Background(), PlanRequest{Lengths: []int{1024}}); err != nil {
+		t.Fatalf("Plan across connection reset: %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+func TestClientAppendNeverRetriesTransportErrors(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		hj := w.(http.Hijacker)
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Close()
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = fastRetry()
+	// An append that died on the wire may still have reached the daemon;
+	// retrying could double-append. The session handle is built directly —
+	// open would need a working server.
+	st := &ClientStream{c: c, id: "s1"}
+	if _, err := st.Append(context.Background(), []int{1024}); err == nil {
+		t.Fatal("append across dead connection succeeded")
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("server saw %d append attempts, want 1", got)
+	}
+}
+
+func TestClientRetryBudgetExhaustion(t *testing.T) {
+	h, calls := flakyHandler(1 << 30) // always 429
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 100, BaseDelay: 20 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Budget: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Plan(context.Background(), PlanRequest{Lengths: []int{1024}})
+	var se *StatusError
+	if !errors.As(err, &se) || !se.Overloaded() {
+		t.Fatalf("err = %v, want the last 429", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budget did not bound retries: %v elapsed", elapsed)
+	}
+	if got := atomic.LoadInt32(calls); got < 2 || got > 6 {
+		t.Fatalf("server saw %d requests; the 50ms budget allows roughly 2-6", got)
+	}
+}
+
+func TestClientRetryContextCancel(t *testing.T) {
+	h, _ := flakyHandler(1 << 30)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 100, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second, Budget: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Plan(ctx, PlanRequest{Lengths: []int{1024}})
+	if err == nil {
+		t.Fatal("canceled retry loop returned success")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel did not interrupt the backoff sleep: %v elapsed", elapsed)
+	}
+}

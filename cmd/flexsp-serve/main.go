@@ -16,6 +16,10 @@
 //	                          them (see -stream-limit, -stream-timeout)
 //	POST /v2/stream/{id}/append  add lengths to a session
 //	POST /v2/stream/{id}/close   seal the batch → plan envelope + stream stats
+//	POST /v2/topology         apply live-topology events (node loss,
+//	                          stragglers, rejoin); the daemon replans in the
+//	                          background, warm-started from the last solve
+//	GET  /v2/topology         live fleet summary: versions, degraded flag
 //	POST /v1/solve            v1 shim (flexsp strategy, flat body)
 //	POST /v1/solve/pipelined  v1 shim (pipeline strategy)
 //	GET  /v1/metrics          cache/dedup counters, queue depth, p50/p99
@@ -30,6 +34,11 @@
 // coalesce with. On SIGTERM/SIGINT the daemon drains gracefully: /healthz
 // flips to 503, new plan requests are refused, and in-flight solves finish
 // (up to -drain-timeout) before exit.
+//
+// Elastic planning is on by default (-elastic=false pins the boot fleet):
+// topology events posted to /v2/topology trigger a debounced background
+// replan (-replan-debounce), and plans served before it lands carry
+// "degraded": true.
 //
 // Observability: -log-level selects the structured-log threshold (requests
 // log at debug with their request IDs), -trace-ring sizes the /v2/trace
@@ -76,9 +85,28 @@ func run() int {
 	streamTimeout := flag.Duration("stream-timeout", time.Minute, "reap streaming sessions idle this long (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
 	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
-	traceRing := flag.Int("trace-ring", 0, "completed request traces kept for GET /v2/trace/{id} (0 = default 64, negative disables)")
+	traceRing := flag.Int("trace-ring", 64, "completed request traces kept for GET /v2/trace/{id} (negative disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
+	elastic := flag.Bool("elastic", true, "accept live-topology events on POST /v2/topology and replan in the background")
+	replanDebounce := flag.Duration("replan-debounce", 100*time.Millisecond, "wait this long after a topology event for the burst to settle before replanning (negative replans immediately)")
 	flag.Parse()
+
+	// Limits where zero can only be a typo fail fast with a clear error
+	// instead of booting a daemon that refuses every request (a
+	// zero-session stream limit) or never reaps abandoned sessions (a zero
+	// stream timeout). Negative keeps its documented meaning: disabled.
+	if *streamLimit <= 0 {
+		fmt.Fprintf(os.Stderr, "flexsp-serve: invalid -stream-limit %d: must be positive\n", *streamLimit)
+		return 2
+	}
+	if *streamTimeout == 0 {
+		fmt.Fprintln(os.Stderr, "flexsp-serve: invalid -stream-timeout 0: must be positive (or negative to disable the idle reaper)")
+		return 2
+	}
+	if *traceRing == 0 {
+		fmt.Fprintln(os.Stderr, "flexsp-serve: invalid -trace-ring 0: must be positive (or negative to disable tracing)")
+		return 2
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -117,6 +145,8 @@ func run() int {
 			TraceEntries:     *traceRing,
 			StreamLimit:      *streamLimit,
 			StreamTimeout:    *streamTimeout,
+			Elastic:          *elastic,
+			ReplanDebounce:   *replanDebounce,
 			Logger:           logger,
 		},
 	})
@@ -171,8 +201,12 @@ func run() int {
 	defer cancel()
 	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("flexsp-serve: shutdown: %v", err)
+		srv.Close()
 		return 1
 	}
+	// Stop the background replan loop and stream reaper after the listener
+	// is gone so no handler observes a half-closed server.
+	srv.Close()
 	log.Print("flexsp-serve: drained")
 	return 0
 }

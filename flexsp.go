@@ -148,6 +148,20 @@ type ServeConfig struct {
 	// StreamWatermarks overrides the default speculation watermarks
 	// (25/50/75/90%) for streams opened without their own.
 	StreamWatermarks []float64
+	// Elastic turns on live-topology planning: the daemon accepts
+	// POST /v2/topology events (node loss, stragglers, rejoin) against the
+	// system's elastic topology and replans in the background, warm-started
+	// from the last served solve. Plans served between an event and the
+	// replan carry "degraded": true.
+	Elastic bool
+	// ReplanDebounce is how long the replan loop waits after a topology
+	// event for the burst to settle before replanning (default 100ms;
+	// negative replans immediately).
+	ReplanDebounce time.Duration
+	// ResolveColdFraction is the replan repair give-up threshold: when more
+	// than this fraction of the fleet changed, the replan solves cold
+	// instead of repairing the incumbent (default 0.5).
+	ResolveColdFraction float64
 	// Logger receives the daemon's structured logs (requests at Debug,
 	// lifecycle at Info); nil discards.
 	Logger *slog.Logger
@@ -182,6 +196,8 @@ type System struct {
 	includeZeRO bool
 	pool        *cluster.GroupPool
 	serve       ServeConfig
+	cfg         Config
+	elastic     *cluster.Elastic
 }
 
 // NewSystem builds a System for the given configuration. Invalid
@@ -202,6 +218,7 @@ func NewSystem(cfg Config) (*System, error) {
 	var coeffs costmodel.Coeffs
 	var hetero *costmodel.HeteroCoeffs
 	var pl *planner.Planner
+	var mixedTopo cluster.MixedTopology
 	if cfg.Cluster != "" {
 		// Unreachable after Validate; kept defensive without duplicating
 		// Validate's error wording.
@@ -209,6 +226,7 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("flexsp: %w", err)
 		}
+		mixedTopo = mixed
 		if uni, ok := mixed.Uniform(); ok {
 			// Single class: the scalar path applies unchanged.
 			topo = uni
@@ -233,6 +251,7 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		topo = t
 		coeffs = costmodel.Profile(cfg.Model, topo).WithStyle(cfg.CommStyle)
+		mixedTopo, _ = cluster.MixedCluster(cluster.ClassCount{Class: cluster.A100_40G, Devices: cfg.Devices})
 	}
 	if cfg.Pipeline.HeadsCap && hetero == nil {
 		coeffs = coeffs.WithHeadsCap()
@@ -266,6 +285,13 @@ func NewSystem(cfg Config) (*System, error) {
 	if len(cfg.Pipeline.Degrees) > 0 {
 		jp.Degrees = cfg.Pipeline.Degrees
 	}
+	// An elastic view of the same fleet backs live-topology planning
+	// (System.Topology, the daemon's /v2/topology). A fleet MixedCluster
+	// cannot model (unreachable for specs Validate accepts) leaves it nil.
+	var elastic *cluster.Elastic
+	if len(mixedTopo.NodeGroups) > 0 {
+		elastic, _ = cluster.NewElastic(mixedTopo)
+	}
 	return &System{
 		Topo:        topo,
 		Coeffs:      coeffs,
@@ -276,7 +302,55 @@ func NewSystem(cfg Config) (*System, error) {
 		includeZeRO: cfg.IncludeZeRO,
 		pool:        cluster.NewGroupPool(topo.NumDevices(), cluster.DefaultGroupCreation),
 		serve:       cfg.Serve,
+		cfg:         cfg,
+		elastic:     elastic,
 	}, nil
+}
+
+// Topology is the system's elastic view of the fleet: apply node-loss,
+// straggler, and rejoin events to it and take live snapshots. The daemon's
+// POST /v2/topology (ServeConfig.Elastic) drives the same object. Nil when
+// the fleet cannot be modeled elastically.
+func (s *System) Topology() *cluster.Elastic {
+	return s.elastic
+}
+
+// rebuildFor builds a solver and joint planner profiled for a live topology
+// snapshot: the elastic daemon's Rebuild hook. The snapshot's fleet is
+// always planned heterogeneously — straggler derating creates per-node
+// pseudo-classes even on a single-class fleet — and the solver is returned
+// without a plan cache so the server attaches a fresh one (stale cached
+// placements from the previous fleet must not leak in).
+func (s *System) rebuildFor(snap cluster.Snapshot) (*solver.Solver, *pipeline.Planner, error) {
+	if len(snap.Mixed.NodeGroups) == 0 {
+		return nil, nil, fmt.Errorf("flexsp: no live devices in topology version %d", snap.Version)
+	}
+	h := costmodel.ProfileMixed(s.cfg.Model, snap.Mixed).WithStyle(s.cfg.CommStyle)
+	if err := h.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("flexsp: profiling topology version %d: %w", snap.Version, err)
+	}
+	if s.cfg.Pipeline.HeadsCap {
+		h = h.WithHeadsCap()
+	}
+	pl := planner.NewHetero(h)
+	pl.Strategy = s.cfg.Planner
+	sv := solver.New(pl)
+	if s.cfg.Trials > 0 {
+		sv.Trials = s.cfg.Trials
+	}
+	if s.cfg.IncludeZeRO {
+		sv.Overhead = h.Bottleneck().ZeROTime()
+	}
+	jp := pipeline.NewHeteroPlanner(h)
+	jp.Strategy = s.cfg.Planner
+	jp.IncludeZeRO = s.cfg.IncludeZeRO
+	if s.cfg.Trials > 0 {
+		jp.Trials = s.cfg.Trials
+	}
+	if len(s.cfg.Pipeline.Degrees) > 0 {
+		jp.Degrees = s.cfg.Pipeline.Degrees
+	}
+	return sv, jp, nil
 }
 
 // MustNewSystem is NewSystem for terse examples and tests: it panics on an
@@ -385,20 +459,41 @@ func (s *System) NewService(workers int) *solver.Service {
 // SIGTERM. Creating the server attaches a shared plan cache to the system's
 // solver if it has none.
 func (s *System) NewServer() (*server.Server, error) {
+	sv, jp := s.Solver, s.Joint
+	var elastic *cluster.Elastic
+	var rebuild func(cluster.Snapshot) (*solver.Solver, *pipeline.Planner, error)
+	if s.serve.Elastic {
+		if s.elastic == nil {
+			return nil, fmt.Errorf("flexsp: ServeConfig.Elastic set but the fleet has no elastic topology")
+		}
+		elastic = s.elastic
+		rebuild = s.rebuildFor
+		// The initial plan state comes from the same rebuild path as every
+		// replan, so the first topology event can repair plans instead of
+		// falling back cold (a scalar solver has no placements to repair).
+		var err error
+		if sv, jp, err = s.rebuildFor(elastic.Snapshot()); err != nil {
+			return nil, err
+		}
+	}
 	return server.New(server.Config{
-		Solver:           s.Solver,
-		Joint:            s.Joint,
-		Strategies:       s.serverStrategies(),
-		QueueLimit:       s.serve.QueueLimit,
-		TenantLimit:      s.serve.TenantLimit,
-		BatchWindow:      s.serve.BatchWindow,
-		CacheEntries:     s.serve.CacheEntries,
-		CacheGranularity: s.serve.CacheGranularity,
-		TraceEntries:     s.serve.TraceEntries,
-		StreamLimit:      s.serve.StreamLimit,
-		StreamTimeout:    s.serve.StreamTimeout,
-		StreamWatermarks: s.serve.StreamWatermarks,
-		Logger:           s.serve.Logger,
+		Solver:              sv,
+		Joint:               jp,
+		Topology:            elastic,
+		Rebuild:             rebuild,
+		ReplanDebounce:      s.serve.ReplanDebounce,
+		ResolveColdFraction: s.serve.ResolveColdFraction,
+		Strategies:          s.serverStrategies(),
+		QueueLimit:          s.serve.QueueLimit,
+		TenantLimit:         s.serve.TenantLimit,
+		BatchWindow:         s.serve.BatchWindow,
+		CacheEntries:        s.serve.CacheEntries,
+		CacheGranularity:    s.serve.CacheGranularity,
+		TraceEntries:        s.serve.TraceEntries,
+		StreamLimit:         s.serve.StreamLimit,
+		StreamTimeout:       s.serve.StreamTimeout,
+		StreamWatermarks:    s.serve.StreamWatermarks,
+		Logger:              s.serve.Logger,
 	})
 }
 

@@ -1,0 +1,144 @@
+// Package chaos is a deterministic, seedable fault injector for elastic
+// fleets. Each Step draws per-node fault events — node loss, device OOM,
+// straggler slowdowns, flapping rejoin — from a seeded source against a
+// cluster.Snapshot, so the same seed over the same topology history replays
+// the same failure trace. The events drive both the discrete-event
+// simulator (iterations lost, work redone) and a live planning daemon's
+// POST /v2/topology endpoint.
+package chaos
+
+import (
+	"math/rand"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/planner"
+)
+
+// Config sets the per-node, per-step fault probabilities. All rates are in
+// [0,1] and independent per node; zero disables that fault class.
+type Config struct {
+	// Seed fixes the random source; the zero seed is a valid seed.
+	Seed int64
+	// NodeLoss is the chance a healthy or straggling node goes down.
+	NodeLoss float64
+	// DeviceOOM is the chance one of a live node's devices OOMs (which
+	// cordons the node, see cluster.EventDeviceOOM).
+	DeviceOOM float64
+	// Straggle is the chance a healthy node starts straggling, with a
+	// slowdown factor drawn uniformly from [FactorMin, FactorMax].
+	Straggle float64
+	// Recover is the chance a straggling node returns to full speed.
+	Recover float64
+	// Rejoin is the chance a down node comes back (flapping).
+	Rejoin float64
+	// FactorMin and FactorMax bound straggler slowdowns; they default to
+	// [1.5, 4].
+	FactorMin, FactorMax float64
+	// MaxDown caps how many nodes may be down at once; 0 defaults to all
+	// but one, so the fleet never vanishes entirely.
+	MaxDown int
+}
+
+// Injector draws fault events deterministically from a seeded source.
+// It is not safe for concurrent use.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New returns an injector for cfg.
+func New(cfg Config) *Injector {
+	if cfg.FactorMin < 1 {
+		cfg.FactorMin = 1.5
+	}
+	if cfg.FactorMax < cfg.FactorMin {
+		cfg.FactorMax = cfg.FactorMin + 2.5
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Step draws one round of fault events against the fleet state in snap.
+// Nodes are visited in physical order and each contributes at most one
+// event, so the trace is a pure function of the seed and the snapshot
+// sequence. The returned events are valid to Apply against the Elastic
+// the snapshot came from.
+func (in *Injector) Step(snap cluster.Snapshot) []cluster.Event {
+	maxDown := in.cfg.MaxDown
+	if maxDown <= 0 {
+		maxDown = len(snap.Health) - 1
+	}
+	down := snap.Down
+	var evs []cluster.Event
+	for phys, h := range snap.Health {
+		u := in.rng.Float64()
+		switch h {
+		case cluster.Down:
+			if u < in.cfg.Rejoin {
+				evs = append(evs, cluster.Event{Kind: cluster.EventNodeUp, Node: phys})
+				down--
+			}
+		case cluster.Straggling:
+			switch {
+			case u < in.cfg.NodeLoss && down < maxDown:
+				evs = append(evs, cluster.Event{Kind: cluster.EventNodeDown, Node: phys})
+				down++
+			case u < in.cfg.NodeLoss+in.cfg.Recover:
+				evs = append(evs, cluster.Event{Kind: cluster.EventNodeUp, Node: phys})
+			}
+		default: // Healthy
+			switch {
+			case u < in.cfg.NodeLoss && down < maxDown:
+				evs = append(evs, cluster.Event{Kind: cluster.EventNodeDown, Node: phys})
+				down++
+			case u < in.cfg.NodeLoss+in.cfg.DeviceOOM && down < maxDown:
+				// Pick a device on the node; the node cordons either way,
+				// but the device index keeps the trace realistic.
+				d := phys*snap.Per + in.rng.Intn(snap.Per)
+				evs = append(evs, cluster.Event{Kind: cluster.EventDeviceOOM, Device: d})
+				down++
+			case u < in.cfg.NodeLoss+in.cfg.DeviceOOM+in.cfg.Straggle:
+				f := in.cfg.FactorMin + in.rng.Float64()*(in.cfg.FactorMax-in.cfg.FactorMin)
+				evs = append(evs, cluster.Event{Kind: cluster.EventStraggle, Node: phys, Factor: f})
+			}
+		}
+	}
+	return evs
+}
+
+// Drive draws one Step against e's current snapshot and applies it,
+// returning the events (possibly none). The convenience loop for tests and
+// benches that want the injector to mutate a live fleet directly.
+func (in *Injector) Drive(e *cluster.Elastic) ([]cluster.Event, error) {
+	evs := in.Step(e.Snapshot())
+	if len(evs) == 0 {
+		return nil, nil
+	}
+	if _, err := e.Apply(evs...); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+// Lost reports whether plans solved under snapshot from can no longer run
+// under snapshot to: some placed group touches a physical node that has
+// left the live set. Straggling degrades throughput but does not lose the
+// plan. Unplaced plans are conservatively lost whenever the fleet shrank.
+func Lost(from, to cluster.Snapshot, plans []planner.MicroPlan) bool {
+	for _, mp := range plans {
+		for _, g := range mp.Groups {
+			if !g.Placed() {
+				if to.NumDevices() < from.NumDevices() {
+					return true
+				}
+				continue
+			}
+			per := from.Per
+			for node := g.Range.Start / per; node*per < g.Range.End(); node++ {
+				if node >= len(from.Nodes) || to.PlanNode(from.Nodes[node]) < 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/planner"
+)
+
+func fleet(t *testing.T, nodes int) *cluster.Elastic {
+	t.Helper()
+	m, err := cluster.MixedCluster(cluster.ClassCount{Class: cluster.A100_40G, Devices: nodes * 8})
+	if err != nil {
+		t.Fatalf("MixedCluster: %v", err)
+	}
+	e, err := cluster.NewElastic(m)
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	return e
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, NodeLoss: 0.1, DeviceOOM: 0.05, Straggle: 0.2, Recover: 0.3, Rejoin: 0.5}
+	trace := func() [][]cluster.Event {
+		e := fleet(t, 8)
+		in := New(cfg)
+		var all [][]cluster.Event
+		for step := 0; step < 20; step++ {
+			evs, err := in.Drive(e)
+			if err != nil {
+				t.Fatalf("Drive: %v", err)
+			}
+			all = append(all, evs)
+		}
+		return all
+	}
+	a, b := trace(), trace()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault traces")
+	}
+	total := 0
+	for _, evs := range a {
+		total += len(evs)
+	}
+	if total == 0 {
+		t.Fatal("20 steps at these rates produced no events")
+	}
+}
+
+func TestInjectorSeedChangesTrace(t *testing.T) {
+	run := func(seed int64) []cluster.Event {
+		e := fleet(t, 8)
+		in := New(Config{Seed: seed, NodeLoss: 0.2, Straggle: 0.3})
+		var all []cluster.Event
+		for step := 0; step < 10; step++ {
+			evs, _ := in.Drive(e)
+			all = append(all, evs...)
+		}
+		return all
+	}
+	if reflect.DeepEqual(run(1), run(2)) {
+		t.Fatal("different seeds produced identical fault traces")
+	}
+}
+
+func TestInjectorRespectsMaxDown(t *testing.T) {
+	e := fleet(t, 4)
+	in := New(Config{Seed: 3, NodeLoss: 1}) // every live node wants to die
+	for step := 0; step < 5; step++ {
+		if _, err := in.Drive(e); err != nil {
+			t.Fatalf("Drive: %v", err)
+		}
+		if s := e.Snapshot(); s.Down > 3 {
+			t.Fatalf("down = %d, exceeds default cap of n-1", s.Down)
+		}
+	}
+	if s := e.Snapshot(); s.NumDevices() == 0 {
+		t.Fatal("fleet vanished despite MaxDown default")
+	}
+}
+
+func TestInjectorStragglerFactorsBounded(t *testing.T) {
+	e := fleet(t, 8)
+	in := New(Config{Seed: 11, Straggle: 1, FactorMin: 2, FactorMax: 3})
+	if _, err := in.Drive(e); err != nil {
+		t.Fatalf("Drive: %v", err)
+	}
+	s := e.Snapshot()
+	if s.Straggling == 0 {
+		t.Fatal("Straggle=1 produced no stragglers")
+	}
+	for phys, h := range s.Health {
+		if h == cluster.Straggling {
+			if f := s.Factors[phys]; f < 2 || f > 3 {
+				t.Fatalf("factor %g outside [2,3]", f)
+			}
+		}
+	}
+}
+
+func TestLost(t *testing.T) {
+	e := fleet(t, 4)
+	from := e.Snapshot()
+	plans := []planner.MicroPlan{{Groups: []planner.Group{
+		{Degree: 8, Lens: []int{4096}, Range: cluster.DeviceRange{Start: 8, Size: 8}},  // node 1
+		{Degree: 8, Lens: []int{2048}, Range: cluster.DeviceRange{Start: 24, Size: 8}}, // node 3
+	}}}
+
+	// Losing an untouched node keeps the plan alive.
+	if _, err := e.Apply(cluster.Event{Kind: cluster.EventNodeDown, Node: 2}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if Lost(from, e.Snapshot(), plans) {
+		t.Fatal("plan lost though no placed node died")
+	}
+	// Straggling a placed node degrades but does not lose it.
+	if _, err := e.Apply(cluster.Event{Kind: cluster.EventStraggle, Node: 1, Factor: 2}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if Lost(from, e.Snapshot(), plans) {
+		t.Fatal("plan lost to a straggler")
+	}
+	// Losing a placed node loses the plan.
+	if _, err := e.Apply(cluster.Event{Kind: cluster.EventNodeDown, Node: 3}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !Lost(from, e.Snapshot(), plans) {
+		t.Fatal("plan not lost though node 3 died")
+	}
+
+	// Unplaced plans are lost whenever the fleet shrank.
+	unplaced := []planner.MicroPlan{{Groups: []planner.Group{{Degree: 8, Lens: []int{4096}}}}}
+	if !Lost(from, e.Snapshot(), unplaced) {
+		t.Fatal("unplaced plan survived a shrunk fleet")
+	}
+	if Lost(from, from, unplaced) {
+		t.Fatal("unplaced plan lost on an unchanged fleet")
+	}
+}

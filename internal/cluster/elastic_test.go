@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func testElastic(t *testing.T, parts ...ClassCount) *Elastic {
+	t.Helper()
+	if len(parts) == 0 {
+		parts = []ClassCount{{Class: A100_40G, Devices: 32}}
+	}
+	m, err := MixedCluster(parts...)
+	if err != nil {
+		t.Fatalf("MixedCluster: %v", err)
+	}
+	e, err := NewElastic(m)
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	return e
+}
+
+func TestElasticSnapshotRoundTrip(t *testing.T) {
+	m, _ := MixedCluster(ClassCount{Class: A100_40G, Devices: 16}, ClassCount{Class: H100, Devices: 16})
+	e, err := NewElastic(m)
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	s := e.Snapshot()
+	if s.Version != 0 || s.Per != 8 || s.NumDevices() != 32 {
+		t.Fatalf("snapshot = v%d per=%d devices=%d, want v0 per=8 devices=32", s.Version, s.Per, s.NumDevices())
+	}
+	if s.Mixed.String() != m.String() {
+		t.Fatalf("snapshot topology %s, want %s", s.Mixed.String(), m.String())
+	}
+	if len(s.Nodes) != 4 || s.Nodes[0] != 0 || s.Nodes[3] != 3 {
+		t.Fatalf("Nodes = %v, want identity over 4 nodes", s.Nodes)
+	}
+}
+
+func TestElasticNodeDownAndRejoin(t *testing.T) {
+	e := testElastic(t) // 4 nodes of A100-40G
+	if _, err := e.Apply(Event{Kind: EventNodeDown, Node: 1}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	s := e.Snapshot()
+	if s.Version != 1 || s.Down != 1 || s.NumDevices() != 24 {
+		t.Fatalf("after node_down: v%d down=%d devices=%d", s.Version, s.Down, s.NumDevices())
+	}
+	if got := s.Nodes; len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Nodes = %v, want [0 2 3]", got)
+	}
+	if s.PlanNode(1) != -1 || s.PlanNode(2) != 1 {
+		t.Fatalf("PlanNode: got %d,%d want -1,1", s.PlanNode(1), s.PlanNode(2))
+	}
+	if _, err := e.Apply(Event{Kind: EventNodeUp, Node: 1}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	s2 := e.Snapshot()
+	if s2.NumDevices() != 32 || s2.Down != 0 {
+		t.Fatalf("after rejoin: devices=%d down=%d", s2.NumDevices(), s2.Down)
+	}
+	// The flap canceled out: the planning view matches version 0 even
+	// though the version advanced.
+	s0 := Snapshot{Per: 8, Nodes: []int{0, 1, 2, 3}, Classes: []DeviceClass{A100_40G, A100_40G, A100_40G, A100_40G}}
+	if !SameView(s2, s0) || s2.Version != 2 {
+		t.Fatalf("flap: SameView=%v version=%d", SameView(s2, s0), s2.Version)
+	}
+}
+
+func TestElasticStraggleDerates(t *testing.T) {
+	e := testElastic(t)
+	if _, err := e.Apply(Event{Kind: EventStraggle, Node: 2, Factor: 2}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	s := e.Snapshot()
+	if s.Straggling != 1 || s.NumDevices() != 32 {
+		t.Fatalf("straggle: straggling=%d devices=%d", s.Straggling, s.NumDevices())
+	}
+	c := s.Classes[2]
+	if c == A100_40G {
+		t.Fatal("straggling node's class compares equal to nominal")
+	}
+	if c.EffFLOPS != A100_40G.EffFLOPS/2 || c.InterBW != A100_40G.InterBW/2 {
+		t.Fatalf("derate: EffFLOPS=%g InterBW=%g", c.EffFLOPS, c.InterBW)
+	}
+	if c.Memory != A100_40G.Memory {
+		t.Fatal("straggling must not change memory capacity")
+	}
+	// The derated node splits the fleet into three node groups.
+	if len(s.Mixed.NodeGroups) != 3 {
+		t.Fatalf("NodeGroups = %v", s.Mixed.NodeGroups)
+	}
+	// Factor 1 recovers.
+	if _, err := e.Apply(Event{Kind: EventStraggle, Node: 2, Factor: 1}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if s := e.Snapshot(); s.Straggling != 0 || len(s.Mixed.NodeGroups) != 1 {
+		t.Fatalf("recover: straggling=%d groups=%v", s.Straggling, s.Mixed.NodeGroups)
+	}
+}
+
+func TestElasticDeviceFailureCordonsNode(t *testing.T) {
+	e := testElastic(t)
+	if _, err := e.Apply(Event{Kind: EventDeviceOOM, Device: 19}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	s := e.Snapshot()
+	if s.Down != 1 || s.PlanNode(2) != -1 {
+		t.Fatalf("device_oom on device 19 should cordon node 2: down=%d plan=%d", s.Down, s.PlanNode(2))
+	}
+}
+
+func TestElasticNodeJoin(t *testing.T) {
+	e := testElastic(t)
+	if _, err := e.Apply(Event{Kind: EventNodeJoin, Class: "H100", Count: 2}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	s := e.Snapshot()
+	if s.NumDevices() != 48 || len(s.Health) != 6 {
+		t.Fatalf("join: devices=%d nodes=%d", s.NumDevices(), len(s.Health))
+	}
+	if s.Classes[5] != H100 {
+		t.Fatalf("joined class = %v", s.Classes[5])
+	}
+}
+
+func TestElasticApplyAtomicity(t *testing.T) {
+	e := testElastic(t)
+	_, err := e.Apply(
+		Event{Kind: EventNodeDown, Node: 0},
+		Event{Kind: EventNodeDown, Node: 99}, // out of range: whole batch must fail
+	)
+	if err == nil {
+		t.Fatal("want error for out-of-range node")
+	}
+	if s := e.Snapshot(); s.Version != 0 || s.Down != 0 {
+		t.Fatalf("failed batch mutated state: v%d down=%d", s.Version, s.Down)
+	}
+	// A valid batch bumps the version exactly once.
+	if v, err := e.Apply(Event{Kind: EventNodeDown, Node: 0}, Event{Kind: EventStraggle, Node: 1, Factor: 3}); err != nil || v != 1 {
+		t.Fatalf("batch: v=%d err=%v", v, err)
+	}
+	if got := e.Events(); got != 2 {
+		t.Fatalf("Events = %d, want 2", got)
+	}
+}
+
+func TestElasticApplyRejectsBadEvents(t *testing.T) {
+	e := testElastic(t)
+	for _, ev := range []Event{
+		{Kind: "reboot", Node: 0},
+		{Kind: EventStraggle, Node: 0, Factor: 0.5},
+		{Kind: EventDeviceDown, Device: -1},
+		{Kind: EventDeviceDown, Device: 32},
+		{Kind: EventNodeJoin, Class: "V100", Count: 1},
+		{Kind: EventNodeJoin, Class: "H100", Count: 0},
+	} {
+		if _, err := e.Apply(ev); err == nil {
+			t.Errorf("Apply(%v): want error", ev)
+		}
+	}
+	if _, err := e.Apply(); err == nil {
+		t.Error("Apply(): want error for empty batch")
+	}
+	if e.Version() != 0 {
+		t.Fatalf("version = %d after rejected events", e.Version())
+	}
+}
+
+func TestElasticNotifyCoalesces(t *testing.T) {
+	e := testElastic(t)
+	for i := 0; i < 3; i++ {
+		if _, err := e.Apply(Event{Kind: EventStraggle, Node: 0, Factor: float64(i + 2)}); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+	}
+	select {
+	case <-e.Notify():
+	default:
+		t.Fatal("no notification after Apply")
+	}
+	select {
+	case <-e.Notify():
+		t.Fatal("notifications did not coalesce")
+	default:
+	}
+}
+
+func TestMapRangeWholeNode(t *testing.T) {
+	e := testElastic(t) // nodes 0..3, 8 devices each
+	from := e.Snapshot()
+	if _, err := e.Apply(Event{Kind: EventNodeDown, Node: 1}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	to := e.Snapshot()
+
+	// Node 0's devices keep their numbering.
+	if r, ok := MapRange(from, to, DeviceRange{Start: 0, Size: 8}); !ok || r != (DeviceRange{Start: 0, Size: 8}) {
+		t.Fatalf("map node0: %v %v", r, ok)
+	}
+	// Node 2 shifts down one node slot.
+	if r, ok := MapRange(from, to, DeviceRange{Start: 16, Size: 8}); !ok || r != (DeviceRange{Start: 8, Size: 8}) {
+		t.Fatalf("map node2: %v %v", r, ok)
+	}
+	// A range on the dead node cannot map.
+	if _, ok := MapRange(from, to, DeviceRange{Start: 8, Size: 8}); ok {
+		t.Fatal("range on dead node mapped")
+	}
+	// A two-node range spanning nodes 2-3 stays contiguous but lands
+	// misaligned (start 8, size 16), so it must be re-placed.
+	if _, ok := MapRange(from, to, DeviceRange{Start: 16, Size: 16}); ok {
+		t.Fatal("misaligned mapping accepted")
+	}
+	// Nodes 0-1 as a pair include the dead node.
+	if _, ok := MapRange(from, to, DeviceRange{Start: 0, Size: 16}); ok {
+		t.Fatal("range spanning dead node mapped")
+	}
+}
+
+func TestMapRangeSubNodeAndClassChange(t *testing.T) {
+	e := testElastic(t)
+	from := e.Snapshot()
+	if _, err := e.Apply(Event{Kind: EventNodeDown, Node: 0}, Event{Kind: EventStraggle, Node: 2, Factor: 2}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	to := e.Snapshot()
+
+	// Sub-node range on node 1 keeps its intra-node offset.
+	if r, ok := MapRange(from, to, DeviceRange{Start: 12, Size: 4}); !ok || r != (DeviceRange{Start: 4, Size: 4}) {
+		t.Fatalf("sub-node map: %v %v", r, ok)
+	}
+	// Node 2 is straggling: class changed, so its ranges must re-place
+	// (their cost model changed under them).
+	if _, ok := MapRange(from, to, DeviceRange{Start: 16, Size: 8}); ok {
+		t.Fatal("range on derated node mapped")
+	}
+	if _, ok := MapRange(from, to, DeviceRange{Start: 20, Size: 2}); ok {
+		t.Fatal("sub-node range on derated node mapped")
+	}
+}
+
+func TestElasticConcurrentApplySnapshot(t *testing.T) {
+	e := testElastic(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 3 {
+				case 0:
+					e.Apply(Event{Kind: EventNodeDown, Node: w})
+				case 1:
+					e.Apply(Event{Kind: EventNodeUp, Node: w})
+				default:
+					e.Apply(Event{Kind: EventStraggle, Node: w, Factor: 2})
+				}
+			}
+		}(w)
+	}
+	var snapWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for i := 0; i < 100; i++ {
+				s := e.Snapshot()
+				if s.NumDevices() > 32 || len(s.Health) != 4 {
+					panic("inconsistent snapshot")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snapWG.Wait()
+	if got := e.Version(); got != 200 {
+		t.Fatalf("version = %d, want 200", got)
+	}
+}

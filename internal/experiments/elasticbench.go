@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"flexsp/internal/chaos"
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/sim"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// ElasticBenchResult is the machine-readable elastic-replanning benchmark
+// (`flexsp-bench elastic` writes it as BENCH_elastic.json): a fleet loses a
+// node mid-training and the measured figures are (a) how much faster the
+// incremental re-solver (solver.Resolve, warm-started from the incumbent's
+// repaired plans) reaches a plan for the shrunk fleet than a cold solve, and
+// (b) how many simulated training iterations each reaction loses against
+// not replanning at all. A chaos-driven run (internal/chaos) then churns
+// the fleet through stragglers, OOMs, losses, and rejoins to exercise the
+// same path under realistic flapping.
+type ElasticBenchResult struct {
+	Devices   int   `json:"devices"`
+	Nodes     int   `json:"nodes"`
+	BatchSize int   `json:"batch_size"`
+	Samples   int   `json:"samples"`
+	Seed      int64 `json:"seed"`
+
+	// IterSeconds is one simulated training iteration on the full fleet;
+	// FullSolveMillis the cold solve that planned it.
+	IterSeconds     float64 `json:"iter_seconds"`
+	FullSolveMillis float64 `json:"full_solve_millis"`
+
+	// ColdReplanMillis and WarmReplanMillis are median wall times to plan
+	// the same batch on the fleet minus one node: from scratch versus
+	// repairing the incumbent via Resolve. Speedup is their ratio — the
+	// tentpole gate is ≥ 3×.
+	ColdReplanMillis float64 `json:"cold_replan_millis"`
+	WarmReplanMillis float64 `json:"warm_replan_millis"`
+	Speedup          float64 `json:"speedup"`
+
+	// Resolve summarizes the warm repair of the node-loss sample.
+	Resolve solver.ResolveStats `json:"resolve"`
+
+	// Iteration-loss model over a TotalIters-iteration run with the node
+	// lost after KillIter: no-replan forfeits every remaining iteration
+	// (the plan addresses dead devices), a replanning run loses the crashed
+	// iteration plus however many fit into the replan wall. The robustness
+	// gate is WarmIterationsLost < NoReplanIterationsLost.
+	TotalIters             int `json:"total_iters"`
+	KillIter               int `json:"kill_iter"`
+	NoReplanIterationsLost int `json:"no_replan_iterations_lost"`
+	WarmIterationsLost     int `json:"warm_iterations_lost"`
+	ColdIterationsLost     int `json:"cold_iterations_lost"`
+
+	// UnchangedByteIdentical is the correctness gate: Resolve over an
+	// unchanged topology returns plans byte-identical to the cold solve
+	// that produced the incumbent.
+	UnchangedByteIdentical bool `json:"unchanged_byte_identical"`
+
+	// Chaos summarizes the fault-injected run.
+	Chaos ElasticChaosResult `json:"chaos"`
+}
+
+// ElasticChaosResult is the fault-injection section: Steps injector rounds,
+// the events they produced, and how the re-solver fared.
+type ElasticChaosResult struct {
+	Steps       int `json:"steps"`
+	Events      int `json:"events"`
+	Replans     int `json:"replans"`
+	ColdReplans int `json:"cold_replans"`
+	// PlansInvalidated counts replans where the pre-event plan addressed
+	// devices that left (training would have crashed without replanning).
+	PlansInvalidated int `json:"plans_invalidated"`
+	// FinalDevices is the live fleet size after the run.
+	FinalDevices int `json:"final_devices"`
+}
+
+// elasticSolver builds a sequential hetero solver for a snapshot's live
+// fleet. Sequential (Parallel=false) keeps plan bytes deterministic for the
+// identity gate; the replan comparison uses it on both sides.
+func elasticSolver(snap cluster.Snapshot) (*solver.Solver, costmodel.HeteroCoeffs) {
+	h := costmodel.ProfileMixed(costmodel.GPT7B, snap.Mixed)
+	sv := solver.New(planner.NewHetero(h))
+	sv.Parallel = false
+	sv.Cache = solver.NewPlanCache(4096, 256)
+	return sv, h
+}
+
+func plansBytes(res solver.Result) string {
+	buf, err := json.Marshal(struct {
+		Plans []planner.MicroPlan
+		Time  float64
+		M     int
+		MMin  int
+	}{res.Plans, res.Time, res.M, res.MMin})
+	if err != nil {
+		panic(fmt.Sprintf("elastic bench: %v", err))
+	}
+	return string(buf)
+}
+
+// ElasticBench runs the elastic-replanning benchmark.
+func ElasticBench(cfg Config) ElasticBenchResult {
+	const maxCtx = 192 << 10
+	ctx := context.Background()
+	nodes := cfg.Devices / 8
+	if nodes < 2 {
+		nodes = 2
+	}
+	res := ElasticBenchResult{
+		Devices:   nodes * 8,
+		Nodes:     nodes,
+		BatchSize: cfg.BatchSize,
+		Seed:      cfg.Seed,
+	}
+	res.Samples = cfg.Iterations
+	if res.Samples < 3 {
+		res.Samples = 3
+	}
+
+	m, err := cluster.MixedCluster(cluster.ClassCount{Class: cluster.A100_40G, Devices: nodes * 8})
+	if err != nil {
+		panic(fmt.Sprintf("elastic bench: %v", err))
+	}
+	e, err := cluster.NewElastic(m)
+	if err != nil {
+		panic(fmt.Sprintf("elastic bench: %v", err))
+	}
+	snap0 := e.Snapshot()
+	batch := workload.CommonCrawl().Batch(cfg.rng(1201), cfg.BatchSize, maxCtx)
+
+	// The incumbent: a cold solve on the full fleet, and the simulated
+	// iteration time its plans achieve.
+	sv0, h0 := elasticSolver(snap0)
+	t0 := time.Now()
+	res0, inc0, err := sv0.SolveWarm(ctx, batch, nil)
+	if err != nil {
+		panic(fmt.Sprintf("elastic bench: full-fleet solve: %v", err))
+	}
+	res.FullSolveMillis = 1e3 * time.Since(t0).Seconds()
+	iter, err := sim.ExecuteIterationHetero(h0, res0.Plans, sim.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("elastic bench: full-fleet iteration: %v", err))
+	}
+	res.IterSeconds = iter.Time
+
+	// Correctness gate: unchanged topology, Resolve == cold solve, byte for
+	// byte (fresh sequential solvers on both sides).
+	coldSv, _ := elasticSolver(snap0)
+	coldRes, err := coldSv.SolveContext(ctx, batch)
+	if err != nil {
+		panic(fmt.Sprintf("elastic bench: identity cold solve: %v", err))
+	}
+	idSv, _ := elasticSolver(snap0)
+	idRes, _, idStats, err := idSv.Resolve(ctx, batch, inc0, snap0, snap0, solver.ResolveOptions{})
+	if err != nil {
+		panic(fmt.Sprintf("elastic bench: identity resolve: %v", err))
+	}
+	res.UnchangedByteIdentical = !idStats.Cold && plansBytes(idRes) == plansBytes(coldRes)
+
+	// Kill one mid-fleet node and time both reactions, each on a fresh
+	// solver so neither inherits the other's cache.
+	if _, err := e.Apply(cluster.Event{Kind: cluster.EventNodeDown, Node: nodes / 2}); err != nil {
+		panic(fmt.Sprintf("elastic bench: %v", err))
+	}
+	snap1 := e.Snapshot()
+	var coldWalls, warmWalls []float64
+	for i := 0; i < res.Samples; i++ {
+		cSv, _ := elasticSolver(snap1)
+		t := time.Now()
+		if _, err := cSv.SolveContext(ctx, batch); err != nil {
+			panic(fmt.Sprintf("elastic bench: cold replan: %v", err))
+		}
+		coldWalls = append(coldWalls, time.Since(t).Seconds())
+
+		wSv, wh := elasticSolver(snap1)
+		t = time.Now()
+		wRes, _, wStats, err := wSv.Resolve(ctx, batch, inc0, snap0, snap1, solver.ResolveOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("elastic bench: warm replan: %v", err))
+		}
+		warmWalls = append(warmWalls, time.Since(t).Seconds())
+		if i == 0 {
+			res.Resolve = wStats
+			// The repaired plans must run on the shrunk fleet.
+			if _, err := sim.ExecuteIterationHetero(wh, wRes.Plans, sim.Options{}); err != nil {
+				panic(fmt.Sprintf("elastic bench: repaired plans do not execute: %v", err))
+			}
+		}
+	}
+	coldSec, warmSec := median(coldWalls), median(warmWalls)
+	res.ColdReplanMillis = 1e3 * coldSec
+	res.WarmReplanMillis = 1e3 * warmSec
+	if warmSec > 0 {
+		res.Speedup = coldSec / warmSec
+	}
+
+	// Iteration-loss model: TotalIters iterations, node dies after
+	// KillIter. Without replanning every remaining iteration is forfeit;
+	// with it, the crashed iteration plus the replan stall (in iteration
+	// units, at least the one being replanned).
+	res.TotalIters, res.KillIter = 12, 4
+	remaining := res.TotalIters - res.KillIter
+	res.NoReplanIterationsLost = remaining
+	lost := func(wall float64) int {
+		n := 1 + int(math.Ceil(wall/res.IterSeconds))
+		if n > remaining {
+			n = remaining
+		}
+		return n
+	}
+	res.WarmIterationsLost = lost(warmSec)
+	res.ColdIterationsLost = lost(coldSec)
+
+	res.Chaos = elasticChaosRun(cfg, nodes, batch)
+	return res
+}
+
+// elasticChaosRun churns a fresh fleet through seeded fault injection,
+// replanning (warm where possible) after every eventful step.
+func elasticChaosRun(cfg Config, nodes int, batch []int) ElasticChaosResult {
+	ctx := context.Background()
+	out := ElasticChaosResult{}
+	m, err := cluster.MixedCluster(cluster.ClassCount{Class: cluster.A100_40G, Devices: nodes * 8})
+	if err != nil {
+		panic(fmt.Sprintf("elastic bench: %v", err))
+	}
+	e, err := cluster.NewElastic(m)
+	if err != nil {
+		panic(fmt.Sprintf("elastic bench: %v", err))
+	}
+	inj := chaos.New(chaos.Config{
+		Seed:      cfg.Seed,
+		NodeLoss:  0.15,
+		DeviceOOM: 0.05,
+		Straggle:  0.20,
+		Recover:   0.50,
+		Rejoin:    0.50,
+		MaxDown:   nodes - 1,
+	})
+
+	snap := e.Snapshot()
+	sv, _ := elasticSolver(snap)
+	_, inc, err := sv.SolveWarm(ctx, batch, nil)
+	if err != nil {
+		panic(fmt.Sprintf("elastic bench: chaos initial solve: %v", err))
+	}
+
+	out.Steps = 8
+	for step := 0; step < out.Steps; step++ {
+		evs, err := inj.Drive(e)
+		if err != nil {
+			panic(fmt.Sprintf("elastic bench: chaos step %d: %v", step, err))
+		}
+		if len(evs) == 0 {
+			continue
+		}
+		out.Events += len(evs)
+		next := e.Snapshot()
+		if cluster.SameView(snap, next) {
+			snap = next
+			continue
+		}
+		if inc != nil && chaos.Lost(snap, next, inc.Best().Plans) {
+			out.PlansInvalidated++
+		}
+		nsv, _ := elasticSolver(next)
+		_, ninc, stats, err := nsv.Resolve(ctx, batch, inc, snap, next, solver.ResolveOptions{})
+		if err != nil {
+			// The fleet shrank below the batch's needs this step; carry on
+			// without an incumbent and let a later rejoin recover.
+			inc = nil
+			snap = next
+			continue
+		}
+		out.Replans++
+		if stats.Cold {
+			out.ColdReplans++
+		}
+		inc, snap = ninc, next
+	}
+	out.FinalDevices = e.Snapshot().NumDevices()
+	return out
+}
+
+// Render formats the result as a table.
+func (r ElasticBenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Elastic replanning (%d GPUs / %d nodes, batch %d, %d samples)\n",
+		r.Devices, r.Nodes, r.BatchSize, r.Samples)
+	tbl := report.NewTable("", "reaction", "replan wall", "iterations lost (of 12, node dies after 4)")
+	tbl.Add("no replan", "—", fmt.Sprintf("%d (training crashed)", r.NoReplanIterationsLost))
+	tbl.Add("cold replan", fmt.Sprintf("%.1fms", r.ColdReplanMillis), fmt.Sprintf("%d", r.ColdIterationsLost))
+	tbl.Add("warm replan", fmt.Sprintf("%.1fms", r.WarmReplanMillis), fmt.Sprintf("%d", r.WarmIterationsLost))
+	b.WriteString(tbl.String())
+	fmt.Fprintf(&b, "warm vs cold replan: %.1f× faster (repaired %d plans: %d groups kept, %d re-placed, %d sequences moved; %d warm hits)\n",
+		r.Speedup, r.Resolve.RepairedPlans, r.Resolve.KeptGroups, r.Resolve.ReplacedGroups, r.Resolve.MovedSequences, r.Resolve.WarmHits)
+	fmt.Fprintf(&b, "unchanged-topology resolve byte-identical to cold solve: %v\n", r.UnchangedByteIdentical)
+	fmt.Fprintf(&b, "chaos: %d steps, %d events, %d replans (%d cold), %d plan invalidations, %d devices live at end\n",
+		r.Chaos.Steps, r.Chaos.Events, r.Chaos.Replans, r.Chaos.ColdReplans, r.Chaos.PlansInvalidated, r.Chaos.FinalDevices)
+	return b.String()
+}

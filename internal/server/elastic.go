@@ -1,0 +1,301 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/obs"
+	"flexsp/internal/pipeline"
+	"flexsp/internal/solver"
+)
+
+// planState is the immutable unit the daemon plans with: a solver and joint
+// planner built for one topology snapshot. Requests load it atomically, the
+// replan loop swaps it atomically, so an in-flight solve always finishes on
+// the solver it started with even if the fleet changes mid-solve.
+type planState struct {
+	solver *solver.Solver
+	joint  *pipeline.Planner
+	snap   cluster.Snapshot // zero-valued on a static daemon
+}
+
+// lastSolve remembers the most recent flexsp solve: batch, incumbent (plans
+// plus the exact-signature warm store), and the snapshot it was solved
+// under. The replan loop repairs it onto the new fleet via solver.Resolve.
+type lastSolve struct {
+	lens []int
+	inc  *solver.Incumbent
+	snap cluster.Snapshot
+}
+
+func (s *Server) planState() *planState { return s.planning.Load() }
+
+// degraded reports whether plans from st lag the live topology: events have
+// been applied that st's solver does not know about yet.
+func (s *Server) degraded(st *planState) bool {
+	return s.cfg.Topology != nil && s.cfg.Topology.Version() > st.snap.Version
+}
+
+// recordSolve stores the solve the replan loop will warm-start from.
+func (s *Server) recordSolve(lens []int, inc *solver.Incumbent, snap cluster.Snapshot) {
+	s.lastMu.Lock()
+	s.last = &lastSolve{lens: append([]int(nil), lens...), inc: inc, snap: snap}
+	s.lastMu.Unlock()
+}
+
+// cacheStats sums the current solver's cache counters with those of solvers
+// retired by replans, so the hit/miss series stay monotonic across plan-
+// state swaps. Entries reflects the current cache only.
+func (s *Server) cacheStats() solver.CacheStats {
+	cur := s.planState().solver.Cache.Metrics()
+	s.retiredMu.Lock()
+	r := s.retiredCache
+	s.retiredMu.Unlock()
+	cur.Hits += r.Hits
+	cur.Misses += r.Misses
+	cur.Dedups += r.Dedups
+	cur.Evictions += r.Evictions
+	return cur
+}
+
+// solverMetrics sums the current solver's counters with retired ones.
+func (s *Server) solverMetrics() solver.SolverMetrics {
+	cur := s.planState().solver.Metrics()
+	s.retiredMu.Lock()
+	r := s.retiredSolver
+	s.retiredMu.Unlock()
+	cur.Solves += r.Solves
+	cur.Canceled += r.Canceled
+	cur.Planned += r.Planned
+	cur.Deduped += r.Deduped
+	cur.Skipped += r.Skipped
+	return cur
+}
+
+// retire folds a replaced plan state's counters into the retired totals.
+func (s *Server) retire(old *planState) {
+	cm := old.solver.Cache.Metrics()
+	sm := old.solver.Metrics()
+	s.retiredMu.Lock()
+	s.retiredCache.Hits += cm.Hits
+	s.retiredCache.Misses += cm.Misses
+	s.retiredCache.Dedups += cm.Dedups
+	s.retiredCache.Evictions += cm.Evictions
+	s.retiredSolver.Solves += sm.Solves
+	s.retiredSolver.Canceled += sm.Canceled
+	s.retiredSolver.Planned += sm.Planned
+	s.retiredSolver.Deduped += sm.Deduped
+	s.retiredSolver.Skipped += sm.Skipped
+	s.retiredMu.Unlock()
+}
+
+func (s *Server) topologyMetrics() TopologyMetrics {
+	tm := TopologyMetrics{
+		Events:        s.met.topoEvents.Value(),
+		Replans:       s.met.replans.Value(),
+		ColdReplans:   s.met.coldReplans.Value(),
+		DegradedPlans: s.met.degradedPlans.Value(),
+	}
+	if s.cfg.Topology == nil {
+		return tm
+	}
+	snap := s.cfg.Topology.Snapshot()
+	st := s.planState()
+	tm.Elastic = true
+	tm.Version = snap.Version
+	tm.PlanVersion = st.snap.Version
+	tm.Degraded = snap.Version > st.snap.Version
+	tm.Nodes = len(snap.Nodes)
+	tm.Down = snap.Down
+	tm.Straggling = snap.Straggling
+	return tm
+}
+
+// replanLoop wakes on topology events, debounces bursts, and replans. It
+// exits when the Server is closed.
+func (s *Server) replanLoop(ctx context.Context) {
+	defer close(s.replanDone)
+	notify := s.cfg.Topology.Notify()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-notify:
+		}
+		if d := s.cfg.ReplanDebounce; d > 0 {
+			t := time.NewTimer(d)
+			for wait := true; wait; {
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return
+				case <-notify:
+					// Another event: restart the quiet period.
+					if !t.Stop() {
+						<-t.C
+					}
+					t.Reset(d)
+				case <-t.C:
+					wait = false
+				}
+			}
+		}
+		s.replanOnce(ctx)
+	}
+}
+
+// replanOnce rebuilds the plan state for the current topology snapshot,
+// warm-starting from the last served solve via solver.Resolve, and swaps it
+// in. On rebuild failure the old state keeps serving (flagged degraded) and
+// the next event retries.
+func (s *Server) replanOnce(ctx context.Context) {
+	snap := s.cfg.Topology.Snapshot()
+	cur := s.planState()
+	if cluster.SameView(cur.snap, snap) {
+		// The events canceled out (e.g. a node flapped down and up): keep
+		// solver and plans, just acknowledge the version so responses stop
+		// reading degraded.
+		s.planning.Store(&planState{solver: cur.solver, joint: cur.joint, snap: snap})
+		s.logger.Debug("replan: topology view unchanged", "version", snap.Version)
+		return
+	}
+	start := time.Now()
+	_, span := obs.Start(ctx, "server.replan")
+	defer span.End()
+	span.SetAttr("version", int(snap.Version))
+	sv, jp, err := s.cfg.Rebuild(snap)
+	if err != nil {
+		span.SetError(err)
+		s.logger.Warn("replan: rebuild failed; serving degraded plans",
+			"version", snap.Version, "err", err)
+		return
+	}
+	if sv.Cache == nil {
+		sv.Cache = solver.NewPlanCache(s.cfg.CacheEntries, s.cfg.CacheGranularity)
+	}
+	s.lastMu.Lock()
+	last := s.last
+	s.lastMu.Unlock()
+	var stats solver.ResolveStats
+	stats.Cold = true
+	if last != nil {
+		res, inc, rstats, rerr := sv.Resolve(ctx, last.lens, last.inc,
+			last.snap, snap, solver.ResolveOptions{ColdFraction: s.cfg.ResolveColdFraction})
+		stats = rstats
+		switch {
+		case rerr == nil:
+			s.recordSolve(last.lens, inc, snap)
+			_ = res
+		case ctx.Err() != nil:
+			return
+		default:
+			// The last batch no longer solves on this fleet (e.g. shrunk
+			// below its needs). The new state still swaps in: honest
+			// errors on the new topology beat plans for dead devices.
+			span.SetError(rerr)
+			s.logger.Warn("replan: warm re-solve failed", "version", snap.Version, "err", rerr)
+		}
+	}
+	s.retire(cur)
+	s.planning.Store(&planState{solver: sv, joint: jp, snap: snap})
+	s.met.replans.Inc()
+	if stats.Cold {
+		s.met.coldReplans.Inc()
+	}
+	elapsed := time.Since(start)
+	s.met.replanSeconds.Observe(elapsed.Seconds())
+	span.SetAttr("cold", stats.Cold)
+	span.SetAttr("repaired", stats.RepairedPlans)
+	s.logger.Info("replanned",
+		"version", snap.Version,
+		"devices", snap.NumDevices(),
+		"down", snap.Down,
+		"straggling", snap.Straggling,
+		"cold", stats.Cold,
+		"repaired_plans", stats.RepairedPlans,
+		"warm_hits", stats.WarmHits,
+		"elapsed", elapsed)
+}
+
+// TopologyRequest is the body of POST /v2/topology: a batch of events
+// applied atomically.
+type TopologyRequest struct {
+	Events []cluster.Event `json:"events"`
+}
+
+// TopologyResponse summarizes the elastic fleet (POST and GET /v2/topology).
+type TopologyResponse struct {
+	// Version is the fleet's topology version; PlanVersion the version the
+	// serving plan state was built for; Degraded is set while they differ.
+	Version     int64 `json:"version"`
+	PlanVersion int64 `json:"plan_version"`
+	Degraded    bool  `json:"degraded"`
+	// Devices counts live devices; Nodes live nodes; Down and Straggling
+	// the unhealthy physical nodes.
+	Devices    int `json:"devices"`
+	Nodes      int `json:"nodes"`
+	Down       int `json:"down"`
+	Straggling int `json:"straggling"`
+	// Cluster is the live planning topology as a spec string.
+	Cluster string `json:"cluster"`
+	// Replans counts background replans completed so far.
+	Replans int64 `json:"replans"`
+}
+
+func (s *Server) topologyResponse() TopologyResponse {
+	snap := s.cfg.Topology.Snapshot()
+	st := s.planState()
+	return TopologyResponse{
+		Version:     snap.Version,
+		PlanVersion: st.snap.Version,
+		Degraded:    snap.Version > st.snap.Version,
+		Devices:     snap.NumDevices(),
+		Nodes:       len(snap.Nodes),
+		Down:        snap.Down,
+		Straggling:  snap.Straggling,
+		Cluster:     snap.Mixed.String(),
+		Replans:     s.met.replans.Value(),
+	}
+}
+
+// handleTopologyPost applies a batch of topology events (atomically: one
+// invalid event rejects the whole batch with 400) and wakes the replan
+// loop. Static daemons answer 501.
+func (s *Server) handleTopologyPost(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Topology == nil {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusNotImplemented, "elastic topology not configured")
+		return
+	}
+	var req TopologyRequest
+	if !decodeRequest(w, r, &req, &s.met) {
+		return
+	}
+	if len(req.Events) == 0 {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "no topology events")
+		return
+	}
+	ver, err := s.cfg.Topology.Apply(req.Events...)
+	if err != nil {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.met.topoEvents.Add(int64(len(req.Events)))
+	s.logger.Info("topology events applied", "events", len(req.Events), "version", ver)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(encodeJSON(s.topologyResponse()))
+}
+
+// handleTopologyGet serves the live-fleet summary.
+func (s *Server) handleTopologyGet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Topology == nil {
+		writeError(w, http.StatusNotImplemented, "elastic topology not configured")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(encodeJSON(s.topologyResponse()))
+}

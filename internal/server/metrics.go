@@ -51,6 +51,33 @@ type MetricsResponse struct {
 	Solver solver.SolverMetrics `json:"solver"`
 	// Stream summarizes streaming-session activity (POST /v2/stream/*).
 	Stream StreamMetrics `json:"stream"`
+	// Topology summarizes the elastic fleet and the replan loop (POST
+	// /v2/topology); zero-valued with Elastic false on a static daemon.
+	Topology TopologyMetrics `json:"topology"`
+}
+
+// TopologyMetrics is the /v1/metrics elastic-planning section.
+type TopologyMetrics struct {
+	// Elastic reports whether the daemon plans against a live topology.
+	Elastic bool `json:"elastic"`
+	// Version is the fleet's current topology version; PlanVersion the
+	// version the serving plan state was built for. Degraded is set while
+	// they differ (events arrived, replan not finished).
+	Version     int64 `json:"version"`
+	PlanVersion int64 `json:"plan_version"`
+	Degraded    bool  `json:"degraded"`
+	// Nodes counts live fleet nodes; Down and Straggling the unhealthy
+	// physical nodes.
+	Nodes      int `json:"nodes"`
+	Down       int `json:"down"`
+	Straggling int `json:"straggling"`
+	// Events counts topology events accepted; Replans the background
+	// replans completed (ColdReplans of those without plan repair), and
+	// DegradedPlans the plan responses served while degraded.
+	Events        int64 `json:"events"`
+	Replans       int64 `json:"replans"`
+	ColdReplans   int64 `json:"cold_replans"`
+	DegradedPlans int64 `json:"degraded_plans"`
 }
 
 // StreamMetrics is the /v1/metrics streaming section: session lifecycle
@@ -91,8 +118,14 @@ type metrics struct {
 	specSuperseded *obs.Counter
 	streamReused   *obs.Counter
 
+	topoEvents    *obs.Counter
+	replans       *obs.Counter
+	coldReplans   *obs.Counter
+	degradedPlans *obs.Counter
+
 	latency        *obs.Histogram
 	planAfterClose *obs.Histogram
+	replanSeconds  *obs.Histogram
 	lat            latencyWindow
 }
 
@@ -113,8 +146,14 @@ func newMetrics(reg *obs.Registry) metrics {
 		specSuperseded: reg.Counter("flexsp_speculative_superseded_total", "Speculative solves canceled by newer arrivals."),
 		streamReused:   reg.Counter("flexsp_stream_reused_total", "Stream closes served from a speculative result."),
 
+		topoEvents:    reg.Counter("flexsp_topology_events_total", "Topology events accepted via POST /v2/topology."),
+		replans:       reg.Counter("flexsp_replans_total", "Background replans completed after topology changes."),
+		coldReplans:   reg.Counter("flexsp_replans_cold_total", "Replans that fell back to a cold solve (no plan repair)."),
+		degradedPlans: reg.Counter("flexsp_degraded_plans_total", "Plan responses served while the plan state lagged the topology."),
+
 		latency:        reg.Histogram("flexsp_request_latency_seconds", "Request latency from admission to response.", obs.DefBuckets),
 		planAfterClose: reg.Histogram("flexsp_plan_after_close_seconds", "Time from stream close to plan response.", obs.DefBuckets),
+		replanSeconds:  reg.Histogram("flexsp_replan_seconds", "Wall time of one background replan (rebuild + warm re-solve).", obs.DefBuckets),
 	}
 }
 

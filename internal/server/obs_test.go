@@ -44,6 +44,9 @@ func TestMetricsJSONGolden(t *testing.T) {
 		Solver:           solver.SolverMetrics{Solves: 40, Canceled: 1, Planned: 80, Deduped: 6, Skipped: 3},
 		Stream: StreamMetrics{Opened: 7, Open: 2, Expired: 1, Speculations: 12,
 			Skipped: 3, Superseded: 4, Reused: 5},
+		Topology: TopologyMetrics{Elastic: true, Version: 6, PlanVersion: 5,
+			Degraded: true, Nodes: 4, Down: 1, Straggling: 1,
+			Events: 8, Replans: 4, ColdReplans: 1, DegradedPlans: 2},
 	}
 	got, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {

@@ -21,11 +21,22 @@
 //	POST /v2/stream/{id}/close   seal the session → plan envelope, the final
 //	                          solve warm-started from (or replaced by) the
 //	                          speculative incumbent
+//	POST /v2/topology         {"events":[...]} → apply topology events to the
+//	                          elastic fleet and wake the background replan
+//	                          loop (501 on a static daemon)
+//	GET  /v2/topology         live-fleet summary: version, health counts,
+//	                          replan progress
 //	GET  /v1/metrics          cache/dedup counters, queue depth, p50/p99
 //	GET  /metrics             the same counters as Prometheus text
 //	GET  /v2/trace            recent request trace IDs, newest first
 //	GET  /v2/trace/{id}       one request's Chrome-trace JSON export
 //	GET  /healthz             liveness (503 while draining)
+//
+// An elastic daemon (Config.Topology + Config.Rebuild) additionally keeps
+// its plan state in step with a live fleet: topology events debounce into a
+// background replan that rebuilds the solver for the new fleet and repairs
+// the last served plan via solver.Resolve, while requests racing the replan
+// are served from the best incumbent state flagged "degraded":true.
 //
 // Three layers keep it standing under heavy traffic: admission control (a
 // bounded queue plus per-tenant concurrency limits, overflow answered with
@@ -55,6 +66,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flexsp/internal/cluster"
 	"flexsp/internal/obs"
 	"flexsp/internal/pipeline"
 	"flexsp/internal/solver"
@@ -127,6 +139,22 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs (requests at
 	// Debug, drain at Info). Nil discards.
 	Logger *slog.Logger
+	// Topology makes the daemon elastic: POST /v2/topology applies events
+	// to it and a background loop replans after changes. Requires Rebuild.
+	// Nil keeps the daemon static (topology routes answer 501).
+	Topology *cluster.Elastic
+	// Rebuild constructs the solver and joint planner for a new topology
+	// snapshot during a replan. The returned solver may come without a
+	// cache; one is attached (CacheEntries/CacheGranularity). Errors keep
+	// the previous plan state serving, flagged degraded.
+	Rebuild func(cluster.Snapshot) (*solver.Solver, *pipeline.Planner, error)
+	// ReplanDebounce is how long the replan loop waits after a topology
+	// event for further events to coalesce before replanning. Zero takes
+	// the 100ms default; negative replans immediately.
+	ReplanDebounce time.Duration
+	// ResolveColdFraction is passed to solver.Resolve during replans (the
+	// repair give-up threshold); zero takes the solver default.
+	ResolveColdFraction float64
 }
 
 // Server is the planning daemon. It implements http.Handler; wrap it in an
@@ -149,6 +177,20 @@ type Server struct {
 
 	streamMu sync.Mutex
 	streams  map[string]*streamSession
+
+	// planning is the atomically swapped plan state (solver, joint planner,
+	// topology snapshot); the replan loop is its only writer. lastSolve
+	// feeds plan repair; retired* accumulate counters of solvers replaced
+	// by replans so Prometheus series stay monotonic across swaps.
+	planning      atomic.Pointer[planState]
+	lastMu        sync.Mutex
+	last          *lastSolve
+	replanCancel  context.CancelFunc
+	replanDone    chan struct{}
+	closeOnce     sync.Once
+	retiredMu     sync.Mutex
+	retiredCache  solver.CacheStats
+	retiredSolver solver.SolverMetrics
 
 	met    metrics
 	reg    *obs.Registry
@@ -186,6 +228,15 @@ func New(cfg Config) (*Server, error) {
 	case cfg.StreamTimeout < 0:
 		cfg.StreamTimeout = 0
 	}
+	switch {
+	case cfg.ReplanDebounce == 0:
+		cfg.ReplanDebounce = 100 * time.Millisecond
+	case cfg.ReplanDebounce < 0:
+		cfg.ReplanDebounce = 0
+	}
+	if cfg.Topology != nil && cfg.Rebuild == nil {
+		return nil, fmt.Errorf("server: Config.Topology requires Config.Rebuild")
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
@@ -208,6 +259,11 @@ func New(cfg Config) (*Server, error) {
 	case cfg.TraceEntries > 0:
 		s.traces = newTraceRing(cfg.TraceEntries)
 	}
+	st := &planState{solver: cfg.Solver, joint: cfg.Joint}
+	if cfg.Topology != nil {
+		st.snap = cfg.Topology.Snapshot()
+	}
+	s.planning.Store(st)
 	s.registerGauges()
 	s.strategies = map[string]StrategyFunc{"flexsp": s.planFlexSP}
 	if cfg.Joint != nil {
@@ -250,8 +306,28 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	s.mux.HandleFunc("GET /v2/trace", s.handleTraceList)
 	s.mux.HandleFunc("GET /v2/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("POST /v2/topology", s.handleTopologyPost)
+	s.mux.HandleFunc("GET /v2/topology", s.handleTopologyGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cfg.Topology != nil {
+		rctx, cancel := context.WithCancel(context.Background())
+		s.replanCancel = cancel
+		s.replanDone = make(chan struct{})
+		go s.replanLoop(rctx)
+	}
 	return s, nil
+}
+
+// Close stops the background replan loop (a no-op on a static daemon). It
+// is idempotent and safe to call while requests are in flight: the current
+// plan state keeps serving, it just stops tracking topology events.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.replanCancel != nil {
+			s.replanCancel()
+			<-s.replanDone
+		}
+	})
 }
 
 // registerGauges wires the derived series — uptime, queue state, plan-cache
@@ -272,25 +348,35 @@ func (s *Server) registerGauges() {
 	s.reg.GaugeFunc("flexsp_queue_limit", "Admission queue bound.",
 		func() float64 { return float64(s.cfg.QueueLimit) })
 	s.reg.CounterFunc("flexsp_plan_cache_hits_total", "Plan cache hits.",
-		func() float64 { return float64(s.cfg.Solver.Cache.Metrics().Hits) })
+		func() float64 { return float64(s.cacheStats().Hits) })
 	s.reg.CounterFunc("flexsp_plan_cache_misses_total", "Plan cache misses.",
-		func() float64 { return float64(s.cfg.Solver.Cache.Metrics().Misses) })
+		func() float64 { return float64(s.cacheStats().Misses) })
 	s.reg.CounterFunc("flexsp_plan_cache_dedups_total", "In-flight plan deduplications.",
-		func() float64 { return float64(s.cfg.Solver.Cache.Metrics().Dedups) })
+		func() float64 { return float64(s.cacheStats().Dedups) })
 	s.reg.CounterFunc("flexsp_plan_cache_evictions_total", "Plan cache evictions.",
-		func() float64 { return float64(s.cfg.Solver.Cache.Metrics().Evictions) })
+		func() float64 { return float64(s.cacheStats().Evictions) })
 	s.reg.GaugeFunc("flexsp_plan_cache_entries", "Plans currently cached.",
-		func() float64 { return float64(s.cfg.Solver.Cache.Len()) })
+		func() float64 { return float64(s.planState().solver.Cache.Len()) })
 	s.reg.CounterFunc("flexsp_solver_solves_total", "Completed solver calls.",
-		func() float64 { return float64(s.cfg.Solver.Metrics().Solves) })
+		func() float64 { return float64(s.solverMetrics().Solves) })
 	s.reg.CounterFunc("flexsp_solver_canceled_total", "Solver calls canceled by context.",
-		func() float64 { return float64(s.cfg.Solver.Metrics().Canceled) })
+		func() float64 { return float64(s.solverMetrics().Canceled) })
 	s.reg.CounterFunc("flexsp_solver_planned_total", "Micro-batches that reached the planner.",
-		func() float64 { return float64(s.cfg.Solver.Metrics().Planned) })
+		func() float64 { return float64(s.solverMetrics().Planned) })
 	s.reg.CounterFunc("flexsp_solver_deduped_total", "Micro-batches served by in-flight dedup.",
-		func() float64 { return float64(s.cfg.Solver.Metrics().Deduped) })
+		func() float64 { return float64(s.solverMetrics().Deduped) })
 	s.reg.CounterFunc("flexsp_solver_skipped_total", "Speculative solves skipped by the cache probe.",
-		func() float64 { return float64(s.cfg.Solver.Metrics().Skipped) })
+		func() float64 { return float64(s.solverMetrics().Skipped) })
+	if s.cfg.Topology != nil {
+		s.reg.GaugeFunc("flexsp_topology_version", "Current topology version of the elastic fleet.",
+			func() float64 { return float64(s.cfg.Topology.Version()) })
+		s.reg.GaugeFunc("flexsp_topology_plan_version", "Topology version the serving plan state was built for.",
+			func() float64 { return float64(s.planState().snap.Version) })
+		s.reg.GaugeFunc("flexsp_topology_nodes_down", "Physical nodes currently down.",
+			func() float64 { return float64(s.cfg.Topology.Snapshot().Down) })
+		s.reg.GaugeFunc("flexsp_topology_nodes_straggling", "Physical nodes currently straggling.",
+			func() float64 { return float64(s.cfg.Topology.Snapshot().Straggling) })
+	}
 	s.reg.GaugeFunc("flexsp_stream_sessions", "Streaming sessions currently open.",
 		func() float64 {
 			s.streamMu.Lock()
@@ -341,11 +427,25 @@ func (s *Server) Draining() bool {
 // pass that joiners retry.
 const statusClientGone = 499
 
-// planFlexSP is the built-in flexsp strategy: one SolveContext call on the
-// server's solver, wrapped in the v2 envelope. The /v1/solve shim serves
-// exactly this envelope's flat section.
+// planFlexSP is the built-in flexsp strategy: one solve on the current plan
+// state's solver, wrapped in the v2 envelope. The /v1/solve shim serves
+// exactly this envelope's flat section. On an elastic daemon the solve also
+// records its incumbent so the replan loop can repair it after topology
+// changes, and the envelope is flagged degraded while the plan state lags
+// the fleet.
 func (s *Server) planFlexSP(ctx context.Context, spec PlanSpec) (PlanEnvelope, error) {
-	res, err := s.cfg.Solver.SolveContext(ctx, spec.Lengths)
+	st := s.planState()
+	var res solver.Result
+	var err error
+	if s.cfg.Topology == nil {
+		res, err = st.solver.SolveContext(ctx, spec.Lengths)
+	} else {
+		var inc *solver.Incumbent
+		res, inc, err = st.solver.SolveWarm(ctx, spec.Lengths, nil)
+		if err == nil && inc != nil {
+			s.recordSolve(spec.Lengths, inc, st.snap)
+		}
+	}
 	if err != nil {
 		return PlanEnvelope{}, err
 	}
@@ -355,10 +455,14 @@ func (s *Server) planFlexSP(ctx context.Context, spec PlanSpec) (PlanEnvelope, e
 		Strategy:         "flexsp",
 		EstTime:          sr.EstTime,
 		SolveWallSeconds: sr.SolveWallSeconds,
+		Degraded:         s.degraded(st),
 		Flat:             &sr,
 	}
+	if env.Degraded {
+		s.met.degradedPlans.Add(1)
+	}
 	if spec.Explain {
-		env.Explain = ExplainFlat(s.cfg.Solver.Planner, res, "flexsp")
+		env.Explain = ExplainFlat(st.solver.Planner, res, "flexsp")
 	}
 	return env, nil
 }
@@ -366,7 +470,11 @@ func (s *Server) planFlexSP(ctx context.Context, spec PlanSpec) (PlanEnvelope, e
 // planPipelined is the built-in pipeline strategy over the joint PP×SP
 // planner; the /v1/solve/pipelined shim serves its pipelined section.
 func (s *Server) planPipelined(ctx context.Context, spec PlanSpec) (PlanEnvelope, error) {
-	res, err := s.cfg.Joint.SolveContext(ctx, spec.Lengths)
+	st := s.planState()
+	if st.joint == nil {
+		return PlanEnvelope{}, fmt.Errorf("pipelined planning not configured")
+	}
+	res, err := st.joint.SolveContext(ctx, spec.Lengths)
 	if err != nil {
 		return PlanEnvelope{}, err
 	}
@@ -376,10 +484,14 @@ func (s *Server) planPipelined(ctx context.Context, spec PlanSpec) (PlanEnvelope
 		Strategy:         "pipeline",
 		EstTime:          pr.EstTime,
 		SolveWallSeconds: pr.SolveWallSeconds,
+		Degraded:         s.degraded(st),
 		Pipelined:        &pr,
 	}
+	if env.Degraded {
+		s.met.degradedPlans.Add(1)
+	}
 	if spec.Explain {
-		env.Explain = ExplainPipelined(s.cfg.Solver.Planner, res)
+		env.Explain = ExplainPipelined(st.solver.Planner, res)
 	}
 	return env, nil
 }
@@ -604,7 +716,7 @@ func (s *Server) admitAs(tenant string, allowDrain bool) (release func(), status
 // against concurrent solves.
 func (s *Server) Metrics() MetricsResponse {
 	p50, p99 := s.met.lat.percentiles()
-	cache := s.cfg.Solver.Cache.Metrics()
+	cache := s.cacheStats()
 	return MetricsResponse{
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
@@ -621,8 +733,9 @@ func (s *Server) Metrics() MetricsResponse {
 		LatencyP99Millis: 1e3 * p99,
 		Cache:            cache,
 		CacheHitRate:     cache.HitRate(),
-		Solver:           s.cfg.Solver.Metrics(),
+		Solver:           s.solverMetrics(),
 		Stream:           s.streamMetrics(),
+		Topology:         s.topologyMetrics(),
 	}
 }
 

@@ -94,7 +94,11 @@ type streamSession struct {
 	id     string
 	tenant string
 	st     *solver.Stream
-	timer  *time.Timer
+	// sv is the solver the session pinned at open: a topology replan mid-
+	// session must not strand the stream's speculative state on a retired
+	// solver, so appends and the final close stay on this one.
+	sv    *solver.Solver
+	timer *time.Timer
 }
 
 // decodeOptional is decodeRequest for routes where an empty body is a valid
@@ -145,7 +149,8 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 		cfg.Watermarks = s.cfg.StreamWatermarks
 	}
 	id := obs.NewRequestID()
-	sess := &streamSession{id: id, tenant: req.Tenant, st: solver.NewStream(s.cfg.Solver, cfg)}
+	sv := s.planState().solver
+	sess := &streamSession{id: id, tenant: req.Tenant, st: solver.NewStream(sv, cfg), sv: sv}
 
 	s.streamMu.Lock()
 	if len(s.streams) >= s.cfg.StreamLimit {
@@ -351,7 +356,7 @@ func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	if req.Explain {
-		env.Explain = ExplainFlat(s.cfg.Solver.Planner, res, "flexsp")
+		env.Explain = ExplainFlat(sess.sv.Planner, res, "flexsp")
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(encodeJSON(env))

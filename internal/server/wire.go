@@ -52,13 +52,18 @@ type MegatronJSON struct {
 // types byte-for-byte, which is what lets /v1/solve and /v1/solve/pipelined
 // stay as thin shims over the same encoding.
 type PlanEnvelope struct {
-	Version          int                `json:"version"`
-	Strategy         string             `json:"strategy"`
-	EstTime          float64            `json:"estTime"`
-	SolveWallSeconds float64            `json:"solveWallSeconds"`
-	Flat             *SolveResponse     `json:"flat,omitempty"`
-	Pipelined        *PipelinedResponse `json:"pipelined,omitempty"`
-	Megatron         *MegatronJSON      `json:"megatron,omitempty"`
+	Version          int     `json:"version"`
+	Strategy         string  `json:"strategy"`
+	EstTime          float64 `json:"estTime"`
+	SolveWallSeconds float64 `json:"solveWallSeconds"`
+	// Degraded is set on elastic daemons while the serving plan state lags
+	// the live topology (events arrived, background replan not finished):
+	// the plan is valid for the previous fleet view. Static daemons never
+	// set it, keeping their envelopes byte-identical to earlier releases.
+	Degraded  bool               `json:"degraded,omitempty"`
+	Flat      *SolveResponse     `json:"flat,omitempty"`
+	Pipelined *PipelinedResponse `json:"pipelined,omitempty"`
+	Megatron  *MegatronJSON      `json:"megatron,omitempty"`
 	// Stream is the session's speculation summary, attached only to
 	// envelopes returned by POST /v2/stream/{id}/close (additive: v1 shims
 	// and plain /v2/plan envelopes never carry it).
