@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"flexsp/internal/cluster"
+	"flexsp/internal/fleet"
 	"flexsp/internal/obs"
 	"flexsp/internal/server"
 )
@@ -334,6 +335,47 @@ func (c *Client) Topology(ctx context.Context) (server.TopologyResponse, error) 
 func (c *Client) ApplyTopology(ctx context.Context, events ...TopologyEvent) (server.TopologyResponse, error) {
 	var out server.TopologyResponse
 	err := c.post(ctx, "/v2/topology", server.TopologyRequest{Events: events}, &out, false)
+	return out, err
+}
+
+// FleetReplica names one flexsp-serve instance behind a flexsp-fleet
+// router: a stable routing name (the rendezvous hash mixes it with each
+// batch signature) and the daemon's base URL.
+type FleetReplica = fleet.Replica
+
+// FleetStatus is a flexsp-fleet router's routing table: the member replicas
+// with their health states and in-flight counts, the routable count, and
+// the table version (bumps on every membership or health change).
+type FleetStatus = fleet.FleetResponse
+
+// Fleet fetches the routing table (GET /v2/fleet) from a flexsp-fleet
+// router. Against a plain flexsp-serve daemon the route does not exist and
+// a 404 StatusError comes back.
+func (c *Client) Fleet(ctx context.Context) (FleetStatus, error) {
+	var out FleetStatus
+	err := c.get(ctx, "/v2/fleet", &out)
+	return out, err
+}
+
+// FleetJoin adds (or re-adds, resetting health) a replica to a flexsp-fleet
+// router at runtime (POST /v2/fleet/join) and returns the updated table.
+// Joining is idempotent for a fixed (name, URL) pair, so the retry policy
+// covers transport errors too.
+func (c *Client) FleetJoin(ctx context.Context, rep FleetReplica) (FleetStatus, error) {
+	var out FleetStatus
+	err := c.post(ctx, "/v2/fleet/join", rep, &out, true)
+	return out, err
+}
+
+// FleetLeave removes a replica from a flexsp-fleet router by name (POST
+// /v2/fleet/leave) and returns the updated table; an unknown name is a 404
+// StatusError. A retried leave would 404 after the first one landed, so the
+// retry policy covers only 429 refusals.
+func (c *Client) FleetLeave(ctx context.Context, name string) (FleetStatus, error) {
+	var out FleetStatus
+	err := c.post(ctx, "/v2/fleet/leave", struct {
+		Name string `json:"name"`
+	}{Name: name}, &out, false)
 	return out, err
 }
 

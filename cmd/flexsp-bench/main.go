@@ -20,16 +20,18 @@
 //	flexsp-bench serve         # flexsp-serve load bench: concurrent clients, throughput, tail latency
 //	flexsp-bench stream        # streaming ingestion: plan-after-close latency, speculative vs cold
 //	flexsp-bench elastic       # elastic fleet: warm vs cold replanning after node loss, chaos run
+//	flexsp-bench fleet         # fleet router: 3-replica scaling, replica kill, peer-cache rebalance
 //	flexsp-bench all           # everything above
 //
 // Flags: -quick shrinks batch sizes/iterations, -seed, -iters and -devices
 // override the experiment configuration; -cluster (e.g.
 // "mixed:32xA100,32xH100") picks the heterogeneous experiment's fleet. The
-// heterogeneous, solver, serve, stream and elastic experiments also write
-// their results as machine-readable JSON (default BENCH_heterogeneous.json /
-// BENCH_solver.json / BENCH_serve.json / BENCH_stream.json /
-// BENCH_elastic.json, see -benchjson, -solverjson, -servejson, -streamjson
-// and -elasticjson) so perf can be tracked across commits. The serve experiment starts an in-process daemon by default;
+// heterogeneous, solver, serve, stream, elastic and fleet experiments also
+// write their results as machine-readable JSON (default
+// BENCH_heterogeneous.json / BENCH_solver.json / BENCH_serve.json /
+// BENCH_stream.json / BENCH_elastic.json / BENCH_fleet.json, see -benchjson,
+// -solverjson, -servejson, -streamjson, -elasticjson and -fleetjson) so perf
+// can be tracked across commits. The serve experiment starts an in-process daemon by default;
 // -serveaddr points it at a running flexsp-serve instead.
 // -cpuprofile writes a pprof CPU profile of the run; -memprofile writes a
 // heap profile at exit.
@@ -64,6 +66,7 @@ func run() int {
 	serveJSON := flag.String("servejson", "BENCH_serve.json", "path for the serve experiment's JSON result (empty disables)")
 	streamJSON := flag.String("streamjson", "BENCH_stream.json", "path for the stream experiment's JSON result (empty disables)")
 	elasticJSON := flag.String("elasticjson", "BENCH_elastic.json", "path for the elastic experiment's JSON result (empty disables)")
+	fleetJSON := flag.String("fleetjson", "BENCH_fleet.json", "path for the fleet experiment's JSON result (empty disables)")
 	serveAddr := flag.String("serveaddr", "", "run the serve bench against this flexsp-serve URL (e.g. http://127.0.0.1:8080) instead of an in-process daemon")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -198,10 +201,22 @@ func run() int {
 			}
 			return r.Render()
 		},
+		"fleet": func(c experiments.Config) string {
+			r := experiments.FleetBench(c)
+			if *fleetJSON != "" {
+				if err := writeBenchJSON(*fleetJSON, r); err != nil {
+					fmt.Fprintln(os.Stderr, "flexsp-bench:", err)
+					failed = true
+					return r.Render()
+				}
+				fmt.Printf("[wrote %s]\n", *fleetJSON)
+			}
+			return r.Render()
+		},
 	}
 	order := []string{"table5", "table1", "fig1", "fig2", "fig4", "table3fig5",
 		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE", "pipeline",
-		"heterogeneous", "solver", "serve", "stream", "elastic"}
+		"heterogeneous", "solver", "serve", "stream", "elastic", "fleet"}
 
 	run := func(name string) {
 		start := time.Now()
@@ -239,6 +254,6 @@ func writeBenchJSON(path string, r interface{}) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] [-cluster SPEC] [-serveaddr URL] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 
-experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous solver serve stream elastic all`)
+experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous solver serve stream elastic fleet all`)
 	flag.PrintDefaults()
 }

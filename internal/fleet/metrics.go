@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"strings"
+
+	"flexsp/internal/obs"
+)
+
+// routerMetrics aggregates the router's counters, registered in the router's
+// own obs.Registry so GET /metrics (Prometheus text) and GET /v1/metrics
+// (JSON) read the same instruments.
+type routerMetrics struct {
+	requests        *obs.Counter
+	peerHits        *obs.Counter
+	peerMisses      *obs.Counter
+	failovers       *obs.Counter
+	spills          *obs.Counter
+	errors          *obs.Counter
+	probeFailures   *obs.Counter
+	topologyFanouts *obs.Counter
+	routeSeconds    *obs.Histogram
+}
+
+func newRouterMetrics(reg *obs.Registry) routerMetrics {
+	return routerMetrics{
+		requests:        reg.Counter("flexsp_fleet_requests_total", "Plan/solve requests routed through the fleet."),
+		peerHits:        reg.Counter("flexsp_fleet_peer_hits_total", "Rebalanced signatures served from a previous home's envelope cache instead of a cold solve."),
+		peerMisses:      reg.Counter("flexsp_fleet_peer_misses_total", "Peer-cache probes that missed and fell through to a routed solve."),
+		failovers:       reg.Counter("flexsp_fleet_failovers_total", "Requests retried on a lower-ranked replica after a failure."),
+		spills:          reg.Counter("flexsp_fleet_spills_total", "Requests moved off their home replica by the bounded-load check."),
+		errors:          reg.Counter("flexsp_fleet_errors_total", "Requests the router failed outright (no replica could answer)."),
+		probeFailures:   reg.Counter("flexsp_fleet_probe_failures_total", "Failed /healthz probes."),
+		topologyFanouts: reg.Counter("flexsp_fleet_topology_fanouts_total", "POST /v2/topology batches fanned out to the fleet."),
+		routeSeconds:    reg.Histogram("flexsp_fleet_route_seconds", "Routed request latency, receipt to response.", obs.DefBuckets),
+	}
+}
+
+// registerGauges wires the fleet-wide scrape-time gauges.
+func (rt *Router) registerGauges() {
+	rt.reg.GaugeFunc("flexsp_fleet_replicas", "Replicas in the routing table.", func() float64 {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return float64(len(rt.members))
+	})
+	rt.reg.GaugeFunc("flexsp_fleet_routable", "Replicas currently receiving traffic (healthy or suspect).", func() float64 {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		n := 0
+		for _, m := range rt.members {
+			if m.state().routable() {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	rt.reg.GaugeFunc("flexsp_fleet_routing_version", "Routing-table version; bumps on membership and health changes.", func() float64 {
+		return float64(rt.version.Load())
+	})
+}
+
+// registerReplicaGauge publishes one replica's health as a per-name gauge
+// (the obs registry has no labels): 0 healthy, 1 suspect, 2 down, 3 drained,
+// -1 departed. Registration is guarded so a replica that leaves and rejoins
+// does not panic the registry with a duplicate name.
+func (rt *Router) registerReplicaGauge(name string) {
+	metric := "flexsp_fleet_replica_health_" + sanitizeMetricName(name)
+	rt.mu.Lock()
+	dup := rt.gauged[metric]
+	rt.gauged[metric] = true
+	rt.mu.Unlock()
+	if dup {
+		return
+	}
+	rt.reg.GaugeFunc(metric, "Replica "+name+" health: 0 healthy, 1 suspect, 2 down, 3 drained, -1 departed.", func() float64 {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		m, ok := rt.members[name]
+		if !ok {
+			return -1
+		}
+		return float64(m.state())
+	})
+}
+
+// sanitizeMetricName maps a replica name into the Prometheus metric-name
+// alphabet ([a-zA-Z0-9_]).
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package fleet
+
+import "sort"
+
+// score is the rendezvous (highest-random-weight) hash of one (key, replica)
+// pair: FNV-1a over the key's bytes followed by the replica name, then a
+// 64-bit avalanche finalizer. Each replica's score stream is independent and
+// uniform, so the argmax over replicas assigns keys uniformly, depends only
+// on (key, name) — identical across process restarts — and moves a key only
+// when its argmax replica appears or disappears.
+//
+// The finalizer matters: raw FNV-1a scores for names differing only in a
+// trailing bit differ by exactly ±prime, so without it a replica's failover
+// candidate is systematically its name-neighbor ("r3" always evacuates to
+// "r2") instead of a uniform pick over the survivors.
+func score(key uint64, name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 64; i += 8 {
+		h ^= (key >> i) & 0xff
+		h *= 1099511628211
+	}
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Rank orders replica names by descending rendezvous score for key: Rank[0]
+// is the key's home, Rank[1] the first failover candidate, and so on. Ties
+// (astronomically unlikely with distinct names) break by name so the order
+// is a pure function of (key, names). The input is not mutated.
+func Rank(key uint64, names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := score(key, out[i]), score(key, out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Home returns the key's rendezvous home among names, or "" when names is
+// empty. It is Rank(key, names)[0] without sorting the full slice.
+func Home(key uint64, names []string) string {
+	best, bestScore := "", uint64(0)
+	for _, n := range names {
+		if s := score(key, n); best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}

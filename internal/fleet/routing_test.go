@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomKeys draws n distinct signature keys from a seeded source so every
+// property below is reproducible.
+func randomKeys(t *testing.T, n int, seed int64) []uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := rng.Uint64()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestRankIsPermutationWithHomeFirst checks Rank's contract: the output is a
+// permutation of the input names, Rank[0] agrees with Home, and the input
+// slice is not mutated.
+func TestRankIsPermutationWithHomeFirst(t *testing.T) {
+	names := []string{"r1", "r2", "r3", "r4", "r5"}
+	orig := append([]string(nil), names...)
+	for _, key := range randomKeys(t, 200, 1) {
+		ranked := Rank(key, names)
+		if len(ranked) != len(names) {
+			t.Fatalf("Rank(%#x) returned %d names, want %d", key, len(ranked), len(names))
+		}
+		seen := make(map[string]bool, len(ranked))
+		for _, n := range ranked {
+			if seen[n] {
+				t.Fatalf("Rank(%#x) repeats %q: %v", key, n, ranked)
+			}
+			seen[n] = true
+		}
+		for _, n := range names {
+			if !seen[n] {
+				t.Fatalf("Rank(%#x) dropped %q: %v", key, n, ranked)
+			}
+		}
+		if home := Home(key, names); ranked[0] != home {
+			t.Fatalf("Rank(%#x)[0] = %q, Home = %q", key, ranked[0], home)
+		}
+	}
+	for i := range names {
+		if names[i] != orig[i] {
+			t.Fatalf("Rank mutated its input: %v, want %v", names, orig)
+		}
+	}
+}
+
+// TestRankDeterministicAcrossRestarts checks the property consistent routing
+// rests on: the rank is a pure function of (key, name set) — recomputing it
+// (a restarted router) or presenting the names in any order yields the
+// identical ranking.
+func TestRankDeterministicAcrossRestarts(t *testing.T) {
+	names := []string{"alpha", "bravo", "charlie", "delta"}
+	shuffled := []string{"delta", "bravo", "alpha", "charlie"}
+	for _, key := range randomKeys(t, 500, 2) {
+		a := Rank(key, names)
+		b := Rank(key, names) // a fresh process computes the same thing
+		c := Rank(key, shuffled)
+		for i := range a {
+			if a[i] != b[i] || a[i] != c[i] {
+				t.Fatalf("Rank(%#x) unstable: %v vs %v vs %v", key, a, b, c)
+			}
+		}
+	}
+}
+
+// TestHomeBalance checks the load-balance bound: over many random keys each
+// of n replicas homes close to 1/n of them. The 15%% tolerance is loose
+// against the binomial noise of 20k draws (σ ≈ 1.4%% of the mean) so the
+// test only fails on real skew, not on an unlucky seed.
+func TestHomeBalance(t *testing.T) {
+	names := []string{"r1", "r2", "r3", "r4", "r5"}
+	keys := randomKeys(t, 20000, 3)
+	counts := make(map[string]int, len(names))
+	for _, key := range keys {
+		counts[Home(key, names)]++
+	}
+	mean := float64(len(keys)) / float64(len(names))
+	for _, n := range names {
+		got := float64(counts[n])
+		if got < 0.85*mean || got > 1.15*mean {
+			t.Errorf("replica %s homes %d keys, want within 15%% of %.0f (all: %v)",
+				n, counts[n], mean, counts)
+		}
+	}
+}
+
+// TestJoinMovesOnlyToJoiner checks rendezvous hashing's minimal-remapping
+// guarantee on join: adding a replica either leaves a key's home unchanged
+// or moves it to the new replica — never between two old replicas — and the
+// moved fraction is close to 1/(n+1).
+func TestJoinMovesOnlyToJoiner(t *testing.T) {
+	before := []string{"r1", "r2", "r3", "r4", "r5"}
+	after := append(append([]string(nil), before...), "r6")
+	keys := randomKeys(t, 10000, 4)
+	moved := 0
+	for _, key := range keys {
+		oldHome, newHome := Home(key, before), Home(key, after)
+		if newHome != oldHome {
+			if newHome != "r6" {
+				t.Fatalf("key %#x moved %s → %s on join of r6; joins must only move keys to the joiner",
+					key, oldHome, newHome)
+			}
+			moved++
+		}
+	}
+	want := float64(len(keys)) / float64(len(after))
+	if f := float64(moved); f < 0.5*want || f > 2*want {
+		t.Errorf("join moved %d of %d keys, want ≈ K/n = %.0f", moved, len(keys), want)
+	}
+}
+
+// TestLeaveMovesOnlyLeaversKeys checks the mirror guarantee on leave: only
+// the departed replica's keys remap, and they spread over every survivor
+// rather than piling onto one.
+func TestLeaveMovesOnlyLeaversKeys(t *testing.T) {
+	before := []string{"r1", "r2", "r3", "r4", "r5"}
+	after := []string{"r1", "r2", "r4", "r5"} // r3 leaves
+	keys := randomKeys(t, 10000, 5)
+	inherited := make(map[string]int, len(after))
+	for _, key := range keys {
+		oldHome, newHome := Home(key, before), Home(key, after)
+		if oldHome != "r3" {
+			if newHome != oldHome {
+				t.Fatalf("key %#x moved %s → %s though r3 left; leaves must only move the leaver's keys",
+					key, oldHome, newHome)
+			}
+			continue
+		}
+		inherited[newHome]++
+	}
+	for _, n := range after {
+		if inherited[n] == 0 {
+			t.Errorf("replica %s inherited none of r3's keys; want the evacuated range spread over all survivors (got %v)",
+				n, inherited)
+		}
+	}
+}
+
+// TestHomeEmptyAndSingle pins the edge cases: no replicas yields "", one
+// replica homes everything.
+func TestHomeEmptyAndSingle(t *testing.T) {
+	if got := Home(42, nil); got != "" {
+		t.Errorf("Home with no replicas = %q, want \"\"", got)
+	}
+	for _, key := range randomKeys(t, 50, 6) {
+		if got := Home(key, []string{"only"}); got != "only" {
+			t.Errorf("Home(%#x, [only]) = %q", key, got)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+
+	"flexsp/internal/obs"
+)
+
+// traceRing keeps the Chrome-format exports of the last N fleet.route
+// traces, behind GET /v2/trace and GET /v2/trace/{id} — the router-side
+// mirror of the daemon's request-trace ring.
+type traceRing struct {
+	mu    sync.Mutex
+	limit int
+	order []string
+	byID  map[string][]byte
+}
+
+func newTraceRing(limit int) *traceRing {
+	return &traceRing{limit: limit, byID: make(map[string][]byte)}
+}
+
+// add exports and stores a completed trace, evicting the oldest past the
+// limit.
+func (tr *traceRing) add(t *obs.Trace) {
+	var buf bytes.Buffer
+	if err := t.WriteChrome(&buf); err != nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, dup := tr.byID[t.ID()]; !dup {
+		tr.order = append(tr.order, t.ID())
+	}
+	tr.byID[t.ID()] = buf.Bytes()
+	for len(tr.order) > tr.limit {
+		delete(tr.byID, tr.order[0])
+		tr.order = tr.order[1:]
+	}
+}
+
+// list snapshots the retained trace IDs, oldest first.
+func (tr *traceRing) list() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]string(nil), tr.order...)
+}
+
+// get returns a trace's Chrome export by ID.
+func (tr *traceRing) get(id string) ([]byte, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	body, ok := tr.byID[id]
+	return body, ok
+}
+
+// handleTraceList serves GET /v2/trace: the retained fleet.route trace IDs.
+func (rt *Router) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Traces []string `json:"traces"`
+	}{Traces: rt.traces.list()}
+	if out.Traces == nil {
+		out.Traces = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(encodeJSON(out))
+}
+
+// handleTraceGet serves GET /v2/trace/{id}: one trace in Chrome
+// trace-event format.
+func (rt *Router) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.traces.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown trace")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}

@@ -123,6 +123,9 @@ type metrics struct {
 	coldReplans   *obs.Counter
 	degradedPlans *obs.Counter
 
+	cacheFetchHits   *obs.Counter
+	cacheFetchMisses *obs.Counter
+
 	latency        *obs.Histogram
 	planAfterClose *obs.Histogram
 	replanSeconds  *obs.Histogram
@@ -150,6 +153,9 @@ func newMetrics(reg *obs.Registry) metrics {
 		replans:       reg.Counter("flexsp_replans_total", "Background replans completed after topology changes."),
 		coldReplans:   reg.Counter("flexsp_replans_cold_total", "Replans that fell back to a cold solve (no plan repair)."),
 		degradedPlans: reg.Counter("flexsp_degraded_plans_total", "Plan responses served while the plan state lagged the topology."),
+
+		cacheFetchHits:   reg.Counter("flexsp_cache_fetch_hits_total", "GET /v2/cache/{sig} probes answered from the envelope cache."),
+		cacheFetchMisses: reg.Counter("flexsp_cache_fetch_misses_total", "GET /v2/cache/{sig} probes that found no cached envelope."),
 
 		latency:        reg.Histogram("flexsp_request_latency_seconds", "Request latency from admission to response.", obs.DefBuckets),
 		planAfterClose: reg.Histogram("flexsp_plan_after_close_seconds", "Time from stream close to plan response.", obs.DefBuckets),

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"flexsp/internal/solver"
+)
+
+// envelopeCache keeps the pre-encoded bytes of recently served /v2/plan
+// envelopes, keyed by the exact batch signature plus the pass coordinates
+// (strategy, maxCtx, explain). It is what GET /v2/cache/{sig} serves: a fleet
+// router whose consistent-hash table just moved a signature to a cold replica
+// probes the signature's previous home here and reuses the envelope instead
+// of paying a cold solve — the remote tier of the fleet's two-tier plan
+// cache. Entries are verbatim response bodies, so a peer-served plan is
+// byte-identical to the one the original replica sent its own clients.
+//
+// Degraded envelopes (an elastic replica answering while its plan state lags
+// the live topology) are never stored: they describe a transient fleet view
+// no peer should replicate.
+type envelopeCache struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[uint64]*list.Element
+	lru     list.List // front = most recently used
+}
+
+type envelopeEntry struct {
+	key  uint64
+	sig  []int32 // exact canonical signature, for collision detection
+	body []byte  // the encoded PlanEnvelope, trailing newline included
+}
+
+// envelopeKey folds the pass coordinates into the exact signature hash with
+// the same FNV-1a construction the plan cache uses, so one 64-bit key
+// addresses one (batch, strategy, maxCtx, explain) envelope.
+func envelopeKey(sigKey uint64, strategy string, maxCtx int, explain bool) uint64 {
+	h := sigKey
+	for _, b := range []byte(strategy) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= uint64(uint32(maxCtx))
+	h *= 1099511628211
+	if explain {
+		h ^= 1
+		h *= 1099511628211
+	}
+	return h
+}
+
+func newEnvelopeCache(limit int) *envelopeCache {
+	return &envelopeCache{limit: limit, entries: make(map[uint64]*list.Element)}
+}
+
+// put stores the encoded envelope for a served pass, evicting the least
+// recently used entry past the limit.
+func (c *envelopeCache) put(key uint64, sig []int32, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*envelopeEntry).body = body
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&envelopeEntry{key: key, sig: sig, body: body})
+	if c.lru.Len() > c.limit {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.entries, el.Value.(*envelopeEntry).key)
+	}
+}
+
+// get returns the stored envelope bytes and signature for key, marking the
+// entry recently used.
+func (c *envelopeCache) get(key uint64) (sig []int32, body []byte, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[key]
+	if !found {
+		return nil, nil, false
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*envelopeEntry)
+	return e.sig, e.body, true
+}
+
+func (c *envelopeCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// CacheFetchResponse is the body of a GET /v2/cache/{sig} hit. Sig echoes the
+// exact canonical signature of the cached batch so the fetcher can rule out a
+// 64-bit hash collision before trusting the envelope; Envelope carries the
+// stored /v2/plan body verbatim (json.RawMessage keeps the bytes untouched),
+// so serving it preserves byte identity with the original response.
+type CacheFetchResponse struct {
+	Sig      []int32         `json:"sig"`
+	Strategy string          `json:"strategy"`
+	Envelope json.RawMessage `json:"envelope"`
+}
+
+// storeEnvelope records a successfully served, non-degraded /v2/plan pass in
+// the envelope cache.
+func (s *Server) storeEnvelope(job planJob, body []byte) {
+	if s.envelopes == nil {
+		return
+	}
+	// Probing the envelope for the degraded flag would mean decoding it;
+	// instead the elastic check is cheap and conservative — while the plan
+	// state lags the topology, nothing is stored.
+	if s.degraded(s.planState()) {
+		return
+	}
+	// The stored bytes drop encodeJSON's trailing newline: they travel as a
+	// json.RawMessage, whose marshalling compacts surrounding whitespace
+	// away. The fetcher re-appends the newline, restoring byte identity with
+	// the response the original replica wrote.
+	if n := len(body); n > 0 && body[n-1] == '\n' {
+		body = body[:n-1]
+	}
+	sig, sigKey := solver.Signature(job.lens)
+	s.envelopes.put(envelopeKey(sigKey, job.strategy, job.maxCtx, job.explain), sig, body)
+}
+
+// handleCacheFetch serves GET /v2/cache/{sig}: the peer-fetch tier of the
+// fleet's two-tier plan cache. {sig} is the 16-hex-digit exact-signature hash
+// (solver.Signature) of the batch; strategy, maxCtx and explain arrive as
+// query parameters and default like POST /v2/plan. A hit answers 200 with the
+// stored envelope and its full signature for collision checking; a miss is
+// 404. The endpoint never solves — it only reveals plans this replica already
+// served — so it is safe to probe at any rate and is exempt from admission
+// control.
+func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
+	if s.envelopes == nil {
+		writeError(w, http.StatusNotImplemented, "envelope cache disabled")
+		return
+	}
+	sigKey, err := strconv.ParseUint(r.PathValue("sig"), 16, 64)
+	if err != nil {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid signature key: "+err.Error())
+		return
+	}
+	q := r.URL.Query()
+	strategy := q.Get("strategy")
+	if strategy == "" {
+		strategy = "flexsp"
+	}
+	maxCtx := 0
+	if v := q.Get("maxCtx"); v != "" {
+		if maxCtx, err = strconv.Atoi(v); err != nil {
+			s.met.errors.Add(1)
+			writeError(w, http.StatusBadRequest, "invalid maxCtx: "+err.Error())
+			return
+		}
+	}
+	explain := q.Get("explain") == "true"
+	sig, body, ok := s.envelopes.get(envelopeKey(sigKey, strategy, maxCtx, explain))
+	if !ok {
+		s.met.cacheFetchMisses.Inc()
+		writeError(w, http.StatusNotFound, "envelope not cached")
+		return
+	}
+	s.met.cacheFetchHits.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(encodeJSON(CacheFetchResponse{Sig: sig, Strategy: strategy, Envelope: body}))
+}

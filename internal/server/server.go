@@ -155,6 +155,12 @@ type Config struct {
 	// ResolveColdFraction is passed to solver.Resolve during replans (the
 	// repair give-up threshold); zero takes the solver default.
 	ResolveColdFraction float64
+	// EnvelopeCacheEntries bounds the cache of pre-encoded /v2/plan
+	// envelopes behind GET /v2/cache/{sig} — the peer-fetch tier a fleet
+	// router probes before routing a rebalanced signature to a cold solve.
+	// Zero takes the 512 default; negative disables the endpoint (404-free:
+	// it answers 501).
+	EnvelopeCacheEntries int
 }
 
 // Server is the planning daemon. It implements http.Handler; wrap it in an
@@ -192,10 +198,11 @@ type Server struct {
 	retiredCache  solver.CacheStats
 	retiredSolver solver.SolverMetrics
 
-	met    metrics
-	reg    *obs.Registry
-	traces *traceRing
-	traced *obs.Counter
+	met       metrics
+	reg       *obs.Registry
+	traces    *traceRing
+	traced    *obs.Counter
+	envelopes *envelopeCache
 }
 
 // New builds a Server. A nil cfg.Solver is a configuration error and is
@@ -259,6 +266,12 @@ func New(cfg Config) (*Server, error) {
 	case cfg.TraceEntries > 0:
 		s.traces = newTraceRing(cfg.TraceEntries)
 	}
+	switch {
+	case cfg.EnvelopeCacheEntries == 0:
+		s.envelopes = newEnvelopeCache(512)
+	case cfg.EnvelopeCacheEntries > 0:
+		s.envelopes = newEnvelopeCache(cfg.EnvelopeCacheEntries)
+	}
 	st := &planState{solver: cfg.Solver, joint: cfg.Joint}
 	if cfg.Topology != nil {
 		st.snap = cfg.Topology.Snapshot()
@@ -302,6 +315,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v2/stream/open", s.handleStreamOpen)
 	s.mux.HandleFunc("POST /v2/stream/{id}/append", s.handleStreamAppend)
 	s.mux.HandleFunc("POST /v2/stream/{id}/close", s.handleStreamClose)
+	s.mux.HandleFunc("GET /v2/cache/{sig}", s.handleCacheFetch)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	s.mux.HandleFunc("GET /v2/trace", s.handleTraceList)
@@ -383,6 +397,10 @@ func (s *Server) registerGauges() {
 			defer s.streamMu.Unlock()
 			return float64(len(s.streams))
 		})
+	if s.envelopes != nil {
+		s.reg.GaugeFunc("flexsp_envelope_cache_entries", "Pre-encoded /v2/plan envelopes cached for peer fetch.",
+			func() float64 { return float64(s.envelopes.len()) })
+	}
 	s.traced = s.reg.Counter("flexsp_traces_recorded_total", "Request traces recorded in the ring.")
 }
 
@@ -530,9 +548,15 @@ func (s *Server) runV1Pipelined(ctx context.Context, job planJob) ([]byte, int) 
 	return s.runStrategy(ctx, job, func(env PlanEnvelope) []byte { return encodeJSON(*env.Pipelined) })
 }
 
-// runV2 is the /v2/plan pass: the full tagged envelope.
+// runV2 is the /v2/plan pass: the full tagged envelope. Successful passes
+// also land in the envelope cache behind GET /v2/cache/{sig}, so fleet peers
+// can reuse this replica's plans after a routing rebalance.
 func (s *Server) runV2(ctx context.Context, job planJob) ([]byte, int) {
-	return s.runStrategy(ctx, job, func(env PlanEnvelope) []byte { return encodeJSON(env) })
+	body, code := s.runStrategy(ctx, job, func(env PlanEnvelope) []byte { return encodeJSON(env) })
+	if code == http.StatusOK {
+		s.storeEnvelope(job, body)
+	}
+	return body, code
 }
 
 // decodeRequest decodes a JSON request body with the shared size limit,
