@@ -42,9 +42,13 @@
 // Health propagation. A background prober hits every replica's /healthz on
 // an interval; request-path failures feed the same state machine. Replicas
 // walk healthy → suspect (first failure) → down (DownAfter consecutive
-// failures), drained when they answer 503, and back to healthy on the first
-// successful probe. Suspect replicas still route (with failover); down and
-// drained ones do not. Every state change bumps the routing-table version.
+// failures), drained when they answer 503 (demoting to down if the drain
+// turns into death and probes start failing outright), and back to healthy
+// on the first successful probe. Suspect replicas still route (with failover
+// standing by); down and drained ones do not — which means only a probe can
+// bring them back, so with the prober disabled they stay out of rotation
+// until an explicit re-join. Every state change bumps the routing-table
+// version.
 package fleet
 
 import (
@@ -65,8 +69,10 @@ type State int
 
 // The health state machine: healthy replicas route; suspect replicas (one
 // recent failure) still route but with failover standing by; down replicas
-// (DownAfter consecutive failures) and drained replicas (answered 503, e.g.
-// mid graceful shutdown) receive no traffic until a probe succeeds again.
+// (DownAfter consecutive failures — from suspect, or from drained when a
+// draining replica dies and probes start failing) and drained replicas
+// (answered 503, e.g. mid graceful shutdown) receive no traffic until a
+// probe succeeds again.
 const (
 	StateHealthy State = iota
 	StateSuspect
@@ -109,7 +115,10 @@ type Config struct {
 	Replicas []Replica
 	// ProbeInterval is how often the background prober checks every
 	// replica's /healthz. Zero takes the 250ms default; negative disables
-	// the prober (request-path failures still drive the state machine).
+	// the prober. Request-path failures still demote replicas without it,
+	// but down and drained replicas receive no traffic — only a successful
+	// probe promotes them back — so with the prober disabled they stay out
+	// of rotation until POST /v2/fleet/join re-adds them.
 	ProbeInterval time.Duration
 	// DownAfter is how many consecutive failures demote a suspect replica
 	// to down (default 3; the first failure always demotes healthy to
@@ -344,8 +353,10 @@ func (rt *Router) setState(name string, st State, resetFails bool) {
 }
 
 // markFailed records one failed probe or proxied request: healthy demotes to
-// suspect immediately, suspect demotes to down after DownAfter consecutive
-// failures.
+// suspect immediately; suspect — and drained, once the 503s give way to
+// probes failing outright because the replica died mid-drain — demotes to
+// down after DownAfter consecutive failures, so dashboards see "down" rather
+// than a forever-"drained" corpse.
 func (rt *Router) markFailed(name string) {
 	rt.mu.Lock()
 	m, ok := rt.members[name]
@@ -353,10 +364,10 @@ func (rt *Router) markFailed(name string) {
 	changed := false
 	if ok {
 		m.fails++
-		switch {
-		case m.state() == StateHealthy:
+		switch st := m.state(); {
+		case st == StateHealthy:
 			to, changed = StateSuspect, true
-		case m.state() == StateSuspect && m.fails >= rt.cfg.DownAfter:
+		case (st == StateSuspect || st == StateDrained) && m.fails >= rt.cfg.DownAfter:
 			to, changed = StateDown, true
 		}
 		if changed {
@@ -417,6 +428,11 @@ func (rt *Router) probeOne(ctx context.Context, tgt Replica) {
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		// Close canceling the probe loop is not a replica failure; only a
+		// timeout (pctx) or transport error while the router is live counts.
+		if ctx.Err() != nil {
+			return
+		}
 		rt.met.probeFailures.Inc()
 		rt.markFailed(tgt.Name)
 		return

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -157,6 +158,77 @@ func TestFleetByteIdentity(t *testing.T) {
 	if hits := rt.met.peerHits.Value() - preHits; hits != 1 {
 		t.Fatalf("peer cache hits after rebalance = %d, want 1 (the response must come from %s's envelope cache)",
 			hits, oldHome)
+	}
+}
+
+// TestClientCancelDoesNotDemote pins the health state machine to replica
+// failures only: a client that disconnects mid-request cancels the proxied
+// context, and the resulting transport error must not demote the (perfectly
+// healthy) replica — otherwise a disconnect-happy client walks it through
+// suspect to down, and with the prober disabled it would never come back.
+func TestClientCancelDoesNotDemote(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(slow.Close)
+
+	rt, router := newTestRouter(t, Config{
+		Replicas:      []Replica{{Name: "a", URL: slow.URL}},
+		ProbeInterval: -1,
+		DownAfter:     2,
+	})
+	preVersion := rt.Version()
+
+	body, _ := json.Marshal(server.PlanRequest{Lengths: fleetTestBatch})
+	for i := 0; i < 2*3; i++ { // well past DownAfter × MaxAttempts
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, router.URL+"/v2/plan", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+	}
+
+	if st := rt.lookup("a").state(); st != StateHealthy {
+		t.Fatalf("replica state after client cancellations = %s, want healthy", st)
+	}
+	if v := rt.Version(); v != preVersion {
+		t.Fatalf("routing version churned from %d to %d on client cancellations", preVersion, v)
+	}
+}
+
+// TestDrainedDemotesToDown pins the drained → down edge: a replica that
+// answered 503 (drained) and then dies keeps failing probes, and after
+// DownAfter consecutive failures it must report down — not "drained"
+// forever, which would misstate why it is out of rotation.
+func TestDrainedDemotesToDown(t *testing.T) {
+	rt, err := New(Config{
+		Replicas:      []Replica{{Name: "a", URL: "http://127.0.0.1:1"}},
+		ProbeInterval: -1,
+		DownAfter:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	rt.setState("a", StateDrained, true)
+	rt.markFailed("a")
+	if st := rt.lookup("a").state(); st != StateDrained {
+		t.Fatalf("state after one probe failure = %s, want still drained", st)
+	}
+	rt.markFailed("a")
+	if st := rt.lookup("a").state(); st != StateDown {
+		t.Fatalf("state after DownAfter probe failures = %s, want down", st)
 	}
 }
 

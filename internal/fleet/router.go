@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -215,8 +216,10 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, path string, bod
 }
 
 // proxyOnce sends the request to one replica. It returns done=true when a
-// response was relayed to the client; done=false asks the caller to fail
-// over. Transport errors and (non-final) 5xx answers feed the health state
+// response was relayed to the client (or the client is gone and there is
+// nothing left to do); done=false asks the caller to fail over. Transport
+// errors — except those caused by the client disconnecting — and (non-final)
+// 5xx answers feed the health state
 // machine; a 2xx restores the replica to healthy and — only when the
 // serving replica is the key's current rendezvous home — records the key's
 // home for the peer-fetch tier. Spilled and failed-over requests are
@@ -237,6 +240,14 @@ func (rt *Router) proxyOnce(ctx context.Context, w http.ResponseWriter, r *http.
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		// A transport error after the client abandoned the request (proxied
+		// contexts derive from r.Context()) says nothing about the replica:
+		// marking it would let a disconnect-happy client walk a healthy
+		// replica through suspect to down. The request is finished either
+		// way — nobody is left to relay a failover answer to.
+		if r.Context().Err() != nil {
+			return true, 0
+		}
 		rt.markFailed(m.name)
 		return false, 0
 	}
@@ -289,7 +300,9 @@ func (rt *Router) proxyOnce(ctx context.Context, w http.ResponseWriter, r *http.
 func (rt *Router) peerFetch(ctx context.Context, baseURL string, key uint64, req server.PlanRequest, sig []int32) ([]byte, bool) {
 	q := url.Values{}
 	if req.Strategy != "" {
-		q.Set("strategy", req.Strategy)
+		// The daemon lowercases the strategy before solving and storing, so
+		// probe under the normalized name or a "FlexSP" client never hits.
+		q.Set("strategy", strings.ToLower(req.Strategy))
 	}
 	if req.MaxCtx != 0 {
 		q.Set("maxCtx", fmt.Sprintf("%d", req.MaxCtx))
