@@ -1,0 +1,246 @@
+// Calibration coverage at the facade level: loading a fitted coefficient
+// file changes plan provenance (and nothing else when the fit is exact),
+// while leaving Config.Calibration empty keeps every output byte-identical
+// to the analytic defaults — the regression gate that the new subsystem is
+// strictly opt-in.
+package flexsp_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flexsp"
+)
+
+// TestUncalibratedByteIdentity pins that a system with no calibration
+// configured produces envelopes without any calibration key and with plans
+// byte-identical to a second default system — adding the subsystem must not
+// perturb the default path.
+func TestUncalibratedByteIdentity(t *testing.T) {
+	ctx := context.Background()
+	encode := func(sys *flexsp.System) []byte {
+		rng := rand.New(rand.NewSource(7))
+		batch := flexsp.CommonCrawl().Batch(rng, 64, 128<<10)
+		plan, err := sys.Plan(ctx, batch, flexsp.PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := flexsp.EncodePlan(plan, 0)
+		env.SolveWallSeconds = 0
+		if env.Flat != nil {
+			env.Flat.SolveWallSeconds = 0
+		}
+		buf, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a := encode(flexsp.MustNewSystem(flexsp.Config{Devices: 32, Model: flexsp.GPT7B}))
+	b := encode(flexsp.MustNewSystem(flexsp.Config{Devices: 32, Model: flexsp.GPT7B}))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("default envelopes differ:\n a %s\n b %s", a, b)
+	}
+	if bytes.Contains(a, []byte(`"calibration"`)) {
+		t.Fatalf("uncalibrated envelope carries a calibration key: %s", a)
+	}
+}
+
+// TestUncalibratedHTTPEnvelope pins the wire side of the same guarantee: a
+// daemon booted without a calibration file serves /v2/plan and /v1/metrics
+// bodies with no calibration tag and a zero calibration version.
+func TestUncalibratedHTTPEnvelope(t *testing.T) {
+	sys := flexsp.MustNewSystem(flexsp.Config{Devices: 8, Model: flexsp.GPT7B})
+	srv, err := sys.NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := flexsp.NewClient(ts.URL)
+	rng := rand.New(rand.NewSource(3))
+	batch := flexsp.CommonCrawl().Batch(rng, 16, 32<<10)
+
+	env, err := client.Plan(context.Background(), flexsp.PlanRequest{Lengths: batch, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Calibration != "" {
+		t.Fatalf("uncalibrated daemon tagged envelope with %q", env.Calibration)
+	}
+	if env.Explain == nil || env.Explain.Calibration != "" {
+		t.Fatalf("uncalibrated explain carries calibration %+v", env.Explain)
+	}
+	m, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Calibration.Version != 0 || m.Calibration.Source != "" {
+		t.Fatalf("uncalibrated metrics report calibration %+v", m.Calibration)
+	}
+}
+
+// TestCalibratedSystem loads the checked-in default calibration and pins that
+// its identity flows everywhere provenance is exposed: System.Calibration,
+// Plan.Explain, the encoded envelope, the served /v2/plan envelope and the
+// /v1/metrics calibration block.
+func TestCalibratedSystem(t *testing.T) {
+	const wantTag = "v1 (sim-grid)"
+	sys, err := flexsp.NewSystem(flexsp.Config{
+		Devices:     32,
+		Model:       flexsp.GPT7B,
+		Calibration: "testdata/calibration.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Calibration(); got != wantTag {
+		t.Fatalf("System.Calibration() = %q, want %q", got, wantTag)
+	}
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	batch := flexsp.CommonCrawl().Batch(rng, 64, 128<<10)
+	for _, strategy := range []string{flexsp.StrategyFlexSP, flexsp.StrategyRing, flexsp.StrategyMegatron} {
+		plan, err := sys.Plan(ctx, batch, flexsp.PlanOptions{Strategy: strategy, MaxCtx: 128 << 10})
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		ex := plan.Explain()
+		if ex == nil || ex.Calibration != wantTag {
+			t.Fatalf("%s: Explain calibration = %+v, want %q", strategy, ex, wantTag)
+		}
+		if !strings.Contains(ex.Render(), wantTag) {
+			t.Fatalf("%s: rendered provenance misses the calibration tag:\n%s", strategy, ex.Render())
+		}
+		env := flexsp.EncodePlan(plan, 0)
+		if env.Calibration != wantTag {
+			t.Fatalf("%s: envelope calibration = %q, want %q", strategy, env.Calibration, wantTag)
+		}
+	}
+
+	srv, err := sys.NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := flexsp.NewClient(ts.URL)
+	env, err := client.Plan(ctx, flexsp.PlanRequest{Lengths: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Calibration != wantTag {
+		t.Fatalf("served envelope calibration = %q, want %q", env.Calibration, wantTag)
+	}
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Calibration.Version != 1 || m.Calibration.Source != "sim-grid" {
+		t.Fatalf("served metrics calibration = %+v", m.Calibration)
+	}
+}
+
+// TestCalibrationExactFitPlansMatch pins the closed loop end to end: the
+// checked-in calibration was fitted noise-free against the same simulator the
+// analytic coefficients drive, so planning under it chooses the same layout
+// as the analytic defaults.
+func TestCalibrationExactFitPlansMatch(t *testing.T) {
+	ctx := context.Background()
+	layout := func(cfg flexsp.Config) [][]int {
+		sys := flexsp.MustNewSystem(cfg)
+		rng := rand.New(rand.NewSource(5))
+		batch := flexsp.CommonCrawl().Batch(rng, 64, 128<<10)
+		plan, err := sys.Plan(ctx, batch, flexsp.PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]int
+		for _, mp := range plan.MicroPlans() {
+			out = append(out, mp.Degrees())
+		}
+		return out
+	}
+	analytic := layout(flexsp.Config{Devices: 32, Model: flexsp.GPT7B})
+	fitted := layout(flexsp.Config{Devices: 32, Model: flexsp.GPT7B, Calibration: "testdata/calibration.json"})
+	if len(analytic) != len(fitted) {
+		t.Fatalf("micro-batch count %d vs %d", len(analytic), len(fitted))
+	}
+	for i := range analytic {
+		da, df := analytic[i], fitted[i]
+		if len(da) != len(df) {
+			t.Fatalf("micro %d: %d vs %d groups", i, len(da), len(df))
+		}
+		for j := range da {
+			if da[j] != df[j] {
+				t.Fatalf("micro %d group %d: degree %d vs %d", i, j, da[j], df[j])
+			}
+		}
+	}
+}
+
+// TestCalibrationBadFile pins that a bad calibration path or file is a
+// construction-time error, not a silently analytic system.
+func TestCalibrationBadFile(t *testing.T) {
+	if _, err := flexsp.NewSystem(flexsp.Config{Devices: 8, Calibration: "testdata/nope.json"}); err == nil {
+		t.Fatal("missing calibration file did not fail NewSystem")
+	}
+	if _, err := flexsp.NewSystem(flexsp.Config{Devices: 8, Calibration: "testdata/api_surface.golden"}); err == nil {
+		t.Fatal("malformed calibration file did not fail NewSystem")
+	}
+}
+
+// TestRingStrategyRegistered pins the ring strategy in the registry: it
+// plans through System.Plan, prices under the ring-attention communication
+// profile (no all-to-all share), and is served by name.
+func TestRingStrategyRegistered(t *testing.T) {
+	if !contains(flexsp.Strategies(), flexsp.StrategyRing) {
+		t.Fatalf("Strategies() = %v misses %q", flexsp.Strategies(), flexsp.StrategyRing)
+	}
+	sys := flexsp.MustNewSystem(flexsp.Config{Devices: 32, Model: flexsp.GPT7B})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	batch := flexsp.CommonCrawl().Batch(rng, 64, 128<<10)
+	plan, err := sys.Plan(ctx, batch, flexsp.PlanOptions{Strategy: flexsp.StrategyRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy() != flexsp.StrategyRing || len(plan.MicroPlans()) == 0 {
+		t.Fatalf("ring plan: strategy %q, %d micro plans", plan.Strategy(), len(plan.MicroPlans()))
+	}
+	if _, err := plan.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := sys.NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(srv.StrategyNames(), flexsp.StrategyRing) {
+		t.Fatalf("server strategies %v miss %q", srv.StrategyNames(), flexsp.StrategyRing)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	env, err := flexsp.NewClient(ts.URL).Plan(ctx, flexsp.PlanRequest{Strategy: flexsp.StrategyRing, Lengths: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Strategy != flexsp.StrategyRing || env.Flat == nil {
+		t.Fatalf("served ring envelope: strategy %q, flat %v", env.Strategy, env.Flat != nil)
+	}
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -21,6 +21,7 @@
 //	flexsp-bench stream        # streaming ingestion: plan-after-close latency, speculative vs cold
 //	flexsp-bench elastic       # elastic fleet: warm vs cold replanning after node loss, chaos run
 //	flexsp-bench fleet         # fleet router: 3-replica scaling, replica kill, peer-cache rebalance
+//	flexsp-bench calibration   # cost-model calibration: self-fit closed loop, ±10% sensitivity
 //	flexsp-bench all           # everything above
 //
 // Flags: -quick shrinks batch sizes/iterations, -seed, -iters and -devices
@@ -29,9 +30,10 @@
 // heterogeneous, solver, serve, stream, elastic and fleet experiments also
 // write their results as machine-readable JSON (default
 // BENCH_heterogeneous.json / BENCH_solver.json / BENCH_serve.json /
-// BENCH_stream.json / BENCH_elastic.json / BENCH_fleet.json, see -benchjson,
-// -solverjson, -servejson, -streamjson, -elasticjson and -fleetjson) so perf
-// can be tracked across commits. The serve experiment starts an in-process daemon by default;
+// BENCH_stream.json / BENCH_elastic.json / BENCH_fleet.json /
+// BENCH_calibration.json, see -benchjson, -solverjson, -servejson,
+// -streamjson, -elasticjson, -fleetjson and -calibjson) so perf can be
+// tracked across commits. The serve experiment starts an in-process daemon by default;
 // -serveaddr points it at a running flexsp-serve instead.
 // -cpuprofile writes a pprof CPU profile of the run; -memprofile writes a
 // heap profile at exit.
@@ -67,6 +69,7 @@ func run() int {
 	streamJSON := flag.String("streamjson", "BENCH_stream.json", "path for the stream experiment's JSON result (empty disables)")
 	elasticJSON := flag.String("elasticjson", "BENCH_elastic.json", "path for the elastic experiment's JSON result (empty disables)")
 	fleetJSON := flag.String("fleetjson", "BENCH_fleet.json", "path for the fleet experiment's JSON result (empty disables)")
+	calibJSON := flag.String("calibjson", "BENCH_calibration.json", "path for the calibration experiment's JSON result (empty disables)")
 	serveAddr := flag.String("serveaddr", "", "run the serve bench against this flexsp-serve URL (e.g. http://127.0.0.1:8080) instead of an in-process daemon")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -213,10 +216,23 @@ func run() int {
 			}
 			return r.Render()
 		},
+		"calibration": func(c experiments.Config) string {
+			r := experiments.CalibrationBench(c)
+			if *calibJSON != "" {
+				if err := writeBenchJSON(*calibJSON, r); err != nil {
+					fmt.Fprintln(os.Stderr, "flexsp-bench:", err)
+					failed = true
+					return r.Render()
+				}
+				fmt.Printf("[wrote %s]\n", *calibJSON)
+			}
+			return r.Render()
+		},
 	}
 	order := []string{"table5", "table1", "fig1", "fig2", "fig4", "table3fig5",
 		"fig6", "fig7", "fig8", "fig9", "table4", "appendixE", "pipeline",
-		"heterogeneous", "solver", "serve", "stream", "elastic", "fleet"}
+		"heterogeneous", "solver", "serve", "stream", "elastic", "fleet",
+		"calibration"}
 
 	run := func(name string) {
 		start := time.Now()
@@ -254,6 +270,6 @@ func writeBenchJSON(path string, r interface{}) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: flexsp-bench [-quick] [-seed N] [-iters N] [-devices N] [-cluster SPEC] [-serveaddr URL] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 
-experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous solver serve stream elastic fleet all`)
+experiments: table1 fig1 fig2 fig4 table3fig5 fig6 fig7 fig8 fig9 table4 table5 appendixE pipeline heterogeneous solver serve stream elastic fleet calibration all`)
 	flag.PrintDefaults()
 }

@@ -89,6 +89,7 @@ func run() int {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	elastic := flag.Bool("elastic", true, "accept live-topology events on POST /v2/topology and replan in the background")
 	replanDebounce := flag.Duration("replan-debounce", 100*time.Millisecond, "wait this long after a topology event for the burst to settle before replanning (negative replans immediately)")
+	calibration := flag.String("calibration", "", "load fitted cost-model coefficients from this calibration file (see flexsp-profile fit)")
 	flag.Parse()
 
 	// Limits where zero can only be a typo fail fast with a clear error
@@ -131,11 +132,12 @@ func run() int {
 	}
 
 	sys, err := flexsp.NewSystem(flexsp.Config{
-		Devices: *devices,
-		Cluster: *clusterSpec,
-		Model:   model,
-		Planner: plAlgo,
-		Trials:  *trials,
+		Devices:     *devices,
+		Cluster:     *clusterSpec,
+		Model:       model,
+		Planner:     plAlgo,
+		Trials:      *trials,
+		Calibration: *calibration,
 		Serve: flexsp.ServeConfig{
 			QueueLimit:       *queue,
 			TenantLimit:      *tenantLimit,
@@ -179,9 +181,9 @@ func run() int {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("flexsp-serve: listening on %s (%d devices%s, model %s, planner %s, strategies %s)",
+		log.Printf("flexsp-serve: listening on %s (%d devices%s, model %s, planner %s%s, strategies %s)",
 			*addr, sys.Topo.NumDevices(), clusterNote(*clusterSpec), model.Name, plAlgo,
-			strings.Join(srv.StrategyNames(), ","))
+			calibrationNote(sys.Calibration()), strings.Join(srv.StrategyNames(), ","))
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -216,4 +218,11 @@ func clusterNote(spec string) string {
 		return ""
 	}
 	return ", cluster " + spec
+}
+
+func calibrationNote(tag string) string {
+	if tag == "" {
+		return ""
+	}
+	return ", calibration " + tag
 }

@@ -51,6 +51,7 @@ func main() {
 	inPath := flag.String("in", "-", "input JSON file ('-' = stdin)")
 	explain := flag.Bool("explain", false, "attach plan provenance to the envelope and render it on stderr")
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of the solve to this file")
+	calibration := flag.String("calibration", "", "load fitted cost-model coefficients from this calibration file (see flexsp-profile fit)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -89,10 +90,11 @@ func main() {
 		}
 	}
 	sys, err := flexsp.NewSystem(flexsp.Config{
-		Devices: in.Devices,
-		Cluster: in.Cluster,
-		Model:   model,
-		Planner: plAlgo,
+		Devices:     in.Devices,
+		Cluster:     in.Cluster,
+		Model:       model,
+		Planner:     plAlgo,
+		Calibration: *calibration,
 	})
 	if err != nil {
 		fatal(err)

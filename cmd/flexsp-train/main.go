@@ -58,6 +58,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write per-iteration JSONL telemetry to this file")
 	warmup := flag.Int("warmup", 0, "iterations excluded from the summary")
 	chromeTrace := flag.String("chrome-trace", "", "write a Chrome-trace JSON of the planning spans to this file")
+	calibration := flag.String("calibration", "", "load fitted cost-model coefficients from this calibration file (see flexsp-profile fit)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -108,6 +109,7 @@ func main() {
 		Model:       model,
 		Planner:     plAlgo,
 		IncludeZeRO: true,
+		Calibration: *calibration,
 	}
 	if *pp > 0 {
 		cfg.Pipeline.Degrees = []int{*pp}

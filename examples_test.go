@@ -59,6 +59,7 @@ func Example_strategies() {
 	// flexsp true true
 	// megatron true true
 	// pipeline true true
+	// ring true true
 }
 
 // Example_pipelined is the README hybrid PP×SP snippet: the pipeline

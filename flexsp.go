@@ -31,9 +31,11 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"sync"
 	"time"
 
 	"flexsp/internal/baselines"
+	"flexsp/internal/calib"
 	"flexsp/internal/cluster"
 	"flexsp/internal/costmodel"
 	"flexsp/internal/pipeline"
@@ -80,6 +82,12 @@ type Config struct {
 	// CommStyle selects Ulysses all-to-all SP (default) or ring-attention
 	// context parallelism (flexible CP, paper Appendix E).
 	CommStyle costmodel.CommStyle
+	// Calibration optionally names a fitted coefficient file (produced by
+	// flexsp-profile fit) whose per-(model, device-class) tables overlay the
+	// analytic α-β profile. Empty — the default — keeps the built-in
+	// coefficients byte-for-byte: calibration is strictly opt-in. A path
+	// that does not load or validate makes NewSystem return an error.
+	Calibration string
 	// Trials is Alg. 1's M′ (default 5).
 	Trials int
 	// IncludeZeRO charges exposed ZeRO-3 communication during execution.
@@ -198,6 +206,12 @@ type System struct {
 	serve       ServeConfig
 	cfg         Config
 	elastic     *cluster.Elastic
+	cal         *calib.File
+
+	// ring is the lazily built ring-attention solver behind the ring
+	// strategy (see System.ringSolver in plan.go).
+	ringOnce sync.Once
+	ring     *solver.Solver
 }
 
 // NewSystem builds a System for the given configuration. Invalid
@@ -256,6 +270,25 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Pipeline.HeadsCap && hetero == nil {
 		coeffs = coeffs.WithHeadsCap()
 	}
+	// Calibration overlays fitted coefficients after all profile shaping
+	// (style, head caps) so only the α-β values change; no Calibration path
+	// leaves the analytic numbers byte-for-byte untouched.
+	var cal *calib.File
+	if cfg.Calibration != "" {
+		c, err := calib.Load(cfg.Calibration)
+		if err != nil {
+			return nil, fmt.Errorf("flexsp: %w", err)
+		}
+		cal = c
+		if hetero != nil {
+			h := *hetero
+			h.Calibrate = cal.Calibrator()
+			hetero = &h
+			coeffs = h.Bottleneck()
+		} else if len(mixedTopo.NodeGroups) > 0 {
+			coeffs, _ = cal.Apply(coeffs, mixedTopo.NodeGroups[0].Class.Name)
+		}
+	}
 	if hetero != nil {
 		pl = planner.NewHetero(*hetero)
 	} else {
@@ -304,7 +337,36 @@ func NewSystem(cfg Config) (*System, error) {
 		serve:       cfg.Serve,
 		cfg:         cfg,
 		elastic:     elastic,
+		cal:         cal,
 	}, nil
+}
+
+// Calibration returns the tag of the loaded calibration file (e.g.
+// "v3 (sim-grid)"), or the empty string when the system runs on the analytic
+// built-in cost model. The same tag appears in plan explanations, /v2/plan
+// envelopes, and the daemon's calibration metrics.
+func (s *System) Calibration() string { return s.calTag() }
+
+// calTag is Calibration with a nil-safe receiver path for internal callers.
+func (s *System) calTag() string {
+	if s.cal == nil {
+		return ""
+	}
+	return s.cal.Tag()
+}
+
+// serverCalibration projects the loaded calibration file's identity into the
+// daemon's config: version gauge, staleness, and envelope tag.
+func (s *System) serverCalibration() server.CalibrationInfo {
+	if s.cal == nil {
+		return server.CalibrationInfo{}
+	}
+	return server.CalibrationInfo{
+		Version:      s.cal.Version,
+		Source:       s.cal.Source,
+		FittedAtUnix: s.cal.FittedAtUnix,
+		Tag:          s.cal.Tag(),
+	}
 }
 
 // Topology is the system's elastic view of the fleet: apply node-loss,
@@ -331,6 +393,12 @@ func (s *System) rebuildFor(snap cluster.Snapshot) (*solver.Solver, *pipeline.Pl
 	}
 	if s.cfg.Pipeline.HeadsCap {
 		h = h.WithHeadsCap()
+	}
+	if s.cal != nil {
+		// Live-topology rebuilds keep the fitted coefficients: straggler
+		// pseudo-classes span one device class, so single-class ranges still
+		// match their calibration entries.
+		h.Calibrate = s.cal.Calibrator()
 	}
 	pl := planner.NewHetero(h)
 	pl.Strategy = s.cfg.Planner
@@ -383,11 +451,18 @@ func (s *System) WarmupGroups() float64 {
 // communicators across calls (hot switching). On a mixed cluster every group
 // is costed against the device classes of the range it occupies.
 func (s *System) executeMicro(plans []planner.MicroPlan, seed int64) (sim.IterResult, error) {
+	return s.executeMicroWith(s.Planner, plans, seed)
+}
+
+// executeMicroWith replays plans under a specific planner's cost model — the
+// system default, or an alternate profile like the ring strategy's flexible-CP
+// solver — sharing the communicator pool either way.
+func (s *System) executeMicroWith(pl *planner.Planner, plans []planner.MicroPlan, seed int64) (sim.IterResult, error) {
 	opts := sim.Options{IncludeZeRO: s.includeZeRO, Pool: s.pool, Seed: seed}
-	if s.Hetero != nil {
-		return sim.ExecuteIterationHetero(*s.Hetero, plans, opts)
+	if pl.Hetero != nil {
+		return sim.ExecuteIterationHetero(*pl.Hetero, plans, opts)
 	}
-	return sim.ExecuteIteration(s.Coeffs, plans, opts)
+	return sim.ExecuteIteration(pl.Coeffs, plans, opts)
 }
 
 // Execute replays an iteration's micro-batch plans — e.g. plans decoded from
@@ -479,6 +554,7 @@ func (s *System) NewServer() (*server.Server, error) {
 	return server.New(server.Config{
 		Solver:              sv,
 		Joint:               jp,
+		Calibration:         s.serverCalibration(),
 		Topology:            elastic,
 		Rebuild:             rebuild,
 		ReplanDebounce:      s.serve.ReplanDebounce,

@@ -1,0 +1,286 @@
+// Package calib turns the cost model's hard-coded coefficients into data: it
+// measures (sequence-length, SP-degree, batch) grids on the simulated
+// executor — or ingests external trace rows — fits the Eq. 12/13/11
+// coefficient forms by dependency-free least squares, and ships the results
+// as versioned, schema-checked JSON calibration files (per model ×
+// device-class tables with fit provenance, after Galvatron's fitted-table
+// idiom). Loaded files overlay the fitted values onto costmodel.Profile's
+// analytic coefficients, so a new device class or model family becomes a
+// data file instead of a code change; systems without a calibration file
+// keep the built-in profile bit for bit.
+package calib
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+)
+
+// FormatVersion is the calibration file schema version this package reads
+// and writes. Decode rejects any other value, so a format change can never
+// be silently misread as the old layout.
+const FormatVersion = 1
+
+// File is one calibration file: a versioned set of fitted coefficient
+// tables, one Entry per (model, device class) pair.
+type File struct {
+	// Format is the schema version (FormatVersion).
+	Format int `json:"format"`
+	// Version is the content version surfaced in plan provenance and the
+	// flexsp_calibration_version gauge; bump it on every refit. Must be
+	// positive (0 is reserved for "analytic defaults, no file loaded").
+	Version int64 `json:"version"`
+	// Source labels where the fit inputs came from (e.g. "sim-grid",
+	// "trace:a100-pod7").
+	Source string `json:"source,omitempty"`
+	// FittedAtUnix is the fit timestamp in Unix seconds (0 if unknown),
+	// behind the daemon's fit-staleness gauge.
+	FittedAtUnix int64 `json:"fitted_at_unix,omitempty"`
+	// Entries are the fitted tables. (model, device_class) pairs are unique.
+	Entries []Entry `json:"entries"`
+}
+
+// Entry is the fitted coefficient set for one model on one device class.
+type Entry struct {
+	// Model is the model configuration name (e.g. "GPT-7B").
+	Model string `json:"model"`
+	// DeviceClass is the device class name (e.g. "A100-40G").
+	DeviceClass string `json:"device_class"`
+	// Coeffs are the fitted values.
+	Coeffs CoeffSet `json:"coeffs"`
+	// Provenance records how the fit was obtained.
+	Provenance Provenance `json:"provenance"`
+}
+
+// CoeffSet carries the six fitted coefficients a calibration overlays onto a
+// profiled costmodel.Coeffs. The model-state share (MStateBytes) is not
+// fitted: it depends on the fleet size ZeRO-3 shards over, not on the device
+// class, so it stays analytic.
+type CoeffSet struct {
+	// Alpha1 multiplies Σs² in per-sequence compute (Eq. 12), seconds.
+	Alpha1 float64 `json:"alpha1"`
+	// Alpha2 multiplies Σs in per-sequence compute (Eq. 12), seconds.
+	Alpha2 float64 `json:"alpha2"`
+	// Beta1 is the fixed compute launch overhead per micro-batch, seconds.
+	Beta1 float64 `json:"beta1"`
+	// A2ABytesPerToken is α3 of Eq. 13: full-tensor bytes resharded per
+	// token across one iteration's all-to-alls.
+	A2ABytesPerToken float64 `json:"a2a_bytes_per_token"`
+	// Beta2 is the fixed communication launch overhead per micro-batch.
+	Beta2 float64 `json:"beta2"`
+	// MTokenBytes is activation memory per token (Eq. 11).
+	MTokenBytes float64 `json:"m_token_bytes"`
+}
+
+// Provenance records the sample set and fit quality behind one Entry.
+type Provenance struct {
+	// Samples is the number of measurement rows the fit consumed.
+	Samples int `json:"samples"`
+	// Devices is the fleet size the measurements ran on (0 if unknown).
+	Devices int `json:"devices,omitempty"`
+	// ComputeR2, CommR2 and MemR2 are the coefficients of determination of
+	// the compute, communication and memory fits.
+	ComputeR2 float64 `json:"compute_r2"`
+	CommR2    float64 `json:"comm_r2"`
+	MemR2     float64 `json:"mem_r2"`
+	// ComputeRMS and CommRMS are residual root-mean-square errors in
+	// seconds; MemRMS in bytes.
+	ComputeRMS float64 `json:"compute_rms_seconds,omitempty"`
+	CommRMS    float64 `json:"comm_rms_seconds,omitempty"`
+	MemRMS     float64 `json:"mem_rms_bytes,omitempty"`
+}
+
+// Decode parses and validates a calibration file. It is strict: unknown
+// fields, trailing data, an unknown format version, duplicate (model, class)
+// pairs, and missing, non-finite or negative coefficients are all errors —
+// and never panics, whatever the input (the FuzzCalibrationDecode target).
+func Decode(data []byte) (*File, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("calib: decode: %w", err)
+	}
+	if err := trailingData(dec); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// trailingData rejects bytes after the top-level JSON value.
+func trailingData(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("calib: trailing data after calibration file")
+	}
+	return nil
+}
+
+// Load reads and decodes a calibration file from disk.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+	f, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("calib: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Encode validates and serializes the file in its canonical indented form.
+func (f *File) Encode() ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("calib: encode: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// Validate checks the file against the schema: format and version fields,
+// at least one entry, unique (model, class) pairs, and well-formed
+// coefficients and provenance in every entry.
+func (f *File) Validate() error {
+	if f.Format != FormatVersion {
+		return fmt.Errorf("calib: unsupported format %d (want %d)", f.Format, FormatVersion)
+	}
+	if f.Version <= 0 {
+		return fmt.Errorf("calib: version must be positive, got %d", f.Version)
+	}
+	if len(f.Entries) == 0 {
+		return fmt.Errorf("calib: file has no entries")
+	}
+	seen := make(map[[2]string]bool, len(f.Entries))
+	for i, e := range f.Entries {
+		if err := e.validate(); err != nil {
+			return fmt.Errorf("calib: entry %d: %w", i, err)
+		}
+		key := [2]string{e.Model, e.DeviceClass}
+		if seen[key] {
+			return fmt.Errorf("calib: duplicate entry for model %q on class %q", e.Model, e.DeviceClass)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+func (e Entry) validate() error {
+	if e.Model == "" {
+		return fmt.Errorf("missing model name")
+	}
+	if e.DeviceClass == "" {
+		return fmt.Errorf("missing device class")
+	}
+	c := e.Coeffs
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"alpha1", c.Alpha1},
+		{"alpha2", c.Alpha2},
+		{"a2a_bytes_per_token", c.A2ABytesPerToken},
+		{"m_token_bytes", c.MTokenBytes},
+	} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("coefficient %s is not finite", v.name)
+		}
+		if v.val <= 0 {
+			return fmt.Errorf("coefficient %s must be positive, got %v (missing or mis-fitted)", v.name, v.val)
+		}
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{{"beta1", c.Beta1}, {"beta2", c.Beta2}} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("coefficient %s is not finite", v.name)
+		}
+		if v.val < 0 {
+			return fmt.Errorf("coefficient %s must be non-negative, got %v", v.name, v.val)
+		}
+	}
+	p := e.Provenance
+	if p.Samples < 0 {
+		return fmt.Errorf("negative sample count %d", p.Samples)
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"compute_r2", p.ComputeR2}, {"comm_r2", p.CommR2}, {"mem_r2", p.MemR2},
+		{"compute_rms_seconds", p.ComputeRMS}, {"comm_rms_seconds", p.CommRMS}, {"mem_rms_bytes", p.MemRMS},
+	} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("provenance %s is not finite", v.name)
+		}
+	}
+	if p.ComputeR2 > 1 || p.CommR2 > 1 || p.MemR2 > 1 {
+		return fmt.Errorf("provenance R² above 1")
+	}
+	return nil
+}
+
+// Tag is the human-readable calibration identifier stamped into plan
+// provenance and /v2 envelopes (e.g. "v3 (sim-grid)").
+func (f *File) Tag() string {
+	if f.Source == "" {
+		return fmt.Sprintf("v%d", f.Version)
+	}
+	return fmt.Sprintf("v%d (%s)", f.Version, f.Source)
+}
+
+// Lookup finds the entry for a (model, device class) pair.
+func (f *File) Lookup(model, class string) (Entry, bool) {
+	for _, e := range f.Entries {
+		if e.Model == model && e.DeviceClass == class {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Apply overlays the fitted coefficients for (c.Model.Name, class) onto the
+// profiled coefficients and stamps the calibration tag; coefficients without
+// a matching entry are returned unchanged with ok=false. The model-state
+// share, topology, style and degree cap are never touched.
+func (f *File) Apply(c costmodel.Coeffs, class string) (_ costmodel.Coeffs, ok bool) {
+	e, ok := f.Lookup(c.Model.Name, class)
+	if !ok {
+		return c, false
+	}
+	c.Alpha1 = e.Coeffs.Alpha1
+	c.Alpha2 = e.Coeffs.Alpha2
+	c.Beta1 = e.Coeffs.Beta1
+	c.AllToAllBytesPerToken = e.Coeffs.A2ABytesPerToken
+	c.Beta2 = e.Coeffs.Beta2
+	c.MTokenBytes = e.Coeffs.MTokenBytes
+	c.Calibration = f.Tag()
+	return c, true
+}
+
+// Calibrator returns the per-range overlay hook a heterogeneous cost model
+// (costmodel.HeteroCoeffs.Calibrate) applies when profiling a placed device
+// range: ranges spanning exactly one device class get that class's fitted
+// entry; mixed-span ranges keep the analytic bottleneck profile (a
+// conservative fit for a range no single entry describes).
+func (f *File) Calibrator() func(costmodel.Coeffs, []cluster.DeviceClass) costmodel.Coeffs {
+	return func(c costmodel.Coeffs, classes []cluster.DeviceClass) costmodel.Coeffs {
+		if len(classes) != 1 {
+			return c
+		}
+		out, _ := f.Apply(c, classes[0].Name)
+		return out
+	}
+}

@@ -1,0 +1,343 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+)
+
+// validFile builds a well-formed calibration file for mutation tests.
+func validFile() File {
+	return File{
+		Format:       FormatVersion,
+		Version:      3,
+		Source:       "sim-grid",
+		FittedAtUnix: 1754524800,
+		Entries: []Entry{{
+			Model:       "GPT-7B",
+			DeviceClass: "A100-40G",
+			Coeffs: CoeffSet{
+				Alpha1:           1e-12,
+				Alpha2:           1e-8,
+				Beta1:            0.05,
+				A2ABytesPerToken: 2e6,
+				Beta2:            0.02,
+				MTokenBytes:      5e6,
+			},
+			Provenance: Provenance{Samples: 90, Devices: 64, ComputeR2: 1, CommR2: 1, MemR2: 1},
+		}},
+	}
+}
+
+// TestSelfFit is the closed-loop acceptance gate: the simulator is generated
+// by the analytic Profile coefficients, so fitting a noise-free measurement
+// grid must reproduce each shipped GPT-7B/A100 coefficient within 5%.
+func TestSelfFit(t *testing.T) {
+	g := Grid{Model: costmodel.GPT7B, Class: cluster.A100_40G, Devices: 64}
+	entry, err := g.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := g.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := costmodel.Profile(costmodel.GPT7B, topo)
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"alpha1", entry.Coeffs.Alpha1, want.Alpha1},
+		{"alpha2", entry.Coeffs.Alpha2, want.Alpha2},
+		{"beta1", entry.Coeffs.Beta1, want.Beta1},
+		{"a2a_bytes_per_token", entry.Coeffs.A2ABytesPerToken, want.AllToAllBytesPerToken},
+		{"beta2", entry.Coeffs.Beta2, want.Beta2},
+		{"m_token_bytes", entry.Coeffs.MTokenBytes, want.MTokenBytes},
+	}
+	for _, c := range checks {
+		rel := math.Abs(c.got-c.want) / math.Abs(c.want)
+		if rel > 0.05 {
+			t.Errorf("%s: fitted %.6g, analytic %.6g (rel err %.2f%% > 5%%)", c.name, c.got, c.want, 100*rel)
+		}
+	}
+	for _, r2 := range []struct {
+		name string
+		val  float64
+	}{
+		{"compute", entry.Provenance.ComputeR2},
+		{"comm", entry.Provenance.CommR2},
+		{"mem", entry.Provenance.MemR2},
+	} {
+		if r2.val < 0.99 {
+			t.Errorf("%s fit R² = %.4f, want ≥ 0.99 on the noise-free grid", r2.name, r2.val)
+		}
+	}
+}
+
+// TestSelfFitAllModelsAndClasses keeps every built-in (model, class) pair
+// fittable — the default calibration under testdata/ covers the full cross
+// product.
+func TestSelfFitAllModelsAndClasses(t *testing.T) {
+	for _, m := range costmodel.Models() {
+		for _, dc := range cluster.Classes() {
+			g := Grid{Model: m, Class: dc, Devices: 64}
+			entry, err := g.Fit()
+			if err != nil {
+				t.Fatalf("%s on %s: %v", m.Name, dc.Name, err)
+			}
+			if min := math.Min(entry.Provenance.ComputeR2, math.Min(entry.Provenance.CommR2, entry.Provenance.MemR2)); min < 0.99 {
+				t.Errorf("%s on %s: min fit R² = %.4f, want ≥ 0.99", m.Name, dc.Name, min)
+			}
+		}
+	}
+}
+
+// TestNoisySelfFitCheck exercises the check path: a fit on a noisy grid must
+// still predict a fresh noisy grid with high R².
+func TestNoisySelfFitCheck(t *testing.T) {
+	fitGrid := Grid{Devices: 32, Noise: 0.02, Seed: 1}
+	entry, err := fitGrid.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := fitGrid.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Grid{Devices: 32, Noise: 0.02, Seed: 99}.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mstate := costmodel.Profile(costmodel.GPT7B, topo).MStateBytes
+	res, err := CheckEntry(entry, topo, mstate, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinR2() < 0.95 {
+		t.Errorf("check min R² = %.4f under 2%% noise, want ≥ 0.95 (compute %.4f comm %.4f mem %.4f)",
+			res.MinR2(), res.ComputeR2, res.CommR2, res.MemR2)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := validFile()
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != f.Version || got.Source != f.Source || len(got.Entries) != 1 {
+		t.Fatalf("round trip mangled the file: %+v", got)
+	}
+	if got.Entries[0].Coeffs != f.Entries[0].Coeffs {
+		t.Fatalf("round trip mangled the coefficients: %+v", got.Entries[0].Coeffs)
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*File)
+		want   string
+	}{
+		{"wrong format", func(f *File) { f.Format = 2 }, "unsupported format"},
+		{"zero version", func(f *File) { f.Version = 0 }, "version must be positive"},
+		{"no entries", func(f *File) { f.Entries = nil }, "no entries"},
+		{"missing model", func(f *File) { f.Entries[0].Model = "" }, "missing model"},
+		{"missing class", func(f *File) { f.Entries[0].DeviceClass = "" }, "missing device class"},
+		{"missing alpha1", func(f *File) { f.Entries[0].Coeffs.Alpha1 = 0 }, "alpha1 must be positive"},
+		{"negative alpha2", func(f *File) { f.Entries[0].Coeffs.Alpha2 = -1 }, "alpha2 must be positive"},
+		{"negative beta1", func(f *File) { f.Entries[0].Coeffs.Beta1 = -0.1 }, "beta1 must be non-negative"},
+		{"missing a2a", func(f *File) { f.Entries[0].Coeffs.A2ABytesPerToken = 0 }, "a2a_bytes_per_token must be positive"},
+		{"missing mtoken", func(f *File) { f.Entries[0].Coeffs.MTokenBytes = 0 }, "m_token_bytes must be positive"},
+		{"r2 above one", func(f *File) { f.Entries[0].Provenance.ComputeR2 = 1.5 }, "R² above 1"},
+		{"negative samples", func(f *File) { f.Entries[0].Provenance.Samples = -1 }, "negative sample count"},
+		{"duplicate entry", func(f *File) { f.Entries = append(f.Entries, f.Entries[0]) }, "duplicate entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validFile()
+			tc.mutate(&f)
+			data, err := marshalUnchecked(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Decode(data); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Decode = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// marshalUnchecked serializes without Encode's validation so rejection tests
+// can produce intentionally broken files.
+func marshalUnchecked(f File) ([]byte, error) {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf(`{"format":%d,"version":%d`, f.Format, f.Version))
+	if f.Source != "" {
+		b.WriteString(fmt.Sprintf(`,"source":%q`, f.Source))
+	}
+	if f.FittedAtUnix != 0 {
+		b.WriteString(fmt.Sprintf(`,"fitted_at_unix":%d`, f.FittedAtUnix))
+	}
+	b.WriteString(`,"entries":[`)
+	for i, e := range f.Entries {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(fmt.Sprintf(`{"model":%q,"device_class":%q,"coeffs":{"alpha1":%g,"alpha2":%g,"beta1":%g,"a2a_bytes_per_token":%g,"beta2":%g,"m_token_bytes":%g},"provenance":{"samples":%d,"compute_r2":%g,"comm_r2":%g,"mem_r2":%g}}`,
+			e.Model, e.DeviceClass,
+			e.Coeffs.Alpha1, e.Coeffs.Alpha2, e.Coeffs.Beta1, e.Coeffs.A2ABytesPerToken, e.Coeffs.Beta2, e.Coeffs.MTokenBytes,
+			e.Provenance.Samples, e.Provenance.ComputeR2, e.Provenance.CommR2, e.Provenance.MemR2))
+	}
+	b.WriteString(`]}`)
+	return []byte(b.String()), nil
+}
+
+func TestDecodeRejectsMalformedJSON(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"{",
+		`{"format":1,"version":1,"entries":[]} trailing`,
+		`{"format":1,"version":1,"entries":[],"unknown_field":true}`,
+		`{"format":1,"version":1,"entries":[{"model":"m","device_class":"c","coeffs":{"alpha1":1e999}}]}`,
+	} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	topo, err := cluster.A100_40G.Cluster(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := costmodel.Profile(costmodel.GPT7B, topo)
+	f := validFile()
+
+	got, ok := f.Apply(base, "A100-40G")
+	if !ok {
+		t.Fatal("Apply found no entry for GPT-7B on A100-40G")
+	}
+	if got.Alpha1 != f.Entries[0].Coeffs.Alpha1 || got.MTokenBytes != f.Entries[0].Coeffs.MTokenBytes {
+		t.Errorf("Apply did not overlay the fitted coefficients: %+v", got)
+	}
+	if got.Calibration != "v3 (sim-grid)" {
+		t.Errorf("Calibration tag = %q, want %q", got.Calibration, "v3 (sim-grid)")
+	}
+	if got.MStateBytes != base.MStateBytes || got.Topo != base.Topo || got.MaxSPDegree != base.MaxSPDegree {
+		t.Error("Apply touched non-fitted fields")
+	}
+
+	if _, ok := f.Apply(base, "H100"); ok {
+		t.Error("Apply matched a class the file has no entry for")
+	}
+	unchanged, _ := f.Apply(base, "H100")
+	if unchanged.Calibration != "" || unchanged.Alpha1 != base.Alpha1 {
+		t.Error("a missed lookup must leave the coefficients untouched")
+	}
+}
+
+func TestCalibratorOnHetero(t *testing.T) {
+	mixed, err := cluster.MixedCluster(
+		cluster.ClassCount{Class: cluster.A100_40G, Devices: 32},
+		cluster.ClassCount{Class: cluster.H100, Devices: 32},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := costmodel.ProfileMixed(costmodel.GPT7B, mixed)
+	f := validFile()
+	h.Calibrate = f.Calibrator()
+
+	// A range inside the A100 half gets the fitted entry.
+	a100 := h.Group(cluster.DeviceRange{Start: 0, Size: 8})
+	if a100.Calibration == "" || a100.Alpha1 != f.Entries[0].Coeffs.Alpha1 {
+		t.Errorf("A100 range not calibrated: %+v", a100.Coeffs.Alpha1)
+	}
+	// The H100 half has no entry; a span across both classes stays analytic.
+	h100 := h.Group(cluster.DeviceRange{Start: 32, Size: 8})
+	if h100.Calibration != "" {
+		t.Error("H100 range calibrated without an entry")
+	}
+	full := h.Group(mixed.FullRange())
+	if full.Calibration != "" {
+		t.Error("mixed-span range must keep the analytic bottleneck profile")
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	good := `[{"model":"GPT-7B","device_class":"A100-40G","degree":2,"lengths":[4096,4096],"compute_seconds":0.5,"comm_seconds":0.1,"memory_bytes":1e9}]`
+	rows, err := ParseTrace([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Degree != 2 {
+		t.Fatalf("ParseTrace = %+v", rows)
+	}
+	for _, bad := range []string{
+		`[]`,
+		`[{"model":"m","device_class":"c","degree":0,"lengths":[1],"compute_seconds":1,"comm_seconds":1,"memory_bytes":1}]`,
+		`[{"model":"m","device_class":"c","degree":1,"lengths":[],"compute_seconds":1,"comm_seconds":1,"memory_bytes":1}]`,
+		`[{"model":"m","device_class":"c","degree":1,"lengths":[1],"compute_seconds":-1,"comm_seconds":1,"memory_bytes":1}]`,
+	} {
+		if _, err := ParseTrace([]byte(bad)); err == nil {
+			t.Errorf("ParseTrace(%s) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestFitFromTrace closes the external-ingestion loop: rows exported from a
+// measurement run fit the same entry as the in-process grid.
+func TestFitFromTrace(t *testing.T) {
+	g := Grid{Devices: 32}
+	samples, err := g.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := g.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := FitEntry("GPT-7B", cluster.A100_40G, topo, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the trace format.
+	data, err := json.Marshal(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ParseTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTrace, err := FitEntry("GPT-7B", cluster.A100_40G, topo, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Coeffs != viaTrace.Coeffs {
+		t.Errorf("trace round trip changed the fit: %+v vs %+v", direct.Coeffs, viaTrace.Coeffs)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	// Fewer rows than coefficients.
+	if _, err := fitLinear([][]float64{{1, 2, 1}}, []float64{1}); err == nil {
+		t.Error("under-determined fit succeeded")
+	}
+	// Identical rows cannot separate the coefficients.
+	rows := [][]float64{{1, 2, 1}, {1, 2, 1}, {1, 2, 1}}
+	if _, err := fitLinear(rows, []float64{1, 1, 1}); err == nil {
+		t.Error("singular fit succeeded")
+	}
+}

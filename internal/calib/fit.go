@@ -1,0 +1,280 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"flexsp/internal/cluster"
+)
+
+// FitEntry fits one (model, device class) coefficient table from measurement
+// rows by ordinary least squares over the cost model's own functional forms:
+//
+//	compute = α1·(Σs²/d) + α2·(Σs/d) + β1                 (Eq. 12)
+//	comm    = α3·AllToAllTime(Σs·1B, d) + β2              (Eq. 13)
+//	memory  = M_token·(Σs/d) + M_ms                       (Eq. 11)
+//
+// The communication feature exploits AllToAllTime's linearity in bytes: the
+// unit-byte all-to-all time at the sample's degree absorbs the topology
+// (intra- vs inter-node path, degree geometry), leaving α3 and β2 linear.
+// topo must be the fleet the samples were measured on — it prices that unit
+// feature. Degree-1 rows carry no communication and are excluded from the
+// comm fit; the memory intercept (the fleet-sharded model-state term) is
+// fitted for the residual report but not shipped, since it does not transfer
+// across fleet sizes.
+func FitEntry(model string, class cluster.DeviceClass, topo cluster.Topology, samples []Sample) (Entry, error) {
+	if len(samples) == 0 {
+		return Entry{}, fmt.Errorf("calib: no samples to fit for %s on %s", model, class.Name)
+	}
+	var compX, commX, memX [][]float64
+	var compY, commY, memY []float64
+	for i, s := range samples {
+		if err := s.validate(); err != nil {
+			return Entry{}, fmt.Errorf("calib: sample %d: %w", i, err)
+		}
+		sumS, sumS2 := sums(s.Lengths)
+		d := float64(s.Degree)
+		compX = append(compX, []float64{sumS2 / d, sumS / d, 1})
+		compY = append(compY, s.ComputeSeconds)
+		memX = append(memX, []float64{sumS / d, 1})
+		memY = append(memY, s.MemoryBytes)
+		if s.Degree > 1 {
+			commX = append(commX, []float64{topo.AllToAllTime(sumS, s.Degree), 1})
+			commY = append(commY, s.CommSeconds)
+		}
+	}
+
+	comp, err := fitLinear(compX, compY)
+	if err != nil {
+		return Entry{}, fmt.Errorf("calib: compute fit: %w", err)
+	}
+	comm, err := fitLinear(commX, commY)
+	if err != nil {
+		return Entry{}, fmt.Errorf("calib: comm fit: %w", err)
+	}
+	mem, err := fitLinear(memX, memY)
+	if err != nil {
+		return Entry{}, fmt.Errorf("calib: memory fit: %w", err)
+	}
+
+	e := Entry{
+		Model:       model,
+		DeviceClass: class.Name,
+		Coeffs: CoeffSet{
+			Alpha1:           comp.beta[0],
+			Alpha2:           comp.beta[1],
+			Beta1:            clampNonNeg(comp.beta[2]),
+			A2ABytesPerToken: comm.beta[0],
+			Beta2:            clampNonNeg(comm.beta[1]),
+			MTokenBytes:      mem.beta[0],
+		},
+		Provenance: Provenance{
+			Samples:    len(samples),
+			Devices:    topo.NumDevices(),
+			ComputeR2:  comp.r2,
+			CommR2:     comm.r2,
+			MemR2:      mem.r2,
+			ComputeRMS: comp.rms,
+			CommRMS:    comm.rms,
+			MemRMS:     mem.rms,
+		},
+	}
+	if err := e.validate(); err != nil {
+		return Entry{}, fmt.Errorf("calib: fit for %s on %s produced invalid coefficients (measurements too noisy or grid too degenerate): %w", model, class.Name, err)
+	}
+	return e, nil
+}
+
+// CheckResult reports how well an already-fitted entry predicts a fresh set
+// of measurements (flexsp-profile check).
+type CheckResult struct {
+	// Samples is the number of rows checked.
+	Samples int `json:"samples"`
+	// ComputeR2, CommR2 and MemR2 are coefficients of determination of the
+	// entry's predictions against the measurements.
+	ComputeR2 float64 `json:"compute_r2"`
+	CommR2    float64 `json:"comm_r2"`
+	MemR2     float64 `json:"mem_r2"`
+}
+
+// MinR2 is the smallest of the three fit qualities — the number a residual
+// gate compares against its threshold.
+func (r CheckResult) MinR2() float64 {
+	return math.Min(r.ComputeR2, math.Min(r.CommR2, r.MemR2))
+}
+
+// CheckEntry scores an entry's coefficients against fresh measurements taken
+// on topo, without refitting: the prediction residuals of the Eq. 12/13/11
+// forms under the entry's (not newly fitted) coefficients. The memory score
+// uses the analytic model-state intercept mstate, since entries do not carry
+// one.
+func CheckEntry(e Entry, topo cluster.Topology, mstate float64, samples []Sample) (CheckResult, error) {
+	if len(samples) == 0 {
+		return CheckResult{}, fmt.Errorf("calib: no samples to check against")
+	}
+	var compP, compY, commP, commY, memP, memY []float64
+	for i, s := range samples {
+		if err := s.validate(); err != nil {
+			return CheckResult{}, fmt.Errorf("calib: sample %d: %w", i, err)
+		}
+		sumS, sumS2 := sums(s.Lengths)
+		d := float64(s.Degree)
+		compP = append(compP, (e.Coeffs.Alpha1*sumS2+e.Coeffs.Alpha2*sumS)/d+e.Coeffs.Beta1)
+		compY = append(compY, s.ComputeSeconds)
+		memP = append(memP, sumS/d*e.Coeffs.MTokenBytes+mstate)
+		memY = append(memY, s.MemoryBytes)
+		if s.Degree > 1 {
+			commP = append(commP, topo.AllToAllTime(sumS*e.Coeffs.A2ABytesPerToken, s.Degree)+e.Coeffs.Beta2)
+			commY = append(commY, s.CommSeconds)
+		}
+	}
+	return CheckResult{
+		Samples:   len(samples),
+		ComputeR2: rSquared(compP, compY),
+		CommR2:    rSquared(commP, commY),
+		MemR2:     rSquared(memP, memY),
+	}, nil
+}
+
+// fit is one least-squares solve: coefficients, R², and residual RMS.
+type fit struct {
+	beta []float64
+	r2   float64
+	rms  float64
+}
+
+// fitLinear solves min ‖Xβ − y‖² by the normal equations (XᵀX β = Xᵀy) with
+// column scaling and Gaussian elimination — no external solver. It needs at
+// least as many rows as columns and a non-degenerate design matrix.
+func fitLinear(X [][]float64, y []float64) (fit, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return fit{}, fmt.Errorf("need matching, non-empty samples (got %d rows, %d targets)", n, len(y))
+	}
+	k := len(X[0])
+	if n < k {
+		return fit{}, fmt.Errorf("need at least %d samples for %d coefficients, got %d", k, k, n)
+	}
+
+	// Scale each column to unit max magnitude: the features span ~12 orders
+	// of magnitude (Σs²/d vs the intercept), and the normal equations square
+	// the condition number.
+	scale := make([]float64, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			if a := math.Abs(X[i][j]); a > scale[j] {
+				scale[j] = a
+			}
+		}
+		if scale[j] == 0 {
+			return fit{}, fmt.Errorf("degenerate design matrix: column %d is all zeros", j)
+		}
+	}
+
+	// Build the k×k normal system over the scaled columns.
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for j := range a {
+		a[j] = make([]float64, k)
+	}
+	for i := 0; i < n; i++ {
+		for p := 0; p < k; p++ {
+			xp := X[i][p] / scale[p]
+			b[p] += xp * y[i]
+			for q := 0; q < k; q++ {
+				a[p][q] += xp * X[i][q] / scale[q]
+			}
+		}
+	}
+
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			return fit{}, fmt.Errorf("singular design matrix: the sample grid does not separate the coefficients")
+		}
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	beta := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < k; c++ {
+			sum -= a[r][c] * beta[c]
+		}
+		beta[r] = sum / a[r][r]
+	}
+	for j := range beta {
+		beta[j] /= scale[j]
+	}
+
+	pred := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			pred[i] += X[i][j] * beta[j]
+		}
+	}
+	var ssRes float64
+	for i := range pred {
+		d := y[i] - pred[i]
+		ssRes += d * d
+	}
+	return fit{beta: beta, r2: rSquared(pred, y), rms: math.Sqrt(ssRes / float64(n))}, nil
+}
+
+// rSquared is the coefficient of determination of predictions against
+// observations: 1 − SS_res/SS_tot. A constant observation vector scores 1
+// when matched exactly and 0 otherwise.
+func rSquared(pred, y []float64) float64 {
+	if len(y) == 0 || len(pred) != len(y) {
+		return 0
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		r := y[i] - pred[i]
+		ssRes += r * r
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// sums returns Σs and Σs² over the sequence lengths.
+func sums(lens []int) (sumS, sumS2 float64) {
+	for _, s := range lens {
+		fs := float64(s)
+		sumS += fs
+		sumS2 += fs * fs
+	}
+	return sumS, sumS2
+}

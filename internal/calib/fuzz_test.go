@@ -1,0 +1,61 @@
+package calib
+
+import "testing"
+
+// FuzzCalibrationDecode hardens the file-format parser: arbitrary bytes must
+// either decode into a File that passes Validate or return an error — never
+// panic, and never let NaN, infinite, negative or missing coefficients
+// through (those are exactly the values that would silently corrupt every
+// plan the calibrated system produces).
+func FuzzCalibrationDecode(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(``),
+		[]byte(`{}`),
+		[]byte(`null`),
+		[]byte(`[1,2,3]`),
+		[]byte(`{"format":1,"version":1,"entries":[]}`),
+		[]byte(`{"format":1,"version":3,"source":"sim-grid","entries":[{"model":"GPT-7B","device_class":"A100-40G","coeffs":{"alpha1":1e-12,"alpha2":1e-8,"beta1":0.05,"a2a_bytes_per_token":2e6,"beta2":0.02,"m_token_bytes":5e6},"provenance":{"samples":90,"compute_r2":1,"comm_r2":1,"mem_r2":1}}]}`),
+		[]byte(`{"format":1,"version":1,"entries":[{"model":"m","device_class":"c","coeffs":{"alpha1":-1,"alpha2":1,"beta1":0,"a2a_bytes_per_token":1,"beta2":0,"m_token_bytes":1},"provenance":{}}]}`),
+		[]byte(`{"format":1,"version":1,"entries":[{"model":"m","device_class":"c","coeffs":{"alpha2":1,"beta1":0,"a2a_bytes_per_token":1,"beta2":0,"m_token_bytes":1},"provenance":{}}]}`),
+		[]byte(`{"format":99,"version":1,"entries":[{"model":"m","device_class":"c"}]}`),
+		[]byte(`{"format":1,"version":1,"entries":[{"model":"m","device_class":"c","coeffs":{"alpha1":1e999,"alpha2":1,"beta1":0,"a2a_bytes_per_token":1,"beta2":0,"m_token_bytes":1}}]} trailing`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Decode(data)
+		if err != nil {
+			if file != nil {
+				t.Fatalf("Decode returned both a file and an error: %v", err)
+			}
+			return
+		}
+		// Whatever decoded must satisfy every invariant the rest of the
+		// system assumes: a supported format, at least one entry, and
+		// strictly finite, positive (or non-negative offset) coefficients.
+		if err := file.Validate(); err != nil {
+			t.Fatalf("Decode accepted a file that fails Validate: %v", err)
+		}
+		for _, e := range file.Entries {
+			for _, v := range []float64{e.Coeffs.Alpha1, e.Coeffs.Alpha2, e.Coeffs.A2ABytesPerToken, e.Coeffs.MTokenBytes} {
+				if !(v > 0) {
+					t.Fatalf("Decode let a non-positive required coefficient through: %+v", e.Coeffs)
+				}
+			}
+			for _, v := range []float64{e.Coeffs.Beta1, e.Coeffs.Beta2} {
+				if !(v >= 0) {
+					t.Fatalf("Decode let a negative offset through: %+v", e.Coeffs)
+				}
+			}
+		}
+		// Decoded files must re-encode and decode to the same content.
+		out, err := file.Encode()
+		if err != nil {
+			t.Fatalf("valid file failed to encode: %v", err)
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("re-encoded file failed to decode: %v", err)
+		}
+	})
+}

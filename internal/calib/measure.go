@@ -1,0 +1,203 @@
+package calib
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"flexsp/internal/cluster"
+	"flexsp/internal/costmodel"
+	"flexsp/internal/planner"
+	"flexsp/internal/sim"
+)
+
+// Sample is one measurement row: the observed per-device compute seconds,
+// communication seconds and memory bytes of a single SP group of the given
+// degree running the given sequences. Grid.Measure produces them from the
+// simulated executor; ParseTrace ingests the same shape from an external
+// profiling run's JSON.
+type Sample struct {
+	// Model and DeviceClass label the measured configuration.
+	Model       string `json:"model"`
+	DeviceClass string `json:"device_class"`
+	// Degree is the SP degree the group ran at.
+	Degree int `json:"degree"`
+	// Lengths are the sequence lengths assigned to the group, tokens.
+	Lengths []int `json:"lengths"`
+	// ComputeSeconds and CommSeconds are the group's measured per-device
+	// compute and communication times.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+	// MemoryBytes is the group's measured per-device memory footprint.
+	MemoryBytes float64 `json:"memory_bytes"`
+}
+
+// validate rejects rows that would poison a fit.
+func (s Sample) validate() error {
+	if s.Degree < 1 {
+		return fmt.Errorf("degree %d < 1", s.Degree)
+	}
+	if len(s.Lengths) == 0 {
+		return fmt.Errorf("no sequence lengths")
+	}
+	for _, l := range s.Lengths {
+		if l <= 0 {
+			return fmt.Errorf("non-positive sequence length %d", l)
+		}
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"compute_seconds", s.ComputeSeconds},
+		{"comm_seconds", s.CommSeconds},
+		{"memory_bytes", s.MemoryBytes},
+	} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+			return fmt.Errorf("%s must be finite and non-negative, got %v", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// ParseTrace decodes external measurement rows: a JSON array of Sample
+// objects, typically exported by a profiling harness on real hardware. Every
+// row is validated; unknown fields and trailing data are errors.
+func ParseTrace(data []byte) ([]Sample, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rows []Sample
+	if err := dec.Decode(&rows); err != nil {
+		return nil, fmt.Errorf("calib: trace decode: %w", err)
+	}
+	if err := trailingData(dec); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("calib: trace has no rows")
+	}
+	for i, r := range rows {
+		if err := r.validate(); err != nil {
+			return nil, fmt.Errorf("calib: trace row %d: %w", i, err)
+		}
+	}
+	return rows, nil
+}
+
+// Grid parameterizes a measurement sweep: every feasible (sequence length ×
+// copy count × SP degree) cell is executed as a single-group micro-batch on
+// the simulated cluster and read back as one Sample. The zero value of every
+// field takes a sensible default.
+type Grid struct {
+	// Model is the transformer configuration to measure (default GPT-7B).
+	Model costmodel.ModelConfig
+	// Class is the device class the fleet is built from (default A100-40G).
+	Class cluster.DeviceClass
+	// Devices is the fleet size (default 64; multiple of 8, or < 8 for one
+	// node) — it bounds the swept SP degrees and sets the ZeRO-3 sharding.
+	Devices int
+	// SeqLens are the swept sequence lengths (default 4K..128K powers of
+	// two).
+	SeqLens []int
+	// Copies are the swept group multiplicities: each cell packs the
+	// sequence length 1×, 2×, ... into one group, spreading Σs against Σs²
+	// so the α1/α2 columns separate (default 1, 2, 4).
+	Copies []int
+	// Noise is the executor's multiplicative log-normal jitter σ (default
+	// 0: noise-free measurements, the closed-loop self-fit setting).
+	Noise float64
+	// Seed drives the jitter.
+	Seed int64
+}
+
+// defaults fills zero fields.
+func (g Grid) defaults() Grid {
+	if g.Model.Name == "" {
+		g.Model = costmodel.GPT7B
+	}
+	if g.Class.Name == "" {
+		g.Class = cluster.A100_40G
+	}
+	if g.Devices == 0 {
+		g.Devices = 64
+	}
+	if len(g.SeqLens) == 0 {
+		g.SeqLens = []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	}
+	if len(g.Copies) == 0 {
+		g.Copies = []int{1, 2, 4}
+	}
+	return g
+}
+
+// Topology builds the fleet the grid measures on.
+func (g Grid) Topology() (cluster.Topology, error) {
+	gd := g.defaults()
+	return gd.Class.Cluster(gd.Devices)
+}
+
+// Measure sweeps the grid through the simulated executor and returns one
+// Sample per feasible cell. Cells whose group would exceed device memory are
+// skipped (a real profiling run cannot measure an OOM either); an error is
+// returned only when the fleet is invalid or the whole grid is infeasible.
+func (g Grid) Measure() ([]Sample, error) {
+	g = g.defaults()
+	topo, err := g.Class.Cluster(g.Devices)
+	if err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+	coeffs := costmodel.Profile(g.Model, topo)
+	usable := float64(topo.UsableMemory())
+
+	var out []Sample
+	seed := g.Seed
+	for _, degree := range coeffs.SPDegrees() {
+		for _, s := range g.SeqLens {
+			for _, copies := range g.Copies {
+				lens := make([]int, copies)
+				for i := range lens {
+					lens[i] = s
+				}
+				if !coeffs.Fits(lens, degree) {
+					continue
+				}
+				seed++
+				plan := []planner.MicroPlan{{Groups: []planner.Group{{Degree: degree, Lens: lens}}}}
+				res, err := sim.ExecuteIteration(coeffs, plan, sim.Options{Noise: g.Noise, Seed: seed})
+				if err != nil {
+					return nil, fmt.Errorf("calib: measuring degree %d, %d×%d tokens: %w", degree, copies, s, err)
+				}
+				gr := res.Micro[0].Groups[0]
+				out = append(out, Sample{
+					Model:          g.Model.Name,
+					DeviceClass:    g.Class.Name,
+					Degree:         degree,
+					Lengths:        lens,
+					ComputeSeconds: gr.Comp,
+					CommSeconds:    gr.Comm,
+					MemoryBytes:    gr.MemFrac * usable,
+				})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("calib: no feasible grid cells for %s on %dx%s (model states exceed memory?)", g.Model.Name, g.Devices, g.Class.Name)
+	}
+	return out, nil
+}
+
+// Fit measures the grid and fits its entry in one step: the closed loop
+// behind `flexsp-profile fit` and the self-fit acceptance gate.
+func (g Grid) Fit() (Entry, error) {
+	g = g.defaults()
+	topo, err := g.Class.Cluster(g.Devices)
+	if err != nil {
+		return Entry{}, fmt.Errorf("calib: %w", err)
+	}
+	samples, err := g.Measure()
+	if err != nil {
+		return Entry{}, err
+	}
+	return FitEntry(g.Model.Name, g.Class, topo, samples)
+}

@@ -74,6 +74,11 @@ type HeteroCoeffs struct {
 	MStateBytes float64
 	// MTokenBytes is activation memory per token (class-independent).
 	MTokenBytes float64
+	// Calibrate, when non-nil, overlays fitted coefficients onto each
+	// per-range profile given the device classes the range spans (set from
+	// a calibration file via calib.File.Calibrator; costmodel itself never
+	// depends on the file format). Nil keeps the analytic profile.
+	Calibrate func(Coeffs, []cluster.DeviceClass) Coeffs
 }
 
 // ProfileMixed derives the heterogeneous cost model for a model on a mixed
@@ -103,6 +108,9 @@ func (hc HeteroCoeffs) Group(r cluster.DeviceRange) GroupCoeffs {
 	c.Style = hc.Style
 	c.MaxSPDegree = hc.MaxSPDegree
 	c.MStateBytes = hc.MStateBytes
+	if hc.Calibrate != nil {
+		c = hc.Calibrate(c, hc.Mixed.ClassesIn(r))
+	}
 	return GroupCoeffs{Coeffs: c, Range: r}
 }
 
@@ -141,6 +149,9 @@ func (hc HeteroCoeffs) Uniform() (Coeffs, bool) {
 	c := Profile(hc.Model, topo)
 	c.Style = hc.Style
 	c.MaxSPDegree = hc.MaxSPDegree
+	if hc.Calibrate != nil {
+		c = hc.Calibrate(c, []cluster.DeviceClass{hc.Mixed.NodeGroups[0].Class})
+	}
 	return c, true
 }
 

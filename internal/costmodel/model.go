@@ -144,6 +144,11 @@ type Coeffs struct {
 	// attention head must land whole on one device). Zero leaves degrees
 	// uncapped, preserving the paper's main-body behavior.
 	MaxSPDegree int
+	// Calibration names the fitted coefficient set the α-β values came from
+	// (a calibration file tag like "v3 (sim-grid)", stamped by
+	// internal/calib when it overlays fitted values); empty means the
+	// analytic built-in profile.
+	Calibration string
 }
 
 // SPDegrees returns the candidate SP degrees under this cost model: the

@@ -41,6 +41,10 @@ type ExplainJSON struct {
 	Candidates []CandidateJSON `json:"candidates,omitempty"`
 	// Note carries strategy-specific detail (e.g. the megatron grid point).
 	Note string `json:"note,omitempty"`
+	// Calibration names the fitted coefficient set the plan was priced under
+	// (a calibration file tag like "v3 (sim-grid)"); omitted when the
+	// analytic built-in cost model produced the estimate.
+	Calibration string `json:"calibration,omitempty"`
 }
 
 // MicroExplainJSON breaks one micro-batch down for provenance.
@@ -220,6 +224,9 @@ func (e *ExplainJSON) Render() string {
 		fmt.Fprintf(&b, ", solve wall %.3fs", e.SolveWallSeconds)
 	}
 	b.WriteByte('\n')
+	if e.Calibration != "" {
+		fmt.Fprintf(&b, "  calibration %s\n", e.Calibration)
+	}
 	if e.Note != "" {
 		fmt.Fprintf(&b, "  %s\n", e.Note)
 	}

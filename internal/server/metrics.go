@@ -3,6 +3,7 @@ package server
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"flexsp/internal/obs"
 	"flexsp/internal/solver"
@@ -54,6 +55,49 @@ type MetricsResponse struct {
 	// Topology summarizes the elastic fleet and the replan loop (POST
 	// /v2/topology); zero-valued with Elastic false on a static daemon.
 	Topology TopologyMetrics `json:"topology"`
+	// Calibration identifies the fitted cost-model coefficient set the
+	// daemon plans with; version 0 means the analytic built-in profile.
+	Calibration CalibrationMetrics `json:"calibration"`
+}
+
+// CalibrationInfo identifies the fitted cost-model coefficient set a daemon
+// was configured with (Config.Calibration): the calibration file's version,
+// source, fit timestamp, and display tag. The zero value means the analytic
+// built-in profile.
+type CalibrationInfo struct {
+	// Version is the calibration file's monotonically bumped version (0 =
+	// uncalibrated).
+	Version int64
+	// Source labels where the measurements came from (e.g. "sim-grid").
+	Source string
+	// FittedAtUnix is when the coefficients were fitted (Unix seconds; 0
+	// when unstamped).
+	FittedAtUnix int64
+	// Tag is the file's display tag (calib.File.Tag), stamped into plan
+	// envelopes and explanations.
+	Tag string
+}
+
+// staleness is the seconds elapsed since the fit, 0 when unstamped.
+func (c CalibrationInfo) staleness() float64 {
+	if c.FittedAtUnix <= 0 {
+		return 0
+	}
+	return time.Since(time.Unix(c.FittedAtUnix, 0)).Seconds()
+}
+
+// CalibrationMetrics is the /v1/metrics calibration section.
+type CalibrationMetrics struct {
+	// Version is the loaded calibration file's version; 0 means the daemon
+	// plans on the analytic built-in coefficients.
+	Version int64 `json:"version"`
+	// Source labels the measurement provenance (omitted when uncalibrated).
+	Source string `json:"source,omitempty"`
+	// FittedAtUnix is the fit timestamp (Unix seconds; omitted when
+	// unstamped).
+	FittedAtUnix int64 `json:"fitted_at_unix,omitempty"`
+	// StalenessSeconds is how long ago the coefficients were fitted.
+	StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
 }
 
 // TopologyMetrics is the /v1/metrics elastic-planning section.

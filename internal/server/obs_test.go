@@ -47,6 +47,8 @@ func TestMetricsJSONGolden(t *testing.T) {
 		Topology: TopologyMetrics{Elastic: true, Version: 6, PlanVersion: 5,
 			Degraded: true, Nodes: 4, Down: 1, Straggling: 1,
 			Events: 8, Replans: 4, ColdReplans: 1, DegradedPlans: 2},
+		Calibration: CalibrationMetrics{Version: 3, Source: "sim-grid",
+			FittedAtUnix: 1754524800, StalenessSeconds: 3600.5},
 	}
 	got, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -106,6 +108,7 @@ func TestPrometheusEndpoint(t *testing.T) {
 		"flexsp_plan_cache_entries",
 		"flexsp_solver_solves_total", "flexsp_solver_planned_total",
 		"flexsp_traces_recorded_total",
+		"flexsp_calibration_version", "flexsp_calibration_staleness_seconds",
 	}
 	for _, name := range core {
 		f, ok := byName[name]

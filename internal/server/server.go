@@ -161,6 +161,11 @@ type Config struct {
 	// Zero takes the 512 default; negative disables the endpoint (404-free:
 	// it answers 501).
 	EnvelopeCacheEntries int
+	// Calibration identifies the fitted cost-model coefficient set the
+	// daemon's solvers plan with. The zero value means the analytic built-in
+	// profile: the calibration gauge reports version 0 and envelopes carry no
+	// calibration tag.
+	Calibration CalibrationInfo
 }
 
 // Server is the planning daemon. It implements http.Handler; wrap it in an
@@ -401,6 +406,10 @@ func (s *Server) registerGauges() {
 		s.reg.GaugeFunc("flexsp_envelope_cache_entries", "Pre-encoded /v2/plan envelopes cached for peer fetch.",
 			func() float64 { return float64(s.envelopes.len()) })
 	}
+	s.reg.GaugeFunc("flexsp_calibration_version", "Version of the loaded cost-model calibration (0 = analytic defaults).",
+		func() float64 { return float64(s.cfg.Calibration.Version) })
+	s.reg.GaugeFunc("flexsp_calibration_staleness_seconds", "Seconds since the loaded calibration was fitted (0 when uncalibrated or unstamped).",
+		func() float64 { return s.cfg.Calibration.staleness() })
 	s.traced = s.reg.Counter("flexsp_traces_recorded_total", "Request traces recorded in the ring.")
 }
 
@@ -474,6 +483,7 @@ func (s *Server) planFlexSP(ctx context.Context, spec PlanSpec) (PlanEnvelope, e
 		EstTime:          sr.EstTime,
 		SolveWallSeconds: sr.SolveWallSeconds,
 		Degraded:         s.degraded(st),
+		Calibration:      s.cfg.Calibration.Tag,
 		Flat:             &sr,
 	}
 	if env.Degraded {
@@ -481,6 +491,7 @@ func (s *Server) planFlexSP(ctx context.Context, spec PlanSpec) (PlanEnvelope, e
 	}
 	if spec.Explain {
 		env.Explain = ExplainFlat(st.solver.Planner, res, "flexsp")
+		env.Explain.Calibration = s.cfg.Calibration.Tag
 	}
 	return env, nil
 }
@@ -503,6 +514,7 @@ func (s *Server) planPipelined(ctx context.Context, spec PlanSpec) (PlanEnvelope
 		EstTime:          pr.EstTime,
 		SolveWallSeconds: pr.SolveWallSeconds,
 		Degraded:         s.degraded(st),
+		Calibration:      s.cfg.Calibration.Tag,
 		Pipelined:        &pr,
 	}
 	if env.Degraded {
@@ -510,6 +522,7 @@ func (s *Server) planPipelined(ctx context.Context, spec PlanSpec) (PlanEnvelope
 	}
 	if spec.Explain {
 		env.Explain = ExplainPipelined(st.solver.Planner, res)
+		env.Explain.Calibration = s.cfg.Calibration.Tag
 	}
 	return env, nil
 }
@@ -760,6 +773,19 @@ func (s *Server) Metrics() MetricsResponse {
 		Solver:           s.solverMetrics(),
 		Stream:           s.streamMetrics(),
 		Topology:         s.topologyMetrics(),
+		Calibration:      s.calibrationMetrics(),
+	}
+}
+
+// calibrationMetrics projects the configured calibration identity into the
+// /v1/metrics section.
+func (s *Server) calibrationMetrics() CalibrationMetrics {
+	c := s.cfg.Calibration
+	return CalibrationMetrics{
+		Version:          c.Version,
+		Source:           c.Source,
+		FittedAtUnix:     c.FittedAtUnix,
+		StalenessSeconds: c.staleness(),
 	}
 }
 

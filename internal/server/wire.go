@@ -60,10 +60,15 @@ type PlanEnvelope struct {
 	// the live topology (events arrived, background replan not finished):
 	// the plan is valid for the previous fleet view. Static daemons never
 	// set it, keeping their envelopes byte-identical to earlier releases.
-	Degraded  bool               `json:"degraded,omitempty"`
-	Flat      *SolveResponse     `json:"flat,omitempty"`
-	Pipelined *PipelinedResponse `json:"pipelined,omitempty"`
-	Megatron  *MegatronJSON      `json:"megatron,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	// Calibration tags envelopes priced by a fitted cost model with the
+	// calibration file's identity (e.g. "v3 (sim-grid)"). Omitted under the
+	// analytic built-in coefficients, keeping uncalibrated envelopes
+	// byte-identical to earlier releases.
+	Calibration string             `json:"calibration,omitempty"`
+	Flat        *SolveResponse     `json:"flat,omitempty"`
+	Pipelined   *PipelinedResponse `json:"pipelined,omitempty"`
+	Megatron    *MegatronJSON      `json:"megatron,omitempty"`
 	// Stream is the session's speculation summary, attached only to
 	// envelopes returned by POST /v2/stream/{id}/close (additive: v1 shims
 	// and plain /v2/plan envelopes never carry it).

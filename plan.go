@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"flexsp/internal/baselines"
+	"flexsp/internal/costmodel"
 	"flexsp/internal/obs"
 	"flexsp/internal/pipeline"
 	"flexsp/internal/planner"
@@ -37,6 +38,13 @@ const (
 	// plans are analytic: MicroPlans is empty and Execute returns the
 	// cost-model result without a discrete-event replay.
 	StrategyMegatron = "megatron"
+	// StrategyRing is the FlexSP solver under ring-attention context
+	// parallelism (flexible CP, paper Appendix E): the same Alg. 1 search,
+	// costed with the ring communication style instead of Ulysses
+	// all-to-all. Equivalent to building a whole System with
+	// Config.CommStyle = StyleRingCP, but dispatched per-plan so the two
+	// styles can be compared on one System.
+	StrategyRing = "ring"
 )
 
 // PlanOptions configures one System.Plan call.
@@ -141,6 +149,7 @@ var (
 		StrategyDeepSpeed: planDeepSpeed,
 		StrategyBatchAda:  planBatchAda,
 		StrategyMegatron:  planMegatron,
+		StrategyRing:      planRing,
 	}
 )
 
@@ -236,6 +245,44 @@ func planFlexSP(ctx context.Context, sys *System, batch []int, opts PlanOptions)
 	return &flatPlan{sys: sys, name: StrategyFlexSP, res: res, seed: opts.Seed}, nil
 }
 
+func planRing(ctx context.Context, sys *System, batch []int, opts PlanOptions) (Plan, error) {
+	sv := sys.ringSolver()
+	res, err := sv.SolveContext(ctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	return &flatPlan{sys: sys, name: StrategyRing, res: res, seed: opts.Seed, pl: sv.Planner}, nil
+}
+
+// ringSolver lazily builds the solver behind the ring strategy: the system's
+// cost model (calibration hook included) re-styled to ring-attention CP, with
+// the same planning strategy, trials, and ZeRO accounting as the main solver.
+// A system already configured with StyleRingCP reuses its main solver — the
+// two would be identical.
+func (s *System) ringSolver() *solver.Solver {
+	if s.cfg.CommStyle == costmodel.StyleRingCP {
+		return s.Solver
+	}
+	s.ringOnce.Do(func() {
+		var pl *planner.Planner
+		if s.Hetero != nil {
+			pl = planner.NewHetero(s.Hetero.WithStyle(costmodel.StyleRingCP))
+		} else {
+			pl = planner.New(s.Coeffs.WithStyle(costmodel.StyleRingCP))
+		}
+		pl.Strategy = s.cfg.Planner
+		sv := solver.New(pl)
+		if s.cfg.Trials > 0 {
+			sv.Trials = s.cfg.Trials
+		}
+		if s.includeZeRO {
+			sv.Overhead = pl.Coeffs.ZeROTime()
+		}
+		s.ring = sv
+	})
+	return s.ring
+}
+
 func planPipeline(ctx context.Context, sys *System, batch []int, opts PlanOptions) (Plan, error) {
 	res, err := sys.Joint.SolveContext(ctx, batch)
 	if err != nil {
@@ -274,7 +321,7 @@ func planMegatron(ctx context.Context, sys *System, batch []int, opts PlanOption
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return &megatronPlan{res: res}, nil
+	return &megatronPlan{res: res, cal: sys.calTag()}, nil
 }
 
 // newBaselinePlan wraps a homogeneous baseline's micro-plan sequence in the
@@ -300,6 +347,18 @@ type flatPlan struct {
 	name string
 	res  solver.Result
 	seed int64
+	// pl, when non-nil, is the planner whose cost model produced (and
+	// replays) this plan instead of the system default — the ring strategy's
+	// re-styled profile.
+	pl *planner.Planner
+}
+
+// planner resolves the cost model this plan is explained and executed under.
+func (p *flatPlan) planner() *planner.Planner {
+	if p.pl != nil {
+		return p.pl
+	}
+	return p.sys.Planner
 }
 
 func (p *flatPlan) Strategy() string { return p.name }
@@ -318,14 +377,18 @@ func (p *flatPlan) Describe() string {
 }
 
 func (p *flatPlan) Explain() *PlanExplain {
-	return server.ExplainFlat(p.sys.Planner, p.res, p.name)
+	e := server.ExplainFlat(p.planner(), p.res, p.name)
+	e.Calibration = p.calibration()
+	return e
 }
+
+func (p *flatPlan) calibration() string { return p.sys.calTag() }
 
 func (p *flatPlan) Execute(ctx context.Context) (ExecResult, error) {
 	if err := ctx.Err(); err != nil {
 		return ExecResult{}, err
 	}
-	exec, err := p.sys.executeMicro(p.res.Plans, p.seed)
+	exec, err := p.sys.executeMicroWith(p.planner(), p.res.Plans, p.seed)
 	if err != nil {
 		return ExecResult{}, err
 	}
@@ -362,8 +425,12 @@ func (p *pipePlan) Describe() string {
 }
 
 func (p *pipePlan) Explain() *PlanExplain {
-	return server.ExplainPipelined(p.sys.Planner, p.res)
+	e := server.ExplainPipelined(p.sys.Planner, p.res)
+	e.Calibration = p.calibration()
+	return e
 }
+
+func (p *pipePlan) calibration() string { return p.sys.calTag() }
 
 func (p *pipePlan) Execute(ctx context.Context) (ExecResult, error) {
 	if err := ctx.Err(); err != nil {
@@ -384,7 +451,12 @@ func (p *pipePlan) Execute(ctx context.Context) (ExecResult, error) {
 // replay, Execute returns the cost-model outcome directly.
 type megatronPlan struct {
 	res baselines.MegatronResult
+	// cal is the producing system's calibration tag (analytic plans still
+	// record which cost model priced them).
+	cal string
 }
+
+func (p *megatronPlan) calibration() string { return p.cal }
 
 func (p *megatronPlan) Strategy() string { return StrategyMegatron }
 
@@ -401,7 +473,7 @@ func (p *megatronPlan) Describe() string {
 
 func (p *megatronPlan) Explain() *PlanExplain {
 	s := p.res.Strategy
-	return server.ExplainMegatron(server.MegatronJSON{
+	e := server.ExplainMegatron(server.MegatronJSON{
 		TP:        s.TP,
 		CP:        s.CP,
 		PP:        s.PP,
@@ -410,6 +482,8 @@ func (p *megatronPlan) Explain() *PlanExplain {
 		Comm:      p.res.Comm,
 		Rounds:    p.res.Rounds,
 	})
+	e.Calibration = p.cal
+	return e
 }
 
 func (p *megatronPlan) Execute(ctx context.Context) (ExecResult, error) {
@@ -462,6 +536,12 @@ func EncodePlan(p Plan, wall time.Duration) server.PlanEnvelope {
 		Strategy:         p.Strategy(),
 		EstTime:          p.EstTime(),
 		SolveWallSeconds: wall.Seconds(),
+	}
+	// Plans priced by a calibrated cost model say so on the wire; the tag is
+	// omitted (not an empty field) under the analytic defaults, keeping
+	// uncalibrated envelopes byte-identical to earlier versions.
+	if c, ok := p.(interface{ calibration() string }); ok {
+		env.Calibration = c.calibration()
 	}
 	switch p := p.(type) {
 	case *pipePlan:
